@@ -1,0 +1,28 @@
+//! Table 2, row 3 / Table 1, row 3: the classical dMA lower bound, exercised
+//! by the cut-and-paste fooling attack on sketch protocols of shrinking proof
+//! size (Lemma 23, Corollary 25).
+
+use commproto::fooling::eq_fooling_set;
+use dqma::dma::{dma_total_proof_threshold, SketchEqDma};
+use dqma_bench::{fmt, print_header, print_row};
+
+fn main() {
+    print_header(
+        "T2.3 / T1.3: cut-and-paste attack vs per-node classical proof size (EQ, n=8, r=4)",
+        &["sketch bits", "total proof bits", "attack succeeds", "threshold (Cor.25)"],
+    );
+    let n = 8;
+    let r = 4;
+    let fooling = eq_fooling_set(n);
+    for s in [1usize, 2, 4, 6, 8, 16] {
+        let proto = SketchEqDma::new(n, r, s, 7);
+        let attack = proto.fooling_attack(&fooling);
+        print_row(&[
+            s.to_string(),
+            proto.costs().total_proof_bits.to_string(),
+            attack.is_some().to_string(),
+            fmt(dma_total_proof_threshold(n, r, 1) as f64),
+        ]);
+    }
+    println!("\nany protocol whose total proof stays below the threshold admits a fooling input (Proposition 24).");
+}

@@ -1,0 +1,47 @@
+//! Table 2, row 1 (Theorem 19): EQ on general graphs — measured local proof
+//! size, independence of t, completeness and soundness on small instances.
+
+use commproto::bitstring::BitString;
+use commproto::fingerprint::FingerprintScheme;
+use dqma::costs;
+use dqma::eq_tree::EqTreeProtocol;
+use dqma_bench::{fmt, print_header, print_row};
+use netsim::topology;
+
+fn main() {
+    print_header(
+        "Table 2 / T2.1: EQ on general graphs (Theorem 19)",
+        &["n", "r(leg)", "t", "measured local", "paper O(r^2 log n)", "FGNP21 O(t r^2 log n)"],
+    );
+    for (n, leg, t) in [(64usize, 2usize, 3usize), (64, 2, 6), (64, 4, 3), (1024, 2, 3), (1024, 4, 6)] {
+        let g = topology::spider(t, leg);
+        let terms: Vec<usize> = (0..t).map(|k| topology::spider_leaf(k, leg)).collect();
+        let proto = EqTreeProtocol::new(&g, &terms, n, 1);
+        let c = proto.costs();
+        print_row(&[
+            n.to_string(),
+            leg.to_string(),
+            t.to_string(),
+            c.local_proof_qubits.to_string(),
+            fmt(costs::table2_eq_local(n, g.radius())),
+            fmt(EqTreeProtocol::fgnp_local_cost(n, g.radius(), t)),
+        ]);
+    }
+
+    print_header(
+        "T2.1 behaviour on small exact instances (3 terminals, leg 1)",
+        &["instance", "single-round acc", "repeated acc"],
+    );
+    let g = topology::spider(3, 1);
+    let terms: Vec<usize> = (0..3).map(|k| topology::spider_leaf(k, 1)).collect();
+    let proto = EqTreeProtocol::with_scheme(&g, &terms, FingerprintScheme::small(4, 5), 32);
+    let x = BitString::from_u64(9, 4);
+    let equal = vec![x.clone(); 3];
+    let mut unequal = equal.clone();
+    unequal[1] = BitString::from_u64(6, 4);
+    for (name, inputs) in [("all equal", &equal), ("one differs", &unequal)] {
+        let single = proto.acceptance_separable(inputs, &proto.uniform_proof(&x));
+        let repeated = proto.repeated_acceptance(inputs, &proto.uniform_proof(&x));
+        print_row(&[name.to_string(), fmt(single), fmt(repeated)]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Table 2, rows 4–5 (Theorems 26 and 29): greater-than and ranking
+//! verification — costs plus completeness/soundness on exact small instances.
+
+use commproto::bitstring::BitString;
+use commproto::fingerprint::FingerprintScheme;
+use commproto::problems::Comparison;
+use dqma::chain::ChainCheat;
+use dqma::costs;
+use dqma::gt::GtPathProtocol;
+use dqma::ranking::RankingProtocol;
+use dqma_bench::{fmt, print_header, print_row};
+
+fn main() {
+    print_header(
+        "Table 2 / T2.4: GT on a path (Theorem 26)",
+        &["n", "r", "measured local", "paper O(r^2 log n)"],
+    );
+    for (n, r) in [(64usize, 3usize), (64, 6), (1024, 3), (1024, 6)] {
+        let c = GtPathProtocol::costs_for(n, r);
+        print_row(&[
+            n.to_string(),
+            r.to_string(),
+            c.local_proof_qubits.to_string(),
+            fmt(costs::table2_gt_local(n, r)),
+        ]);
+    }
+
+    print_header(
+        "T2.4 behaviour (n=4, r=3, exact)",
+        &["x", "y", "completeness", "best cheat (repeated)"],
+    );
+    let proto = GtPathProtocol::with_scheme(4, 3, Comparison::Greater, FingerprintScheme::small(4, 3), 48);
+    for (xv, yv) in [(12u64, 5u64), (9, 9), (3, 11)] {
+        let x = BitString::from_u64(xv, 4);
+        let y = BitString::from_u64(yv, 4);
+        print_row(&[
+            xv.to_string(),
+            yv.to_string(),
+            fmt(proto.completeness(&x, &y)),
+            fmt(proto.repeated_cheating_acceptance(&x, &y, ChainCheat::Interpolate)),
+        ]);
+    }
+
+    print_header(
+        "Table 2 / T2.5: ranking verification (Theorem 29)",
+        &["n", "t", "r(leg)", "measured local", "paper O(t r^2 log n)"],
+    );
+    for (n, t, leg) in [(64usize, 3usize, 2usize), (64, 6, 2), (1024, 3, 2), (64, 3, 4)] {
+        let c = RankingProtocol::new(n, t, 1, leg, 1).costs();
+        print_row(&[
+            n.to_string(),
+            t.to_string(),
+            leg.to_string(),
+            c.local_proof_qubits.to_string(),
+            fmt(costs::table2_rv_local(n, leg, t)),
+        ]);
+    }
+}

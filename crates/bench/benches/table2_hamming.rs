@@ -1,0 +1,45 @@
+//! Table 2, row 6 (Theorems 30 and 32): the Hamming distance and generic
+//! forall-t lifts — cost scaling in t and behaviour on exact small instances.
+
+use commproto::bitstring::BitString;
+use commproto::one_way::{ExactHammingOneWay, GapHammingOneWay, OneWayProtocol};
+use dqma::chain::ChainCheat;
+use dqma::costs;
+use dqma::forall::ForAllProtocol;
+use dqma_bench::{fmt, print_header, print_row};
+
+fn main() {
+    print_header(
+        "Table 2 / T2.6: forall-t HAM<=d lift (Theorem 30/32) cost scaling",
+        &["n", "t", "leg", "measured local", "paper O(t^2 r^2 s log)"],
+    );
+    for (n, t, leg) in [(16usize, 2usize, 1usize), (16, 3, 1), (16, 4, 1), (16, 3, 2)] {
+        let one_way = GapHammingOneWay::with_default_sketches(n, 2, 1);
+        let s = one_way.message_qubits();
+        let c = ForAllProtocol::new(one_way, t, leg).costs();
+        print_row(&[
+            n.to_string(),
+            t.to_string(),
+            leg.to_string(),
+            c.local_proof_qubits.to_string(),
+            fmt(costs::table2_forall_local(n, 2 * leg, t, s)),
+        ]);
+    }
+
+    print_header(
+        "T2.6 behaviour (exact HAM<=1, n=3, t=3)",
+        &["inputs", "spec", "honest acc", "cheat acc (repeated)"],
+    );
+    let proto = ForAllProtocol::new(ExactHammingOneWay { n: 3, d: 1 }, 3, 1).with_repetitions(32);
+    for vals in [[5u64, 4, 5], [5, 2, 5]] {
+        let inputs: Vec<BitString> = vals.iter().map(|&v| BitString::from_u64(v, 3)).collect();
+        let spec = commproto::problems::HammingMulti { n: 3, t: 3, d: 1 };
+        use commproto::problems::MultiPartyFunction;
+        print_row(&[
+            format!("{vals:?}"),
+            spec.eval(&inputs).to_string(),
+            fmt(proto.completeness(&inputs)),
+            fmt(proto.repeated_acceptance(&inputs, ChainCheat::Interpolate)),
+        ]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Table 2, rows 7–8 (Theorems 42/46, Proposition 47): dQMA protocols from QMA
+//! communication protocols via the LSD problem, and the dQMAsep simulation
+//! overhead.
+
+use commproto::lsd::{LsdInstance, LsdQmaOneWay};
+use dqma::costs;
+use dqma::from_qmacc::{dqmasep_from_dqma_local_cost, QmaccPathProtocol};
+use dqma::lower_bounds::qma_star_cost_from_dqma;
+use dqma_bench::{fmt, print_header, print_row};
+
+fn main() {
+    print_header(
+        "Table 2 / T2.7: dQMA from the LSD QMA one-way protocol (Theorem 42)",
+        &["m", "r", "measured local", "completeness", "opt. soundness"],
+    );
+    for (m, r) in [(4usize, 3usize), (8, 3), (8, 6), (16, 3)] {
+        let proto = QmaccPathProtocol::new(LsdQmaOneWay::new(m), r).with_repetitions(4);
+        let yes = LsdInstance::random(m, 2, true, 1);
+        let no = LsdInstance::random(m, 2, false, 2);
+        let c = QmaccPathProtocol::new(LsdQmaOneWay::new(m), r).costs();
+        print_row(&[
+            m.to_string(),
+            r.to_string(),
+            c.local_proof_qubits.to_string(),
+            fmt(proto.completeness(&yes.v1, &yes.v2)),
+            fmt(proto.best_relaying_acceptance(&no.v1, &no.v2)),
+        ]);
+    }
+
+    print_header(
+        "Table 2 / T2.8: dQMAsep from dQMA (Theorem 46) cost overhead",
+        &["r", "dQMA total C", "QMA* cost", "dQMAsep local ~r^2 C^2 log C"],
+    );
+    for r in [2usize, 4, 8] {
+        let dqma_costs = QmaccPathProtocol::new(LsdQmaOneWay::new(8), r).costs();
+        let c = qma_star_cost_from_dqma(&dqma_costs) as f64;
+        print_row(&[
+            r.to_string(),
+            fmt(dqma_costs.total_qubits() as f64),
+            fmt(c),
+            fmt(dqmasep_from_dqma_local_cost(r, c)),
+        ]);
+    }
+    println!("\nProposition 47 formula at (r=4, C=16): {}", fmt(costs::table2_qmacc_local(4, 16)));
+}

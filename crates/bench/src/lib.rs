@@ -1,0 +1,56 @@
+//! Shared helpers for the table-regeneration benchmark harness.
+//!
+//! Each bench target regenerates one table (or table row group) of the paper:
+//! it sweeps the relevant parameters, measures the implemented protocol's
+//! costs and acceptance probabilities, and prints them next to the paper's
+//! closed-form bound so the scaling shape can be compared directly. The
+//! numbers are also written to `bench_output.txt` by the top-level
+//! `cargo bench` run.
+
+/// Prints a table header followed by a separator line.
+pub fn print_header(title: &str, columns: &[&str]) {
+    println!("\n=== {title} ===");
+    let header: Vec<String> = columns.iter().map(|c| format!("{c:>18}")).collect();
+    println!("{}", header.join(" "));
+    println!("{}", "-".repeat(19 * columns.len()));
+}
+
+/// Prints one row of formatted cells.
+pub fn print_row(cells: &[String]) {
+    let row: Vec<String> = cells.iter().map(|c| format!("{c:>18}")).collect();
+    println!("{}", row.join(" "));
+}
+
+/// Formats a float compactly.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Estimates the log-log slope between two measurements — used to compare the
+/// measured scaling exponent with the paper's.
+pub fn loglog_slope(x0: f64, y0: f64, x1: f64, y1: f64) -> f64 {
+    (y1 / y0).ln() / (x1 / x0).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_a_square_law_is_two() {
+        assert!((loglog_slope(2.0, 4.0, 8.0, 64.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fmt_handles_extremes() {
+        assert_eq!(fmt(0.0), "0");
+        assert!(fmt(1.5e9).contains('e'));
+        assert!(!fmt(12.0).contains('e'));
+    }
+}

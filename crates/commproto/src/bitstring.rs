@@ -1,0 +1,263 @@
+//! Fixed-length bit strings used as protocol inputs.
+//!
+//! All the problems studied in the paper take `n`-bit strings as inputs
+//! (interpreted as raw strings for EQ and the Hamming distance, and as
+//! integers for GT and the ranking verification). [`BitString`] is a small
+//! value type with the conversions and metrics those problems need.
+
+use rand::Rng;
+use std::fmt;
+
+/// An `n`-bit string, most-significant bit first.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitString {
+    bits: Vec<bool>,
+}
+
+impl BitString {
+    /// Creates a bit string from a slice of bits (most significant first).
+    pub fn new(bits: &[bool]) -> Self {
+        BitString { bits: bits.to_vec() }
+    }
+
+    /// The all-zeros string of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        BitString { bits: vec![false; n] }
+    }
+
+    /// Creates an `n`-bit string from the low `n` bits of `value`
+    /// (most significant first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `n` bits.
+    pub fn from_u64(value: u64, n: usize) -> Self {
+        assert!(n >= 64 || value < (1u64 << n), "value {value} does not fit in {n} bits");
+        let bits = (0..n)
+            .map(|i| {
+                let shift = n - 1 - i;
+                shift < 64 && (value >> shift) & 1 == 1
+            })
+            .collect();
+        BitString { bits }
+    }
+
+    /// Creates a bit string from a `"0101"`-style ASCII string.
+    ///
+    /// # Panics
+    ///
+    /// Panics on characters other than '0' and '1'.
+    pub fn from_str01(s: &str) -> Self {
+        BitString {
+            bits: s
+                .chars()
+                .map(|c| match c {
+                    '0' => false,
+                    '1' => true,
+                    other => panic!("invalid bit character {other:?}"),
+                })
+                .collect(),
+        }
+    }
+
+    /// Samples a uniformly random `n`-bit string.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        BitString {
+            bits: (0..n).map(|_| rng.random::<bool>()).collect(),
+        }
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` for the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The `i`-th bit (0 = most significant).
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// The bits as a slice.
+    pub fn as_bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Interprets the string as an unsigned integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string is longer than 64 bits.
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.len() <= 64, "to_u64 supports at most 64 bits");
+        self.bits.iter().fold(0u64, |acc, &b| (acc << 1) | u64::from(b))
+    }
+
+    /// The prefix `x[0..i]` (the paper's `x[i] = x_0 ... x_{i-1}`).
+    pub fn prefix(&self, i: usize) -> BitString {
+        BitString {
+            bits: self.bits[..i].to_vec(),
+        }
+    }
+
+    /// Bitwise XOR with another string of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor(&self, other: &BitString) -> BitString {
+        assert_eq!(self.len(), other.len(), "XOR of unequal lengths");
+        BitString {
+            bits: self
+                .bits
+                .iter()
+                .zip(other.bits.iter())
+                .map(|(&a, &b)| a ^ b)
+                .collect(),
+        }
+    }
+
+    /// Bitwise AND with another string of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and(&self, other: &BitString) -> BitString {
+        assert_eq!(self.len(), other.len(), "AND of unequal lengths");
+        BitString {
+            bits: self
+                .bits
+                .iter()
+                .zip(other.bits.iter())
+                .map(|(&a, &b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Number of ones (Hamming weight).
+    pub fn weight(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Hamming distance to another string of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming_distance(&self, other: &BitString) -> usize {
+        self.xor(other).weight()
+    }
+
+    /// Inner product modulo 2.
+    pub fn inner_product_mod2(&self, other: &BitString) -> bool {
+        self.and(other).weight() % 2 == 1
+    }
+
+    /// Compares the strings as unsigned integers (works for any length).
+    pub fn cmp_as_integer(&self, other: &BitString) -> std::cmp::Ordering {
+        assert_eq!(self.len(), other.len(), "integer comparison of unequal lengths");
+        self.bits.cmp(&other.bits)
+    }
+
+    /// Returns all `2^n` strings of length `n` (for small `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 20` to avoid accidental exponential blow-ups.
+    pub fn all(n: usize) -> Vec<BitString> {
+        assert!(n <= 20, "BitString::all is limited to n <= 20");
+        (0..(1u64 << n)).map(|v| BitString::from_u64(v, n)).collect()
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn u64_roundtrip() {
+        for v in [0u64, 1, 5, 13, 255] {
+            let b = BitString::from_u64(v, 8);
+            assert_eq!(b.to_u64(), v);
+            assert_eq!(b.len(), 8);
+        }
+    }
+
+    #[test]
+    fn string_parsing_and_display() {
+        let b = BitString::from_str01("1011");
+        assert_eq!(b.to_u64(), 11);
+        assert_eq!(b.to_string(), "1011");
+    }
+
+    #[test]
+    fn integer_ordering_matches_u64_ordering() {
+        let a = BitString::from_u64(9, 6);
+        let b = BitString::from_u64(17, 6);
+        assert_eq!(a.cmp_as_integer(&b), std::cmp::Ordering::Less);
+        assert_eq!(b.cmp_as_integer(&a), std::cmp::Ordering::Greater);
+        assert_eq!(a.cmp_as_integer(&a.clone()), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn hamming_distance_and_weight() {
+        let a = BitString::from_str01("1100");
+        let b = BitString::from_str01("1010");
+        assert_eq!(a.weight(), 2);
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn xor_and_inner_product() {
+        let a = BitString::from_str01("1101");
+        let b = BitString::from_str01("1011");
+        assert_eq!(a.xor(&b), BitString::from_str01("0110"));
+        // <1101, 1011> = 1+0+0+1 = 0 mod 2
+        assert!(!a.inner_product_mod2(&b));
+        let c = BitString::from_str01("1000");
+        assert!(a.inner_product_mod2(&c));
+    }
+
+    #[test]
+    fn prefix_matches_paper_notation() {
+        let x = BitString::from_str01("10110");
+        assert_eq!(x.prefix(0), BitString::zeros(0));
+        assert_eq!(x.prefix(3), BitString::from_str01("101"));
+    }
+
+    #[test]
+    fn all_strings() {
+        let all = BitString::all(3);
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[5], BitString::from_str01("101"));
+    }
+
+    #[test]
+    fn random_is_reproducible_per_seed() {
+        let mut r1 = StdRng::seed_from_u64(4);
+        let mut r2 = StdRng::seed_from_u64(4);
+        assert_eq!(BitString::random(32, &mut r1), BitString::random(32, &mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn from_u64_overflow_panics() {
+        let _ = BitString::from_u64(16, 4);
+    }
+}

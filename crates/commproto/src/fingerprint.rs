@@ -1,0 +1,327 @@
+//! Quantum fingerprints (Buhrman–Cleve–Watrous–de Wolf) built from a seeded
+//! binary linear code.
+//!
+//! The paper's EQ protocols use a fingerprint map `x ↦ |h_x>` of `c·log n`
+//! qubits such that `|<h_x|h_y>| ≤ δ` for all `x ≠ y`. Any error-correcting
+//! code `E : {0,1}^n → {0,1}^m` with good relative distance yields one:
+//!
+//! `|h_x> = (1/√m) Σ_i |i>|E(x)_i>`, so `<h_x|h_y> = 1 − d_H(E(x), E(y))/m`.
+//!
+//! The paper fixes a specific code; this reproduction uses a seeded random
+//! binary linear code (plus optional tensor-power amplification), whose
+//! realised pairwise distance is measured and reported — the protocols only
+//! consume the bound `δ`, so the substitution is behaviour-preserving (see
+//! DESIGN.md).
+
+use crate::bitstring::BitString;
+use qsim::{CMatrix, PureState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A binary linear code `E : {0,1}^n → {0,1}^m` given by `m` parity rows.
+#[derive(Clone, Debug)]
+pub struct LinearCode {
+    n: usize,
+    rows: Vec<BitString>,
+}
+
+impl LinearCode {
+    /// A seeded random linear code with `m` codeword bits. For a random code
+    /// the expected relative distance between distinct codewords is 1/2.
+    pub fn random(n: usize, m: usize, seed: u64) -> Self {
+        assert!(n >= 1 && m >= 1, "code dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows: Vec<BitString> = Vec::with_capacity(m);
+        for _ in 0..m {
+            // Avoid the all-zero row, which would waste a coordinate.
+            loop {
+                let row = BitString::random(n, &mut rng);
+                if row.weight() > 0 {
+                    rows.push(row);
+                    break;
+                }
+            }
+        }
+        LinearCode { n, rows }
+    }
+
+    /// Message length `n`.
+    pub fn message_len(&self) -> usize {
+        self.n
+    }
+
+    /// Codeword length `m`.
+    pub fn codeword_len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Encodes a message: codeword bit `i` is the parity `<row_i, x>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong length.
+    pub fn encode(&self, x: &BitString) -> BitString {
+        assert_eq!(x.len(), self.n, "message length mismatch");
+        BitString::new(
+            &self
+                .rows
+                .iter()
+                .map(|row| row.inner_product_mod2(x))
+                .collect::<Vec<bool>>(),
+        )
+    }
+
+    /// Relative Hamming distance between the codewords of `x` and `y`.
+    pub fn relative_distance(&self, x: &BitString, y: &BitString) -> f64 {
+        self.encode(x).hamming_distance(&self.encode(y)) as f64 / self.codeword_len() as f64
+    }
+
+    /// Minimum relative distance over all pairs of distinct messages,
+    /// by exhaustive enumeration (only for `n ≤ 12`).
+    ///
+    /// For a linear code this equals the minimum relative weight of a nonzero
+    /// codeword, which is what is enumerated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 12`.
+    pub fn min_relative_distance(&self) -> f64 {
+        assert!(self.n <= 12, "exhaustive distance computation limited to n <= 12");
+        let zero = BitString::zeros(self.n);
+        let zero_cw = self.encode(&zero);
+        BitString::all(self.n)
+            .into_iter()
+            .filter(|x| x.weight() > 0)
+            .map(|x| self.encode(&x).hamming_distance(&zero_cw) as f64 / self.codeword_len() as f64)
+            .fold(1.0, f64::min)
+    }
+}
+
+/// A fingerprint scheme: a linear code plus a tensor-power amplification
+/// factor. The fingerprint of `x` is `|h_x>^{⊗ copies}` where
+/// `|h_x> = (1/√m) Σ_i |i>|E(x)_i>`.
+#[derive(Clone, Debug)]
+pub struct FingerprintScheme {
+    code: LinearCode,
+    copies: usize,
+}
+
+impl FingerprintScheme {
+    /// A scheme for `n`-bit inputs with the default code length `m = 4·n`
+    /// (rounded up to at least 4) and a single copy.
+    pub fn new(n: usize, seed: u64) -> Self {
+        FingerprintScheme {
+            code: LinearCode::random(n, (4 * n).max(4), seed),
+            copies: 1,
+        }
+    }
+
+    /// A fully custom scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies == 0`.
+    pub fn with_parameters(n: usize, codeword_len: usize, copies: usize, seed: u64) -> Self {
+        assert!(copies >= 1, "at least one copy required");
+        FingerprintScheme {
+            code: LinearCode::random(n, codeword_len, seed),
+            copies,
+        }
+    }
+
+    /// A small scheme intended for exact protocol simulation: short code
+    /// (`m = 4`) so that joint states over several registers stay tractable.
+    pub fn small(n: usize, seed: u64) -> Self {
+        FingerprintScheme {
+            code: LinearCode::random(n, 4, seed),
+            copies: 1,
+        }
+    }
+
+    /// The underlying code.
+    pub fn code(&self) -> &LinearCode {
+        &self.code
+    }
+
+    /// Number of tensor copies.
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// Input length `n`.
+    pub fn input_len(&self) -> usize {
+        self.code.message_len()
+    }
+
+    /// Hilbert-space dimension of one fingerprint register
+    /// (`(2m)^copies`).
+    pub fn dim(&self) -> usize {
+        (2 * self.code.codeword_len()).pow(self.copies as u32)
+    }
+
+    /// Number of qubits of one fingerprint register, rounded up:
+    /// `copies · ⌈log₂(2m)⌉ = O(log n)` for `m = O(n)`.
+    pub fn qubits(&self) -> usize {
+        let per_copy = (2 * self.code.codeword_len()).next_power_of_two().trailing_zeros() as usize;
+        self.copies * per_copy
+    }
+
+    /// The fingerprint state `|h_x>^{⊗ copies}` as a single register of
+    /// dimension [`FingerprintScheme::dim`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong length.
+    pub fn fingerprint(&self, x: &BitString) -> PureState {
+        let single = self.single_fingerprint(x);
+        let mut out = single.clone();
+        for _ in 1..self.copies {
+            out = out.tensor(&single);
+        }
+        out.regroup(&[self.dim()])
+    }
+
+    fn single_fingerprint(&self, x: &BitString) -> PureState {
+        let m = self.code.codeword_len();
+        let cw = self.code.encode(x);
+        let amp = 1.0 / (m as f64).sqrt();
+        let mut amps = vec![qsim::Complex::ZERO; 2 * m];
+        for i in 0..m {
+            let bit = usize::from(cw.bit(i));
+            amps[i * 2 + bit] = qsim::Complex::real(amp);
+        }
+        PureState::from_amplitudes(&[2 * m], qsim::CVector::new(amps))
+    }
+
+    /// Exact overlap `<h_x|h_y> = (1 − d_H(E(x), E(y))/m)^copies`.
+    pub fn overlap(&self, x: &BitString, y: &BitString) -> f64 {
+        (1.0 - self.code.relative_distance(x, y)).powi(self.copies as i32)
+    }
+
+    /// The maximum overlap `δ` over all pairs of distinct inputs
+    /// (exhaustive, `n ≤ 12`).
+    pub fn max_pairwise_overlap(&self) -> f64 {
+        (1.0 - self.code.min_relative_distance()).powi(self.copies as i32)
+    }
+
+    /// Estimates the maximum pairwise overlap from `samples` random pairs of
+    /// distinct inputs (for larger `n`).
+    pub fn estimate_max_overlap(&self, samples: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.input_len();
+        let mut max = 0.0f64;
+        for _ in 0..samples {
+            let x = BitString::random(n, &mut rng);
+            let mut y = BitString::random(n, &mut rng);
+            while y == x {
+                y = BitString::random(n, &mut rng);
+            }
+            max = max.max(self.overlap(&x, &y).abs());
+        }
+        max
+    }
+
+    /// The accept effect `|h_y><h_y|` of the one-way EQ protocol π: Bob, who
+    /// holds `y`, projects the received fingerprint onto his own. Accepts
+    /// `x = y` with probability 1 and `x ≠ y` with probability
+    /// `overlap(x, y)²`.
+    pub fn accept_effect(&self, y: &BitString) -> CMatrix {
+        let hy = self.fingerprint(y);
+        CMatrix::projector(hy.amplitudes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_is_linear() {
+        let code = LinearCode::random(6, 16, 1);
+        let x = BitString::from_str01("101010");
+        let y = BitString::from_str01("010111");
+        let lhs = code.encode(&x.xor(&y));
+        let rhs = code.encode(&x).xor(&code.encode(&y));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn random_code_has_positive_distance() {
+        let code = LinearCode::random(6, 32, 7);
+        let d = code.min_relative_distance();
+        assert!(d > 0.1, "random code distance too small: {d}");
+        assert!(d <= 1.0);
+    }
+
+    #[test]
+    fn fingerprints_are_normalised_unit_vectors() {
+        let scheme = FingerprintScheme::new(5, 3);
+        let x = BitString::from_str01("10110");
+        let h = scheme.fingerprint(&x);
+        assert!((h.norm_sqr() - 1.0).abs() < 1e-12);
+        assert_eq!(h.dim(), scheme.dim());
+    }
+
+    #[test]
+    fn equal_inputs_have_identical_fingerprints() {
+        let scheme = FingerprintScheme::new(4, 5);
+        let x = BitString::from_str01("0110");
+        let a = scheme.fingerprint(&x);
+        let b = scheme.fingerprint(&x);
+        assert!((a.overlap_sqr(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_formula_matches_states() {
+        let scheme = FingerprintScheme::with_parameters(4, 8, 2, 11);
+        for (xv, yv) in [(3u64, 9u64), (0, 15), (5, 6)] {
+            let x = BitString::from_u64(xv, 4);
+            let y = BitString::from_u64(yv, 4);
+            let analytic = scheme.overlap(&x, &y);
+            let states = scheme.fingerprint(&x).inner(&scheme.fingerprint(&y)).re;
+            assert!((analytic - states).abs() < 1e-10, "x={xv} y={yv}");
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_have_bounded_overlap() {
+        let scheme = FingerprintScheme::with_parameters(5, 40, 1, 13);
+        let delta = scheme.max_pairwise_overlap();
+        assert!(delta < 0.85, "delta = {delta}");
+        // Amplification by tensor copies shrinks the overlap.
+        let amplified = FingerprintScheme::with_parameters(5, 40, 3, 13);
+        assert!(amplified.max_pairwise_overlap() <= delta.powi(3) + 1e-12);
+    }
+
+    #[test]
+    fn qubit_count_is_logarithmic() {
+        let small = FingerprintScheme::new(8, 1);
+        let large = FingerprintScheme::new(64, 1);
+        assert!(small.qubits() <= large.qubits());
+        // m = 4n, so qubits = ceil(log2(8n)): 64-bit inputs need ~9 qubits.
+        assert!(large.qubits() <= 10);
+    }
+
+    #[test]
+    fn accept_effect_is_one_sided() {
+        let scheme = FingerprintScheme::new(4, 21);
+        let y = BitString::from_str01("1010");
+        let effect = scheme.accept_effect(&y);
+        let hy = scheme.fingerprint(&y);
+        let p_same = hy.amplitudes().inner(&effect.apply(hy.amplitudes())).re;
+        assert!((p_same - 1.0).abs() < 1e-10);
+        let x = BitString::from_str01("1011");
+        let hx = scheme.fingerprint(&x);
+        let p_diff = hx.amplitudes().inner(&effect.apply(hx.amplitudes())).re;
+        assert!(p_diff < 1.0 - 1e-3);
+        assert!((p_diff - scheme.overlap(&x, &y).powi(2)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn estimate_max_overlap_close_to_exhaustive() {
+        let scheme = FingerprintScheme::with_parameters(6, 24, 1, 17);
+        let exact = scheme.max_pairwise_overlap();
+        let est = scheme.estimate_max_overlap(500, 99);
+        assert!(est <= exact + 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! 1-fooling sets (Section 2.2.1).
+//!
+//! A set `S ⊆ {0,1}^n × {0,1}^n` is a *1-fooling set* for `f` when
+//! `f(x, y) = 1` for every pair in `S`, and for any two distinct pairs
+//! `(x₁, y₁) ≠ (x₂, y₂)` in `S` at least one of the crossed pairs evaluates to
+//! 0. Both the classical lower bound (Lemma 23 / Proposition 24) and the
+//! quantum counting-argument lower bound (Proposition 50 / Theorem 51) are
+//! parameterised by the size of a 1-fooling set; EQ and GT have 1-fooling
+//! sets of size `2^n` (up to one element).
+
+use crate::bitstring::BitString;
+use crate::problems::TwoPartyFunction;
+
+/// A 1-fooling set: a list of input pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FoolingSet {
+    pairs: Vec<(BitString, BitString)>,
+}
+
+impl FoolingSet {
+    /// Wraps a list of pairs as a fooling set (not validated; see
+    /// [`FoolingSet::is_valid_for`]).
+    pub fn new(pairs: Vec<(BitString, BitString)>) -> Self {
+        FoolingSet { pairs }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Returns `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The pairs.
+    pub fn pairs(&self) -> &[(BitString, BitString)] {
+        &self.pairs
+    }
+
+    /// Checks the 1-fooling-set property for `f` by brute force.
+    pub fn is_valid_for<F: TwoPartyFunction>(&self, f: &F) -> bool {
+        for (x, y) in &self.pairs {
+            if !f.eval(x, y) {
+                return false;
+            }
+        }
+        for i in 0..self.pairs.len() {
+            for j in (i + 1)..self.pairs.len() {
+                let (x1, y1) = &self.pairs[i];
+                let (x2, y2) = &self.pairs[j];
+                if f.eval(x1, y2) && f.eval(x2, y1) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The canonical size-`2^n` 1-fooling set for EQ: the diagonal `{(x, x)}`.
+///
+/// # Panics
+///
+/// Panics if `n > 20` (brute-force enumeration guard).
+pub fn eq_fooling_set(n: usize) -> FoolingSet {
+    FoolingSet::new(BitString::all(n).into_iter().map(|x| (x.clone(), x)).collect())
+}
+
+/// A size-`2^n − 1` 1-fooling set for GT: the pairs `{(x, x − 1) : x ≥ 1}`.
+///
+/// # Panics
+///
+/// Panics if `n > 20` (brute-force enumeration guard).
+pub fn gt_fooling_set(n: usize) -> FoolingSet {
+    FoolingSet::new(
+        (1..(1u64 << n))
+            .map(|v| (BitString::from_u64(v, n), BitString::from_u64(v - 1, n)))
+            .collect(),
+    )
+}
+
+/// The size of the largest 1-fooling set the paper relies on for a function
+/// family, as a function of `n` — `2^n` for EQ, `2^n − 1` for GT.
+pub fn canonical_fooling_set_size(f_name: &str, n: usize) -> u64 {
+    if f_name.starts_with("GT") {
+        (1u64 << n) - 1
+    } else {
+        1u64 << n
+    }
+}
+
+/// Greedily searches for a 1-fooling set of a small function by brute force.
+/// Useful to sanity-check fooling-set sizes for the other problems; exponential
+/// in `n`, so restricted to `n ≤ 10`.
+///
+/// # Panics
+///
+/// Panics if `n > 10`.
+pub fn greedy_fooling_set<F: TwoPartyFunction>(f: &F) -> FoolingSet {
+    let n = f.input_len();
+    assert!(n <= 10, "greedy fooling set search limited to n <= 10");
+    let all = BitString::all(n);
+    let mut chosen: Vec<(BitString, BitString)> = Vec::new();
+    for x in &all {
+        for y in &all {
+            if !f.eval(x, y) {
+                continue;
+            }
+            let ok = chosen.iter().all(|(cx, cy)| !(f.eval(cx, y) && f.eval(x, cy)));
+            if ok {
+                chosen.push((x.clone(), y.clone()));
+            }
+        }
+    }
+    FoolingSet::new(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{Disjointness, Equality, GreaterThan, HammingAtMost};
+
+    #[test]
+    fn eq_diagonal_is_a_fooling_set_of_size_2n() {
+        let n = 4;
+        let s = eq_fooling_set(n);
+        assert_eq!(s.len(), 1 << n);
+        assert!(s.is_valid_for(&Equality { n }));
+    }
+
+    #[test]
+    fn gt_fooling_set_is_valid() {
+        let n = 5;
+        let s = gt_fooling_set(n);
+        assert_eq!(s.len(), (1 << n) - 1);
+        assert!(s.is_valid_for(&GreaterThan::strict(n)));
+    }
+
+    #[test]
+    fn invalid_set_detected() {
+        // (00,00) and (01,01) with the Hamming<=1 function: crossed pairs both accept.
+        let s = FoolingSet::new(vec![
+            (BitString::from_str01("00"), BitString::from_str01("00")),
+            (BitString::from_str01("01"), BitString::from_str01("01")),
+        ]);
+        assert!(!s.is_valid_for(&HammingAtMost { n: 2, d: 1 }));
+        assert!(s.is_valid_for(&Equality { n: 2 }));
+    }
+
+    #[test]
+    fn greedy_search_recovers_large_fooling_set_for_eq() {
+        let f = Equality { n: 4 };
+        let s = greedy_fooling_set(&f);
+        assert!(s.is_valid_for(&f));
+        assert_eq!(s.len(), 16);
+    }
+
+    #[test]
+    fn greedy_search_on_disjointness_is_valid() {
+        let f = Disjointness { n: 4 };
+        let s = greedy_fooling_set(&f);
+        assert!(s.is_valid_for(&f));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn disjointness_complement_pairs_form_a_fooling_set() {
+        // DISJ has a fooling set of size 2^n: x paired with its complement.
+        let n = 4;
+        let ones = BitString::from_u64((1 << n) - 1, n);
+        let s = FoolingSet::new(
+            BitString::all(n)
+                .into_iter()
+                .map(|x| (x.clone(), x.xor(&ones)))
+                .collect(),
+        );
+        assert_eq!(s.len(), 1 << n);
+        assert!(s.is_valid_for(&Disjointness { n }));
+    }
+
+    #[test]
+    fn canonical_sizes() {
+        assert_eq!(canonical_fooling_set_size("EQ_8", 8), 256);
+        assert_eq!(canonical_fooling_set_size("GT>_8", 8), 255);
+    }
+}

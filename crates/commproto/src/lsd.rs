@@ -1,0 +1,357 @@
+//! The Linear Subspace Distance (LSD) problem of Raz and Shpilka
+//! (Definition 16 of the paper) and its QMA one-way protocol (Lemma 45).
+//!
+//! LSD is complete for QMA communication protocols: any function with an
+//! efficient QMA protocol reduces to deciding whether two subspaces
+//! `V₁, V₂ ⊆ R^m` are close (`Δ(V₁, V₂) ≤ 0.1·√2`) or far
+//! (`Δ(V₁, V₂) ≥ 0.9·√2`). Crucially for Section 7 of the paper, LSD has a
+//! QMA **one-way** protocol of cost `O(log m)`: Merlin sends a unit vector
+//! claimed to lie in `V₁` and be close to `V₂`; Alice coherently checks
+//! membership in `V₁`, forwards the state, and Bob projects onto `V₂`.
+
+use crate::qma::QmaOneWayProtocol;
+use qsim::linalg::{eigh, max_eigenvalue};
+use qsim::{CMatrix, CVector, Complex, PureState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The canonical closeness threshold `0.1 · √2` of the LSD promise.
+pub const LSD_CLOSE: f64 = 0.141_421_356_237_309_5;
+/// The canonical farness threshold `0.9 · √2` of the LSD promise.
+pub const LSD_FAR: f64 = 1.272_792_206_135_785_5;
+
+/// A subspace of `R^m` (embedded in `C^m`), stored as an orthonormal basis.
+#[derive(Clone, Debug)]
+pub struct Subspace {
+    dim_ambient: usize,
+    basis: Vec<CVector>,
+}
+
+impl Subspace {
+    /// Builds a subspace from spanning vectors (orthonormalised internally;
+    /// numerically dependent vectors are dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no vector survives orthonormalisation or the vectors have
+    /// inconsistent dimensions.
+    pub fn span(vectors: &[CVector]) -> Self {
+        assert!(!vectors.is_empty(), "a subspace needs at least one spanning vector");
+        let m = vectors[0].dim();
+        let mut basis: Vec<CVector> = Vec::new();
+        for v in vectors {
+            assert_eq!(v.dim(), m, "inconsistent ambient dimensions");
+            let mut w = v.clone();
+            for b in &basis {
+                let proj = b.inner(&w);
+                w.add_scaled(b, -proj);
+            }
+            if w.norm() > 1e-9 {
+                basis.push(w.normalized());
+            }
+        }
+        assert!(!basis.is_empty(), "spanning vectors are numerically zero");
+        Subspace {
+            dim_ambient: m,
+            basis,
+        }
+    }
+
+    /// The 1-dimensional subspace spanned by a single vector.
+    pub fn line(v: &CVector) -> Self {
+        Subspace::span(std::slice::from_ref(v))
+    }
+
+    /// Ambient dimension `m`.
+    pub fn ambient_dim(&self) -> usize {
+        self.dim_ambient
+    }
+
+    /// Dimension of the subspace.
+    pub fn dim(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Orthonormal basis vectors.
+    pub fn basis(&self) -> &[CVector] {
+        &self.basis
+    }
+
+    /// The orthogonal projector onto the subspace.
+    pub fn projector(&self) -> CMatrix {
+        let mut p = CMatrix::zeros(self.dim_ambient, self.dim_ambient);
+        for b in &self.basis {
+            p = &p + &CMatrix::outer(b, b);
+        }
+        p
+    }
+}
+
+/// An LSD instance: Alice holds `V₁`, Bob holds `V₂`.
+#[derive(Clone, Debug)]
+pub struct LsdInstance {
+    /// Alice's subspace.
+    pub v1: Subspace,
+    /// Bob's subspace.
+    pub v2: Subspace,
+}
+
+impl LsdInstance {
+    /// Creates an instance from the two subspaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ambient dimensions differ.
+    pub fn new(v1: Subspace, v2: Subspace) -> Self {
+        assert_eq!(
+            v1.ambient_dim(),
+            v2.ambient_dim(),
+            "subspaces must share the ambient space"
+        );
+        LsdInstance { v1, v2 }
+    }
+
+    /// Two lines in the plane spanned by the first two coordinates of `R^m`,
+    /// at angle `theta` — the minimal family that realises any value of `Δ`.
+    pub fn from_angle(m: usize, theta: f64) -> Self {
+        assert!(m >= 2, "ambient dimension must be at least 2");
+        let mut a = CVector::zeros(m);
+        a[0] = Complex::ONE;
+        let mut b = CVector::zeros(m);
+        b[0] = Complex::real(theta.cos());
+        b[1] = Complex::real(theta.sin());
+        LsdInstance::new(Subspace::line(&a), Subspace::line(&b))
+    }
+
+    /// A random yes (close) or no (far) instance of two `k`-dimensional
+    /// subspaces in `R^m`.
+    pub fn random(m: usize, k: usize, yes: bool, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gauss = |rng: &mut StdRng| {
+            let u1: f64 = rng.random::<f64>().max(1e-12);
+            let u2: f64 = rng.random();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let random_vec = |rng: &mut StdRng, gauss: &mut dyn FnMut(&mut StdRng) -> f64| {
+            CVector::from_fn(m, |_| Complex::real(gauss(rng)))
+        };
+        let mut b1 = Vec::new();
+        for _ in 0..k {
+            b1.push(random_vec(&mut rng, &mut gauss));
+        }
+        let v1 = Subspace::span(&b1);
+        let v2 = if yes {
+            // Share the first basis vector (distance 0), pad with fresh ones.
+            let mut b2 = vec![v1.basis()[0].clone()];
+            for _ in 1..k {
+                b2.push(random_vec(&mut rng, &mut gauss));
+            }
+            Subspace::span(&b2)
+        } else {
+            // Take vectors orthogonal to V1: project out V1 from random vectors.
+            let p1 = v1.projector();
+            let mut b2 = Vec::new();
+            while b2.len() < k {
+                let v = random_vec(&mut rng, &mut gauss);
+                let proj = p1.apply(&v);
+                let mut w = v.clone();
+                w.add_scaled(&proj, -Complex::ONE);
+                if w.norm() > 1e-6 {
+                    b2.push(w);
+                }
+            }
+            Subspace::span(&b2)
+        };
+        LsdInstance::new(v1, v2)
+    }
+
+    /// Ambient dimension `m`.
+    pub fn ambient_dim(&self) -> usize {
+        self.v1.ambient_dim()
+    }
+
+    /// The largest squared cosine between the subspaces, i.e. the largest
+    /// eigenvalue of `Π₁ Π₂ Π₁` — equivalently the optimal acceptance
+    /// probability of the QMA one-way protocol.
+    pub fn max_cos_sqr(&self) -> f64 {
+        let p1 = self.v1.projector();
+        let p2 = self.v2.projector();
+        max_eigenvalue(&p1.matmul(&p2).matmul(&p1)).clamp(0.0, 1.0)
+    }
+
+    /// The subspace distance `Δ(V₁, V₂) = min ||v₁ − v₂||` over unit vectors,
+    /// which equals `√(2 − 2·cos θ_min)`.
+    pub fn delta(&self) -> f64 {
+        (2.0 - 2.0 * self.max_cos_sqr().sqrt()).max(0.0).sqrt()
+    }
+
+    /// Whether the instance satisfies the yes-promise `Δ ≤ 0.1·√2`.
+    pub fn is_yes(&self) -> bool {
+        self.delta() <= LSD_CLOSE + 1e-9
+    }
+
+    /// Whether the instance satisfies the no-promise `Δ ≥ 0.9·√2`.
+    pub fn is_no(&self) -> bool {
+        self.delta() >= LSD_FAR - 1e-9
+    }
+}
+
+/// The QMA one-way protocol for LSD (Lemma 45): Merlin sends a unit vector,
+/// Alice coherently flags membership in `V₁` and forwards, Bob accepts iff the
+/// flag is set and the vector lies in `V₂`.
+///
+/// Implements [`QmaOneWayProtocol`] with `Input = Subspace` (Alice's input is
+/// `V₁`, Bob's is `V₂`).
+#[derive(Clone, Debug)]
+pub struct LsdQmaOneWay {
+    ambient_dim: usize,
+}
+
+impl LsdQmaOneWay {
+    /// A protocol instance for subspaces of `R^m`.
+    pub fn new(ambient_dim: usize) -> Self {
+        assert!(ambient_dim >= 2, "ambient dimension must be at least 2");
+        LsdQmaOneWay { ambient_dim }
+    }
+}
+
+impl QmaOneWayProtocol for LsdQmaOneWay {
+    type Input = Subspace;
+
+    fn proof_dim(&self) -> usize {
+        self.ambient_dim
+    }
+
+    fn ancilla_dim(&self) -> usize {
+        2
+    }
+
+    fn alice_unitary(&self, v1: &Subspace) -> CMatrix {
+        // On proof ⊗ flag: apply X to the flag on the V1 component.
+        let p = v1.projector();
+        let q = &CMatrix::identity(self.ambient_dim) - &p;
+        let x = qsim::gates::pauli_x();
+        let id2 = CMatrix::identity(2);
+        &p.kron(&x) + &q.kron(&id2)
+    }
+
+    fn bob_effect(&self, v2: &Subspace) -> CMatrix {
+        // Accept iff the flag qubit is |1> and the vector lies in V2.
+        let p = v2.projector();
+        let one = CMatrix::projector(&CVector::basis(2, 1));
+        p.kron(&one)
+    }
+
+    fn honest_proof(&self, v1: &Subspace, v2: &Subspace) -> PureState {
+        // The top eigenvector of P1 P2 P1 lies in V1 and maximises acceptance.
+        let p1 = v1.projector();
+        let p2 = v2.projector();
+        let decomposition = eigh(&p1.matmul(&p2).matmul(&p1));
+        let v = decomposition.max_eigenvector().normalized();
+        PureState::from_amplitudes(&[self.ambient_dim], v)
+    }
+
+    fn completeness(&self) -> f64 {
+        // For yes instances cos θ ≥ 1 − Δ²/2 ≥ 0.99, acceptance ≥ 0.99² ≈ 0.98.
+        0.98
+    }
+
+    fn soundness_error(&self) -> f64 {
+        // For no instances cos θ ≤ 1 − Δ²/2 ≤ 0.19, acceptance ≤ 0.19² ≈ 0.0361.
+        0.0361
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subspace_projector_is_projector() {
+        let v = CVector::from_reals(&[1.0, 1.0, 0.0, 0.0]);
+        let w = CVector::from_reals(&[0.0, 1.0, 1.0, 0.0]);
+        let s = Subspace::span(&[v, w]);
+        assert_eq!(s.dim(), 2);
+        let p = s.projector();
+        assert!(p.is_hermitian(1e-12));
+        assert!(p.matmul(&p).approx_eq(&p, 1e-10));
+        assert!((p.trace().re - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dependent_vectors_are_dropped() {
+        let v = CVector::from_reals(&[1.0, 2.0, 0.0]);
+        let w = CVector::from_reals(&[2.0, 4.0, 0.0]);
+        let s = Subspace::span(&[v, w]);
+        assert_eq!(s.dim(), 1);
+    }
+
+    #[test]
+    fn delta_matches_angle() {
+        for &theta in &[0.0, 0.3, std::f64::consts::FRAC_PI_2] {
+            let inst = LsdInstance::from_angle(4, theta);
+            let expected = (2.0 - 2.0 * theta.cos().abs()).max(0.0).sqrt();
+            assert!((inst.delta() - expected).abs() < 1e-8, "theta={theta}");
+        }
+    }
+
+    #[test]
+    fn identical_lines_are_yes_and_orthogonal_lines_are_no() {
+        let yes = LsdInstance::from_angle(4, 0.05);
+        assert!(yes.is_yes());
+        let no = LsdInstance::from_angle(4, std::f64::consts::FRAC_PI_2);
+        assert!(no.is_no());
+        assert!((no.delta() - std::f64::consts::SQRT_2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn random_instances_respect_their_promise() {
+        for seed in 0..4 {
+            let yes = LsdInstance::random(6, 2, true, seed);
+            assert!(yes.delta() < 1e-6, "shared vector gives distance 0");
+            let no = LsdInstance::random(6, 2, false, seed);
+            assert!(no.is_no(), "orthogonal construction gives Δ = √2, got {}", no.delta());
+        }
+    }
+
+    #[test]
+    fn lsd_protocol_completeness_on_yes_instances() {
+        let proto = LsdQmaOneWay::new(6);
+        let inst = LsdInstance::random(6, 2, true, 11);
+        let proof = proto.honest_proof(&inst.v1, &inst.v2);
+        let p = proto.accept_probability(&inst.v1, &inst.v2, &proof);
+        assert!(p >= proto.completeness() - 1e-9, "acceptance {p}");
+    }
+
+    #[test]
+    fn lsd_protocol_soundness_on_no_instances() {
+        let proto = LsdQmaOneWay::new(6);
+        let inst = LsdInstance::random(6, 2, false, 7);
+        // Even the *optimal* proof cannot beat the soundness bound.
+        let p = proto.optimal_accept_probability(&inst.v1, &inst.v2);
+        assert!(p <= proto.soundness_error() + 1e-9, "optimal acceptance {p}");
+    }
+
+    #[test]
+    fn optimal_acceptance_equals_max_cos_sqr() {
+        let proto = LsdQmaOneWay::new(5);
+        for seed in 0..3 {
+            let inst = LsdInstance::random(5, 2, seed % 2 == 0, seed + 20);
+            let via_protocol = proto.optimal_accept_probability(&inst.v1, &inst.v2);
+            let via_geometry = inst.max_cos_sqr();
+            assert!(
+                (via_protocol - via_geometry).abs() < 1e-8,
+                "protocol {via_protocol} vs geometry {via_geometry}"
+            );
+        }
+    }
+
+    #[test]
+    fn alice_unitary_is_unitary_and_costs_are_logarithmic() {
+        let proto = LsdQmaOneWay::new(8);
+        let inst = LsdInstance::random(8, 3, true, 2);
+        assert!(proto.alice_unitary(&inst.v1).is_unitary(1e-9));
+        assert_eq!(proto.proof_qubits(), 3);
+        assert_eq!(proto.comm_qubits(), 4);
+    }
+}

@@ -1,0 +1,461 @@
+//! The decision problems studied in the paper.
+//!
+//! Two-party problems (Section 2.2.1): equality `EQ`, greater-than `GT` and
+//! its variants, the Hamming distance threshold `HAM≤d`, disjointness `DISJ`,
+//! inner product `IP`, and symmetric XOR / linear-threshold functions.
+//! Multi-party problems (Sections 3, 5, 6): `EQ_t`, the ranking verification
+//! `RV`, `HAM_{t,n}≤d`, and the generic `∀t f` lift of a two-party function.
+
+use crate::bitstring::BitString;
+use std::cmp::Ordering;
+
+/// A two-party Boolean function `f : {0,1}^n × {0,1}^n → {0,1}`.
+pub trait TwoPartyFunction {
+    /// Input length in bits (per party).
+    fn input_len(&self) -> usize;
+    /// Evaluates the function.
+    fn eval(&self, x: &BitString, y: &BitString) -> bool;
+    /// Human-readable name used in benchmark tables.
+    fn name(&self) -> String;
+}
+
+/// A multi-party Boolean function `f : ({0,1}^n)^t → {0,1}` over the inputs of
+/// `t` terminals.
+pub trait MultiPartyFunction {
+    /// Input length in bits (per terminal).
+    fn input_len(&self) -> usize;
+    /// Number of terminals.
+    fn num_terminals(&self) -> usize;
+    /// Evaluates the function on one input per terminal.
+    fn eval(&self, inputs: &[BitString]) -> bool;
+    /// Human-readable name used in benchmark tables.
+    fn name(&self) -> String;
+}
+
+/// The equality function `EQ_n(x, y) = 1` iff `x = y`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Equality {
+    /// Input length in bits.
+    pub n: usize,
+}
+
+impl TwoPartyFunction for Equality {
+    fn input_len(&self) -> usize {
+        self.n
+    }
+    fn eval(&self, x: &BitString, y: &BitString) -> bool {
+        x == y
+    }
+    fn name(&self) -> String {
+        format!("EQ_{}", self.n)
+    }
+}
+
+/// Which order relation a greater-than style comparison checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Comparison {
+    /// `x > y` (the paper's `GT`).
+    Greater,
+    /// `x < y` (`GT_<`).
+    Less,
+    /// `x ≥ y` (`GT_≥`).
+    GreaterEqual,
+    /// `x ≤ y` (`GT_≤`).
+    LessEqual,
+}
+
+/// The greater-than family: `GT(x, y) = 1` iff the chosen order relation holds
+/// between `x` and `y` read as `n`-bit integers (Section 5.1, Corollary 28).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GreaterThan {
+    /// Input length in bits.
+    pub n: usize,
+    /// Which comparison to check.
+    pub comparison: Comparison,
+}
+
+impl GreaterThan {
+    /// The paper's `GT` (strictly greater).
+    pub fn strict(n: usize) -> Self {
+        GreaterThan {
+            n,
+            comparison: Comparison::Greater,
+        }
+    }
+}
+
+impl TwoPartyFunction for GreaterThan {
+    fn input_len(&self) -> usize {
+        self.n
+    }
+    fn eval(&self, x: &BitString, y: &BitString) -> bool {
+        let ord = x.cmp_as_integer(y);
+        match self.comparison {
+            Comparison::Greater => ord == Ordering::Greater,
+            Comparison::Less => ord == Ordering::Less,
+            Comparison::GreaterEqual => ord != Ordering::Less,
+            Comparison::LessEqual => ord != Ordering::Greater,
+        }
+    }
+    fn name(&self) -> String {
+        let sym = match self.comparison {
+            Comparison::Greater => ">",
+            Comparison::Less => "<",
+            Comparison::GreaterEqual => ">=",
+            Comparison::LessEqual => "<=",
+        };
+        format!("GT{}_{}", sym, self.n)
+    }
+}
+
+/// The Hamming-distance threshold `HAM_n^{≤d}(x, y) = 1` iff `d_H(x, y) ≤ d`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HammingAtMost {
+    /// Input length in bits.
+    pub n: usize,
+    /// Distance threshold.
+    pub d: usize,
+}
+
+impl TwoPartyFunction for HammingAtMost {
+    fn input_len(&self) -> usize {
+        self.n
+    }
+    fn eval(&self, x: &BitString, y: &BitString) -> bool {
+        x.hamming_distance(y) <= self.d
+    }
+    fn name(&self) -> String {
+        format!("HAM<={}_{}", self.d, self.n)
+    }
+}
+
+/// Disjointness: `DISJ(x, y) = 1` iff no index has `x_i = y_i = 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Disjointness {
+    /// Input length in bits.
+    pub n: usize,
+}
+
+impl TwoPartyFunction for Disjointness {
+    fn input_len(&self) -> usize {
+        self.n
+    }
+    fn eval(&self, x: &BitString, y: &BitString) -> bool {
+        x.and(y).weight() == 0
+    }
+    fn name(&self) -> String {
+        format!("DISJ_{}", self.n)
+    }
+}
+
+/// Inner product modulo 2: `IP(x, y) = ⊕_i x_i ∧ y_i`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InnerProduct {
+    /// Input length in bits.
+    pub n: usize,
+}
+
+impl TwoPartyFunction for InnerProduct {
+    fn input_len(&self) -> usize {
+        self.n
+    }
+    fn eval(&self, x: &BitString, y: &BitString) -> bool {
+        x.inner_product_mod2(y)
+    }
+    fn name(&self) -> String {
+        format!("IP_{}", self.n)
+    }
+}
+
+/// A linear threshold XOR function (Definition 14 of the paper, specialised to
+/// 0/1 weights): `f(x, y) = 1` iff `Σ_i w_i (x ⊕ y)_i ≤ θ`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearThresholdXor {
+    /// Per-coordinate non-negative weights.
+    pub weights: Vec<f64>,
+    /// Threshold.
+    pub theta: f64,
+}
+
+impl LinearThresholdXor {
+    /// The Hamming threshold as the canonical LTF-XOR instance: all weights 1,
+    /// threshold `d`.
+    pub fn hamming(n: usize, d: usize) -> Self {
+        LinearThresholdXor {
+            weights: vec![1.0; n],
+            theta: d as f64,
+        }
+    }
+
+    /// The margin `m` of the threshold function (distance from the threshold to
+    /// the nearest achievable weighted sum on either side), assuming integer
+    /// weighted sums.
+    pub fn margin(&self) -> f64 {
+        // With the convention theta = (W0 + W1)/2 the margin is (W1 - W0)/2; for
+        // integer sums and integer theta this is at least 1/2.
+        0.5
+    }
+}
+
+impl TwoPartyFunction for LinearThresholdXor {
+    fn input_len(&self) -> usize {
+        self.weights.len()
+    }
+    fn eval(&self, x: &BitString, y: &BitString) -> bool {
+        let z = x.xor(y);
+        let sum: f64 = z
+            .as_bits()
+            .iter()
+            .zip(self.weights.iter())
+            .map(|(&b, &w)| if b { w } else { 0.0 })
+            .sum();
+        sum <= self.theta
+    }
+    fn name(&self) -> String {
+        format!("LTF-XOR_{}(theta={})", self.weights.len(), self.theta)
+    }
+}
+
+/// The multi-party equality `EQ^t_n(x_1, ..., x_t) = 1` iff all inputs coincide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EqualityMulti {
+    /// Input length in bits.
+    pub n: usize,
+    /// Number of terminals.
+    pub t: usize,
+}
+
+impl MultiPartyFunction for EqualityMulti {
+    fn input_len(&self) -> usize {
+        self.n
+    }
+    fn num_terminals(&self) -> usize {
+        self.t
+    }
+    fn eval(&self, inputs: &[BitString]) -> bool {
+        inputs.windows(2).all(|w| w[0] == w[1])
+    }
+    fn name(&self) -> String {
+        format!("EQ^{}_{}", self.t, self.n)
+    }
+}
+
+/// The ranking verification problem `RV^{i,j}_{t,n}` (Definition 9): input
+/// `x_i` of terminal `i` is the `j`-th largest among all `t` inputs, i.e.
+/// `Σ_{k≠i} [x_i ≥ x_k] = t − j + 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankingVerification {
+    /// Input length in bits.
+    pub n: usize,
+    /// Number of terminals.
+    pub t: usize,
+    /// The terminal whose rank is being verified (0-based).
+    pub i: usize,
+    /// The claimed rank (1 = largest), 1-based as in the paper.
+    pub j: usize,
+}
+
+impl MultiPartyFunction for RankingVerification {
+    fn input_len(&self) -> usize {
+        self.n
+    }
+    fn num_terminals(&self) -> usize {
+        self.t
+    }
+    fn eval(&self, inputs: &[BitString]) -> bool {
+        assert_eq!(inputs.len(), self.t, "one input per terminal required");
+        let count = inputs
+            .iter()
+            .enumerate()
+            .filter(|&(k, xk)| k != self.i && inputs[self.i].cmp_as_integer(xk) != Ordering::Less)
+            .count();
+        count == self.t - self.j
+    }
+    fn name(&self) -> String {
+        format!("RV^{{{},{}}}_{{{},{}}}", self.i, self.j, self.t, self.n)
+    }
+}
+
+/// The multi-party Hamming threshold `HAM^{≤d}_{t,n}` (Section 6.1): all
+/// pairwise Hamming distances are at most `d`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HammingMulti {
+    /// Input length in bits.
+    pub n: usize,
+    /// Number of terminals.
+    pub t: usize,
+    /// Distance threshold.
+    pub d: usize,
+}
+
+impl MultiPartyFunction for HammingMulti {
+    fn input_len(&self) -> usize {
+        self.n
+    }
+    fn num_terminals(&self) -> usize {
+        self.t
+    }
+    fn eval(&self, inputs: &[BitString]) -> bool {
+        for i in 0..inputs.len() {
+            for j in (i + 1)..inputs.len() {
+                if inputs[i].hamming_distance(&inputs[j]) > self.d {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+    fn name(&self) -> String {
+        format!("HAM<={}^{}_{}", self.d, self.t, self.n)
+    }
+}
+
+/// The generic lift `∀t f(x_1, ..., x_t) = 1` iff `f(x_i, x_j) = 1` for every
+/// ordered pair of distinct terminals (Section 6.2).
+#[derive(Clone, Debug)]
+pub struct ForAllPairs<F> {
+    /// The underlying two-party function.
+    pub f: F,
+    /// Number of terminals.
+    pub t: usize,
+}
+
+impl<F: TwoPartyFunction> MultiPartyFunction for ForAllPairs<F> {
+    fn input_len(&self) -> usize {
+        self.f.input_len()
+    }
+    fn num_terminals(&self) -> usize {
+        self.t
+    }
+    fn eval(&self, inputs: &[BitString]) -> bool {
+        for i in 0..inputs.len() {
+            for j in 0..inputs.len() {
+                if i != j && !self.f.eval(&inputs[i], &inputs[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+    fn name(&self) -> String {
+        format!("forall^{} {}", self.t, self.f.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        BitString::from_str01(s)
+    }
+
+    #[test]
+    fn equality_eval() {
+        let f = Equality { n: 4 };
+        assert!(f.eval(&bs("1010"), &bs("1010")));
+        assert!(!f.eval(&bs("1010"), &bs("1011")));
+    }
+
+    #[test]
+    fn greater_than_variants() {
+        let x = bs("0101"); // 5
+        let y = bs("0011"); // 3
+        assert!(GreaterThan::strict(4).eval(&x, &y));
+        assert!(!GreaterThan::strict(4).eval(&y, &x));
+        assert!(!GreaterThan::strict(4).eval(&x, &x));
+        assert!(GreaterThan { n: 4, comparison: Comparison::GreaterEqual }.eval(&x, &x));
+        assert!(GreaterThan { n: 4, comparison: Comparison::Less }.eval(&y, &x));
+        assert!(GreaterThan { n: 4, comparison: Comparison::LessEqual }.eval(&y, &y));
+    }
+
+    #[test]
+    fn gt_characterisation_via_prefix_and_index() {
+        // GT(x,y)=1 iff exists i with x[i]=y[i] (prefixes equal), x_i=1, y_i=0.
+        let f = GreaterThan::strict(5);
+        for xv in 0..32u64 {
+            for yv in 0..32u64 {
+                let x = BitString::from_u64(xv, 5);
+                let y = BitString::from_u64(yv, 5);
+                let characterised = (0..5).any(|i| {
+                    x.prefix(i) == y.prefix(i) && x.bit(i) && !y.bit(i)
+                });
+                assert_eq!(f.eval(&x, &y), characterised, "x={xv} y={yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_threshold() {
+        let f = HammingAtMost { n: 6, d: 2 };
+        assert!(f.eval(&bs("110000"), &bs("110000")));
+        assert!(f.eval(&bs("110000"), &bs("101000")));
+        assert!(!f.eval(&bs("111100"), &bs("000011")));
+    }
+
+    #[test]
+    fn disjointness_and_inner_product() {
+        assert!(Disjointness { n: 4 }.eval(&bs("1010"), &bs("0101")));
+        assert!(!Disjointness { n: 4 }.eval(&bs("1010"), &bs("0010")));
+        assert!(InnerProduct { n: 4 }.eval(&bs("1010"), &bs("0010")));
+        assert!(!InnerProduct { n: 4 }.eval(&bs("1010"), &bs("0101")));
+    }
+
+    #[test]
+    fn ltf_xor_hamming_instance_matches_hamming_threshold() {
+        let ltf = LinearThresholdXor::hamming(5, 2);
+        let ham = HammingAtMost { n: 5, d: 2 };
+        for xv in 0..32u64 {
+            for yv in 0..8u64 {
+                let x = BitString::from_u64(xv, 5);
+                let y = BitString::from_u64(yv, 5);
+                assert_eq!(ltf.eval(&x, &y), ham.eval(&x, &y));
+            }
+        }
+        assert!(ltf.margin() > 0.0);
+    }
+
+    #[test]
+    fn equality_multi() {
+        let f = EqualityMulti { n: 3, t: 3 };
+        assert!(f.eval(&[bs("101"), bs("101"), bs("101")]));
+        assert!(!f.eval(&[bs("101"), bs("101"), bs("111")]));
+    }
+
+    #[test]
+    fn ranking_verification_definition() {
+        // inputs: 5, 3, 9 -> ranks: terminal 2 (value 9) is 1st, terminal 0 is 2nd, terminal 1 is 3rd
+        let inputs = vec![
+            BitString::from_u64(5, 4),
+            BitString::from_u64(3, 4),
+            BitString::from_u64(9, 4),
+        ];
+        assert!(RankingVerification { n: 4, t: 3, i: 2, j: 1 }.eval(&inputs));
+        assert!(RankingVerification { n: 4, t: 3, i: 0, j: 2 }.eval(&inputs));
+        assert!(RankingVerification { n: 4, t: 3, i: 1, j: 3 }.eval(&inputs));
+        assert!(!RankingVerification { n: 4, t: 3, i: 0, j: 1 }.eval(&inputs));
+        assert!(!RankingVerification { n: 4, t: 3, i: 2, j: 3 }.eval(&inputs));
+    }
+
+    #[test]
+    fn hamming_multi_checks_all_pairs() {
+        let f = HammingMulti { n: 4, t: 3, d: 1 };
+        assert!(f.eval(&[bs("1100"), bs("1101"), bs("1100")]));
+        assert!(!f.eval(&[bs("1100"), bs("1101"), bs("0011")]));
+    }
+
+    #[test]
+    fn forall_pairs_lift() {
+        let f = ForAllPairs { f: HammingAtMost { n: 4, d: 1 }, t: 3 };
+        assert!(f.eval(&[bs("1100"), bs("1101"), bs("1100")]));
+        assert!(!f.eval(&[bs("1100"), bs("0100"), bs("0110")]));
+        assert_eq!(f.num_terminals(), 3);
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert!(Equality { n: 8 }.name().contains("EQ"));
+        assert!(GreaterThan::strict(8).name().contains("GT"));
+        assert!(RankingVerification { n: 4, t: 3, i: 0, j: 1 }.name().contains("RV"));
+    }
+}

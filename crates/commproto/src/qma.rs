@@ -1,0 +1,303 @@
+//! QMA communication protocols and their one-way / two-proof variants
+//! (Section 2.2.2 of the paper).
+//!
+//! A QMA communication protocol lets an untrusted Merlin send a quantum proof
+//! to Alice before Alice and Bob communicate. The paper uses three flavours:
+//!
+//! * `QMAcc(f)` — proof to Alice, arbitrary two-way communication;
+//! * `QMAcc¹(f)` — proof to Alice, a single message from Alice to Bob
+//!   (Definition 3); this is the variant that converts into a dQMA protocol on
+//!   a path (Theorem 42 / Algorithm 10);
+//! * `QMAcc*(f)` — possibly entangled proofs to both parties (Definition 4);
+//!   this is the variant a dQMA protocol reduces **to** (Algorithm 11).
+//!
+//! The executable interface here is [`QmaOneWayProtocol`]: the purified
+//! "Carol/Dave" form used in the proof of Theorem 42, where Alice applies a
+//! unitary to the proof plus ancillas and forwards everything to Bob, who
+//! measures a two-outcome POVM.
+
+use crate::bitstring::BitString;
+use crate::one_way::OneWayProtocol;
+use qsim::{CMatrix, CVector, PureState};
+
+/// Cost of a QMA-style communication protocol, in qubits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QmaCosts {
+    /// Proof qubits sent by Merlin to Alice (γ, or γ₁ for QMA*).
+    pub proof_to_alice: usize,
+    /// Proof qubits sent by Merlin to Bob (γ₂; zero except for QMA*).
+    pub proof_to_bob: usize,
+    /// Communication qubits exchanged between Alice and Bob (µ).
+    pub communication: usize,
+}
+
+impl QmaCosts {
+    /// Total cost `γ₁ + γ₂ + µ`.
+    pub fn total(&self) -> usize {
+        self.proof_to_alice + self.proof_to_bob + self.communication
+    }
+
+    /// The cost of simulating a QMA* protocol by a plain QMA protocol
+    /// (inequality (1) in the paper): `γ₁ + 2γ₂ + µ`.
+    pub fn qma_simulation_cost(&self) -> usize {
+        self.proof_to_alice + 2 * self.proof_to_bob + self.communication
+    }
+}
+
+/// A QMA one-way communication protocol in purified ("Carol/Dave") form:
+/// Merlin sends a proof of dimension [`Self::proof_dim`] to Alice; Alice
+/// applies [`Self::alice_unitary`] to the proof together with ancillas
+/// initialised to `|0…0>` and sends the whole register to Bob; Bob measures
+/// the two-outcome POVM with accept effect [`Self::bob_effect`].
+pub trait QmaOneWayProtocol {
+    /// The per-party input type (bit strings for Boolean functions, subspace
+    /// descriptions for the LSD problem, ...).
+    type Input: Clone;
+
+    /// Dimension of Merlin's proof register.
+    fn proof_dim(&self) -> usize;
+
+    /// Dimension of Alice's ancilla register.
+    fn ancilla_dim(&self) -> usize;
+
+    /// Dimension of the register Alice forwards to Bob
+    /// (`proof_dim · ancilla_dim`).
+    fn message_dim(&self) -> usize {
+        self.proof_dim() * self.ancilla_dim()
+    }
+
+    /// Alice's unitary on proof ⊗ ancilla, depending on her input.
+    fn alice_unitary(&self, x: &Self::Input) -> CMatrix;
+
+    /// Bob's accept effect on the forwarded register, depending on his input.
+    fn bob_effect(&self, y: &Self::Input) -> CMatrix;
+
+    /// An optimal (or near-optimal) honest proof for a 1-input pair, used to
+    /// demonstrate completeness.
+    fn honest_proof(&self, x: &Self::Input, y: &Self::Input) -> PureState;
+
+    /// Acceptance probability guaranteed on 1-inputs with the honest proof.
+    fn completeness(&self) -> f64;
+
+    /// Maximum acceptance probability over all proofs on 0-inputs.
+    fn soundness_error(&self) -> f64;
+
+    /// Proof size in qubits (γ).
+    fn proof_qubits(&self) -> usize {
+        self.proof_dim().next_power_of_two().trailing_zeros() as usize
+    }
+
+    /// Communication size in qubits (µ): the register Alice forwards.
+    fn comm_qubits(&self) -> usize {
+        self.message_dim().next_power_of_two().trailing_zeros() as usize
+    }
+
+    /// The cost record `γ + µ`.
+    fn costs(&self) -> QmaCosts {
+        QmaCosts {
+            proof_to_alice: self.proof_qubits(),
+            proof_to_bob: 0,
+            communication: self.comm_qubits(),
+        }
+    }
+
+    /// Acceptance probability on input `(x, y)` when Merlin sends the pure
+    /// proof `proof`.
+    fn accept_probability(&self, x: &Self::Input, y: &Self::Input, proof: &PureState) -> f64 {
+        assert_eq!(proof.dim(), self.proof_dim(), "proof dimension mismatch");
+        let ancilla = PureState::single(self.ancilla_dim(), 0);
+        let mut joint = proof.tensor(&ancilla).regroup(&[self.message_dim()]);
+        joint.apply_unitary(&[0], &self.alice_unitary(x));
+        let effect = self.bob_effect(y);
+        let v = joint.amplitudes();
+        v.inner(&effect.apply(v)).re.clamp(0.0, 1.0)
+    }
+
+    /// The exact maximum acceptance probability over all proofs on `(x, y)`:
+    /// the largest eigenvalue of the proof-space acceptance operator
+    /// `A = (I ⊗ <0|) U_x† M_{y,1} U_x (I ⊗ |0>)`.
+    fn optimal_accept_probability(&self, x: &Self::Input, y: &Self::Input) -> f64 {
+        let u = self.alice_unitary(x);
+        let m = self.bob_effect(y);
+        let inner = u.adjoint().matmul(&m).matmul(&u);
+        // Restrict to the proof ⊗ |0> block.
+        let pd = self.proof_dim();
+        let ad = self.ancilla_dim();
+        let a = CMatrix::from_fn(pd, pd, |i, j| inner[(i * ad, j * ad)]);
+        qsim::linalg::max_eigenvalue(&a).clamp(0.0, 1.0)
+    }
+}
+
+/// Completes a unit vector to a unitary whose first column is that vector
+/// (Gram–Schmidt over the computational basis).
+pub fn unitary_with_first_column(v: &CVector) -> CMatrix {
+    let d = v.dim();
+    let mut cols: Vec<CVector> = vec![v.normalized()];
+    for b in 0..d {
+        if cols.len() == d {
+            break;
+        }
+        let mut cand = CVector::basis(d, b);
+        for c in &cols {
+            let proj = c.inner(&cand);
+            cand.add_scaled(c, -proj);
+        }
+        if cand.norm() > 1e-9 {
+            cols.push(cand.normalized());
+        }
+    }
+    assert_eq!(cols.len(), d, "failed to complete an orthonormal basis");
+    CMatrix::from_fn(d, d, |i, j| cols[j][i])
+}
+
+/// Wraps a (Merlin-free) one-way quantum protocol as a degenerate QMA one-way
+/// protocol with a trivial one-dimensional proof. This is how functions with
+/// efficient one-way protocols (EQ, the Hamming sketch) enter the generic
+/// dQMA-from-QMAcc machinery of Section 7.
+#[derive(Clone, Debug)]
+pub struct OneWayAsQma<P> {
+    protocol: P,
+}
+
+impl<P: OneWayProtocol> OneWayAsQma<P> {
+    /// Wraps the one-way protocol.
+    pub fn new(protocol: P) -> Self {
+        OneWayAsQma { protocol }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.protocol
+    }
+}
+
+impl<P: OneWayProtocol> QmaOneWayProtocol for OneWayAsQma<P> {
+    type Input = BitString;
+
+    fn proof_dim(&self) -> usize {
+        1
+    }
+    fn ancilla_dim(&self) -> usize {
+        self.protocol.message_dim()
+    }
+    fn alice_unitary(&self, x: &Self::Input) -> CMatrix {
+        unitary_with_first_column(self.protocol.alice_message(x).amplitudes())
+    }
+    fn bob_effect(&self, y: &Self::Input) -> CMatrix {
+        self.protocol.bob_effect(y)
+    }
+    fn honest_proof(&self, _x: &Self::Input, _y: &Self::Input) -> PureState {
+        PureState::single(1, 0)
+    }
+    fn completeness(&self) -> f64 {
+        self.protocol.completeness()
+    }
+    fn soundness_error(&self) -> f64 {
+        self.protocol.soundness_error()
+    }
+    fn proof_qubits(&self) -> usize {
+        0
+    }
+}
+
+/// A cost-level description of a general (two-way, possibly QMA*) communication
+/// protocol, used for the cost-accounting side of Theorem 46 and
+/// Proposition 47.
+#[derive(Clone, Debug)]
+pub struct QmaCommSpec {
+    /// Human-readable protocol / problem name.
+    pub name: String,
+    /// Costs in qubits.
+    pub costs: QmaCosts,
+    /// Number of communication rounds.
+    pub rounds: usize,
+}
+
+impl QmaCommSpec {
+    /// The LSD-instance dimension `m = 2^{O(C)}` produced by the Raz–Shpilka
+    /// reduction from a protocol of total cost `C` (Lemma 44; the constant in
+    /// the exponent is taken to be 1).
+    pub fn lsd_dimension(&self) -> u64 {
+        1u64 << self.costs.total().min(62)
+    }
+
+    /// The input size of the finite-precision LSD instance,
+    /// `O(m² log m)` bits (Section 7).
+    pub fn lsd_input_bits(&self) -> f64 {
+        let m = self.lsd_dimension() as f64;
+        m * m * m.log2().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_way::EqOneWay;
+    use qsim::Complex;
+
+    #[test]
+    fn unitary_completion_has_given_first_column() {
+        let v = CVector::new(vec![
+            Complex::new(0.5, 0.0),
+            Complex::new(0.0, 0.5),
+            Complex::new(0.5, 0.0),
+            Complex::new(0.5, 0.0),
+        ]);
+        let u = unitary_with_first_column(&v);
+        assert!(u.is_unitary(1e-10));
+        let col0 = u.column(0);
+        assert!(col0.approx_eq(&v.normalized(), 1e-10));
+    }
+
+    #[test]
+    fn one_way_as_qma_preserves_acceptance() {
+        let proto = EqOneWay::for_input_len(4, 3);
+        let qma = OneWayAsQma::new(proto);
+        let x = BitString::from_str01("1010");
+        let y = BitString::from_str01("1010");
+        let proof = qma.honest_proof(&x, &y);
+        assert!((qma.accept_probability(&x, &y, &proof) - 1.0).abs() < 1e-9);
+        let y2 = BitString::from_str01("1011");
+        let p = qma.accept_probability(&x, &y2, &proof);
+        assert!(p <= qma.inner().soundness_error() + 1e-9);
+    }
+
+    #[test]
+    fn optimal_acceptance_with_trivial_proof_matches_direct_run() {
+        let proto = EqOneWay::for_input_len(3, 9);
+        let qma = OneWayAsQma::new(proto);
+        let x = BitString::from_str01("101");
+        let y = BitString::from_str01("100");
+        let direct = qma.accept_probability(&x, &y, &qma.honest_proof(&x, &y));
+        let optimal = qma.optimal_accept_probability(&x, &y);
+        // With a 1-dimensional proof space the optimum equals the direct run.
+        assert!((direct - optimal).abs() < 1e-9);
+    }
+
+    #[test]
+    fn costs_arithmetic() {
+        let c = QmaCosts {
+            proof_to_alice: 3,
+            proof_to_bob: 2,
+            communication: 5,
+        };
+        assert_eq!(c.total(), 10);
+        assert_eq!(c.qma_simulation_cost(), 12);
+    }
+
+    #[test]
+    fn comm_spec_lsd_dimensions_grow_exponentially() {
+        let small = QmaCommSpec {
+            name: "f".into(),
+            costs: QmaCosts { proof_to_alice: 2, proof_to_bob: 0, communication: 2 },
+            rounds: 1,
+        };
+        let big = QmaCommSpec {
+            name: "g".into(),
+            costs: QmaCosts { proof_to_alice: 4, proof_to_bob: 0, communication: 4 },
+            rounds: 1,
+        };
+        assert!(big.lsd_dimension() > small.lsd_dimension());
+        assert!(big.lsd_input_bits() > small.lsd_input_bits());
+    }
+}

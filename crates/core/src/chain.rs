@@ -1,0 +1,454 @@
+//! The SWAP-test relay chain — the engine behind every path protocol in the
+//! paper (Algorithm 3 and its descendants).
+//!
+//! The structure shared by the protocols of Sections 3.2, 5.1 and 7 is:
+//!
+//! * the left extremity `v₀` prepares a state `|a>` (a fingerprint, a prefix
+//!   fingerprint, or the output of Alice's unitary on a QMA proof);
+//! * every intermediate node `v_j` receives two registers from the prover,
+//!   **symmetrises** them (swaps with probability 1/2, the paper's
+//!   simplification of FGNP21), keeps one and forwards the other;
+//! * every intermediate node SWAP-tests the register received from its left
+//!   neighbour against the kept register;
+//! * the right extremity `v_r` measures the final forwarded register with an
+//!   accept effect `M` (Bob's measurement from a one-way protocol).
+//!
+//! [`SwapTestChain`] computes, exactly:
+//! * the acceptance probability for any **separable** per-node proof, by
+//!   enumerating the `2^{r−1}` symmetrisation patterns (conditioned on a
+//!   pattern all tests act on disjoint registers, so the joint acceptance
+//!   factorises);
+//! * the full **acceptance operator** on the joint proof space for small
+//!   instances, whose largest eigenvalue is the exact soundness error against
+//!   arbitrary *entangled* proofs — the quantity the paper can only bound
+//!   analytically.
+
+use netsim::{CostTracker, ProtocolCosts};
+use qsim::density::embed_operator;
+use qsim::linalg::max_eigenvalue;
+use qsim::swap_test::{swap_test_acceptance_pure, swap_test_projector};
+use qsim::{CMatrix, Complex, PureState};
+
+/// A proof for the chain: one pair of register states per intermediate node
+/// (`R_{j,0}`, `R_{j,1}` for `j = 1..r−1`), each a pure state of the chain's
+/// register dimension.
+pub type SeparableChainProof = Vec<(PureState, PureState)>;
+
+/// The SWAP-test relay chain on a path of length `r`.
+#[derive(Clone, Debug)]
+pub struct SwapTestChain {
+    r: usize,
+    dim: usize,
+    left_state: PureState,
+    right_effect: CMatrix,
+}
+
+impl SwapTestChain {
+    /// Creates a chain of length `r` with the given boundary state and effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`, if the effect is not square of the state's
+    /// dimension, or if the effect is not Hermitian.
+    pub fn new(r: usize, left_state: PureState, right_effect: CMatrix) -> Self {
+        assert!(r >= 1, "the path must have length at least 1");
+        let dim = left_state.dim();
+        assert!(
+            right_effect.rows() == dim && right_effect.cols() == dim,
+            "right effect must act on the message register"
+        );
+        assert!(
+            right_effect.is_hermitian(1e-8),
+            "right effect must be Hermitian"
+        );
+        SwapTestChain {
+            r,
+            dim,
+            left_state: left_state.normalized(),
+            right_effect,
+        }
+    }
+
+    /// Path length `r`.
+    pub fn path_length(&self) -> usize {
+        self.r
+    }
+
+    /// Dimension of each message/proof register.
+    pub fn register_dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of intermediate nodes (`r − 1`).
+    pub fn num_intermediate(&self) -> usize {
+        self.r - 1
+    }
+
+    /// The state prepared by the left extremity.
+    pub fn left_state(&self) -> &PureState {
+        &self.left_state
+    }
+
+    /// The honest proof when the prover wants every register to carry `state`:
+    /// both registers of every intermediate node are set to `state`.
+    pub fn uniform_proof(&self, state: &PureState) -> SeparableChainProof {
+        assert_eq!(state.dim(), self.dim, "proof register dimension mismatch");
+        (0..self.num_intermediate())
+            .map(|_| (state.clone(), state.clone()))
+            .collect()
+    }
+
+    /// The honest proof for a yes-instance: every register carries the left
+    /// state itself (the prover forwards the fingerprint unchanged).
+    pub fn honest_proof(&self) -> SeparableChainProof {
+        self.uniform_proof(&self.left_state)
+    }
+
+    /// Exact probability that **all** nodes accept, for a separable per-node
+    /// pure proof, averaging over the symmetrisation randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proof does not have one register pair per intermediate
+    /// node, or if any register has the wrong dimension.
+    pub fn acceptance_separable(&self, proof: &SeparableChainProof) -> f64 {
+        assert_eq!(
+            proof.len(),
+            self.num_intermediate(),
+            "need one register pair per intermediate node"
+        );
+        for (a, b) in proof {
+            assert_eq!(a.dim(), self.dim, "proof register dimension mismatch");
+            assert_eq!(b.dim(), self.dim, "proof register dimension mismatch");
+        }
+        let k = self.num_intermediate();
+        if k == 0 {
+            // v_r measures the left state directly.
+            let v = self.left_state.amplitudes();
+            return v.inner(&self.right_effect.apply(v)).re.clamp(0.0, 1.0);
+        }
+        let patterns = 1usize << k;
+        let mut total = 0.0;
+        for pattern in 0..patterns {
+            let mut prob = 1.0;
+            // `sent` walks down the chain: starts as the left state.
+            let mut sent: &PureState = &self.left_state;
+            for (j, (r0, r1)) in proof.iter().enumerate() {
+                let swapped = (pattern >> j) & 1 == 1;
+                let (kept, forwarded) = if swapped { (r1, r0) } else { (r0, r1) };
+                prob *= swap_test_acceptance_pure(sent, kept);
+                sent = forwarded;
+            }
+            let v = sent.amplitudes();
+            prob *= v.inner(&self.right_effect.apply(v)).re.clamp(0.0, 1.0);
+            total += prob;
+        }
+        (total / patterns as f64).clamp(0.0, 1.0)
+    }
+
+    /// Acceptance probability with the honest proof (completeness witness).
+    pub fn completeness(&self) -> f64 {
+        self.acceptance_separable(&self.honest_proof())
+    }
+
+    /// The acceptance operator `A` on the joint proof Hilbert space
+    /// (`2(r−1)` registers of dimension `dim` each): the acceptance
+    /// probability of any (possibly entangled) proof `ρ` is `tr(Aρ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the joint dimension exceeds 4096 (the operator would not fit
+    /// in memory) or if the chain has no intermediate node.
+    pub fn acceptance_operator(&self) -> CMatrix {
+        let k = self.num_intermediate();
+        assert!(k >= 1, "the acceptance operator needs at least one proof register");
+        let dims = vec![self.dim; 2 * k];
+        let total: usize = dims.iter().product();
+        assert!(
+            total <= 1024,
+            "joint proof dimension {total} too large for the spectral method"
+        );
+        let sym = swap_test_projector(self.dim);
+        // Effective effect of the SWAP test against the fixed left state |a>:
+        // (⟨a| ⊗ I) Π_sym (|a> ⊗ I) = (I + |a><a|) / 2 on the kept register.
+        let a_proj = CMatrix::projector(self.left_state.amplitudes());
+        let left_effect = (&CMatrix::identity(self.dim) + &a_proj).scale(Complex::real(0.5));
+
+        let mut accumulated = CMatrix::zeros(total, total);
+        let patterns = 1usize << k;
+        for pattern in 0..patterns {
+            // Register index of R_{j,0} is 2j, of R_{j,1} is 2j+1 (j = 0..k-1).
+            let kept = |j: usize| 2 * j + usize::from((pattern >> j) & 1 == 1);
+            let forwarded = |j: usize| 2 * j + usize::from((pattern >> j) & 1 == 0);
+            let mut effect = embed_operator(&dims, &[kept(0)], &left_effect);
+            for j in 1..k {
+                let e = embed_operator(&dims, &[forwarded(j - 1), kept(j)], &sym);
+                effect = effect.matmul(&e);
+            }
+            let right = embed_operator(&dims, &[forwarded(k - 1)], &self.right_effect);
+            effect = effect.matmul(&right);
+            accumulated = &accumulated + &effect;
+        }
+        accumulated.scale(Complex::real(1.0 / patterns as f64))
+    }
+
+    /// Exact maximum acceptance probability over **all** proofs, including
+    /// proofs entangled across nodes: the largest eigenvalue of the
+    /// acceptance operator. For a no-instance this is the exact soundness
+    /// error of the (un-repeated) protocol.
+    ///
+    /// # Panics
+    ///
+    /// See [`SwapTestChain::acceptance_operator`].
+    pub fn optimal_acceptance(&self) -> f64 {
+        if self.num_intermediate() == 0 {
+            let v = self.left_state.amplitudes();
+            return v.inner(&self.right_effect.apply(v)).re.clamp(0.0, 1.0);
+        }
+        // The acceptance operator is a product/average of projectors and is not
+        // Hermitian in general (the per-pattern factors commute, but the
+        // average of products need not be); symmetrise before taking the top
+        // eigenvalue — tr(Aρ) is real for states, so only the Hermitian part
+        // contributes.
+        let a = self.acceptance_operator();
+        let herm = (&a + &a.adjoint()).scale(Complex::real(0.5));
+        max_eigenvalue(&herm).clamp(0.0, 1.0)
+    }
+
+    /// Cost summary of one repetition of the chain protocol, given the size in
+    /// qubits of one message register.
+    pub fn costs(&self, register_qubits: u64) -> ProtocolCosts {
+        let mut t = CostTracker::new();
+        for j in 1..self.r {
+            t.record_proof(j, 2 * register_qubits);
+        }
+        for j in 0..self.r {
+            t.record_message(j, j + 1, register_qubits);
+        }
+        t.set_rounds(1);
+        t.summary()
+    }
+
+    /// The paper's soundness bound for one repetition on a no-instance
+    /// (Section 3.2): all nodes accept with probability at most `1 − 4/(81·r²)`.
+    pub fn paper_soundness_bound(r: usize) -> f64 {
+        1.0 - 4.0 / (81.0 * (r as f64) * (r as f64))
+    }
+
+    /// Number of parallel repetitions the paper uses to push the soundness
+    /// error below 1/3: `⌈2 · 81 r² / 4⌉`.
+    pub fn paper_repetitions(r: usize) -> usize {
+        (2.0 * 81.0 * (r as f64) * (r as f64) / 4.0).ceil() as usize
+    }
+
+    /// Soundness error after `k` independent parallel repetitions, given the
+    /// soundness error `single` of one repetition.
+    pub fn repeated_soundness(single: f64, k: usize) -> f64 {
+        single.powi(k as i32)
+    }
+}
+
+/// Named cheating strategies for chains whose left state and right effect come
+/// from two distinct fingerprints `|h_x> ≠ |h_y>` (EQ/GT-style no-instances).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChainCheat {
+    /// Send the left fingerprint `|h_x>` everywhere: the right end detects it.
+    AllLeft,
+    /// Send the right fingerprint `|h_y>` everywhere: the first SWAP test
+    /// detects it.
+    AllRight,
+    /// Interpolate gradually from `|h_x>` to `|h_y>` along the chain — the
+    /// strategy that saturates the `1 − Θ(1/r²)` single-shot soundness error.
+    Interpolate,
+}
+
+/// Builds the proof corresponding to a named cheating strategy, given the two
+/// boundary states.
+pub fn cheating_proof(
+    chain: &SwapTestChain,
+    right_state: &PureState,
+    strategy: ChainCheat,
+) -> SeparableChainProof {
+    let k = chain.num_intermediate();
+    let left = chain.left_state().clone();
+    match strategy {
+        ChainCheat::AllLeft => chain.uniform_proof(&left),
+        ChainCheat::AllRight => chain.uniform_proof(right_state),
+        ChainCheat::Interpolate => {
+            let lv = left.amplitudes();
+            let rv = right_state.amplitudes();
+            (0..k)
+                .map(|j| {
+                    // Node j (1-based j+1 of r) interpolates at fraction (j+1)/r.
+                    let frac = (j + 1) as f64 / chain.path_length() as f64;
+                    let mut v = lv.scale(Complex::real(1.0 - frac));
+                    v.add_scaled(rv, Complex::real(frac));
+                    let state = if v.norm() > 1e-9 {
+                        PureState::from_amplitudes(&[chain.register_dim()], v.normalized())
+                    } else {
+                        left.clone()
+                    };
+                    (state.clone(), state)
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::{CVector, RandomStateGenerator};
+
+    fn orthogonal_boundary(dim: usize) -> (PureState, CMatrix, PureState) {
+        // Left state |0>, right effect |1><1| (accepts only the orthogonal state).
+        let left = PureState::single(dim, 0);
+        let right_state = PureState::single(dim, 1);
+        let effect = CMatrix::projector(right_state.amplitudes());
+        (left, effect, right_state)
+    }
+
+    fn matching_boundary(dim: usize) -> (PureState, CMatrix) {
+        let left = PureState::single(dim, 0);
+        let effect = CMatrix::projector(left.amplitudes());
+        (left, effect)
+    }
+
+    #[test]
+    fn perfect_completeness_on_matching_boundaries() {
+        for r in 1..=5 {
+            let (left, effect) = matching_boundary(2);
+            let chain = SwapTestChain::new(r, left, effect);
+            assert!(
+                (chain.completeness() - 1.0).abs() < 1e-10,
+                "r={r}: completeness {}",
+                chain.completeness()
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_boundaries_are_rejected_with_positive_probability() {
+        for r in 2..=4 {
+            let (left, effect, right_state) = orthogonal_boundary(2);
+            let chain = SwapTestChain::new(r, left, effect);
+            for strat in [ChainCheat::AllLeft, ChainCheat::AllRight, ChainCheat::Interpolate] {
+                let proof = cheating_proof(&chain, &right_state, strat);
+                let p = chain.acceptance_separable(&proof);
+                assert!(p < 1.0 - 1e-6, "r={r} {strat:?}: acceptance {p}");
+                // The paper's bound: acceptance <= 1 - 4/(81 r^2).
+                assert!(
+                    p <= SwapTestChain::paper_soundness_bound(r) + 1e-9,
+                    "r={r} {strat:?}: acceptance {p} violates the paper bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_beats_naive_cheating() {
+        let (left, effect, right_state) = orthogonal_boundary(2);
+        let chain = SwapTestChain::new(4, left, effect);
+        let naive = chain.acceptance_separable(&cheating_proof(&chain, &right_state, ChainCheat::AllLeft));
+        let smart = chain.acceptance_separable(&cheating_proof(
+            &chain,
+            &right_state,
+            ChainCheat::Interpolate,
+        ));
+        assert!(smart > naive, "interpolation {smart} should beat naive {naive}");
+    }
+
+    #[test]
+    fn r_equals_one_has_no_proof_and_direct_measurement() {
+        let (left, effect, _) = orthogonal_boundary(2);
+        let chain = SwapTestChain::new(1, left, effect);
+        assert_eq!(chain.num_intermediate(), 0);
+        assert!(chain.acceptance_separable(&Vec::new()).abs() < 1e-12);
+        assert!(chain.optimal_acceptance().abs() < 1e-12);
+        let (left, effect) = matching_boundary(2);
+        let chain = SwapTestChain::new(1, left, effect);
+        assert!((chain.acceptance_separable(&Vec::new()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectral_soundness_bounds_every_separable_strategy() {
+        let (left, effect, right_state) = orthogonal_boundary(2);
+        let chain = SwapTestChain::new(3, left, effect);
+        let optimal = chain.optimal_acceptance();
+        for strat in [ChainCheat::AllLeft, ChainCheat::AllRight, ChainCheat::Interpolate] {
+            let p = chain.acceptance_separable(&cheating_proof(&chain, &right_state, strat));
+            assert!(p <= optimal + 1e-8, "{strat:?}: separable {p} exceeds optimal {optimal}");
+        }
+        // And respects the paper's bound.
+        assert!(optimal <= SwapTestChain::paper_soundness_bound(3) + 1e-9);
+        assert!(optimal < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn spectral_soundness_bounds_random_separable_proofs() {
+        let (left, effect, _) = orthogonal_boundary(2);
+        let chain = SwapTestChain::new(3, left, effect);
+        let optimal = chain.optimal_acceptance();
+        let mut gen = RandomStateGenerator::new(5);
+        for _ in 0..20 {
+            let proof: SeparableChainProof = (0..chain.num_intermediate())
+                .map(|_| (gen.random_pure(&[2]), gen.random_pure(&[2])))
+                .collect();
+            let p = chain.acceptance_separable(&proof);
+            assert!(p <= optimal + 1e-8, "random separable proof {p} exceeds optimal {optimal}");
+        }
+    }
+
+    #[test]
+    fn completeness_with_operator_matches_separable_formula() {
+        // The honest product proof evaluated through the acceptance operator
+        // must give the same number as the pattern-enumeration formula.
+        let (left, effect) = matching_boundary(2);
+        let chain = SwapTestChain::new(3, left.clone(), effect);
+        let a = chain.acceptance_operator();
+        let honest_joint = PureState::tensor_all(&[left.clone(), left.clone(), left.clone(), left]);
+        let v = honest_joint.amplitudes();
+        let p_op = v.inner(&a.apply(v)).re;
+        let p_formula = chain.completeness();
+        assert!((p_op - p_formula).abs() < 1e-9, "{p_op} vs {p_formula}");
+    }
+
+    #[test]
+    fn costs_scale_linearly_in_path_length_and_register_size() {
+        let (left, effect) = matching_boundary(2);
+        let c3 = SwapTestChain::new(3, left.clone(), effect.clone()).costs(10);
+        let c6 = SwapTestChain::new(6, left, effect).costs(10);
+        assert_eq!(c3.local_proof_qubits, 20);
+        assert_eq!(c3.local_message_qubits, 10);
+        assert_eq!(c3.total_proof_qubits, 40);
+        assert_eq!(c6.total_proof_qubits, 100);
+        assert!(c6.total_message_qubits > c3.total_message_qubits);
+        assert_eq!(c3.rounds, 1);
+    }
+
+    #[test]
+    fn paper_repetition_count_drives_soundness_below_one_third() {
+        for r in [2usize, 4, 8, 16] {
+            let single = SwapTestChain::paper_soundness_bound(r);
+            let k = SwapTestChain::paper_repetitions(r);
+            let repeated = SwapTestChain::repeated_soundness(single, k);
+            assert!(repeated < 1.0 / 3.0, "r={r}: repeated soundness {repeated}");
+        }
+    }
+
+    #[test]
+    fn entangled_optimum_never_below_best_separable_on_nonorthogonal_boundaries() {
+        // Boundary states with overlap 1/2 (a harder no-instance than orthogonal ones).
+        let left = PureState::single(2, 0);
+        let right = PureState::from_amplitudes(
+            &[2],
+            CVector::from_reals(&[0.5f64.sqrt(), 0.5f64.sqrt()]),
+        );
+        let effect = CMatrix::projector(right.amplitudes());
+        let chain = SwapTestChain::new(2, left, effect);
+        let sep = chain.acceptance_separable(&cheating_proof(&chain, &right, ChainCheat::Interpolate));
+        let opt = chain.optimal_acceptance();
+        assert!(opt >= sep - 1e-9);
+        assert!(opt < 1.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! The improved dQMA protocol for EQ on general graphs with the permutation
+//! test (Section 3.3 of the paper, Algorithm 5, Theorem 19).
+//!
+//! The prover announces the spanning tree of Section 3.3 (verified classically
+//! via Lemma 18, see `netsim::tree`); terminals prepare fingerprints of their
+//! inputs and send them towards the root; every internal node receives two
+//! proof registers, symmetrises them, forwards one to its parent, and runs the
+//! **permutation test** on its kept register together with everything received
+//! from its children. Replacing FGNP21's pick-one-child SWAP test by the
+//! permutation test is what removes the factor `t` from the local proof size:
+//! `O(r² log n)` instead of `O(t·r² log n)`.
+
+use commproto::bitstring::BitString;
+use commproto::fingerprint::FingerprintScheme;
+use netsim::tree::TerminalTree;
+use netsim::{CostTracker, Graph, ProtocolCosts};
+use qsim::permutation::permutation_test_acceptance_gram;
+use qsim::PureState;
+
+use crate::chain::SwapTestChain;
+use crate::eq_path::scale_costs;
+
+/// The EQ protocol on a general network, running on the announced terminal
+/// tree.
+#[derive(Clone, Debug)]
+pub struct EqTreeProtocol {
+    tree: TerminalTree,
+    scheme: FingerprintScheme,
+    repetitions: usize,
+}
+
+impl EqTreeProtocol {
+    /// Builds the protocol for the given network and terminals, with the
+    /// paper's repetition count for radius `r`.
+    pub fn new(graph: &Graph, terminals: &[usize], n: usize, seed: u64) -> Self {
+        let r = graph.radius().max(1);
+        EqTreeProtocol {
+            tree: TerminalTree::build(graph, terminals),
+            scheme: FingerprintScheme::new(n, seed),
+            repetitions: SwapTestChain::paper_repetitions(r),
+        }
+    }
+
+    /// Builds the protocol with an explicit scheme and repetition count
+    /// (small schemes keep exact simulation cheap).
+    pub fn with_scheme(
+        graph: &Graph,
+        terminals: &[usize],
+        scheme: FingerprintScheme,
+        repetitions: usize,
+    ) -> Self {
+        assert!(repetitions >= 1, "at least one repetition required");
+        EqTreeProtocol {
+            tree: TerminalTree::build(graph, terminals),
+            scheme,
+            repetitions,
+        }
+    }
+
+    /// The announced terminal tree the protocol runs on.
+    pub fn tree(&self) -> &TerminalTree {
+        &self.tree
+    }
+
+    /// The fingerprint scheme in use.
+    pub fn scheme(&self) -> &FingerprintScheme {
+        &self.scheme
+    }
+
+    /// Number of parallel repetitions.
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+
+    /// Number of terminals.
+    pub fn num_terminals(&self) -> usize {
+        self.tree.num_terminals()
+    }
+
+    /// The logical tree nodes that receive proof registers (every node that is
+    /// not a terminal leaf), in increasing logical index order.
+    pub fn proof_nodes(&self) -> Vec<usize> {
+        let leaves = self.tree.terminal_leaves();
+        (0..self.tree.num_nodes())
+            .filter(|idx| !leaves.contains(idx))
+            .collect()
+    }
+
+    /// The proof where every register of every proof node carries the
+    /// fingerprint of `s` — the honest proof on yes-instances (all inputs
+    /// equal `s`), and the natural uniform cheating strategy otherwise.
+    pub fn uniform_proof(&self, s: &BitString) -> Vec<(PureState, PureState)> {
+        let h = self.scheme.fingerprint(s);
+        self.proof_nodes()
+            .iter()
+            .map(|_| (h.clone(), h.clone()))
+            .collect()
+    }
+
+    /// Exact probability that all nodes accept one repetition, for terminal
+    /// inputs `inputs` (one per terminal, in terminal order) and a separable
+    /// proof (one register pair per proof node, in [`Self::proof_nodes`]
+    /// order), averaging over the symmetrisation randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs or proof pairs is wrong, or if there are
+    /// more than 16 proof nodes (the symmetrisation enumeration would blow up).
+    pub fn acceptance_separable(
+        &self,
+        inputs: &[BitString],
+        proof: &[(PureState, PureState)],
+    ) -> f64 {
+        let leaves: Vec<usize> = self.tree.terminal_leaves().to_vec();
+        assert_eq!(inputs.len(), leaves.len(), "one input per terminal required");
+        let proof_nodes = self.proof_nodes();
+        assert_eq!(
+            proof.len(),
+            proof_nodes.len(),
+            "one register pair per proof node required"
+        );
+        assert!(proof_nodes.len() <= 16, "too many proof nodes for exact enumeration");
+
+        // Fingerprints sent by the terminal leaves.
+        let leaf_state = |idx: usize| -> Option<PureState> {
+            leaves
+                .iter()
+                .position(|&l| l == idx)
+                .map(|i| self.scheme.fingerprint(&inputs[i]))
+        };
+        let proof_index = |idx: usize| proof_nodes.iter().position(|&p| p == idx);
+
+        let patterns = 1usize << proof_nodes.len();
+        let mut total = 0.0;
+        for pattern in 0..patterns {
+            // Which register each proof node keeps vs. forwards under this pattern.
+            let kept = |idx: usize| -> &PureState {
+                let pi = proof_index(idx).expect("proof node");
+                let swapped = (pattern >> pi) & 1 == 1;
+                if swapped {
+                    &proof[pi].1
+                } else {
+                    &proof[pi].0
+                }
+            };
+            let forwarded = |idx: usize| -> &PureState {
+                let pi = proof_index(idx).expect("proof node");
+                let swapped = (pattern >> pi) & 1 == 1;
+                if swapped {
+                    &proof[pi].0
+                } else {
+                    &proof[pi].1
+                }
+            };
+
+            let mut prob = 1.0;
+            for v in 0..self.tree.num_nodes() {
+                if self.tree.children(v).is_empty() {
+                    continue;
+                }
+                // States entering node v's permutation test: its kept register
+                // plus whatever each child sent up.
+                let mut states: Vec<PureState> = vec![kept(v).clone()];
+                for &c in self.tree.children(v) {
+                    if let Some(s) = leaf_state(c) {
+                        states.push(s);
+                    } else {
+                        states.push(forwarded(c).clone());
+                    }
+                }
+                prob *= permutation_test_acceptance_gram(&states);
+                if prob < 1e-15 {
+                    break;
+                }
+            }
+            total += prob;
+        }
+        (total / patterns as f64).clamp(0.0, 1.0)
+    }
+
+    /// Completeness witness: acceptance of the honest proof when every terminal
+    /// holds the same string.
+    pub fn completeness(&self, common_input: &BitString) -> f64 {
+        let t = self.num_terminals();
+        let inputs = vec![common_input.clone(); t];
+        self.acceptance_separable(&inputs, &self.uniform_proof(common_input))
+    }
+
+    /// Acceptance of the full repeated protocol when the prover plays the same
+    /// separable strategy independently in each repetition.
+    pub fn repeated_acceptance(&self, inputs: &[BitString], proof: &[(PureState, PureState)]) -> f64 {
+        SwapTestChain::repeated_soundness(self.acceptance_separable(inputs, proof), self.repetitions)
+    }
+
+    /// Cost summary of the full repeated protocol (Theorem 19): local proof and
+    /// message `O(r² log n)` qubits, independent of the number of terminals.
+    pub fn costs(&self) -> ProtocolCosts {
+        let q = self.scheme.qubits() as u64;
+        let mut t = CostTracker::new();
+        for &v in &self.proof_nodes() {
+            t.record_proof(v, 2 * q);
+        }
+        for v in 0..self.tree.num_nodes() {
+            if let Some(p) = self.tree.parent(v) {
+                t.record_message(v, p, q);
+            }
+        }
+        t.set_rounds(1);
+        scale_costs(&t.summary(), self.repetitions as u64)
+    }
+
+    /// The FGNP21 local proof size bound `O(t·r²·log n)` for Table 1
+    /// comparisons (constant 1).
+    pub fn fgnp_local_cost(n: usize, r: usize, t: usize) -> f64 {
+        (t * r * r) as f64 * (n as f64).log2().max(1.0)
+    }
+
+    /// This paper's local proof size bound `O(r²·log n)` (Theorem 19).
+    pub fn paper_local_cost(n: usize, r: usize) -> f64 {
+        (r * r) as f64 * (n as f64).log2().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::topology;
+
+    fn spider_protocol(legs: usize, leg_len: usize, n: usize) -> (EqTreeProtocol, Vec<usize>) {
+        let g = topology::spider(legs, leg_len);
+        let terminals: Vec<usize> = (0..legs).map(|k| topology::spider_leaf(k, leg_len)).collect();
+        let proto =
+            EqTreeProtocol::with_scheme(&g, &terminals, FingerprintScheme::small(n, 5), 4);
+        (proto, terminals)
+    }
+
+    #[test]
+    fn perfect_completeness_on_spider() {
+        let (proto, _) = spider_protocol(3, 2, 4);
+        let x = BitString::from_u64(9, 4);
+        assert!((proto.completeness(&x) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_completeness_on_path_terminals() {
+        let g = topology::path(4);
+        let proto =
+            EqTreeProtocol::with_scheme(&g, &[0, 4], FingerprintScheme::small(3, 2), 2);
+        let x = BitString::from_u64(5, 3);
+        assert!((proto.completeness(&x) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_differing_terminal_is_detected() {
+        let (proto, terminals) = spider_protocol(3, 2, 4);
+        let x = BitString::from_u64(9, 4);
+        let y = BitString::from_u64(6, 4);
+        let mut inputs = vec![x.clone(); terminals.len()];
+        inputs[2] = y;
+        // The natural cheat: claim everything equals x.
+        let p = proto.acceptance_separable(&inputs, &proto.uniform_proof(&x));
+        assert!(p < 1.0 - 1e-4, "acceptance {p}");
+        let repeated = proto.repeated_acceptance(&inputs, &proto.uniform_proof(&x));
+        assert!(repeated < p);
+    }
+
+    #[test]
+    fn all_different_inputs_rejected_more_strongly_than_one_off() {
+        let (proto, terminals) = spider_protocol(3, 1, 4);
+        let base = BitString::from_u64(3, 4);
+        let mut one_off = vec![base.clone(); terminals.len()];
+        one_off[1] = BitString::from_u64(12, 4);
+        let all_diff: Vec<BitString> = (0..terminals.len() as u64)
+            .map(|k| BitString::from_u64(k * 5 % 16, 4))
+            .collect();
+        let p_one = proto.acceptance_separable(&one_off, &proto.uniform_proof(&base));
+        let p_all = proto.acceptance_separable(&all_diff, &proto.uniform_proof(&base));
+        assert!(p_all <= p_one + 1e-9, "all-different {p_all} vs one-off {p_one}");
+    }
+
+    #[test]
+    fn local_proof_size_is_independent_of_terminal_count() {
+        // Theorem 19's headline: unlike FGNP21, the local proof size does not
+        // grow with t.
+        let n = 8;
+        let (p3, _) = {
+            let g = topology::spider(3, 2);
+            let t: Vec<usize> = (0..3).map(|k| topology::spider_leaf(k, 2)).collect();
+            (EqTreeProtocol::new(&g, &t, n, 1), t)
+        };
+        let (p6, _) = {
+            let g = topology::spider(6, 2);
+            let t: Vec<usize> = (0..6).map(|k| topology::spider_leaf(k, 2)).collect();
+            (EqTreeProtocol::new(&g, &t, n, 1), t)
+        };
+        assert_eq!(
+            p3.costs().local_proof_qubits,
+            p6.costs().local_proof_qubits,
+            "local proof size must not depend on t"
+        );
+        // The FGNP bound, in contrast, doubles.
+        assert!(
+            EqTreeProtocol::fgnp_local_cost(n, 2, 6) > 1.9 * EqTreeProtocol::fgnp_local_cost(n, 2, 3)
+        );
+    }
+
+    #[test]
+    fn costs_follow_theorem_19_shape() {
+        let n = 8;
+        let g_small = topology::spider(3, 1);
+        let t_small: Vec<usize> = (0..3).map(|k| topology::spider_leaf(k, 1)).collect();
+        let g_large = topology::spider(3, 3);
+        let t_large: Vec<usize> = (0..3).map(|k| topology::spider_leaf(k, 3)).collect();
+        let c_small = EqTreeProtocol::new(&g_small, &t_small, n, 1).costs();
+        let c_large = EqTreeProtocol::new(&g_large, &t_large, n, 1).costs();
+        // Larger radius -> more repetitions -> larger local proof.
+        assert!(c_large.local_proof_qubits > c_small.local_proof_qubits);
+    }
+
+    #[test]
+    fn proof_nodes_exclude_terminal_leaves() {
+        let (proto, terminals) = spider_protocol(3, 2, 4);
+        let proof_nodes = proto.proof_nodes();
+        for i in 0..terminals.len() {
+            let leaf = proto.tree().terminal_leaf(i);
+            assert!(!proof_nodes.contains(&leaf));
+        }
+        assert!(!proof_nodes.is_empty());
+    }
+}

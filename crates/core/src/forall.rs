@@ -1,0 +1,233 @@
+//! dQMA protocols for the Hamming distance and arbitrary `∀t f` lifts on
+//! general networks (Section 6 of the paper, Algorithm 9, Theorems 30 and 32).
+//!
+//! Any two-party function `f` with an efficient one-way quantum protocol
+//! lifts to a dQMA protocol for `∀t f` (all ordered pairs of terminals
+//! satisfy `f`): for every terminal `u_j` the prover helps distribute the
+//! one-way message `|ψ(x_j)>` from `u_j` down a spanning tree rooted at `u_j`;
+//! intermediate nodes SWAP-test and forward, and every leaf terminal runs
+//! Bob's measurement on the received state against its own input. Running the
+//! `t` trees in parallel covers all ordered pairs, which is what the soundness
+//! argument needs. The Hamming-distance protocol (Theorem 30) is the special
+//! case `f = HAM≤d`.
+
+use crate::chain::{cheating_proof, ChainCheat, SwapTestChain};
+use crate::eq_path::scale_costs;
+use commproto::bitstring::BitString;
+use commproto::one_way::OneWayProtocol;
+use netsim::{CostTracker, ProtocolCosts};
+
+/// The `∀t f` protocol on a star-of-paths (spider) network: `t` terminals,
+/// each at distance `leg_len` from a common centre, so every ordered pair of
+/// terminals is connected by a path of length `2·leg_len` through the centre.
+#[derive(Clone, Debug)]
+pub struct ForAllProtocol<P> {
+    one_way: P,
+    t: usize,
+    leg_len: usize,
+    repetitions: usize,
+}
+
+impl<P: OneWayProtocol> ForAllProtocol<P> {
+    /// Builds the protocol from a one-way protocol for `f`, with the paper's
+    /// `O(r²)` repetition count for path length `2·leg_len`.
+    pub fn new(one_way: P, t: usize, leg_len: usize) -> Self {
+        assert!(t >= 2, "need at least two terminals");
+        let r = 2 * leg_len.max(1);
+        ForAllProtocol {
+            one_way,
+            t,
+            leg_len: leg_len.max(1),
+            repetitions: SwapTestChain::paper_repetitions(r),
+        }
+    }
+
+    /// Overrides the repetition count (for exact small simulations).
+    pub fn with_repetitions(mut self, repetitions: usize) -> Self {
+        assert!(repetitions >= 1, "at least one repetition required");
+        self.repetitions = repetitions;
+        self
+    }
+
+    /// The underlying one-way protocol.
+    pub fn one_way(&self) -> &P {
+        &self.one_way
+    }
+
+    /// Number of terminals.
+    pub fn num_terminals(&self) -> usize {
+        self.t
+    }
+
+    /// The path length between any ordered pair of terminals.
+    pub fn pair_path_length(&self) -> usize {
+        2 * self.leg_len
+    }
+
+    /// Number of parallel repetitions per tree.
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+
+    /// The SWAP-test chain carrying the root terminal `j`'s one-way message to
+    /// leaf terminal `k` (the root-to-leaf path of tree `T_j`).
+    pub fn pair_chain(&self, inputs: &[BitString], j: usize, k: usize) -> SwapTestChain {
+        SwapTestChain::new(
+            self.pair_path_length(),
+            self.one_way.alice_message(&inputs[j]),
+            self.one_way.bob_effect(&inputs[k]),
+        )
+    }
+
+    /// Single-repetition acceptance probability when the prover plays `cheat`
+    /// independently on every root-to-leaf path of every tree. Paths of
+    /// different trees (and different leaves of the same tree) use disjoint
+    /// proof registers, so the joint acceptance factorises.
+    pub fn single_round_acceptance(&self, inputs: &[BitString], cheat: ChainCheat) -> f64 {
+        assert_eq!(inputs.len(), self.t, "one input per terminal required");
+        let mut prob = 1.0;
+        for j in 0..self.t {
+            for k in 0..self.t {
+                if j == k {
+                    continue;
+                }
+                let chain = self.pair_chain(inputs, j, k);
+                let proof = match cheat {
+                    // The honest prover relays the root's message unchanged.
+                    ChainCheat::AllLeft => chain.honest_proof(),
+                    _ => {
+                        let target = self.one_way.alice_message(&inputs[k]);
+                        cheating_proof(&chain, &target, cheat)
+                    }
+                };
+                prob *= chain.acceptance_separable(&proof);
+                if prob < 1e-15 {
+                    return 0.0;
+                }
+            }
+        }
+        prob
+    }
+
+    /// Completeness witness: honest relaying on every tree. For a one-way
+    /// protocol with completeness `c` this is `c^{t(t−1)}` per repetition
+    /// (exactly 1 for the fingerprint EQ protocol).
+    pub fn completeness(&self, inputs: &[BitString]) -> f64 {
+        self.single_round_acceptance(inputs, ChainCheat::AllLeft)
+    }
+
+    /// Acceptance of the repeated protocol under independent per-repetition
+    /// strategies.
+    pub fn repeated_acceptance(&self, inputs: &[BitString], cheat: ChainCheat) -> f64 {
+        SwapTestChain::repeated_soundness(self.single_round_acceptance(inputs, cheat), self.repetitions)
+    }
+
+    /// Cost summary (Theorem 32): every node participates in up to `t` trees,
+    /// each carrying messages of `s = BQP¹(f)`-qubit registers repeated
+    /// `O(r²)` times — local proof and message `O(t²·r²·s·log(n+t+r))`-shaped.
+    pub fn costs(&self) -> ProtocolCosts {
+        let q = self.one_way.message_qubits() as u64;
+        let mut tracker = CostTracker::new();
+        // Node ids on the spider: 0 = centre; leg k occupies 1+k·leg_len ..= (k+1)·leg_len.
+        let node_on_leg = |leg: usize, step: usize| 1 + leg * self.leg_len + step;
+        for tree_root in 0..self.t {
+            for leaf in 0..self.t {
+                if leaf == tree_root {
+                    continue;
+                }
+                // Path: root leg (up) + centre + leaf leg (down).
+                let mut path = Vec::new();
+                for step in (0..self.leg_len).rev() {
+                    path.push(node_on_leg(tree_root, step));
+                }
+                path.push(0);
+                for step in 0..self.leg_len {
+                    path.push(node_on_leg(leaf, step));
+                }
+                // Interior nodes of the path receive two registers.
+                for w in 0..path.len() {
+                    if w > 0 {
+                        tracker.record_message(path[w - 1], path[w], q);
+                    }
+                    if w > 0 && w < path.len() - 1 {
+                        tracker.record_proof(path[w], 2 * q);
+                    }
+                }
+            }
+        }
+        tracker.set_rounds(1);
+        scale_costs(&tracker.summary(), self.repetitions as u64)
+    }
+
+    /// The paper's local cost bound `O(t²·r²·s·log(n+t+r))` (Theorem 32,
+    /// constant 1), where `s` is the one-way message size.
+    pub fn paper_local_cost(n: usize, r: usize, t: usize, s: usize) -> f64 {
+        (t * t * r * r * s) as f64 * ((n + t + r) as f64).log2().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commproto::fingerprint::FingerprintScheme;
+    use commproto::one_way::{EqOneWay, ExactHammingOneWay};
+    use commproto::problems::{HammingMulti, MultiPartyFunction};
+
+    fn inputs(vals: &[u64], n: usize) -> Vec<BitString> {
+        vals.iter().map(|&v| BitString::from_u64(v, n)).collect()
+    }
+
+    #[test]
+    fn eq_lift_has_perfect_completeness() {
+        let proto = ForAllProtocol::new(
+            EqOneWay::new(FingerprintScheme::small(4, 3)),
+            3,
+            1,
+        )
+        .with_repetitions(2);
+        let ins = inputs(&[9, 9, 9], 4);
+        assert!((proto.completeness(&ins) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq_lift_rejects_a_differing_terminal() {
+        let proto = ForAllProtocol::new(
+            EqOneWay::new(FingerprintScheme::small(4, 3)),
+            3,
+            1,
+        )
+        .with_repetitions(4);
+        let ins = inputs(&[9, 9, 6], 4);
+        let single = proto.single_round_acceptance(&ins, ChainCheat::Interpolate);
+        assert!(single < 1.0 - 1e-4, "single-round acceptance {single}");
+        let repeated = proto.repeated_acceptance(&ins, ChainCheat::Interpolate);
+        assert!(repeated < single);
+    }
+
+    #[test]
+    fn hamming_lift_accepts_close_inputs_and_rejects_far_ones() {
+        // Exact HAM<=1 one-way protocol on 3-bit inputs, three terminals.
+        let proto = ForAllProtocol::new(ExactHammingOneWay { n: 3, d: 1 }, 3, 1).with_repetitions(4);
+        let close = inputs(&[0b101, 0b100, 0b101], 3);
+        assert!(HammingMulti { n: 3, t: 3, d: 1 }.eval(&close));
+        assert!((proto.completeness(&close) - 1.0).abs() < 1e-9);
+
+        let far = inputs(&[0b101, 0b010, 0b101], 3);
+        assert!(!HammingMulti { n: 3, t: 3, d: 1 }.eval(&far));
+        let p = proto.single_round_acceptance(&far, ChainCheat::Interpolate);
+        assert!(p < 1.0 - 1e-4, "acceptance {p}");
+    }
+
+    #[test]
+    fn costs_scale_with_terminal_count_squared() {
+        let small = ForAllProtocol::new(ExactHammingOneWay { n: 4, d: 1 }, 2, 2).costs();
+        let large = ForAllProtocol::new(ExactHammingOneWay { n: 4, d: 1 }, 4, 2).costs();
+        // The centre node sits on every tree/leaf pair, so its proof grows ~t².
+        let ratio = large.local_proof_qubits as f64 / small.local_proof_qubits as f64;
+        assert!(ratio > 3.0, "t-scaling ratio {ratio}");
+        assert!(
+            ForAllProtocol::<ExactHammingOneWay>::paper_local_cost(8, 4, 4, 3)
+                > ForAllProtocol::<ExactHammingOneWay>::paper_local_cost(8, 4, 2, 3)
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! dQMA protocols from QMA communication protocols (Section 7 of the paper):
+//! Algorithm 10 / Theorem 42, the dQMAsep construction via the LSD problem
+//! (Theorem 46), and Proposition 47.
+//!
+//! Given a QMA one-way communication protocol in purified form (Merlin →
+//! Alice → Bob), the path protocol works like the EQ chain except that the
+//! left extremity's state is produced by applying Alice's unitary to the
+//! Merlin proof it received, and the right extremity runs Bob's POVM. Since
+//! the soundness analysis of the chain never used anything about the boundary
+//! state beyond Bob's acceptance of it, the whole Section 3.2 machinery
+//! carries over (Lemma 43).
+
+use crate::chain::{SeparableChainProof, SwapTestChain};
+use crate::eq_path::scale_costs;
+use commproto::qma::{QmaCommSpec, QmaOneWayProtocol};
+use netsim::{CostTracker, ProtocolCosts};
+use qsim::PureState;
+
+/// The path protocol `P_QMAcc` of Algorithm 10, built from a QMA one-way
+/// protocol `Q`.
+#[derive(Clone, Debug)]
+pub struct QmaccPathProtocol<Q> {
+    qma: Q,
+    r: usize,
+    repetitions: usize,
+}
+
+impl<Q: QmaOneWayProtocol> QmaccPathProtocol<Q> {
+    /// Builds the protocol on a path of length `r` with the paper's repetition
+    /// count.
+    pub fn new(qma: Q, r: usize) -> Self {
+        QmaccPathProtocol {
+            qma,
+            r,
+            repetitions: SwapTestChain::paper_repetitions(r),
+        }
+    }
+
+    /// Overrides the repetition count (for exact small simulations).
+    pub fn with_repetitions(mut self, repetitions: usize) -> Self {
+        assert!(repetitions >= 1, "at least one repetition required");
+        self.repetitions = repetitions;
+        self
+    }
+
+    /// The underlying QMA one-way protocol.
+    pub fn qma(&self) -> &Q {
+        &self.qma
+    }
+
+    /// Path length.
+    pub fn path_length(&self) -> usize {
+        self.r
+    }
+
+    /// The state the left extremity forwards when Merlin sends `proof0`:
+    /// `U_x (|proof0> ⊗ |0…0>)`.
+    pub fn left_state(&self, x: &Q::Input, proof0: &PureState) -> PureState {
+        assert_eq!(proof0.dim(), self.qma.proof_dim(), "proof dimension mismatch");
+        let ancilla = PureState::single(self.qma.ancilla_dim(), 0);
+        let mut joint = proof0.tensor(&ancilla).regroup(&[self.qma.message_dim()]);
+        joint.apply_unitary(&[0], &self.qma.alice_unitary(x));
+        joint
+    }
+
+    /// The SWAP-test chain induced by the inputs and the proof Merlin sends to
+    /// the left extremity.
+    pub fn chain(&self, x: &Q::Input, y: &Q::Input, proof0: &PureState) -> SwapTestChain {
+        SwapTestChain::new(self.r, self.left_state(x, proof0), self.qma.bob_effect(y))
+    }
+
+    /// Single-repetition acceptance when Merlin sends `proof0` to the left
+    /// extremity and the given separable proof to the intermediate nodes.
+    pub fn single_round_acceptance(
+        &self,
+        x: &Q::Input,
+        y: &Q::Input,
+        proof0: &PureState,
+        chain_proof: &SeparableChainProof,
+    ) -> f64 {
+        self.chain(x, y, proof0).acceptance_separable(chain_proof)
+    }
+
+    /// Completeness witness: the honest Merlin proof at the left extremity and
+    /// honest relaying everywhere else. Equals the underlying protocol's
+    /// honest acceptance probability (all SWAP tests pass with certainty).
+    pub fn completeness(&self, x: &Q::Input, y: &Q::Input) -> f64 {
+        let proof0 = self.qma.honest_proof(x, y);
+        let chain = self.chain(x, y, &proof0);
+        chain.acceptance_separable(&chain.honest_proof())
+    }
+
+    /// The best acceptance a prover can reach on `(x, y)` by sending the
+    /// **optimal** proof to the left extremity and relaying it honestly — the
+    /// natural strongest separable strategy.
+    pub fn best_relaying_acceptance(&self, x: &Q::Input, y: &Q::Input) -> f64 {
+        // The optimal boundary proof is the top eigenvector of the per-pair
+        // acceptance operator of the underlying QMA protocol; relaying it
+        // honestly makes every SWAP test pass, so the acceptance equals the
+        // underlying protocol's optimal acceptance.
+        self.qma.optimal_accept_probability(x, y)
+    }
+
+    /// Acceptance of the repeated protocol under a fixed per-repetition
+    /// acceptance probability.
+    pub fn repeated_acceptance(&self, single: f64) -> f64 {
+        SwapTestChain::repeated_soundness(single, self.repetitions)
+    }
+
+    /// Cost summary (Theorem 42): the left extremity receives the
+    /// `γ`-qubit Merlin proof, the intermediate nodes receive two
+    /// `(γ + µ)`-qubit registers, everything repeated `O(r²)` times.
+    pub fn costs(&self) -> ProtocolCosts {
+        let gamma = self.qma.proof_qubits() as u64;
+        let message = self.qma.comm_qubits() as u64;
+        let mut t = CostTracker::new();
+        t.record_proof(0, gamma);
+        for j in 1..self.r {
+            t.record_proof(j, 2 * message);
+        }
+        for j in 0..self.r {
+            t.record_message(j, j + 1, message);
+        }
+        t.set_rounds(1);
+        scale_costs(&t.summary(), self.repetitions as u64)
+    }
+
+    /// The paper's bound on the local proof/message size of Theorem 42:
+    /// `O(r²·(γ + µ)·log(n + r))` (constant 1).
+    pub fn paper_local_cost(n: usize, r: usize, gamma: usize, mu: usize) -> f64 {
+        (r * r * (gamma + mu)) as f64 * ((n + r) as f64).log2().max(1.0)
+    }
+}
+
+/// Cost of the dQMAsep protocol obtained from **any** dQMA protocol on a path
+/// via the LSD-completeness route (Theorem 46): a dQMA protocol of total cost
+/// `C = Σ c(v_j) + min_j m(v_j, v_{j+1})` yields a 1-round dQMAsep protocol
+/// with local proof and message size `Õ(r²·C²)`.
+pub fn dqmasep_from_dqma_local_cost(r: usize, total_cost: f64) -> f64 {
+    let c = total_cost.max(1.0);
+    (r * r) as f64 * c * c * c.log2().max(1.0)
+}
+
+/// Cost of the dQMAsep protocol for a function with a QMA* communication
+/// protocol of cost `C` (Proposition 47): `O(r²·log r·poly(C))`; the
+/// polynomial is taken to be `C²` as in the LSD route.
+pub fn dqmasep_from_qmacc_local_cost(r: usize, spec: &QmaCommSpec) -> f64 {
+    let c = spec.costs.qma_simulation_cost().max(1) as f64;
+    (r * r) as f64 * (r as f64).log2().max(1.0) * c * c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commproto::bitstring::BitString;
+    use commproto::fingerprint::FingerprintScheme;
+    use commproto::lsd::{LsdInstance, LsdQmaOneWay};
+    use commproto::one_way::EqOneWay;
+    use commproto::qma::{OneWayAsQma, QmaCosts};
+
+    #[test]
+    fn lsd_yes_instances_are_accepted_with_high_probability() {
+        let qma = LsdQmaOneWay::new(4);
+        let proto = QmaccPathProtocol::new(qma, 3).with_repetitions(2);
+        let inst = LsdInstance::random(4, 1, true, 5);
+        let c = proto.completeness(&inst.v1, &inst.v2);
+        assert!(c >= 0.98 - 1e-9, "completeness {c}");
+    }
+
+    #[test]
+    fn lsd_no_instances_are_rejected_even_with_optimal_relaying() {
+        let qma = LsdQmaOneWay::new(4);
+        let proto = QmaccPathProtocol::new(qma, 3).with_repetitions(2);
+        let inst = LsdInstance::random(4, 1, false, 9);
+        let best = proto.best_relaying_acceptance(&inst.v1, &inst.v2);
+        assert!(best <= 0.0361 + 1e-9, "best relaying acceptance {best}");
+        assert!(proto.repeated_acceptance(best) <= best);
+    }
+
+    #[test]
+    fn eq_as_qma_one_way_reproduces_the_eq_chain_behaviour() {
+        let qma = OneWayAsQma::new(EqOneWay::new(FingerprintScheme::small(3, 4)));
+        let proto = QmaccPathProtocol::new(qma, 2).with_repetitions(2);
+        let x = BitString::from_u64(5, 3);
+        let y = BitString::from_u64(2, 3);
+        assert!((proto.completeness(&x, &x) - 1.0).abs() < 1e-9);
+        // Honest relaying of the (trivial) proof on a no-instance is caught by Bob.
+        let p = proto.best_relaying_acceptance(&x, &y);
+        assert!(p < 1.0 - 1e-3, "acceptance {p}");
+    }
+
+    #[test]
+    fn cheating_the_chain_does_not_help_on_no_instances() {
+        // Even a prover that manipulates the intermediate registers cannot beat
+        // the single-round paper bound.
+        let qma = LsdQmaOneWay::new(4);
+        let proto = QmaccPathProtocol::new(qma, 3).with_repetitions(1);
+        let inst = LsdInstance::random(4, 1, false, 2);
+        let proof0 = proto.qma().honest_proof(&inst.v1, &inst.v2);
+        let chain = proto.chain(&inst.v1, &inst.v2, &proof0);
+        let target = proto.left_state(&inst.v1, &proof0);
+        let cheat = crate::chain::cheating_proof(&chain, &target, crate::chain::ChainCheat::Interpolate);
+        let p = proto.single_round_acceptance(&inst.v1, &inst.v2, &proof0, &cheat);
+        assert!(p <= SwapTestChain::paper_soundness_bound(3) + 1e-9, "acceptance {p}");
+    }
+
+    #[test]
+    fn costs_follow_theorem_42() {
+        let qma = LsdQmaOneWay::new(16);
+        let proto = QmaccPathProtocol::new(qma, 4);
+        let c = proto.costs();
+        assert!(c.local_proof_qubits > 0);
+        assert!(c.local_message_qubits > 0);
+        // Doubling r roughly quadruples the local cost through the repetitions.
+        let c2 = QmaccPathProtocol::new(LsdQmaOneWay::new(16), 8).costs();
+        let ratio = c2.local_proof_qubits as f64 / c.local_proof_qubits as f64;
+        assert!((3.0..=5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn theorem_46_and_proposition_47_cost_formulas() {
+        assert!(dqmasep_from_dqma_local_cost(4, 10.0) > dqmasep_from_dqma_local_cost(2, 10.0));
+        assert!(dqmasep_from_dqma_local_cost(4, 20.0) > dqmasep_from_dqma_local_cost(4, 10.0));
+        let spec = QmaCommSpec {
+            name: "f".into(),
+            costs: QmaCosts { proof_to_alice: 3, proof_to_bob: 1, communication: 4 },
+            rounds: 2,
+        };
+        assert!(dqmasep_from_qmacc_local_cost(8, &spec) > dqmasep_from_qmacc_local_cost(4, &spec));
+    }
+}

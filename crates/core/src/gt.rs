@@ -1,0 +1,327 @@
+//! The dQMA protocol for the greater-than problem on a path (Section 5.1,
+//! Algorithm 7, Theorem 26 and Corollary 28).
+//!
+//! `GT(x, y) = 1` iff there is an index `i` with `x[i] = y[i]` (equal
+//! prefixes), `x_i = 1` and `y_i = 0`. The prover sends that index classically
+//! to every node and fingerprints of the prefix `x[i]`; the nodes check index
+//! consistency, the extremities check their own bit at position `i`, and the
+//! interior runs the EQ chain on the prefix fingerprints.
+
+use crate::chain::{cheating_proof, ChainCheat, SwapTestChain};
+use crate::eq_path::scale_costs;
+use commproto::bitstring::BitString;
+use commproto::fingerprint::FingerprintScheme;
+use commproto::problems::Comparison;
+use netsim::{CostTracker, ProtocolCosts};
+
+/// The GT protocol on a path of length `r`.
+#[derive(Clone, Debug)]
+pub struct GtPathProtocol {
+    n: usize,
+    r: usize,
+    scheme: FingerprintScheme,
+    repetitions: usize,
+    comparison: Comparison,
+}
+
+/// The certificate an honest prover distributes for a comparison claim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GtCertificate {
+    /// The witness index `i`: equal prefixes, `x_i = 1`, `y_i = 0`
+    /// (or the roles swapped for `<`-type comparisons).
+    Index(usize),
+    /// The inputs are claimed to be equal (only valid for `≥` / `≤`).
+    Equal,
+}
+
+impl GtPathProtocol {
+    /// Builds the strict greater-than protocol for `n`-bit integers on a path
+    /// of length `r`, with the paper's repetition count.
+    pub fn new(n: usize, r: usize, seed: u64) -> Self {
+        GtPathProtocol {
+            n,
+            r,
+            scheme: FingerprintScheme::new(n, seed),
+            repetitions: SwapTestChain::paper_repetitions(r),
+            comparison: Comparison::Greater,
+        }
+    }
+
+    /// Builds a protocol for any comparison variant with an explicit scheme
+    /// and repetition count.
+    pub fn with_scheme(
+        n: usize,
+        r: usize,
+        comparison: Comparison,
+        scheme: FingerprintScheme,
+        repetitions: usize,
+    ) -> Self {
+        GtPathProtocol {
+            n,
+            r,
+            scheme,
+            repetitions,
+            comparison,
+        }
+    }
+
+    /// Input length in bits.
+    pub fn input_len(&self) -> usize {
+        self.n
+    }
+
+    /// Path length.
+    pub fn path_length(&self) -> usize {
+        self.r
+    }
+
+    /// Which comparison the protocol decides.
+    pub fn comparison(&self) -> Comparison {
+        self.comparison
+    }
+
+    /// Pads a prefix to length `n` so that a single fingerprint scheme covers
+    /// all prefix lengths (prefix equality is preserved since both sides pad
+    /// the same positions).
+    fn padded_prefix(&self, s: &BitString, i: usize) -> BitString {
+        let mut bits = s.prefix(i).as_bits().to_vec();
+        bits.resize(self.n, false);
+        BitString::new(&bits)
+    }
+
+    /// Whether, for the strict comparison currently configured, the pair
+    /// `(x, y)` is a yes-instance once `<`-type comparisons swap the roles.
+    fn oriented(&self, x: &BitString, y: &BitString) -> (BitString, BitString, bool) {
+        match self.comparison {
+            Comparison::Greater | Comparison::GreaterEqual => (x.clone(), y.clone(), false),
+            Comparison::Less | Comparison::LessEqual => (y.clone(), x.clone(), true),
+        }
+    }
+
+    /// The honest certificate for a yes-instance, or `None` if `(x, y)` is a
+    /// no-instance for the configured comparison.
+    pub fn honest_certificate(&self, x: &BitString, y: &BitString) -> Option<GtCertificate> {
+        let (a, b, _) = self.oriented(x, y);
+        if a == b {
+            return match self.comparison {
+                Comparison::GreaterEqual | Comparison::LessEqual => Some(GtCertificate::Equal),
+                _ => None,
+            };
+        }
+        (0..self.n)
+            .find(|&i| a.prefix(i) == b.prefix(i) && a.bit(i) && !b.bit(i))
+            .map(GtCertificate::Index)
+    }
+
+    /// The EQ chain run on the prefix fingerprints for witness index `i`.
+    fn chain_for_index(&self, a: &BitString, b: &BitString, i: usize) -> SwapTestChain {
+        let left = self.scheme.fingerprint(&self.padded_prefix(a, i));
+        let effect = self.scheme.accept_effect(&self.padded_prefix(b, i));
+        SwapTestChain::new(self.r, left, effect)
+    }
+
+    /// Single-repetition acceptance probability when the prover distributes
+    /// `certificate` consistently and plays `cheat` on the fingerprint chain.
+    ///
+    /// Inconsistent index registers are rejected with certainty by the index
+    /// comparisons, so only consistent certificates need to be modelled.
+    pub fn single_round_acceptance(
+        &self,
+        x: &BitString,
+        y: &BitString,
+        certificate: GtCertificate,
+        cheat: ChainCheat,
+    ) -> f64 {
+        let (a, b, _) = self.oriented(x, y);
+        match certificate {
+            GtCertificate::Equal => {
+                if !matches!(self.comparison, Comparison::GreaterEqual | Comparison::LessEqual) {
+                    return 0.0;
+                }
+                // Run the plain EQ chain on the full strings.
+                let chain = SwapTestChain::new(
+                    self.r,
+                    self.scheme.fingerprint(&a),
+                    self.scheme.accept_effect(&b),
+                );
+                let right = self.scheme.fingerprint(&b);
+                chain.acceptance_separable(&cheating_proof(&chain, &right, cheat))
+            }
+            GtCertificate::Index(i) => {
+                if i >= self.n {
+                    return 0.0;
+                }
+                // v_0 rejects unless its own bit at i is 1; v_r rejects unless
+                // its bit is 0 (with roles already oriented).
+                if !a.bit(i) || b.bit(i) {
+                    return 0.0;
+                }
+                let chain = self.chain_for_index(&a, &b, i);
+                let right = self.scheme.fingerprint(&self.padded_prefix(&b, i));
+                chain.acceptance_separable(&cheating_proof(&chain, &right, cheat))
+            }
+        }
+    }
+
+    /// Completeness witness: acceptance with the honest certificate and honest
+    /// chain proof on a yes-instance; exactly 1 by Theorem 26.
+    pub fn completeness(&self, x: &BitString, y: &BitString) -> f64 {
+        match self.honest_certificate(x, y) {
+            None => 0.0,
+            Some(cert) => self.single_round_acceptance(x, y, cert, ChainCheat::AllLeft),
+        }
+    }
+
+    /// The best single-repetition acceptance a prover can reach on `(x, y)` by
+    /// choosing any consistent certificate and playing `cheat` on the chain.
+    pub fn best_cheating_acceptance(&self, x: &BitString, y: &BitString, cheat: ChainCheat) -> f64 {
+        let mut best: f64 = 0.0;
+        for i in 0..self.n {
+            best = best.max(self.single_round_acceptance(x, y, GtCertificate::Index(i), cheat));
+        }
+        best = best.max(self.single_round_acceptance(x, y, GtCertificate::Equal, cheat));
+        best
+    }
+
+    /// Acceptance of the repeated protocol under the best cheating certificate.
+    pub fn repeated_cheating_acceptance(
+        &self,
+        x: &BitString,
+        y: &BitString,
+        cheat: ChainCheat,
+    ) -> f64 {
+        SwapTestChain::repeated_soundness(
+            self.best_cheating_acceptance(x, y, cheat),
+            self.repetitions,
+        )
+    }
+
+    /// Cost summary: the EQ chain costs plus a `⌈log n⌉`-qubit index register
+    /// per node, all multiplied by the repetition count (Theorem 26:
+    /// `O(r² log n)` local proof and message size).
+    pub fn costs(&self) -> ProtocolCosts {
+        let q = self.scheme.qubits() as u64;
+        let index_qubits = (self.n.next_power_of_two().trailing_zeros() as u64).max(1);
+        let mut t = CostTracker::new();
+        for j in 1..self.r {
+            t.record_proof(j, 2 * q + index_qubits);
+        }
+        t.record_proof(0, index_qubits);
+        t.record_proof(self.r, index_qubits);
+        for j in 0..self.r {
+            t.record_message(j, j + 1, q + index_qubits);
+        }
+        t.set_rounds(1);
+        scale_costs(&t.summary(), self.repetitions as u64)
+    }
+
+    /// The paper's local cost bound `O(r² log n)` (Theorem 26; constant 1).
+    pub fn paper_local_cost(n: usize, r: usize) -> f64 {
+        (r * r) as f64 * (n as f64).log2().max(1.0)
+    }
+
+    /// Cost summary with the paper's parameters, computed without
+    /// materialising a fingerprint code (for very large `n`).
+    pub fn costs_for(n: usize, r: usize) -> ProtocolCosts {
+        let q = ((8 * n).next_power_of_two().trailing_zeros() as u64).max(1);
+        let index_qubits = (n.next_power_of_two().trailing_zeros() as u64).max(1);
+        let reps = SwapTestChain::paper_repetitions(r) as u64;
+        let mut t = CostTracker::new();
+        for j in 1..r {
+            t.record_proof(j, 2 * q + index_qubits);
+        }
+        t.record_proof(0, index_qubits);
+        t.record_proof(r, index_qubits);
+        for j in 0..r {
+            t.record_message(j, j + 1, q + index_qubits);
+        }
+        t.set_rounds(1);
+        scale_costs(&t.summary(), reps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commproto::problems::{GreaterThan, TwoPartyFunction};
+
+    fn small(n: usize, r: usize, comparison: Comparison) -> GtPathProtocol {
+        GtPathProtocol::with_scheme(n, r, comparison, FingerprintScheme::small(n, 3), 4)
+    }
+
+    #[test]
+    fn honest_certificate_exists_exactly_on_yes_instances() {
+        let proto = small(4, 3, Comparison::Greater);
+        let f = GreaterThan::strict(4);
+        for xv in 0..16u64 {
+            for yv in 0..16u64 {
+                let x = BitString::from_u64(xv, 4);
+                let y = BitString::from_u64(yv, 4);
+                assert_eq!(
+                    proto.honest_certificate(&x, &y).is_some(),
+                    f.eval(&x, &y),
+                    "x={xv}, y={yv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_completeness_on_yes_instances() {
+        let proto = small(4, 3, Comparison::Greater);
+        for (xv, yv) in [(9u64, 4u64), (15, 14), (8, 7)] {
+            let x = BitString::from_u64(xv, 4);
+            let y = BitString::from_u64(yv, 4);
+            assert!(
+                (proto.completeness(&x, &y) - 1.0).abs() < 1e-10,
+                "x={xv} y={yv}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_instances_are_rejected_for_every_certificate() {
+        let proto = small(4, 3, Comparison::Greater);
+        // x <= y: no certificate should achieve acceptance 1.
+        for (xv, yv) in [(4u64, 9u64), (7, 7), (0, 1)] {
+            let x = BitString::from_u64(xv, 4);
+            let y = BitString::from_u64(yv, 4);
+            let best = proto.best_cheating_acceptance(&x, &y, ChainCheat::Interpolate);
+            assert!(best < 1.0 - 1e-4, "x={xv} y={yv}: best acceptance {best}");
+            let repeated = proto.repeated_cheating_acceptance(&x, &y, ChainCheat::Interpolate);
+            assert!(repeated < best + 1e-12);
+        }
+    }
+
+    #[test]
+    fn greater_equal_accepts_equal_inputs() {
+        let proto = small(4, 3, Comparison::GreaterEqual);
+        let x = BitString::from_u64(11, 4);
+        assert_eq!(proto.honest_certificate(&x, &x), Some(GtCertificate::Equal));
+        assert!((proto.completeness(&x, &x) - 1.0).abs() < 1e-10);
+        // Strict GT must not accept equality via the Equal certificate.
+        let strict = small(4, 3, Comparison::Greater);
+        assert!(strict
+            .single_round_acceptance(&x, &x, GtCertificate::Equal, ChainCheat::AllLeft)
+            .abs()
+            < 1e-12);
+    }
+
+    #[test]
+    fn less_than_variant_swaps_roles() {
+        let proto = small(4, 3, Comparison::Less);
+        let x = BitString::from_u64(3, 4);
+        let y = BitString::from_u64(10, 4);
+        assert!((proto.completeness(&x, &y) - 1.0).abs() < 1e-10);
+        assert!(proto.honest_certificate(&y, &x).is_none());
+    }
+
+    #[test]
+    fn costs_scale_as_r_squared_log_n() {
+        let c1 = GtPathProtocol::new(16, 3, 1).costs();
+        let c2 = GtPathProtocol::new(16, 6, 1).costs();
+        let ratio = c2.local_proof_qubits as f64 / c1.local_proof_qubits as f64;
+        assert!((3.0..=5.0).contains(&ratio), "r-scaling {ratio}");
+        assert!(GtPathProtocol::paper_local_cost(16, 6) > GtPathProtocol::paper_local_cost(16, 3));
+    }
+}

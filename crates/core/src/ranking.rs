@@ -1,0 +1,297 @@
+//! The ranking verification protocol (Section 5.2, Algorithm 8, Theorem 29).
+//!
+//! `RV^{i,j}` asks whether terminal `i`'s input is the `j`-th largest among
+//! the `t` terminal inputs. The prover announces a spanning tree rooted at
+//! terminal `i`, sends one *direction bit* per node of every root-to-leaf path
+//! (claiming `x_i ≥ x_k` or `x_i < x_k`), and runs the GT protocol of
+//! Section 5.1 along each path according to the claimed direction; the root
+//! finally counts the `≥` directions.
+
+use crate::chain::{ChainCheat, SwapTestChain};
+use crate::eq_path::scale_costs;
+use crate::gt::GtPathProtocol;
+use commproto::bitstring::BitString;
+use commproto::fingerprint::FingerprintScheme;
+use commproto::problems::Comparison;
+use netsim::{CostTracker, ProtocolCosts};
+
+/// The ranking verification protocol for terminal `root` claiming rank `j`
+/// (1 = largest), on a star-of-paths network where every other terminal sits
+/// at distance `leg_len` from the root terminal.
+#[derive(Clone, Debug)]
+pub struct RankingProtocol {
+    n: usize,
+    t: usize,
+    j: usize,
+    leg_len: usize,
+    scheme: FingerprintScheme,
+    repetitions: usize,
+}
+
+/// The prover's claimed direction for one root-to-leaf path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Claim `x_root ≥ x_leaf`.
+    GreaterEqual,
+    /// Claim `x_root < x_leaf`.
+    Less,
+}
+
+impl RankingProtocol {
+    /// Builds the protocol for `t` terminals with `n`-bit inputs where every
+    /// other terminal is at distance `leg_len` from the root terminal, which
+    /// claims rank `j` (1-based).
+    pub fn new(n: usize, t: usize, j: usize, leg_len: usize, seed: u64) -> Self {
+        assert!(t >= 2, "ranking needs at least two terminals");
+        assert!((1..=t).contains(&j), "rank must lie in 1..=t");
+        RankingProtocol {
+            n,
+            t,
+            j,
+            leg_len: leg_len.max(1),
+            scheme: FingerprintScheme::new(n, seed),
+            repetitions: SwapTestChain::paper_repetitions(leg_len.max(1)),
+        }
+    }
+
+    /// Builds the protocol with an explicit fingerprint scheme and repetition
+    /// count (for exact small simulations).
+    pub fn with_scheme(
+        n: usize,
+        t: usize,
+        j: usize,
+        leg_len: usize,
+        scheme: FingerprintScheme,
+        repetitions: usize,
+    ) -> Self {
+        let mut p = RankingProtocol::new(n, t, j, leg_len, 0);
+        p.scheme = scheme;
+        p.repetitions = repetitions;
+        p
+    }
+
+    /// The per-leg GT protocol for the claimed direction.
+    fn leg_protocol(&self, direction: Direction) -> GtPathProtocol {
+        let comparison = match direction {
+            Direction::GreaterEqual => Comparison::GreaterEqual,
+            Direction::Less => Comparison::Less,
+        };
+        GtPathProtocol::with_scheme(
+            self.n,
+            self.leg_len,
+            comparison,
+            self.scheme.clone(),
+            1,
+        )
+    }
+
+    /// The honest directions for the given inputs (index 0 is the root
+    /// terminal, the rest are the leaves in order).
+    pub fn honest_directions(&self, inputs: &[BitString]) -> Vec<Direction> {
+        assert_eq!(inputs.len(), self.t, "one input per terminal required");
+        inputs[1..]
+            .iter()
+            .map(|xk| {
+                if inputs[0].cmp_as_integer(xk) != std::cmp::Ordering::Less {
+                    Direction::GreaterEqual
+                } else {
+                    Direction::Less
+                }
+            })
+            .collect()
+    }
+
+    /// Whether the root's final count check passes for the claimed directions:
+    /// the number of `≥` directions must equal `t − j`.
+    pub fn root_count_check(&self, directions: &[Direction]) -> bool {
+        let ge = directions
+            .iter()
+            .filter(|d| matches!(d, Direction::GreaterEqual))
+            .count();
+        ge == self.t - self.j
+    }
+
+    /// Single-repetition acceptance probability when the prover announces
+    /// `directions` (one per leaf) and plays `cheat` on every leg's chain.
+    ///
+    /// Inconsistent direction registers along a path are rejected with
+    /// certainty, so only path-consistent claims are modelled.
+    pub fn single_round_acceptance(
+        &self,
+        inputs: &[BitString],
+        directions: &[Direction],
+        cheat: ChainCheat,
+    ) -> f64 {
+        assert_eq!(inputs.len(), self.t, "one input per terminal required");
+        assert_eq!(directions.len(), self.t - 1, "one direction per leaf required");
+        if !self.root_count_check(directions) {
+            return 0.0;
+        }
+        let mut prob = 1.0;
+        for (k, direction) in directions.iter().enumerate() {
+            let leg = self.leg_protocol(*direction);
+            let p = match leg.honest_certificate(&inputs[0], &inputs[k + 1]) {
+                Some(cert) if *direction == self.true_direction(&inputs[0], &inputs[k + 1]) => {
+                    // Truthful direction: the prover can run the leg honestly.
+                    leg.single_round_acceptance(&inputs[0], &inputs[k + 1], cert, ChainCheat::AllLeft)
+                }
+                _ => {
+                    // Lying about this leg: the best it can do is cheat the GT chain.
+                    leg.best_cheating_acceptance(&inputs[0], &inputs[k + 1], cheat)
+                }
+            };
+            prob *= p;
+            if prob < 1e-15 {
+                break;
+            }
+        }
+        prob
+    }
+
+    fn true_direction(&self, root: &BitString, leaf: &BitString) -> Direction {
+        if root.cmp_as_integer(leaf) != std::cmp::Ordering::Less {
+            Direction::GreaterEqual
+        } else {
+            Direction::Less
+        }
+    }
+
+    /// Completeness witness: honest directions and honest leg proofs.
+    pub fn completeness(&self, inputs: &[BitString]) -> f64 {
+        let dirs = self.honest_directions(inputs);
+        if !self.root_count_check(&dirs) {
+            return 0.0;
+        }
+        self.single_round_acceptance(inputs, &dirs, ChainCheat::AllLeft)
+    }
+
+    /// Best acceptance over all direction assignments that pass the root count
+    /// check, with the given chain cheat on lied-about legs — the prover's
+    /// best single-repetition strategy on a no-instance.
+    pub fn best_cheating_acceptance(&self, inputs: &[BitString], cheat: ChainCheat) -> f64 {
+        let legs = self.t - 1;
+        let mut best: f64 = 0.0;
+        for mask in 0..(1usize << legs) {
+            let dirs: Vec<Direction> = (0..legs)
+                .map(|k| {
+                    if (mask >> k) & 1 == 1 {
+                        Direction::GreaterEqual
+                    } else {
+                        Direction::Less
+                    }
+                })
+                .collect();
+            if !self.root_count_check(&dirs) {
+                continue;
+            }
+            best = best.max(self.single_round_acceptance(inputs, &dirs, cheat));
+        }
+        best
+    }
+
+    /// Acceptance of the repeated protocol under the best cheating strategy.
+    pub fn repeated_cheating_acceptance(&self, inputs: &[BitString], cheat: ChainCheat) -> f64 {
+        SwapTestChain::repeated_soundness(self.best_cheating_acceptance(inputs, cheat), self.repetitions)
+    }
+
+    /// Cost summary (Theorem 29): `t − 1` parallel GT legs of length `leg_len`,
+    /// giving local proof and message size `O(t·r²·log n)` after repetition
+    /// (the root participates in every leg).
+    pub fn costs(&self) -> ProtocolCosts {
+        let q = self.scheme.qubits() as u64;
+        let index_qubits = (self.n.next_power_of_two().trailing_zeros() as u64).max(1);
+        let mut tracker = CostTracker::new();
+        // Node ids: 0 = root; leg k occupies nodes k*leg_len+1 ..= (k+1)*leg_len.
+        for k in 0..(self.t - 1) {
+            let base = 1 + k * self.leg_len;
+            // Direction bit for every node on the path.
+            tracker.record_proof(0, 1 + index_qubits);
+            for step in 0..self.leg_len {
+                let node = base + step;
+                tracker.record_proof(node, 2 * q + index_qubits + 1);
+                let prev = if step == 0 { 0 } else { node - 1 };
+                tracker.record_message(prev, node, q + index_qubits);
+            }
+        }
+        tracker.set_rounds(1);
+        scale_costs(&tracker.summary(), self.repetitions as u64)
+    }
+
+    /// The paper's local cost bound `O(t·r²·log n)` (Theorem 29; constant 1).
+    pub fn paper_local_cost(n: usize, r: usize, t: usize) -> f64 {
+        (t * r * r) as f64 * (n as f64).log2().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commproto::problems::{MultiPartyFunction, RankingVerification};
+
+    fn small(n: usize, t: usize, j: usize) -> RankingProtocol {
+        RankingProtocol::with_scheme(n, t, j, 2, FingerprintScheme::small(n, 9), 4)
+    }
+
+    fn inputs(vals: &[u64], n: usize) -> Vec<BitString> {
+        vals.iter().map(|&v| BitString::from_u64(v, n)).collect()
+    }
+
+    #[test]
+    fn completeness_on_true_rank() {
+        // Root holds 9; others hold 5 and 3 -> root is the largest (rank 1).
+        let proto = small(4, 3, 1);
+        let ins = inputs(&[9, 5, 3], 4);
+        assert!((proto.completeness(&ins) - 1.0).abs() < 1e-10);
+        // Consistency with the problem definition.
+        let rv = RankingVerification { n: 4, t: 3, i: 0, j: 1 };
+        assert!(rv.eval(&ins));
+    }
+
+    #[test]
+    fn completeness_on_middle_rank() {
+        // Root holds 5; others hold 9 and 3 -> root is 2nd largest.
+        let proto = small(4, 3, 2);
+        let ins = inputs(&[5, 9, 3], 4);
+        assert!((proto.completeness(&ins) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wrong_rank_claim_is_rejected() {
+        // Root holds 5 (2nd largest) but claims rank 1.
+        let proto = small(4, 3, 1);
+        let ins = inputs(&[5, 9, 3], 4);
+        assert!(proto.completeness(&ins) < 1e-12, "honest directions fail the count");
+        let best = proto.best_cheating_acceptance(&ins, ChainCheat::Interpolate);
+        assert!(best < 1.0 - 1e-4, "best cheating acceptance {best}");
+        let repeated = proto.repeated_cheating_acceptance(&ins, ChainCheat::Interpolate);
+        assert!(repeated < best + 1e-12);
+    }
+
+    #[test]
+    fn root_count_check_matches_rank_convention() {
+        let proto = small(4, 4, 2);
+        // Rank 2 of 4 means exactly 2 of the other 3 are <= root.
+        assert!(proto.root_count_check(&[
+            Direction::GreaterEqual,
+            Direction::GreaterEqual,
+            Direction::Less
+        ]));
+        assert!(!proto.root_count_check(&[
+            Direction::GreaterEqual,
+            Direction::GreaterEqual,
+            Direction::GreaterEqual
+        ]));
+    }
+
+    #[test]
+    fn costs_scale_linearly_in_terminal_count() {
+        let c3 = RankingProtocol::new(16, 3, 1, 3, 1).costs();
+        let c6 = RankingProtocol::new(16, 6, 1, 3, 1).costs();
+        // The root's local proof grows with t (it sits on every leg).
+        assert!(c6.local_proof_qubits >= c3.local_proof_qubits);
+        assert!(c6.total_proof_qubits > c3.total_proof_qubits);
+        assert!(
+            RankingProtocol::paper_local_cost(16, 3, 6) > RankingProtocol::paper_local_cost(16, 3, 3)
+        );
+    }
+}

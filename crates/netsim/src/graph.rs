@@ -1,0 +1,320 @@
+//! Undirected simple graphs and their metric structure.
+//!
+//! The dQMA model places verifier nodes on a connected simple graph; the
+//! quantities that enter every cost bound are the radius `r` (eccentricity of
+//! the most central node) and pairwise distances. This module provides the
+//! graph type plus BFS-based metric queries.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// An undirected simple graph on nodes `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::Graph;
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// g.add_edge(2, 3);
+/// assert_eq!(g.distance(0, 3), Some(3));
+/// assert_eq!(g.radius(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Adds an undirected edge between `u` and `v`.
+    ///
+    /// Self-loops and duplicate edges are ignored (the graph stays simple).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        if u == v || self.adj[u].contains(&v) {
+            return;
+        }
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+    }
+
+    /// Returns `true` if `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(&v)
+    }
+
+    /// Neighbours of `u`.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Returns an iterator over all edges as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for u in 0..self.n {
+            for &v in &self.adj[u] {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// BFS distances from `source`; unreachable nodes get `None`.
+    pub fn bfs_distances(&self, source: usize) -> Vec<Option<usize>> {
+        assert!(source < self.n, "source out of range");
+        let mut dist = vec![None; self.n];
+        let mut queue = VecDeque::new();
+        dist[source] = Some(0);
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].expect("queued node has a distance");
+            for &v in &self.adj[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Shortest-path distance between `u` and `v`, if connected.
+    pub fn distance(&self, u: usize, v: usize) -> Option<usize> {
+        self.bfs_distances(u)[v]
+    }
+
+    /// Returns `true` when the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(Option::is_some)
+    }
+
+    /// Eccentricity of `u`: the maximum distance from `u` to any node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected.
+    pub fn eccentricity(&self, u: usize) -> usize {
+        self.bfs_distances(u)
+            .iter()
+            .map(|d| d.expect("eccentricity requires a connected graph"))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Radius of the graph: `min_u max_v dist(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected or empty.
+    pub fn radius(&self) -> usize {
+        assert!(self.n > 0, "radius of an empty graph");
+        (0..self.n).map(|u| self.eccentricity(u)).min().expect("non-empty")
+    }
+
+    /// Diameter of the graph: `max_u max_v dist(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected or empty.
+    pub fn diameter(&self) -> usize {
+        assert!(self.n > 0, "diameter of an empty graph");
+        (0..self.n).map(|u| self.eccentricity(u)).max().expect("non-empty")
+    }
+
+    /// A node achieving the radius (a centre of the graph).
+    pub fn center(&self) -> usize {
+        (0..self.n)
+            .min_by_key(|&u| self.eccentricity(u))
+            .expect("center of an empty graph")
+    }
+
+    /// The node among `candidates` minimising the maximum distance to the
+    /// other candidates (used in the paper's §3.3 construction to pick the
+    /// most central terminal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or contains out-of-range nodes.
+    pub fn most_central_of(&self, candidates: &[usize]) -> usize {
+        assert!(!candidates.is_empty(), "most_central_of requires candidates");
+        *candidates
+            .iter()
+            .min_by_key(|&&u| {
+                let d = self.bfs_distances(u);
+                candidates
+                    .iter()
+                    .map(|&v| d[v].expect("candidates must be connected"))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .expect("non-empty candidates")
+    }
+
+    /// One shortest path from `u` to `v` (inclusive of both endpoints).
+    ///
+    /// Returns `None` when `v` is unreachable from `u`.
+    pub fn shortest_path(&self, u: usize, v: usize) -> Option<Vec<usize>> {
+        let mut prev = vec![usize::MAX; self.n];
+        let mut dist = vec![None; self.n];
+        let mut queue = VecDeque::new();
+        dist[u] = Some(0);
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            if x == v {
+                break;
+            }
+            let dx = dist[x].expect("queued node has distance");
+            for &y in &self.adj[x] {
+                if dist[y].is_none() {
+                    dist[y] = Some(dx + 1);
+                    prev[y] = x;
+                    queue.push_back(y);
+                }
+            }
+        }
+        dist[v]?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != u {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n, self.num_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(len: usize) -> Graph {
+        let mut g = Graph::new(len + 1);
+        for i in 0..len {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn path_metric() {
+        let g = path_graph(4);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.distance(0, 4), Some(4));
+        assert_eq!(g.radius(), 2);
+        assert_eq!(g.diameter(), 4);
+        assert_eq!(g.center(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn star_radius_is_one() {
+        let mut g = Graph::new(5);
+        for i in 1..5 {
+            g.add_edge(0, i);
+        }
+        assert_eq!(g.radius(), 1);
+        assert_eq!(g.diameter(), 2);
+        assert_eq!(g.center(), 0);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert!(!g.is_connected());
+        assert_eq!(g.distance(0, 3), None);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = path_graph(5);
+        let p = g.shortest_path(1, 4).expect("connected");
+        assert_eq!(p.first(), Some(&1));
+        assert_eq!(p.last(), Some(&4));
+        assert_eq!(p.len(), 4);
+        // Consecutive path nodes are adjacent.
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn most_central_of_terminals_on_a_path() {
+        let g = path_graph(6);
+        assert_eq!(g.most_central_of(&[0, 6]), 0.min(6).max(0)); // either endpoint ties; min index wins
+        assert_eq!(g.most_central_of(&[0, 3, 6]), 3);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = Graph::new(1);
+        assert!(g.is_connected());
+        assert_eq!(g.radius(), 0);
+        assert_eq!(g.eccentricity(0), 0);
+    }
+
+    #[test]
+    fn edges_listing() {
+        let g = path_graph(3);
+        assert_eq!(g.edges(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # netsim — network substrate for distributed verification protocols
+//!
+//! The dQMA protocols of *Hasegawa, Kundu, Nishimura — "On the Power of
+//! Quantum Distributed Proofs"* (PODC 2024) run on a connected network of
+//! verifier nodes. This crate provides:
+//!
+//! * the graph model with the metric quantities entering every bound
+//!   (radius, eccentricities, distances) — [`graph`];
+//! * standard topologies: paths, stars, spiders, grids, random trees and
+//!   connected random graphs — [`topology`];
+//! * the spanning-tree construction of the paper's Section 3.3 (root at the
+//!   most central terminal, terminals as leaves, depth ≤ r + 1) and the
+//!   Lemma 18 proof-labelling scheme that lets nodes verify an announced
+//!   tree — [`tree`];
+//! * cost accounting for proofs and messages matching Definitions 5–8 —
+//!   [`transcript`].
+//!
+//! # Example
+//!
+//! ```
+//! use netsim::{topology, tree::TerminalTree};
+//!
+//! // Terminals on three legs of a spider; all of them become leaves of the
+//! // announced tree and the depth stays within radius + 1.
+//! let g = topology::spider(3, 2);
+//! let terminals: Vec<usize> = (0..3).map(|k| topology::spider_leaf(k, 2)).collect();
+//! let t = TerminalTree::build(&g, &terminals);
+//! assert!(t.max_depth() <= g.radius() + 1 + 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod graph;
+pub mod topology;
+pub mod transcript;
+pub mod tree;
+
+pub use graph::Graph;
+pub use transcript::{CostTracker, ProtocolCosts};
+pub use tree::{SpanningTree, TerminalTree, TreeLabel};

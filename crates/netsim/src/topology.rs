@@ -1,0 +1,199 @@
+//! Standard network topologies used by the protocols and benchmarks.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The path `v_0 — v_1 — ... — v_r` of length `r` (so `r + 1` nodes).
+///
+/// This is the topology of Sections 3.2, 4, 5.1, 7 and 8 of the paper, with
+/// the two extremities `v_0` and `v_r` holding the inputs.
+pub fn path(r: usize) -> Graph {
+    let mut g = Graph::new(r + 1);
+    for i in 0..r {
+        g.add_edge(i, i + 1);
+    }
+    g
+}
+
+/// The star with `leaves` leaves attached to a central node 0.
+pub fn star(leaves: usize) -> Graph {
+    let mut g = Graph::new(leaves + 1);
+    for i in 1..=leaves {
+        g.add_edge(0, i);
+    }
+    g
+}
+
+/// The cycle on `n >= 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n);
+    }
+    g
+}
+
+/// The complete graph on `n` nodes.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(i, j);
+        }
+    }
+    g
+}
+
+/// A "spider": `legs` disjoint paths of length `leg_len` glued at a common
+/// centre (node 0). The leaf of leg `k` is node `k * leg_len + leg_len`.
+/// Used to model multiple terminals at distance `leg_len` from a centre.
+pub fn spider(legs: usize, leg_len: usize) -> Graph {
+    assert!(leg_len >= 1, "spider legs must have length at least 1");
+    let mut g = Graph::new(1 + legs * leg_len);
+    for k in 0..legs {
+        let base = 1 + k * leg_len;
+        g.add_edge(0, base);
+        for i in 0..(leg_len - 1) {
+            g.add_edge(base + i, base + i + 1);
+        }
+    }
+    g
+}
+
+/// The leaf node of leg `k` of [`spider`]`(legs, leg_len)`.
+pub fn spider_leaf(k: usize, leg_len: usize) -> usize {
+    1 + k * leg_len + (leg_len - 1)
+}
+
+/// A `w × h` grid graph (nodes indexed row-major).
+pub fn grid(w: usize, h: usize) -> Graph {
+    let mut g = Graph::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let id = y * w + x;
+            if x + 1 < w {
+                g.add_edge(id, id + 1);
+            }
+            if y + 1 < h {
+                g.add_edge(id, id + w);
+            }
+        }
+    }
+    g
+}
+
+/// A uniformly random labelled tree on `n` nodes (random Prüfer-like
+/// attachment: node `i` attaches to a uniformly random earlier node).
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut g = Graph::new(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 1..n {
+        let parent = rng.random_range(0..i);
+        g.add_edge(parent, i);
+    }
+    g
+}
+
+/// A connected Erdős–Rényi-style random graph: a random tree plus each extra
+/// edge independently with probability `p`.
+pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
+    let mut g = random_tree(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e3779b97f4a7c15));
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(u, v) && rng.random::<f64>() < p {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.distance(0, 5), Some(5));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.degree(0), 7);
+        assert_eq!(g.radius(), 1);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.distance(0, 3), Some(3));
+        assert_eq!(g.radius(), 3);
+    }
+
+    #[test]
+    fn complete_graph_has_all_edges() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.diameter(), 1);
+    }
+
+    #[test]
+    fn spider_structure() {
+        let g = spider(3, 2);
+        assert_eq!(g.num_nodes(), 7);
+        assert!(g.is_connected());
+        for k in 0..3 {
+            let leaf = spider_leaf(k, 2);
+            assert_eq!(g.degree(leaf), 1);
+            assert_eq!(g.distance(0, leaf), Some(2));
+        }
+        // Terminals on different legs are at distance 4.
+        assert_eq!(g.distance(spider_leaf(0, 2), spider_leaf(1, 2)), Some(4));
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert!(g.is_connected());
+        assert_eq!(g.distance(0, 11), Some(2 + 3));
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        for seed in 0..5 {
+            let g = random_tree(20, seed);
+            assert!(g.is_connected());
+            assert_eq!(g.num_edges(), 19);
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_supersets_tree() {
+        let g = random_connected(15, 0.2, 3);
+        assert!(g.is_connected());
+        assert!(g.num_edges() >= 14);
+    }
+
+    #[test]
+    fn random_topologies_are_reproducible() {
+        assert_eq!(random_tree(10, 42).edges(), random_tree(10, 42).edges());
+        assert_eq!(
+            random_connected(10, 0.3, 7).edges(),
+            random_connected(10, 0.3, 7).edges()
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Round-based cost accounting for distributed verification protocols.
+//!
+//! Every dQMA / dMA protocol in the paper is compared by four numbers
+//! (Definitions 5–8): the local and total proof size, and the local and total
+//! message size, plus the number of verification rounds. The protocol
+//! implementations in the `dqma` crate record their resource usage into a
+//! [`CostTracker`] so the benchmark harness can print the same columns as the
+//! paper's tables.
+
+use std::collections::HashMap;
+
+/// Whether a recorded quantity is measured in qubits (quantum protocols) or
+/// classical bits (dMA protocols and classical side information).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// Quantum bits.
+    Qubits,
+    /// Classical bits.
+    Bits,
+}
+
+/// Accumulates per-node proof sizes and per-edge message sizes for one
+/// protocol execution.
+#[derive(Clone, Debug, Default)]
+pub struct CostTracker {
+    proof: HashMap<usize, u64>,
+    messages: HashMap<(usize, usize), u64>,
+    rounds: usize,
+    proof_bits: HashMap<usize, u64>,
+    message_bits: HashMap<(usize, usize), u64>,
+}
+
+/// Summary of the costs of one protocol execution, in the units of
+/// Definitions 5–8 of the paper.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolCosts {
+    /// Largest proof received by any single node, in qubits.
+    pub local_proof_qubits: u64,
+    /// Sum of proof sizes over all nodes, in qubits.
+    pub total_proof_qubits: u64,
+    /// Largest message exchanged over any single edge, in qubits.
+    pub local_message_qubits: u64,
+    /// Sum of message sizes over all edges, in qubits.
+    pub total_message_qubits: u64,
+    /// Largest classical proof/side information at any single node, in bits.
+    pub local_proof_bits: u64,
+    /// Total classical proof/side information, in bits.
+    pub total_proof_bits: u64,
+    /// Largest classical message over any edge, in bits.
+    pub local_message_bits: u64,
+    /// Total classical messages, in bits.
+    pub total_message_bits: u64,
+    /// Number of verification rounds.
+    pub rounds: usize,
+}
+
+impl CostTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        CostTracker::default()
+    }
+
+    /// Records `qubits` of quantum proof delivered to `node`.
+    pub fn record_proof(&mut self, node: usize, qubits: u64) {
+        *self.proof.entry(node).or_insert(0) += qubits;
+    }
+
+    /// Records `bits` of classical proof delivered to `node`.
+    pub fn record_proof_bits(&mut self, node: usize, bits: u64) {
+        *self.proof_bits.entry(node).or_insert(0) += bits;
+    }
+
+    /// Records a quantum message of `qubits` qubits over the edge `{u, v}`.
+    pub fn record_message(&mut self, u: usize, v: usize, qubits: u64) {
+        let key = if u <= v { (u, v) } else { (v, u) };
+        *self.messages.entry(key).or_insert(0) += qubits;
+    }
+
+    /// Records a classical message of `bits` bits over the edge `{u, v}`.
+    pub fn record_message_bits(&mut self, u: usize, v: usize, bits: u64) {
+        let key = if u <= v { (u, v) } else { (v, u) };
+        *self.message_bits.entry(key).or_insert(0) += bits;
+    }
+
+    /// Sets the number of verification rounds used.
+    pub fn set_rounds(&mut self, rounds: usize) {
+        self.rounds = rounds;
+    }
+
+    /// Merges the records of another tracker (e.g. a parallel repetition).
+    pub fn merge(&mut self, other: &CostTracker) {
+        for (&k, &v) in &other.proof {
+            *self.proof.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.proof_bits {
+            *self.proof_bits.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.messages {
+            *self.messages.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.message_bits {
+            *self.message_bits.entry(k).or_insert(0) += v;
+        }
+        self.rounds = self.rounds.max(other.rounds);
+    }
+
+    /// Summarises the recorded costs.
+    pub fn summary(&self) -> ProtocolCosts {
+        ProtocolCosts {
+            local_proof_qubits: self.proof.values().copied().max().unwrap_or(0),
+            total_proof_qubits: self.proof.values().sum(),
+            local_message_qubits: self.messages.values().copied().max().unwrap_or(0),
+            total_message_qubits: self.messages.values().sum(),
+            local_proof_bits: self.proof_bits.values().copied().max().unwrap_or(0),
+            total_proof_bits: self.proof_bits.values().sum(),
+            local_message_bits: self.message_bits.values().copied().max().unwrap_or(0),
+            total_message_bits: self.message_bits.values().sum(),
+            rounds: self.rounds,
+        }
+    }
+}
+
+impl ProtocolCosts {
+    /// Sum of local quantum proof and message sizes — the quantity bounded in
+    /// the paper's upper-bound theorems ("local proof and message of size ...").
+    pub fn local_qubits(&self) -> u64 {
+        self.local_proof_qubits + self.local_message_qubits
+    }
+
+    /// Total proof plus communication in qubits — the quantity bounded in the
+    /// lower-bound theorems of Section 8.
+    pub fn total_qubits(&self) -> u64 {
+        self.total_proof_qubits + self.total_message_qubits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_summary_is_zero() {
+        let c = CostTracker::new().summary();
+        assert_eq!(c, ProtocolCosts::default());
+        assert_eq!(c.local_qubits(), 0);
+        assert_eq!(c.total_qubits(), 0);
+    }
+
+    #[test]
+    fn proof_and_message_accounting() {
+        let mut t = CostTracker::new();
+        t.record_proof(1, 10);
+        t.record_proof(2, 30);
+        t.record_proof(1, 5);
+        t.record_message(0, 1, 7);
+        t.record_message(1, 0, 3); // same undirected edge
+        t.record_message(1, 2, 20);
+        t.set_rounds(1);
+        let s = t.summary();
+        assert_eq!(s.local_proof_qubits, 30);
+        assert_eq!(s.total_proof_qubits, 45);
+        assert_eq!(s.local_message_qubits, 20);
+        assert_eq!(s.total_message_qubits, 30);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.local_qubits(), 50);
+        assert_eq!(s.total_qubits(), 75);
+    }
+
+    #[test]
+    fn classical_bits_tracked_separately() {
+        let mut t = CostTracker::new();
+        t.record_proof_bits(0, 100);
+        t.record_message_bits(0, 1, 8);
+        let s = t.summary();
+        assert_eq!(s.total_proof_bits, 100);
+        assert_eq!(s.local_message_bits, 8);
+        assert_eq!(s.total_proof_qubits, 0);
+    }
+
+    #[test]
+    fn merge_accumulates_and_takes_max_rounds() {
+        let mut a = CostTracker::new();
+        a.record_proof(0, 4);
+        a.set_rounds(1);
+        let mut b = CostTracker::new();
+        b.record_proof(0, 6);
+        b.record_message(0, 1, 2);
+        b.set_rounds(3);
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.total_proof_qubits, 10);
+        assert_eq!(s.total_message_qubits, 2);
+        assert_eq!(s.rounds, 3);
+    }
+}

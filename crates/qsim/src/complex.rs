@@ -1,0 +1,349 @@
+//! Complex number arithmetic used throughout the simulator.
+//!
+//! The simulator deliberately avoids external linear-algebra crates, so it
+//! carries its own small, well-tested complex type. [`Complex`] is a plain
+//! `f64` pair with value semantics (`Copy`), the full set of arithmetic
+//! operator impls, and the handful of helpers quantum-information code needs
+//! (conjugation, modulus, polar form).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::Complex;
+///
+/// let i = Complex::I;
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{i theta}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns the complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Returns the squared modulus `|z|^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Returns the modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Returns the argument (phase angle) in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Returns the multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics (by producing non-finite components) is avoided: dividing by an
+    /// exactly-zero complex number yields non-finite values just like `f64`
+    /// division; callers should check [`Complex::norm_sqr`] when that matters.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Returns `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Returns the principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Complex::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Returns `true` when `self` and `other` differ by at most `tol` in modulus.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, z| acc + z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex::new(4.0, 1.5));
+        assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn multiplication_matches_definition() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        // (1 + 2i)(3 - i) = 3 - i + 6i - 2i^2 = 5 + 5i
+        assert!(a.mul(b).approx_eq(Complex::new(5.0, 5.0), TOL));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((Complex::I * Complex::I).approx_eq(Complex::new(-1.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(2.5, -1.5);
+        let b = Complex::new(0.5, 3.0);
+        let c = a * b;
+        assert!((c / b).approx_eq(a, TOL));
+        assert!((c / a).approx_eq(b, TOL));
+    }
+
+    #[test]
+    fn conjugation_and_modulus() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert!((z.abs() - 5.0).abs() < TOL);
+        assert!((z * z.conj()).approx_eq(Complex::real(25.0), TOL));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::new(-1.0, 1.0);
+        let w = Complex::from_polar(z.abs(), z.arg());
+        assert!(z.approx_eq(w, TOL));
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = Complex::new(0.0, std::f64::consts::PI).exp();
+        assert!(z.approx_eq(Complex::real(-1.0), 1e-10));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (0.0, 1.0), (-3.0, 2.0), (1.5, -2.5)] {
+            let z = Complex::new(re, im);
+            let s = z.sqrt();
+            assert!((s * s).approx_eq(z, 1e-10), "sqrt failed for {z}");
+        }
+    }
+
+    #[test]
+    fn recip_is_inverse() {
+        let z = Complex::new(0.3, -0.7);
+        assert!((z * z.recip()).approx_eq(Complex::ONE, TOL));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Complex = (0..4).map(|k| Complex::new(k as f64, -(k as f64))).sum();
+        assert_eq!(total, Complex::new(6.0, -6.0));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let z = Complex::new(1.0, -2.0);
+        assert_eq!(z * 2.0, Complex::new(2.0, -4.0));
+        assert_eq!(2.0 * z, Complex::new(2.0, -4.0));
+        assert_eq!(z / 2.0, Complex::new(0.5, -1.0));
+        assert_eq!(-z, Complex::new(-1.0, 2.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert!(format!("{}", Complex::new(1.0, 1.0)).contains('+'));
+        assert!(format!("{}", Complex::new(1.0, -1.0)).contains('-'));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex::new(1.0, 1.0);
+        z += Complex::ONE;
+        assert_eq!(z, Complex::new(2.0, 1.0));
+        z -= Complex::I;
+        assert_eq!(z, Complex::new(2.0, 0.0));
+        z *= Complex::I;
+        assert_eq!(z, Complex::new(0.0, 2.0));
+        z /= Complex::new(0.0, 2.0);
+        assert!(z.approx_eq(Complex::ONE, TOL));
+    }
+}

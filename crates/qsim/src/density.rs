@@ -1,0 +1,528 @@
+//! Density matrices over composite registers.
+//!
+//! Mixed states arise in the dQMA protocols whenever a node discards or
+//! forwards part of a register (partial trace), whenever a prover sends a
+//! probabilistic mixture, and in the soundness analysis where the reduced
+//! states on neighbouring registers are compared in trace distance
+//! (Lemmas 14, 16 and 17 of the paper).
+
+use crate::complex::Complex;
+use crate::linalg::{eigh, CMatrix};
+use crate::state::{flat_index, total_dim, unflatten_index, PureState};
+use rand::Rng;
+
+/// Embeds an operator acting on the listed target subsystems into the full
+/// Hilbert space described by `dims`.
+///
+/// `targets` lists subsystem indices in the order matching the operator's
+/// tensor-factor ordering.
+///
+/// # Panics
+///
+/// Panics if targets repeat, are out of range, or the operator dimension does
+/// not match the product of target dimensions.
+pub fn embed_operator(dims: &[usize], targets: &[usize], op: &CMatrix) -> CMatrix {
+    let target_dims: Vec<usize> = targets.iter().map(|&t| dims[t]).collect();
+    let block = total_dim(&target_dims);
+    assert!(
+        op.rows() == block && op.cols() == block,
+        "operator dimension mismatch: got {}x{}, expected {block}x{block}",
+        op.rows(),
+        op.cols()
+    );
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < dims.len(), "target {t} out of range");
+        assert!(!targets[(i + 1)..].contains(&t), "duplicate target subsystem {t}");
+    }
+    let full = total_dim(dims);
+    let mut out = CMatrix::zeros(full, full);
+    for row in 0..full {
+        let row_multi = unflatten_index(dims, row);
+        let row_block: Vec<usize> = targets.iter().map(|&t| row_multi[t]).collect();
+        let rb = flat_index(&target_dims, &row_block);
+        for cb in 0..block {
+            let val = op[(rb, cb)];
+            if val.norm_sqr() == 0.0 {
+                continue;
+            }
+            let col_block = unflatten_index(&target_dims, cb);
+            let mut col_multi = row_multi.clone();
+            for (pos, &t) in targets.iter().enumerate() {
+                col_multi[t] = col_block[pos];
+            }
+            let col = flat_index(dims, &col_multi);
+            out[(row, col)] = val;
+        }
+    }
+    out
+}
+
+/// A density matrix on a composite register.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::{DensityMatrix, PureState, gates};
+///
+/// // Reduced state of a Bell pair is maximally mixed.
+/// let mut bell = PureState::computational_basis(&[2, 2], &[0, 0]);
+/// bell.apply_unitary(&[0], &gates::hadamard());
+/// bell.apply_unitary(&[0, 1], &gates::cnot());
+/// let rho = DensityMatrix::from_pure(&bell);
+/// let reduced = rho.partial_trace_keep(&[0]);
+/// assert!((reduced.purity() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DensityMatrix {
+    dims: Vec<usize>,
+    mat: CMatrix,
+}
+
+impl DensityMatrix {
+    /// Creates a density matrix from an explicit matrix and subsystem dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape does not match the product of dimensions.
+    pub fn from_matrix(dims: &[usize], mat: CMatrix) -> Self {
+        let d = total_dim(dims);
+        assert!(
+            mat.rows() == d && mat.cols() == d,
+            "density matrix shape mismatch"
+        );
+        DensityMatrix {
+            dims: dims.to_vec(),
+            mat,
+        }
+    }
+
+    /// Creates the density matrix `|ψ><ψ|` of a pure state.
+    pub fn from_pure(state: &PureState) -> Self {
+        let v = state.amplitudes();
+        DensityMatrix {
+            dims: state.dims().to_vec(),
+            mat: CMatrix::outer(v, v),
+        }
+    }
+
+    /// Creates the maximally mixed state on the given register.
+    pub fn maximally_mixed(dims: &[usize]) -> Self {
+        let d = total_dim(dims);
+        DensityMatrix {
+            dims: dims.to_vec(),
+            mat: CMatrix::identity(d).scale(Complex::real(1.0 / d as f64)),
+        }
+    }
+
+    /// Creates a probabilistic mixture of density matrices.
+    ///
+    /// Weights are renormalised to sum to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty, if register shapes differ, or if weights are
+    /// negative or all zero.
+    pub fn mixture(parts: &[(f64, DensityMatrix)]) -> Self {
+        assert!(!parts.is_empty(), "mixture of zero states");
+        let dims = parts[0].1.dims.clone();
+        let total_w: f64 = parts.iter().map(|(w, _)| *w).sum();
+        assert!(
+            parts.iter().all(|(w, _)| *w >= 0.0) && total_w > 0.0,
+            "mixture weights must be non-negative and not all zero"
+        );
+        let d = total_dim(&dims);
+        let mut mat = CMatrix::zeros(d, d);
+        for (w, rho) in parts {
+            assert_eq!(rho.dims, dims, "mixture of states on different registers");
+            mat = &mat + &rho.mat.scale(Complex::real(*w / total_w));
+        }
+        DensityMatrix { dims, mat }
+    }
+
+    /// Subsystem dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total Hilbert-space dimension.
+    pub fn dim(&self) -> usize {
+        self.mat.rows()
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &CMatrix {
+        &self.mat
+    }
+
+    /// Trace of the matrix (1 for a normalised state).
+    pub fn trace(&self) -> f64 {
+        self.mat.trace().re
+    }
+
+    /// Purity `tr(ρ²)`.
+    pub fn purity(&self) -> f64 {
+        self.mat.matmul(&self.mat).trace().re
+    }
+
+    /// Tensor product with another density matrix, concatenating registers.
+    pub fn tensor(&self, other: &DensityMatrix) -> DensityMatrix {
+        let mut dims = self.dims.clone();
+        dims.extend_from_slice(&other.dims);
+        DensityMatrix {
+            dims,
+            mat: self.mat.kron(&other.mat),
+        }
+    }
+
+    /// Tensor product of many density matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn tensor_all(parts: &[DensityMatrix]) -> DensityMatrix {
+        assert!(!parts.is_empty(), "tensor_all requires at least one state");
+        let mut out = parts[0].clone();
+        for p in &parts[1..] {
+            out = out.tensor(p);
+        }
+        out
+    }
+
+    /// Views the same matrix with a different subsystem split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product of `new_dims` differs from the total dimension.
+    pub fn regroup(&self, new_dims: &[usize]) -> DensityMatrix {
+        assert_eq!(total_dim(new_dims), self.dim(), "regroup must preserve dimension");
+        DensityMatrix {
+            dims: new_dims.to_vec(),
+            mat: self.mat.clone(),
+        }
+    }
+
+    /// Partial trace keeping only the listed subsystems (in the listed order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` contains repeated or out-of-range subsystems.
+    pub fn partial_trace_keep(&self, keep: &[usize]) -> DensityMatrix {
+        for (i, &k) in keep.iter().enumerate() {
+            assert!(k < self.dims.len(), "subsystem {k} out of range");
+            assert!(!keep[(i + 1)..].contains(&k), "duplicate subsystem {k}");
+        }
+        let keep_dims: Vec<usize> = keep.iter().map(|&k| self.dims[k]).collect();
+        let others: Vec<usize> = (0..self.dims.len()).filter(|i| !keep.contains(i)).collect();
+        let other_dims: Vec<usize> = others.iter().map(|&i| self.dims[i]).collect();
+
+        let kd = total_dim(&keep_dims);
+        let od = total_dim(&other_dims);
+        let mut out = CMatrix::zeros(kd, kd);
+
+        let mut row_multi = vec![0usize; self.dims.len()];
+        let mut col_multi = vec![0usize; self.dims.len()];
+        for kr in 0..kd {
+            let kr_multi = unflatten_index(&keep_dims, kr);
+            for kc in 0..kd {
+                let kc_multi = unflatten_index(&keep_dims, kc);
+                let mut acc = Complex::ZERO;
+                for o in 0..od {
+                    let o_multi = unflatten_index(&other_dims, o);
+                    for (pos, &s) in keep.iter().enumerate() {
+                        row_multi[s] = kr_multi[pos];
+                        col_multi[s] = kc_multi[pos];
+                    }
+                    for (pos, &s) in others.iter().enumerate() {
+                        row_multi[s] = o_multi[pos];
+                        col_multi[s] = o_multi[pos];
+                    }
+                    acc += self.mat[(
+                        flat_index(&self.dims, &row_multi),
+                        flat_index(&self.dims, &col_multi),
+                    )];
+                }
+                out[(kr, kc)] = acc;
+            }
+        }
+        DensityMatrix {
+            dims: keep_dims,
+            mat: out,
+        }
+    }
+
+    /// Partial trace discarding the listed subsystems; the kept subsystems stay
+    /// in their original order.
+    pub fn partial_trace_out(&self, discard: &[usize]) -> DensityMatrix {
+        let keep: Vec<usize> = (0..self.dims.len()).filter(|i| !discard.contains(i)).collect();
+        self.partial_trace_keep(&keep)
+    }
+
+    /// Applies a unitary to the listed target subsystems: `ρ → U ρ U†`.
+    pub fn apply_unitary(&mut self, targets: &[usize], u: &CMatrix) {
+        let full = embed_operator(&self.dims, targets, u);
+        self.mat = full.matmul(&self.mat).matmul(&full.adjoint());
+    }
+
+    /// Applies a quantum channel given by Kraus operators acting on the listed
+    /// target subsystems: `ρ → Σ_k K_k ρ K_k†`.
+    pub fn apply_kraus(&mut self, targets: &[usize], kraus: &[CMatrix]) {
+        let d = self.dim();
+        let mut out = CMatrix::zeros(d, d);
+        for k in kraus {
+            let full = embed_operator(&self.dims, targets, k);
+            out = &out + &full.matmul(&self.mat).matmul(&full.adjoint());
+        }
+        self.mat = out;
+    }
+
+    /// Expectation value `tr(op · ρ)` of an operator on the full register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator dimension mismatches.
+    pub fn expectation(&self, op: &CMatrix) -> Complex {
+        assert_eq!(op.rows(), self.dim(), "expectation operator dimension mismatch");
+        op.matmul(&self.mat).trace()
+    }
+
+    /// Expectation value of an operator acting on a subset of subsystems.
+    pub fn expectation_on(&self, targets: &[usize], op: &CMatrix) -> Complex {
+        let full = embed_operator(&self.dims, targets, op);
+        self.expectation(&full)
+    }
+
+    /// Probability of the computational-basis outcome on the listed subsystems.
+    pub fn outcome_probability(&self, targets: &[usize], outcome: &[usize]) -> f64 {
+        assert_eq!(targets.len(), outcome.len(), "outcome length mismatch");
+        let mut p = 0.0;
+        for flat in 0..self.dim() {
+            let multi = unflatten_index(&self.dims, flat);
+            if targets.iter().zip(outcome.iter()).all(|(&t, &o)| multi[t] == o) {
+                p += self.mat[(flat, flat)].re;
+            }
+        }
+        p
+    }
+
+    /// Outcome distribution over the listed subsystems, indexed by the flat
+    /// target outcome.
+    pub fn outcome_distribution(&self, targets: &[usize]) -> Vec<f64> {
+        let target_dims: Vec<usize> = targets.iter().map(|&t| self.dims[t]).collect();
+        let mut probs = vec![0.0; total_dim(&target_dims)];
+        for flat in 0..self.dim() {
+            let multi = unflatten_index(&self.dims, flat);
+            let outcome: Vec<usize> = targets.iter().map(|&t| multi[t]).collect();
+            probs[flat_index(&target_dims, &outcome)] += self.mat[(flat, flat)].re;
+        }
+        probs
+    }
+
+    /// Measures the listed subsystems in the computational basis, sampling with
+    /// `rng`, collapsing and renormalising. Returns the per-target outcomes.
+    pub fn measure<R: Rng + ?Sized>(&mut self, targets: &[usize], rng: &mut R) -> Vec<usize> {
+        let target_dims: Vec<usize> = targets.iter().map(|&t| self.dims[t]).collect();
+        let probs = self.outcome_distribution(targets);
+        let total_p: f64 = probs.iter().sum();
+        let mut draw = rng.random::<f64>() * total_p;
+        let mut chosen = probs.len() - 1;
+        for (i, &p) in probs.iter().enumerate() {
+            if draw < p {
+                chosen = i;
+                break;
+            }
+            draw -= p;
+        }
+        let outcome = unflatten_index(&target_dims, chosen);
+        self.collapse(targets, &outcome);
+        outcome
+    }
+
+    /// Projects onto a computational-basis outcome of the target subsystems and
+    /// renormalises.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome has (numerically) zero probability.
+    pub fn collapse(&mut self, targets: &[usize], outcome: &[usize]) {
+        let p = self.outcome_probability(targets, outcome);
+        assert!(p > 1e-300, "cannot collapse onto a zero-probability outcome");
+        let d = self.dim();
+        let mut keep = vec![false; d];
+        for (flat, k) in keep.iter_mut().enumerate() {
+            let multi = unflatten_index(&self.dims, flat);
+            *k = targets.iter().zip(outcome.iter()).all(|(&t, &o)| multi[t] == o);
+        }
+        let mut out = CMatrix::zeros(d, d);
+        for r in 0..d {
+            if !keep[r] {
+                continue;
+            }
+            for c in 0..d {
+                if keep[c] {
+                    out[(r, c)] = self.mat[(r, c)] / p;
+                }
+            }
+        }
+        self.mat = out;
+    }
+
+    /// Returns `true` when the matrix is a valid quantum state: Hermitian,
+    /// positive semidefinite (up to `tol`), with unit trace (up to `tol`).
+    pub fn is_valid(&self, tol: f64) -> bool {
+        if !self.mat.is_hermitian(tol) {
+            return false;
+        }
+        if (self.trace() - 1.0).abs() > tol {
+            return false;
+        }
+        let eig = eigh(&self.mat);
+        eig.eigenvalues.iter().all(|&l| l > -tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bell_pair() -> PureState {
+        let mut s = PureState::computational_basis(&[2, 2], &[0, 0]);
+        s.apply_unitary(&[0], &gates::hadamard());
+        s.apply_unitary(&[0, 1], &gates::cnot());
+        s
+    }
+
+    #[test]
+    fn pure_state_density_has_unit_purity() {
+        let rho = DensityMatrix::from_pure(&bell_pair());
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!(rho.is_valid(1e-9));
+    }
+
+    #[test]
+    fn reduced_bell_state_is_maximally_mixed() {
+        let rho = DensityMatrix::from_pure(&bell_pair());
+        let r0 = rho.partial_trace_keep(&[0]);
+        let r1 = rho.partial_trace_keep(&[1]);
+        let mixed = DensityMatrix::maximally_mixed(&[2]);
+        assert!(r0.matrix().approx_eq(mixed.matrix(), 1e-12));
+        assert!(r1.matrix().approx_eq(mixed.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn partial_trace_of_product_state_recovers_factors() {
+        let a = PureState::single(2, 1);
+        let b = PureState::uniform(3);
+        let rho = DensityMatrix::from_pure(&a.tensor(&b));
+        let ra = rho.partial_trace_keep(&[0]);
+        let rb = rho.partial_trace_keep(&[1]);
+        assert!(ra.matrix().approx_eq(DensityMatrix::from_pure(&a).matrix(), 1e-12));
+        assert!(rb.matrix().approx_eq(DensityMatrix::from_pure(&b).matrix(), 1e-12));
+    }
+
+    #[test]
+    fn partial_trace_preserves_trace() {
+        let rho = DensityMatrix::from_pure(&bell_pair());
+        let reduced = rho.partial_trace_out(&[1]);
+        assert!((reduced.trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_weights_normalise() {
+        let zero = DensityMatrix::from_pure(&PureState::single(2, 0));
+        let one = DensityMatrix::from_pure(&PureState::single(2, 1));
+        let m = DensityMatrix::mixture(&[(2.0, zero), (2.0, one)]);
+        assert!(m.matrix().approx_eq(DensityMatrix::maximally_mixed(&[2]).matrix(), 1e-12));
+        assert!((m.purity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_preserves_validity() {
+        let mut rho = DensityMatrix::maximally_mixed(&[2, 2]);
+        rho.apply_unitary(&[0], &gates::hadamard());
+        rho.apply_unitary(&[0, 1], &gates::cnot());
+        assert!(rho.is_valid(1e-9));
+        // Maximally mixed state is invariant under unitaries.
+        assert!(rho
+            .matrix()
+            .approx_eq(DensityMatrix::maximally_mixed(&[2, 2]).matrix(), 1e-12));
+    }
+
+    #[test]
+    fn expectation_of_projector_matches_outcome_probability() {
+        let mut s = PureState::single(2, 0);
+        s.apply_unitary(&[0], &gates::hadamard());
+        let rho = DensityMatrix::from_pure(&s);
+        let p0 = CMatrix::projector(&crate::linalg::CVector::basis(2, 0));
+        let e = rho.expectation_on(&[0], &p0);
+        assert!((e.re - rho.outcome_probability(&[0], &[0])).abs() < 1e-12);
+        assert!((e.re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapse_renormalises() {
+        let mut rho = DensityMatrix::from_pure(&bell_pair());
+        rho.collapse(&[0], &[1]);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.outcome_probability(&[1], &[1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_statistics_on_density_matrix() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut count = 0;
+        for _ in 0..1000 {
+            let mut rho = DensityMatrix::maximally_mixed(&[2]);
+            let o = rho.measure(&[0], &mut rng);
+            count += o[0];
+        }
+        let frac = count as f64 / 1000.0;
+        assert!((frac - 0.5).abs() < 0.08, "observed fraction {frac}");
+    }
+
+    #[test]
+    fn embed_operator_matches_kron_for_contiguous_targets() {
+        let dims = [2, 2, 2];
+        let op = gates::cnot();
+        let embedded = embed_operator(&dims, &[0, 1], &op);
+        let expected = op.kron(&CMatrix::identity(2));
+        assert!(embedded.approx_eq(&expected, 1e-12));
+        let embedded_tail = embed_operator(&dims, &[1, 2], &op);
+        let expected_tail = CMatrix::identity(2).kron(&op);
+        assert!(embedded_tail.approx_eq(&expected_tail, 1e-12));
+    }
+
+    #[test]
+    fn embed_operator_on_out_of_order_targets() {
+        // CNOT with control = subsystem 1, target = subsystem 0.
+        let dims = [2, 2];
+        let embedded = embed_operator(&dims, &[1, 0], &gates::cnot());
+        let mut s = PureState::computational_basis(&dims, &[0, 1]);
+        s.apply_unitary(&[0, 1], &embedded);
+        assert!(s.approx_eq(&PureState::computational_basis(&dims, &[1, 1]), 1e-12));
+    }
+
+    #[test]
+    fn apply_kraus_dephasing_kills_coherences() {
+        let mut s = PureState::single(2, 0);
+        s.apply_unitary(&[0], &gates::hadamard());
+        let mut rho = DensityMatrix::from_pure(&s);
+        let p0 = CMatrix::projector(&crate::linalg::CVector::basis(2, 0));
+        let p1 = CMatrix::projector(&crate::linalg::CVector::basis(2, 1));
+        rho.apply_kraus(&[0], &[p0, p1]);
+        assert!(rho
+            .matrix()
+            .approx_eq(DensityMatrix::maximally_mixed(&[2]).matrix(), 1e-12));
+    }
+
+    #[test]
+    fn regroup_density() {
+        let rho = DensityMatrix::maximally_mixed(&[2, 3]);
+        let r = rho.regroup(&[6]);
+        assert_eq!(r.dims(), &[6]);
+        assert!((r.trace() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,208 @@
+//! Standard gates and reusable unitaries.
+//!
+//! Gates are plain [`CMatrix`] values; the state types apply them to named
+//! subsystems. Besides the textbook qubit gates, this module provides the
+//! qudit SWAP and controlled-unitary constructions that the SWAP test and the
+//! permutation test are built from.
+
+use crate::complex::Complex;
+use crate::linalg::CMatrix;
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// The single-qubit Hadamard gate.
+pub fn hadamard() -> CMatrix {
+    CMatrix::from_rows(&[
+        vec![Complex::real(FRAC_1_SQRT_2), Complex::real(FRAC_1_SQRT_2)],
+        vec![Complex::real(FRAC_1_SQRT_2), Complex::real(-FRAC_1_SQRT_2)],
+    ])
+}
+
+/// The Pauli X (NOT) gate.
+pub fn pauli_x() -> CMatrix {
+    CMatrix::from_rows(&[
+        vec![Complex::ZERO, Complex::ONE],
+        vec![Complex::ONE, Complex::ZERO],
+    ])
+}
+
+/// The Pauli Y gate.
+pub fn pauli_y() -> CMatrix {
+    CMatrix::from_rows(&[
+        vec![Complex::ZERO, -Complex::I],
+        vec![Complex::I, Complex::ZERO],
+    ])
+}
+
+/// The Pauli Z gate.
+pub fn pauli_z() -> CMatrix {
+    CMatrix::from_rows(&[
+        vec![Complex::ONE, Complex::ZERO],
+        vec![Complex::ZERO, -Complex::ONE],
+    ])
+}
+
+/// The phase gate `diag(1, e^{i theta})`.
+pub fn phase(theta: f64) -> CMatrix {
+    CMatrix::from_rows(&[
+        vec![Complex::ONE, Complex::ZERO],
+        vec![Complex::ZERO, Complex::from_polar(1.0, theta)],
+    ])
+}
+
+/// The two-qubit CNOT gate (control = first factor, target = second factor).
+pub fn cnot() -> CMatrix {
+    let mut m = CMatrix::zeros(4, 4);
+    m[(0, 0)] = Complex::ONE;
+    m[(1, 1)] = Complex::ONE;
+    m[(2, 3)] = Complex::ONE;
+    m[(3, 2)] = Complex::ONE;
+    m
+}
+
+/// The SWAP gate exchanging two registers of dimension `d` each.
+///
+/// `SWAP |i>|j> = |j>|i>`.
+pub fn swap(d: usize) -> CMatrix {
+    let mut m = CMatrix::zeros(d * d, d * d);
+    for i in 0..d {
+        for j in 0..d {
+            m[(j * d + i, i * d + j)] = Complex::ONE;
+        }
+    }
+    m
+}
+
+/// A controlled unitary with a single qubit control (first factor) and an
+/// arbitrary-dimension target unitary `u` (second factor):
+/// `|0><0| ⊗ I + |1><1| ⊗ U`.
+pub fn controlled(u: &CMatrix) -> CMatrix {
+    assert!(u.is_square(), "controlled() requires a square target unitary");
+    let d = u.rows();
+    let mut m = CMatrix::zeros(2 * d, 2 * d);
+    for i in 0..d {
+        m[(i, i)] = Complex::ONE;
+        for j in 0..d {
+            m[(d + i, d + j)] = u[(i, j)];
+        }
+    }
+    m
+}
+
+/// A controlled unitary where the control is a register of dimension `c_dim`
+/// and the unitary `us[k]` is applied to the target when the control is `|k>`.
+///
+/// # Panics
+///
+/// Panics if `us.len() != c_dim`, or if the target unitaries have mismatched
+/// dimensions.
+pub fn multiplexed(c_dim: usize, us: &[CMatrix]) -> CMatrix {
+    assert_eq!(us.len(), c_dim, "one target unitary per control value required");
+    let d = us[0].rows();
+    assert!(
+        us.iter().all(|u| u.rows() == d && u.cols() == d),
+        "all multiplexed unitaries must share the same dimension"
+    );
+    let mut m = CMatrix::zeros(c_dim * d, c_dim * d);
+    for (k, u) in us.iter().enumerate() {
+        for i in 0..d {
+            for j in 0..d {
+                m[(k * d + i, k * d + j)] = u[(i, j)];
+            }
+        }
+    }
+    m
+}
+
+/// The identity on a register of dimension `d`.
+pub fn identity(d: usize) -> CMatrix {
+    CMatrix::identity(d)
+}
+
+/// The unitary `|i> -> |i XOR x>` on a register of dimension `2^n`, where `x`
+/// is given by its bits (most significant first). Used to prepare classical
+/// strings coherently.
+pub fn xor_constant(bits: &[bool]) -> CMatrix {
+    let n = bits.len();
+    let dim = 1usize << n;
+    let mut x = 0usize;
+    for &b in bits {
+        x = (x << 1) | usize::from(b);
+    }
+    let mut m = CMatrix::zeros(dim, dim);
+    for i in 0..dim {
+        m[(i ^ x, i)] = Complex::ONE;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::PureState;
+
+    #[test]
+    fn standard_gates_are_unitary() {
+        for g in [hadamard(), pauli_x(), pauli_y(), pauli_z(), phase(0.7), cnot()] {
+            assert!(g.is_unitary(1e-12));
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_states() {
+        let d = 3;
+        let s = swap(d);
+        assert!(s.is_unitary(1e-12));
+        for i in 0..d {
+            for j in 0..d {
+                let input = PureState::computational_basis(&[d, d], &[i, j]);
+                let mut out = input.clone();
+                out.apply_unitary(&[0, 1], &s);
+                let expected = PureState::computational_basis(&[d, d], &[j, i]);
+                assert!(out.approx_eq(&expected, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn swap_is_self_inverse() {
+        let s = swap(4);
+        assert!(s.matmul(&s).approx_eq(&CMatrix::identity(16), 1e-12));
+    }
+
+    #[test]
+    fn controlled_swap_acts_only_when_control_is_one() {
+        let cswap = controlled(&swap(2));
+        assert!(cswap.is_unitary(1e-12));
+        // Control |0>: |0>|1>|0> stays.
+        let mut s = PureState::computational_basis(&[2, 2, 2], &[0, 1, 0]);
+        s.apply_unitary(&[0, 1, 2], &cswap);
+        assert!(s.approx_eq(&PureState::computational_basis(&[2, 2, 2], &[0, 1, 0]), 1e-12));
+        // Control |1>: |1>|1>|0> -> |1>|0>|1>.
+        let mut s = PureState::computational_basis(&[2, 2, 2], &[1, 1, 0]);
+        s.apply_unitary(&[0, 1, 2], &cswap);
+        assert!(s.approx_eq(&PureState::computational_basis(&[2, 2, 2], &[1, 0, 1]), 1e-12));
+    }
+
+    #[test]
+    fn multiplexed_matches_controlled_for_qubit_control() {
+        let u = hadamard();
+        let a = controlled(&u);
+        let b = multiplexed(2, &[identity(2), u]);
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn xor_constant_flips_bits() {
+        let u = xor_constant(&[true, false, true]);
+        assert!(u.is_unitary(1e-12));
+        let mut s = PureState::single(8, 0b010);
+        s.apply_unitary(&[0], &u);
+        assert!(s.approx_eq(&PureState::single(8, 0b111), 1e-12));
+    }
+
+    #[test]
+    fn phase_gate_composition() {
+        let p = phase(std::f64::consts::PI);
+        assert!(p.approx_eq(&pauli_z(), 1e-12));
+    }
+}

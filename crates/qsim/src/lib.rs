@@ -1,0 +1,62 @@
+//! # qsim — exact quantum simulation substrate for distributed verification
+//!
+//! This crate is the quantum-information substrate used by the `dqma` crate
+//! to simulate the distributed quantum Merlin–Arthur (dQMA) protocols of
+//! *Hasegawa, Kundu, Nishimura — "On the Power of Quantum Distributed
+//! Proofs"* (PODC 2024). It provides:
+//!
+//! * complex linear algebra ([`CVector`], [`CMatrix`], Hermitian
+//!   eigendecomposition in [`linalg::eigen`]);
+//! * pure states ([`PureState`]) and density matrices ([`DensityMatrix`]) over
+//!   composite registers of arbitrary per-subsystem dimension;
+//! * standard gates and register-level unitaries ([`gates`]);
+//! * measurements and POVMs ([`measure`]);
+//! * the distance measures used in the paper's soundness analyses
+//!   ([`distance`]: trace distance, fidelity, Fuchs–van de Graaf);
+//! * the SWAP test and the permutation test ([`swap_test`], [`permutation`]),
+//!   implemented as symmetric-subspace projectors exactly as analysed in
+//!   Lemmas 13–16 of the paper;
+//! * seeded random states and unitaries ([`random`]).
+//!
+//! The simulator is exact (state vectors / density matrices), which is the
+//! appropriate substitute for the paper's idealised quantum nodes: all
+//! statements in the paper are about acceptance probabilities, which exact
+//! simulation reproduces up to floating-point error.
+//!
+//! # Example
+//!
+//! ```
+//! use qsim::{PureState, gates, swap_test};
+//!
+//! // The SWAP test accepts identical states with certainty ...
+//! let mut plus = PureState::single(2, 0);
+//! plus.apply_unitary(&[0], &gates::hadamard());
+//! assert!((swap_test::swap_test_acceptance_pure(&plus, &plus) - 1.0).abs() < 1e-12);
+//!
+//! // ... and orthogonal states with probability 1/2.
+//! let zero = PureState::single(2, 0);
+//! let one = PureState::single(2, 1);
+//! assert!((swap_test::swap_test_acceptance_pure(&zero, &one) - 0.5).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod complex;
+pub mod density;
+pub mod distance;
+pub mod gates;
+pub mod linalg;
+pub mod measure;
+pub mod permutation;
+pub mod random;
+pub mod state;
+pub mod swap_test;
+
+pub use complex::Complex;
+pub use density::{embed_operator, DensityMatrix};
+pub use distance::{fidelity, fidelity_pure, trace_distance, trace_distance_pure};
+pub use linalg::{CMatrix, CVector};
+pub use measure::Povm;
+pub use random::RandomStateGenerator;
+pub use state::PureState;

@@ -1,0 +1,337 @@
+//! Hermitian eigendecomposition and matrix functions.
+//!
+//! The simulator needs spectral machinery in a few places:
+//!
+//! * the trace distance `D(ρ, σ) = ||ρ − σ||₁ / 2` (eigenvalues of a Hermitian
+//!   difference),
+//! * the fidelity `F(ρ, σ) = tr √(√ρ σ √ρ)` (positive-semidefinite square
+//!   roots),
+//! * the *optimal prover*: the maximum acceptance probability of a dQMA
+//!   verification procedure over all proofs equals the largest eigenvalue of
+//!   its acceptance operator.
+//!
+//! All of these reduce to the eigendecomposition of a complex Hermitian
+//! matrix, computed here with the cyclic Jacobi method. The matrices involved
+//! are small (≤ a few hundred dimensions), where Jacobi is accurate and has
+//! no external dependencies.
+
+use crate::complex::Complex;
+use crate::linalg::matrix::CMatrix;
+use crate::linalg::vector::CVector;
+
+/// Result of a Hermitian eigendecomposition: `A = V · diag(λ) · V†`.
+#[derive(Clone, Debug)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub eigenvectors: CMatrix,
+}
+
+impl EigenDecomposition {
+    /// Returns the eigenvector associated with the `k`-th smallest eigenvalue.
+    pub fn eigenvector(&self, k: usize) -> CVector {
+        self.eigenvectors.column(k)
+    }
+
+    /// Returns the largest eigenvalue.
+    pub fn max_eigenvalue(&self) -> f64 {
+        *self
+            .eigenvalues
+            .last()
+            .expect("eigendecomposition of an empty matrix")
+    }
+
+    /// Returns the eigenvector of the largest eigenvalue.
+    pub fn max_eigenvector(&self) -> CVector {
+        self.eigenvector(self.eigenvalues.len() - 1)
+    }
+
+    /// Reconstructs the original matrix `V diag(λ) V†`.
+    pub fn reconstruct(&self) -> CMatrix {
+        self.apply_function(|x| x)
+    }
+
+    /// Returns `V diag(f(λ)) V†`.
+    pub fn apply_function(&self, f: impl Fn(f64) -> f64) -> CMatrix {
+        let n = self.eigenvalues.len();
+        let v = &self.eigenvectors;
+        let mut out = CMatrix::zeros(n, n);
+        for k in 0..n {
+            let lam = f(self.eigenvalues[k]);
+            if lam == 0.0 {
+                continue;
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    out[(i, j)] += v[(i, k)] * v[(j, k)].conj() * Complex::real(lam);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Computes the eigendecomposition of a Hermitian matrix with the cyclic
+/// Jacobi method.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or not (numerically) Hermitian.
+pub fn eigh(a: &CMatrix) -> EigenDecomposition {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    assert!(
+        a.is_hermitian(1e-8 * (1.0 + a.frobenius_norm())),
+        "eigh requires a Hermitian matrix"
+    );
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = CMatrix::identity(n);
+
+    let tol = 1e-14 * (1.0 + a.frobenius_norm());
+    let max_sweeps = 100;
+
+    for _ in 0..max_sweeps {
+        let off = off_diagonal_norm(&m);
+        if off < tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                let r = apq.abs();
+                if r < tol / (n as f64) {
+                    continue;
+                }
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                // Phase that makes the (p, q) entry real: a_pq = r e^{i phi}.
+                let phase = apq / Complex::real(r);
+                // Real Jacobi rotation on the phase-adjusted 2x2 block.
+                let tau = (aqq - app) / (2.0 * r);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Combined unitary G = diag(1, e^{-i phi}) * R acting on the
+                // (p, q) plane, where R is the real Jacobi rotation. The phase
+                // factor makes the (p, q) entry real before rotating it away.
+                let g00 = Complex::real(c);
+                let g01 = Complex::real(s);
+                let g10 = -phase.conj() * s;
+                let g11 = phase.conj() * c;
+
+                // m <- G^dagger m G : update columns p and q ...
+                for i in 0..n {
+                    let mip = m[(i, p)];
+                    let miq = m[(i, q)];
+                    m[(i, p)] = mip * g00 + miq * g10;
+                    m[(i, q)] = mip * g01 + miq * g11;
+                }
+                // ... then rows p and q.
+                for j in 0..n {
+                    let mpj = m[(p, j)];
+                    let mqj = m[(q, j)];
+                    m[(p, j)] = g00.conj() * mpj + g10.conj() * mqj;
+                    m[(q, j)] = g01.conj() * mpj + g11.conj() * mqj;
+                }
+                // v <- v G
+                for i in 0..n {
+                    let vip = v[(i, p)];
+                    let viq = v[(i, q)];
+                    v[(i, p)] = vip * g00 + viq * g10;
+                    v[(i, q)] = vip * g01 + viq * g11;
+                }
+            }
+        }
+    }
+
+    // Collect eigenvalues (diagonal is real up to round-off) and sort.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("non-finite eigenvalue"));
+
+    let eigenvalues: Vec<f64> = pairs.iter().map(|&(lam, _)| lam).collect();
+    let eigenvectors = CMatrix::from_fn(n, n, |i, k| v[(i, pairs[k].1)]);
+
+    EigenDecomposition {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+fn off_diagonal_norm(m: &CMatrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += m[(i, j)].norm_sqr();
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// Largest eigenvalue of a Hermitian matrix.
+pub fn max_eigenvalue(a: &CMatrix) -> f64 {
+    eigh(a).max_eigenvalue()
+}
+
+/// Positive-semidefinite square root of a Hermitian PSD matrix.
+///
+/// Small negative eigenvalues caused by round-off are clamped to zero.
+pub fn sqrt_psd(a: &CMatrix) -> CMatrix {
+    eigh(a).apply_function(|x| if x > 0.0 { x.sqrt() } else { 0.0 })
+}
+
+/// The matrix absolute value `|A| = √(A† A)` of a Hermitian matrix,
+/// computed as `V diag(|λ|) V†`.
+pub fn abs_hermitian(a: &CMatrix) -> CMatrix {
+    eigh(a).apply_function(f64::abs)
+}
+
+/// Trace norm (sum of singular values) of an arbitrary matrix,
+/// computed as `tr √(A† A)`.
+pub fn trace_norm(a: &CMatrix) -> f64 {
+    if a.is_square() && a.is_hermitian(1e-10 * (1.0 + a.frobenius_norm())) {
+        return eigh(a).eigenvalues.iter().map(|x| x.abs()).sum();
+    }
+    let gram = a.adjoint().matmul(a);
+    eigh(&gram)
+        .eigenvalues
+        .iter()
+        .map(|&x| if x > 0.0 { x.sqrt() } else { 0.0 })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_hermitian(n: usize, seed: u64) -> CMatrix {
+        // Small deterministic pseudo-random Hermitian matrix.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let b = CMatrix::from_fn(n, n, |_, _| Complex::new(next(), next()));
+        &b + &b.adjoint()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let d = CMatrix::diag_reals(&[3.0, -1.0, 2.0]);
+        let e = eigh(&d);
+        assert!((e.eigenvalues[0] - (-1.0)).abs() < 1e-10);
+        assert!((e.eigenvalues[1] - 2.0).abs() < 1e-10);
+        assert!((e.eigenvalues[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pauli_x_eigenvalues_are_plus_minus_one() {
+        let x = CMatrix::from_rows(&[
+            vec![Complex::ZERO, Complex::ONE],
+            vec![Complex::ONE, Complex::ZERO],
+        ]);
+        let e = eigh(&x);
+        assert!((e.eigenvalues[0] + 1.0).abs() < 1e-10);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pauli_y_eigendecomposition() {
+        let y = CMatrix::from_rows(&[
+            vec![Complex::ZERO, -Complex::I],
+            vec![Complex::I, Complex::ZERO],
+        ]);
+        let e = eigh(&y);
+        assert!((e.eigenvalues[0] + 1.0).abs() < 1e-10);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-10);
+        assert!(e.eigenvectors.is_unitary(1e-9));
+        assert!(e.reconstruct().approx_eq(&y, 1e-9));
+    }
+
+    #[test]
+    fn reconstruction_of_random_hermitian() {
+        for seed in 1..5u64 {
+            let a = random_hermitian(6, seed);
+            let e = eigh(&a);
+            assert!(e.eigenvectors.is_unitary(1e-8), "V not unitary (seed {seed})");
+            assert!(e.reconstruct().approx_eq(&a, 1e-7), "V D V† != A (seed {seed})");
+            // Eigenvalues are sorted.
+            for w in e.eigenvalues.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_sum_of_eigenvalues() {
+        let a = random_hermitian(5, 42);
+        let e = eigh(&a);
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((sum - a.trace().re).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_eigen_equation() {
+        let a = random_hermitian(4, 7);
+        let e = eigh(&a);
+        for k in 0..4 {
+            let v = e.eigenvector(k);
+            let av = a.apply(&v);
+            let lv = v.scale(Complex::real(e.eigenvalues[k]));
+            assert!(av.approx_eq(&lv, 1e-7));
+        }
+    }
+
+    #[test]
+    fn sqrt_psd_squares_back() {
+        let b = random_hermitian(4, 3);
+        let a = b.matmul(&b); // PSD
+        let s = sqrt_psd(&a);
+        assert!(s.matmul(&s).approx_eq(&a, 1e-7));
+        assert!(s.is_hermitian(1e-8));
+    }
+
+    #[test]
+    fn trace_norm_of_hermitian_matches_abs_eigenvalues() {
+        let a = random_hermitian(5, 11);
+        let e = eigh(&a);
+        let expected: f64 = e.eigenvalues.iter().map(|x| x.abs()).sum();
+        assert!((trace_norm(&a) - expected).abs() < 1e-7);
+    }
+
+    #[test]
+    fn trace_norm_of_rank_one() {
+        // ||  |v><w|  ||_1 = |v| * |w|
+        let v = CVector::from_reals(&[1.0, 2.0, 2.0]);
+        let w = CVector::from_reals(&[0.0, 3.0, 4.0]);
+        let m = CMatrix::outer(&v, &w);
+        assert!((trace_norm(&m) - v.norm() * w.norm()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn max_eigenvalue_of_projector_is_one() {
+        let v = CVector::from_reals(&[1.0, 1.0, 0.0]).normalized();
+        let p = CMatrix::projector(&v);
+        assert!((max_eigenvalue(&p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn eigh_rejects_non_hermitian() {
+        let m = CMatrix::from_rows(&[
+            vec![Complex::ZERO, Complex::ONE],
+            vec![Complex::ZERO, Complex::ZERO],
+        ]);
+        let _ = eigh(&m);
+    }
+}

@@ -1,0 +1,476 @@
+//! Dense complex matrices.
+
+use crate::complex::Complex;
+use crate::linalg::vector::CVector;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense complex matrix stored in row-major order.
+///
+/// This is the workhorse for density matrices, unitaries, projectors and POVM
+/// elements. All protocol Hilbert spaces in this crate are small (at most a
+/// few hundred dimensions), so a straightforward dense representation is both
+/// simpler and fast enough.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::{Complex, CMatrix};
+///
+/// let h = CMatrix::from_rows(&[
+///     vec![Complex::real(1.0), Complex::real(1.0)],
+///     vec![Complex::real(1.0), Complex::real(-1.0)],
+/// ]).scale(Complex::real(1.0 / 2f64.sqrt()));
+/// assert!(h.is_unitary(1e-12));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates a matrix of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n`-dimensional identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        CMatrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<Complex>]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        assert!(
+            rows.iter().all(|row| row.len() == c),
+            "all rows must have the same length"
+        );
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        CMatrix { rows: r, cols: c, data }
+    }
+
+    /// Creates a diagonal matrix from real diagonal entries.
+    pub fn diag_reals(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = CMatrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = Complex::real(d);
+        }
+        m
+    }
+
+    /// Creates the rank-one outer product `|v><w|`.
+    pub fn outer(v: &CVector, w: &CVector) -> Self {
+        CMatrix::from_fn(v.dim(), w.dim(), |i, j| v[i] * w[j].conj())
+    }
+
+    /// Returns the projector `|v><v| / <v|v>` onto the span of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` has zero norm.
+    pub fn projector(v: &CVector) -> Self {
+        let n = v.normalized();
+        CMatrix::outer(&n, &n)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Returns the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Entrywise complex conjugate.
+    pub fn conj(&self) -> CMatrix {
+        CMatrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)].conj())
+    }
+
+    /// Conjugate transpose (adjoint, dagger).
+    pub fn adjoint(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Scales every entry by `c`.
+    pub fn scale(&self, c: Complex) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * c).collect(),
+        }
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.norm_sqr() == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies the matrix to a vector, returning `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.dim() != self.cols()`.
+    pub fn apply(&self, v: &CVector) -> CVector {
+        assert_eq!(self.cols, v.dim(), "apply dimension mismatch");
+        CVector::from_fn(self.rows, |i| {
+            (0..self.cols).map(|j| self[(i, j)] * v[j]).sum()
+        })
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &CMatrix) -> CMatrix {
+        let rows = self.rows * rhs.rows;
+        let cols = self.cols * rhs.cols;
+        let mut out = CMatrix::zeros(rows, cols);
+        for i1 in 0..self.rows {
+            for j1 in 0..self.cols {
+                let a = self[(i1, j1)];
+                if a.norm_sqr() == 0.0 {
+                    continue;
+                }
+                for i2 in 0..rhs.rows {
+                    for j2 in 0..rhs.cols {
+                        out[(i1 * rhs.rows + i2, j1 * rhs.cols + j2)] = a * rhs[(i2, j2)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Returns `true` when `self` is Hermitian to within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if !self[(i, j)].approx_eq(self[(j, i)].conj(), tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` when `self` is unitary to within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let prod = self.adjoint().matmul(self);
+        prod.approx_eq(&CMatrix::identity(self.rows), tol)
+    }
+
+    /// Returns `true` when every entry of `self` is within `tol` of `other`.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Returns the `k`-fold Kronecker power of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn kron_pow(&self, k: usize) -> CMatrix {
+        assert!(k >= 1, "kron_pow requires k >= 1");
+        let mut out = self.clone();
+        for _ in 1..k {
+            out = out.kron(self);
+        }
+        out
+    }
+
+    /// Extracts a column as a vector.
+    pub fn column(&self, j: usize) -> CVector {
+        CVector::from_fn(self.rows, |i| self[(i, j)])
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, rhs.rows, "matrix addition row mismatch");
+        assert_eq!(self.cols, rhs.cols, "matrix addition column mismatch");
+        CMatrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)] + rhs[(i, j)])
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, rhs.rows, "matrix subtraction row mismatch");
+        assert_eq!(self.cols, rhs.cols, "matrix subtraction column mismatch");
+        CMatrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)] - rhs[(i, j)])
+    }
+}
+
+impl Neg for &CMatrix {
+    type Output = CMatrix;
+    fn neg(self) -> CMatrix {
+        CMatrix::from_fn(self.rows, self.cols, |i, j| -self[(i, j)])
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        self.matmul(rhs)
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> CMatrix {
+        CMatrix::from_rows(&[
+            vec![Complex::ZERO, Complex::ONE],
+            vec![Complex::ONE, Complex::ZERO],
+        ])
+    }
+
+    fn pauli_y() -> CMatrix {
+        CMatrix::from_rows(&[
+            vec![Complex::ZERO, -Complex::I],
+            vec![Complex::I, Complex::ZERO],
+        ])
+    }
+
+    fn pauli_z() -> CMatrix {
+        CMatrix::from_rows(&[
+            vec![Complex::ONE, Complex::ZERO],
+            vec![Complex::ZERO, -Complex::ONE],
+        ])
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let x = pauli_x();
+        let id = CMatrix::identity(2);
+        assert!(x.matmul(&id).approx_eq(&x, 1e-12));
+        assert!(id.matmul(&x).approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        // X * Y = iZ
+        let lhs = pauli_x().matmul(&pauli_y());
+        let rhs = pauli_z().scale(Complex::I);
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+        // X^2 = I
+        assert!(pauli_x().matmul(&pauli_x()).approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn paulis_are_hermitian_and_unitary() {
+        for p in [pauli_x(), pauli_y(), pauli_z()] {
+            assert!(p.is_hermitian(1e-12));
+            assert!(p.is_unitary(1e-12));
+        }
+    }
+
+    #[test]
+    fn adjoint_reverses_products() {
+        let a = CMatrix::from_fn(3, 3, |i, j| Complex::new(i as f64, j as f64));
+        let b = CMatrix::from_fn(3, 3, |i, j| Complex::new((i + j) as f64, (i * j) as f64));
+        let lhs = a.matmul(&b).adjoint();
+        let rhs = b.adjoint().matmul(&a.adjoint());
+        assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn trace_is_cyclic() {
+        let a = CMatrix::from_fn(3, 3, |i, j| Complex::new(i as f64 - j as f64, 1.0));
+        let b = CMatrix::from_fn(3, 3, |i, j| Complex::new((i * j) as f64, -(i as f64)));
+        let t1 = a.matmul(&b).trace();
+        let t2 = b.matmul(&a).trace();
+        assert!(t1.approx_eq(t2, 1e-9));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = pauli_x();
+        let b = pauli_y();
+        let c = pauli_z();
+        let d = CMatrix::identity(2);
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary() {
+        let u = pauli_x().kron(&pauli_y()).kron(&pauli_z());
+        assert!(u.is_unitary(1e-12));
+        assert_eq!(u.rows(), 8);
+    }
+
+    #[test]
+    fn outer_product_and_projector() {
+        let v = CVector::from_reals(&[1.0, 1.0]).normalized();
+        let p = CMatrix::projector(&v);
+        assert!(p.is_hermitian(1e-12));
+        // Projector is idempotent.
+        assert!(p.matmul(&p).approx_eq(&p, 1e-12));
+        assert!((p.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_matches_matmul_on_column() {
+        let m = CMatrix::from_fn(3, 3, |i, j| Complex::new((i + 2 * j) as f64, j as f64));
+        let v = CVector::from_reals(&[1.0, -1.0, 0.5]);
+        let applied = m.apply(&v);
+        for i in 0..3 {
+            let expected: Complex = (0..3).map(|j| m[(i, j)] * v[j]).sum();
+            assert!(applied[i].approx_eq(expected, 1e-12));
+        }
+    }
+
+    #[test]
+    fn kron_pow() {
+        let x = pauli_x();
+        let x3 = x.kron_pow(3);
+        assert_eq!(x3.rows(), 8);
+        // X⊗X⊗X maps |000> to |111>.
+        let v = CVector::basis(8, 0);
+        let w = x3.apply(&v);
+        assert!(w.approx_eq(&CVector::basis(8, 7), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let _ = CMatrix::zeros(2, 3).matmul(&CMatrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn diag_and_column() {
+        let d = CMatrix::diag_reals(&[1.0, 2.0, 3.0]);
+        assert!((d.trace().re - 6.0).abs() < 1e-12);
+        let c = d.column(1);
+        assert!(c.approx_eq(&CVector::from_reals(&[0.0, 2.0, 0.0]), 1e-12));
+    }
+}

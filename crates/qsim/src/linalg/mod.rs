@@ -1,0 +1,14 @@
+//! Complex dense linear algebra: vectors, matrices, and Hermitian
+//! eigendecomposition.
+//!
+//! The protocols simulated by this crate only ever manipulate small, dense
+//! operators, so the implementation favours clarity and testability over raw
+//! performance.
+
+pub mod eigen;
+pub mod matrix;
+pub mod vector;
+
+pub use eigen::{abs_hermitian, eigh, max_eigenvalue, sqrt_psd, trace_norm, EigenDecomposition};
+pub use matrix::CMatrix;
+pub use vector::CVector;

@@ -1,0 +1,310 @@
+//! Dense complex vectors.
+
+use crate::complex::Complex;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense complex column vector.
+///
+/// Used to represent (unnormalised) pure-state amplitudes and intermediate
+/// results of linear-algebra routines.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::{Complex, CVector};
+///
+/// let v = CVector::from_reals(&[1.0, 0.0, 0.0, 1.0]);
+/// assert_eq!(v.dim(), 4);
+/// assert!((v.norm() - 2f64.sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CVector {
+    data: Vec<Complex>,
+}
+
+impl CVector {
+    /// Creates a vector from a slice of complex entries.
+    pub fn new(data: Vec<Complex>) -> Self {
+        CVector { data }
+    }
+
+    /// Creates the zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        CVector {
+            data: vec![Complex::ZERO; dim],
+        }
+    }
+
+    /// Creates a computational-basis vector `|index>` of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim`.
+    pub fn basis(dim: usize, index: usize) -> Self {
+        assert!(index < dim, "basis index {index} out of range for dim {dim}");
+        let mut v = CVector::zeros(dim);
+        v.data[index] = Complex::ONE;
+        v
+    }
+
+    /// Creates a vector from real entries.
+    pub fn from_reals(entries: &[f64]) -> Self {
+        CVector {
+            data: entries.iter().map(|&x| Complex::real(x)).collect(),
+        }
+    }
+
+    /// Creates a vector by evaluating `f` at each index.
+    pub fn from_fn(dim: usize, mut f: impl FnMut(usize) -> Complex) -> Self {
+        CVector {
+            data: (0..dim).map(|i| f(i)).collect(),
+        }
+    }
+
+    /// Returns the dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns the underlying entries as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Returns the underlying entries as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the entries.
+    pub fn into_vec(self) -> Vec<Complex> {
+        self.data
+    }
+
+    /// Returns the Hermitian inner product `<self|other>` (conjugate-linear in `self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn inner(&self, other: &CVector) -> Complex {
+        assert_eq!(self.dim(), other.dim(), "inner product dimension mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Returns the squared Euclidean norm.
+    pub fn norm_sqr(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Returns the Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Returns a normalised copy of this vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector has (numerically) zero norm.
+    pub fn normalized(&self) -> CVector {
+        let n = self.norm();
+        assert!(n > 1e-300, "cannot normalise a zero vector");
+        self.scale(Complex::real(1.0 / n))
+    }
+
+    /// Returns `self` multiplied by the scalar `c`.
+    pub fn scale(&self, c: Complex) -> CVector {
+        CVector {
+            data: self.data.iter().map(|&z| z * c).collect(),
+        }
+    }
+
+    /// Returns the entrywise complex conjugate.
+    pub fn conj(&self) -> CVector {
+        CVector {
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Returns the Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &CVector) -> CVector {
+        let mut data = Vec::with_capacity(self.dim() * other.dim());
+        for &a in &self.data {
+            for &b in &other.data {
+                data.push(a * b);
+            }
+        }
+        CVector { data }
+    }
+
+    /// Adds `c * other` to `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add_scaled(&mut self, other: &CVector, c: Complex) {
+        assert_eq!(self.dim(), other.dim(), "axpy dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b * c;
+        }
+    }
+
+    /// Returns `true` when every entry is within `tol` of the corresponding
+    /// entry of `other`.
+    pub fn approx_eq(&self, other: &CVector, tol: f64) -> bool {
+        self.dim() == other.dim()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+}
+
+impl Index<usize> for CVector {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, i: usize) -> &Complex {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for CVector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut Complex {
+        &mut self.data[i]
+    }
+}
+
+impl Add for &CVector {
+    type Output = CVector;
+    fn add(self, rhs: &CVector) -> CVector {
+        assert_eq!(self.dim(), rhs.dim(), "vector addition dimension mismatch");
+        CVector::from_fn(self.dim(), |i| self[i] + rhs[i])
+    }
+}
+
+impl Sub for &CVector {
+    type Output = CVector;
+    fn sub(self, rhs: &CVector) -> CVector {
+        assert_eq!(self.dim(), rhs.dim(), "vector subtraction dimension mismatch");
+        CVector::from_fn(self.dim(), |i| self[i] - rhs[i])
+    }
+}
+
+impl Neg for &CVector {
+    type Output = CVector;
+    fn neg(self) -> CVector {
+        CVector::from_fn(self.dim(), |i| -self[i])
+    }
+}
+
+impl Mul<Complex> for &CVector {
+    type Output = CVector;
+    fn mul(self, rhs: Complex) -> CVector {
+        self.scale(rhs)
+    }
+}
+
+impl fmt::Display for CVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, z) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{z}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_vectors_are_orthonormal() {
+        for i in 0..4 {
+            for j in 0..4 {
+                let e_i = CVector::basis(4, i);
+                let e_j = CVector::basis(4, j);
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!(e_i.inner(&e_j).approx_eq(Complex::real(expected), 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn inner_product_is_conjugate_linear_in_first_argument() {
+        let v = CVector::new(vec![Complex::new(1.0, 2.0), Complex::new(0.0, -1.0)]);
+        let w = CVector::new(vec![Complex::new(0.5, 0.5), Complex::new(2.0, 0.0)]);
+        let c = Complex::new(0.0, 3.0);
+        let lhs = v.scale(c).inner(&w);
+        let rhs = c.conj() * v.inner(&w);
+        assert!(lhs.approx_eq(rhs, 1e-12));
+    }
+
+    #[test]
+    fn norm_matches_inner_product() {
+        let v = CVector::new(vec![Complex::new(1.0, 1.0), Complex::new(2.0, -1.0)]);
+        assert!((v.norm_sqr() - v.inner(&v).re).abs() < 1e-12);
+        assert!(v.inner(&v).im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = CVector::from_reals(&[3.0, 4.0]);
+        let n = v.normalized();
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+        assert!(n.approx_eq(&CVector::from_reals(&[0.6, 0.8]), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalizing_zero_vector_panics() {
+        let _ = CVector::zeros(3).normalized();
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = CVector::from_reals(&[1.0, 2.0]);
+        let b = CVector::from_reals(&[3.0, 4.0, 5.0]);
+        let k = a.kron(&b);
+        assert_eq!(k.dim(), 6);
+        assert!(k.approx_eq(&CVector::from_reals(&[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]), 1e-12));
+    }
+
+    #[test]
+    fn kron_norm_is_product_of_norms() {
+        let a = CVector::new(vec![Complex::new(1.0, 1.0), Complex::new(0.5, -0.5)]);
+        let b = CVector::from_reals(&[2.0, 1.0, 2.0]);
+        assert!((a.kron(&b).norm() - a.norm() * b.norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = CVector::from_reals(&[1.0, 2.0]);
+        let b = CVector::from_reals(&[3.0, -1.0]);
+        assert!((&a + &b).approx_eq(&CVector::from_reals(&[4.0, 1.0]), 1e-12));
+        assert!((&a - &b).approx_eq(&CVector::from_reals(&[-2.0, 3.0]), 1e-12));
+        assert!((-&a).approx_eq(&CVector::from_reals(&[-1.0, -2.0]), 1e-12));
+        let mut c = a.clone();
+        c.add_scaled(&b, Complex::real(2.0));
+        assert!(c.approx_eq(&CVector::from_reals(&[7.0, 0.0]), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn inner_dimension_mismatch_panics() {
+        let _ = CVector::zeros(2).inner(&CVector::zeros(3));
+    }
+}

@@ -1,0 +1,138 @@
+//! Integration tests for the EQ protocols spanning qsim, netsim, commproto and
+//! dqma: path protocol (Algorithm 3/4), tree protocol (Algorithm 5) and the
+//! relay-point protocol (Algorithm 6), run end to end with honest and
+//! adversarial provers.
+
+use commproto::bitstring::BitString;
+use commproto::fingerprint::FingerprintScheme;
+use commproto::problems::{EqualityMulti, MultiPartyFunction};
+use dqma::chain::ChainCheat;
+use dqma::eq_path::EqPathProtocol;
+use dqma::eq_tree::EqTreeProtocol;
+use dqma::relay::RelayEqProtocol;
+use netsim::topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn eq_path_completeness_over_random_yes_instances() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let proto = EqPathProtocol::with_scheme(3, FingerprintScheme::small(5, 2), 4);
+    for _ in 0..10 {
+        let x = BitString::random(5, &mut rng);
+        assert!((proto.completeness(&x) - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn eq_path_soundness_over_random_no_instances() {
+    let mut rng = StdRng::seed_from_u64(2);
+    // A code long enough that distinct inputs never collide (delta < 1), and the
+    // paper's full repetition count so even the worst pair drops below 1/3.
+    let scheme = FingerprintScheme::with_parameters(4, 16, 1, 2);
+    assert!(scheme.max_pairwise_overlap() < 1.0 - 1e-9);
+    let proto =
+        EqPathProtocol::with_scheme(3, scheme, dqma::SwapTestChain::paper_repetitions(3));
+    for _ in 0..10 {
+        let x = BitString::random(4, &mut rng);
+        let mut y = BitString::random(4, &mut rng);
+        while y == x {
+            y = BitString::random(4, &mut rng);
+        }
+        let p = proto.repeated_acceptance(&x, &y, ChainCheat::Interpolate);
+        assert!(p < 1.0 / 3.0, "x={x} y={y}: acceptance {p}");
+    }
+}
+
+#[test]
+fn eq_path_spectral_soundness_dominates_sampled_separable_strategies() {
+    // Optimal entangled prover (spectral) >= any sampled separable prover, and
+    // still bounded away from 1.
+    let proto = EqPathProtocol::with_scheme(2, FingerprintScheme::small(3, 4), 1);
+    let x = BitString::from_u64(1, 3);
+    let y = BitString::from_u64(6, 3);
+    let optimal = proto.single_round_optimal_acceptance(&x, &y);
+    assert!(optimal < 1.0 - 1e-6);
+    let mut gen = qsim::RandomStateGenerator::new(7);
+    let chain = proto.chain(&x, &y);
+    for _ in 0..25 {
+        let proof: Vec<(qsim::PureState, qsim::PureState)> = (0..chain.num_intermediate())
+            .map(|_| {
+                (
+                    gen.random_pure(&[chain.register_dim()]),
+                    gen.random_pure(&[chain.register_dim()]),
+                )
+            })
+            .collect();
+        assert!(chain.acceptance_separable(&proof) <= optimal + 1e-8);
+    }
+}
+
+#[test]
+fn eq_tree_matches_the_multiparty_equality_predicate() {
+    let g = topology::spider(3, 1);
+    let terminals: Vec<usize> = (0..3).map(|k| topology::spider_leaf(k, 1)).collect();
+    let proto = EqTreeProtocol::with_scheme(&g, &terminals, FingerprintScheme::small(3, 5), 32);
+    let spec = EqualityMulti { n: 3, t: 3 };
+
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..8 {
+        let inputs: Vec<BitString> = if rng.random::<bool>() {
+            let x = BitString::random(3, &mut rng);
+            vec![x; 3]
+        } else {
+            (0..3).map(|_| BitString::random(3, &mut rng)).collect()
+        };
+        let yes = spec.eval(&inputs);
+        let claim = inputs[0].clone();
+        let p = proto.repeated_acceptance(&inputs, &proto.uniform_proof(&claim));
+        if yes {
+            assert!((p - 1.0).abs() < 1e-9, "yes-instance rejected: {p}");
+        } else {
+            assert!(p < 1.0 / 3.0, "no-instance accepted with {p}");
+        }
+    }
+}
+
+#[test]
+fn eq_tree_costs_do_not_grow_with_terminal_count_but_fgnp_formula_does() {
+    let n = 16;
+    let leg = 2;
+    let local = |legs: usize| {
+        let g = topology::spider(legs, leg);
+        let t: Vec<usize> = (0..legs).map(|k| topology::spider_leaf(k, leg)).collect();
+        EqTreeProtocol::new(&g, &t, n, 1).costs().local_proof_qubits
+    };
+    assert_eq!(local(3), local(7));
+    assert!(EqTreeProtocol::fgnp_local_cost(n, leg, 7) > EqTreeProtocol::fgnp_local_cost(n, leg, 3));
+}
+
+#[test]
+fn relay_protocol_end_to_end() {
+    let proto = RelayEqProtocol::with_spacing(4, 6, 2, 9);
+    let x = BitString::from_u64(5, 4);
+    let y = BitString::from_u64(10, 4);
+    assert!((proto.completeness(&x) - 1.0).abs() < 1e-12);
+    // A cheating prover that copies x into all relay points is caught by the
+    // last segment; one that interpolates is caught somewhere in the middle.
+    let all_x = vec![x.clone(); proto.relay_points().len()];
+    let p_naive = proto.acceptance(&x, &y, &all_x, ChainCheat::Interpolate);
+    let p_smart = proto.best_interpolating_acceptance(&x, &y);
+    assert!(p_naive < 1.0 / 3.0);
+    assert!(p_smart < 1.0 / 3.0);
+}
+
+#[test]
+fn classical_total_exceeds_quantum_total_for_large_inputs() {
+    // Table 2's separation in total proof size: the measured quantum cost
+    // (including the 2·81r²/4 repetition constant) drops below the classical
+    // Ω(rn) threshold once n is large enough.
+    let n = 1 << 18;
+    let r = 3;
+    let quantum = EqPathProtocol::costs_for(n, r).total_qubits() as f64;
+    let classical_lb = dqma::dma::dma_total_proof_threshold(n, r, 1) as f64;
+    assert!(
+        quantum < classical_lb,
+        "quantum total {quantum} should be below the classical bound {classical_lb}"
+    );
+}

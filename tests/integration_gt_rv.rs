@@ -1,0 +1,87 @@
+//! Integration tests for the greater-than and ranking-verification protocols
+//! (Sections 5.1 and 5.2), checked against the problem definitions in
+//! commproto over exhaustive and random inputs.
+
+use commproto::bitstring::BitString;
+use commproto::fingerprint::FingerprintScheme;
+use commproto::problems::{Comparison, GreaterThan, MultiPartyFunction, RankingVerification, TwoPartyFunction};
+use dqma::chain::ChainCheat;
+use dqma::gt::GtPathProtocol;
+use dqma::ranking::RankingProtocol;
+
+fn gt_small(comparison: Comparison) -> GtPathProtocol {
+    GtPathProtocol::with_scheme(3, 3, comparison, FingerprintScheme::small(3, 6), 48)
+}
+
+#[test]
+fn gt_agrees_with_the_predicate_on_all_inputs() {
+    let proto = gt_small(Comparison::Greater);
+    let f = GreaterThan::strict(3);
+    for xv in 0..8u64 {
+        for yv in 0..8u64 {
+            let x = BitString::from_u64(xv, 3);
+            let y = BitString::from_u64(yv, 3);
+            if f.eval(&x, &y) {
+                assert!(
+                    (proto.completeness(&x, &y) - 1.0).abs() < 1e-9,
+                    "yes-instance ({xv},{yv}) not perfectly complete"
+                );
+            } else {
+                let p = proto.repeated_cheating_acceptance(&x, &y, ChainCheat::Interpolate);
+                assert!(p < 1.0 / 3.0, "no-instance ({xv},{yv}) accepted with {p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gt_variants_agree_with_their_predicates_on_a_sample() {
+    for (comparison, cmp_fn) in [
+        (Comparison::GreaterEqual, Comparison::GreaterEqual),
+        (Comparison::Less, Comparison::Less),
+        (Comparison::LessEqual, Comparison::LessEqual),
+    ] {
+        let proto = gt_small(comparison);
+        let f = GreaterThan { n: 3, comparison: cmp_fn };
+        for (xv, yv) in [(2u64, 5u64), (5, 2), (4, 4), (7, 0)] {
+            let x = BitString::from_u64(xv, 3);
+            let y = BitString::from_u64(yv, 3);
+            if f.eval(&x, &y) {
+                assert!((proto.completeness(&x, &y) - 1.0).abs() < 1e-9, "{comparison:?} ({xv},{yv})");
+            } else {
+                let p = proto.repeated_cheating_acceptance(&x, &y, ChainCheat::Interpolate);
+                assert!(p < 1.0 / 3.0, "{comparison:?} ({xv},{yv}) accepted with {p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn ranking_verification_agrees_with_the_predicate() {
+    let n = 4;
+    let t = 3;
+    let values = [11u64, 4, 14];
+    let inputs: Vec<BitString> = values.iter().map(|&v| BitString::from_u64(v, n)).collect();
+    for j in 1..=t {
+        let proto = RankingProtocol::with_scheme(n, t, j, 2, FingerprintScheme::small(n, 8), 48);
+        let spec = RankingVerification { n, t, i: 0, j };
+        if spec.eval(&inputs) {
+            assert!((proto.completeness(&inputs) - 1.0).abs() < 1e-9, "rank {j}");
+        } else {
+            let p = proto.repeated_cheating_acceptance(&inputs, ChainCheat::Interpolate);
+            assert!(p < 1.0 / 3.0, "false rank {j} accepted with {p}");
+        }
+    }
+}
+
+#[test]
+fn gt_costs_are_exponentially_below_the_classical_bound_in_n() {
+    // Corollary 27: classical protocols need Ω(rn) total bits for GT; the
+    // quantum protocol's total is polylogarithmic in n (the crossover sits
+    // higher than for EQ because of the extra index registers).
+    let n = 1 << 20;
+    let r = 3;
+    let quantum = GtPathProtocol::costs_for(n, r).total_qubits() as f64;
+    let classical = dqma::dma::dma_total_proof_threshold(n, r, 1) as f64;
+    assert!(quantum < classical);
+}

@@ -1,0 +1,81 @@
+//! Integration tests for the Hamming-distance / ∀t-lift protocols of
+//! Section 6 and their one-way communication substrates.
+
+use commproto::bitstring::BitString;
+use commproto::fingerprint::FingerprintScheme;
+use commproto::one_way::{EqOneWay, ExactHammingOneWay, GapHammingOneWay, OneWayProtocol};
+use commproto::problems::{HammingMulti, MultiPartyFunction};
+use dqma::chain::ChainCheat;
+use dqma::forall::ForAllProtocol;
+
+#[test]
+fn hamming_network_protocol_tracks_the_predicate() {
+    let n = 3;
+    let d = 1;
+    let proto = ForAllProtocol::new(ExactHammingOneWay { n, d }, 3, 1).with_repetitions(32);
+    let spec = HammingMulti { n, t: 3, d };
+    let cases: [[u64; 3]; 4] = [[5, 5, 5], [5, 4, 5], [5, 2, 5], [1, 6, 7]];
+    for vals in cases {
+        let inputs: Vec<BitString> = vals.iter().map(|&v| BitString::from_u64(v, n)).collect();
+        if spec.eval(&inputs) {
+            assert!(
+                (proto.completeness(&inputs) - 1.0).abs() < 1e-9,
+                "yes-instance {vals:?} rejected"
+            );
+        } else {
+            let p = proto.repeated_acceptance(&inputs, ChainCheat::Interpolate);
+            assert!(p < 1.0 / 3.0, "no-instance {vals:?} accepted with {p}");
+        }
+    }
+}
+
+#[test]
+fn eq_lift_on_four_terminals() {
+    let proto = ForAllProtocol::new(EqOneWay::new(FingerprintScheme::small(4, 2)), 4, 1)
+        .with_repetitions(32);
+    let equal: Vec<BitString> = vec![BitString::from_u64(6, 4); 4];
+    assert!((proto.completeness(&equal) - 1.0).abs() < 1e-9);
+    let mut unequal = equal.clone();
+    unequal[3] = BitString::from_u64(9, 4);
+    let p = proto.repeated_acceptance(&unequal, ChainCheat::Interpolate);
+    assert!(p < 1.0 / 3.0, "acceptance {p}");
+}
+
+#[test]
+fn gap_hamming_sketch_scales_logarithmically_and_separates_the_promise() {
+    // Message size grows with log n, not n.
+    let small = GapHammingOneWay::new(64, 2, 32, 1);
+    let large = GapHammingOneWay::new(4096, 2, 32, 1);
+    assert_eq!(small.message_qubits(), large.message_qubits());
+    assert!(small.message_qubits() < 10);
+
+    // The realised gap on concrete promise inputs.
+    let n = 128;
+    let proto = GapHammingOneWay::new(n, 3, 96, 7);
+    let x = BitString::zeros(n);
+    let close = BitString::from_u64((1 << 3) - 1, n); // distance 3 = d
+    let far = BitString::from_u64((1 << 9) - 1, n); // distance 9 > 2d
+    let p_close = proto.honest_accept_probability(&x, &close);
+    let p_far = proto.honest_accept_probability(&x, &far);
+    assert!(
+        p_close > p_far + 0.05,
+        "promise gap not realised: close {p_close}, far {p_far}"
+    );
+}
+
+#[test]
+fn forall_costs_scale_quadratically_in_t_and_match_the_formula_shape() {
+    let cost = |t: usize| {
+        ForAllProtocol::new(ExactHammingOneWay { n: 4, d: 1 }, t, 2)
+            .costs()
+            .local_proof_qubits as f64
+    };
+    let c2 = cost(2);
+    let c4 = cost(4);
+    let measured_ratio = c4 / c2;
+    let formula_ratio = ForAllProtocol::<ExactHammingOneWay>::paper_local_cost(4, 4, 4, 3)
+        / ForAllProtocol::<ExactHammingOneWay>::paper_local_cost(4, 4, 2, 3);
+    // Both should show the ~t² growth of Theorem 32 (within a factor ~2).
+    assert!(measured_ratio > 0.4 * formula_ratio && measured_ratio < 2.5 * formula_ratio,
+        "measured {measured_ratio} vs formula {formula_ratio}");
+}

@@ -1,0 +1,80 @@
+//! Integration tests for the network substrate as the protocols use it:
+//! terminal-tree construction on assorted topologies and the Lemma 18 tree
+//! verification rejecting forged announcements.
+
+use netsim::tree::{tree_proof, verify_tree_proof, SpanningTree, TerminalTree, TreeLabel};
+use netsim::{topology, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn terminal_trees_on_random_graphs_have_terminals_as_leaves_and_bounded_depth() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for seed in 0..6u64 {
+        let g = topology::random_connected(14, 0.15, seed);
+        let mut terminals: Vec<usize> = Vec::new();
+        while terminals.len() < 4 {
+            let c = rng.random_range(0..g.num_nodes());
+            if !terminals.contains(&c) {
+                terminals.push(c);
+            }
+        }
+        let tree = TerminalTree::build(&g, &terminals);
+        for i in 0..terminals.len() {
+            let leaf = tree.terminal_leaf(i);
+            assert!(tree.children(leaf).is_empty(), "terminal {i} must be a leaf");
+            assert_eq!(tree.node(leaf).physical, terminals[i]);
+        }
+        // Depth at most eccentricity of the root terminal + 1 <= diameter + 1.
+        assert!(tree.max_depth() <= g.diameter() + 1);
+        assert!(tree.max_children() <= terminals.len().max(g.max_degree()));
+    }
+}
+
+#[test]
+fn lemma_18_accepts_honest_trees_and_rejects_forgeries_on_random_graphs() {
+    let mut rng = StdRng::seed_from_u64(9);
+    for seed in 0..5u64 {
+        let g = topology::random_connected(12, 0.2, seed);
+        let root = rng.random_range(0..g.num_nodes());
+        let t = SpanningTree::bfs(&g, root);
+        let labels = tree_proof(&t);
+        assert!(verify_tree_proof(&g, &labels).iter().all(|&b| b));
+
+        // Forge a random node's distance.
+        let mut forged = labels.clone();
+        let victim = (root + 1) % g.num_nodes();
+        forged[victim] = TreeLabel {
+            root_id: root,
+            dist: forged[victim].dist + 5,
+            parent: forged[victim].parent,
+        };
+        assert!(
+            verify_tree_proof(&g, &forged).iter().any(|&b| !b),
+            "forged distance must be caught"
+        );
+    }
+}
+
+#[test]
+fn star_center_is_chosen_as_root_when_it_is_a_terminal() {
+    let g = topology::star(5);
+    let tree = TerminalTree::build(&g, &[0, 1, 3]);
+    assert_eq!(tree.node(tree.root()).physical, 0, "the centre terminal is most central");
+}
+
+#[test]
+fn graph_metrics_consistency_on_structured_topologies() {
+    let grid = topology::grid(4, 4);
+    assert_eq!(grid.diameter(), 6);
+    assert!(grid.radius() <= grid.diameter());
+    assert!(grid.radius() >= grid.diameter().div_ceil(2));
+
+    let cycle = topology::cycle(9);
+    assert_eq!(cycle.radius(), 4);
+    assert_eq!(cycle.diameter(), 4);
+
+    let mut disconnected = Graph::new(4);
+    disconnected.add_edge(0, 1);
+    assert!(!disconnected.is_connected());
+}

@@ -1,0 +1,95 @@
+//! Integration tests for Section 7: dQMA protocols built from QMA one-way
+//! communication protocols (Algorithm 10), the LSD problem as the vehicle, and
+//! the cost transformations of Theorem 46 / Proposition 47.
+
+use commproto::fingerprint::FingerprintScheme;
+use commproto::lsd::{LsdInstance, LsdQmaOneWay, Subspace};
+use commproto::one_way::EqOneWay;
+use commproto::qma::{OneWayAsQma, QmaCommSpec, QmaCosts, QmaOneWayProtocol};
+use dqma::from_qmacc::{dqmasep_from_dqma_local_cost, dqmasep_from_qmacc_local_cost, QmaccPathProtocol};
+use dqma::lower_bounds::qma_star_cost_from_dqma;
+use qsim::CVector;
+
+#[test]
+fn lsd_path_protocol_separates_the_promise_on_random_instances() {
+    let m = 5;
+    for seed in 0..4u64 {
+        let proto = QmaccPathProtocol::new(LsdQmaOneWay::new(m), 3).with_repetitions(4);
+        let yes = LsdInstance::random(m, 2, true, seed);
+        let no = LsdInstance::random(m, 2, false, seed + 100);
+        let c = proto.completeness(&yes.v1, &yes.v2);
+        let s = proto.best_relaying_acceptance(&no.v1, &no.v2);
+        assert!(c > 0.95, "seed {seed}: completeness {c}");
+        assert!(s < 0.05, "seed {seed}: soundness {s}");
+        assert!(c > s + 0.5, "promise gap must be wide");
+    }
+}
+
+#[test]
+fn lsd_angle_sweep_shows_the_monotone_acceptance_profile() {
+    // Acceptance of the optimal prover decreases monotonically with the
+    // subspace angle — the geometric content of Lemma 45.
+    let proto = LsdQmaOneWay::new(3);
+    let mut last = f64::INFINITY;
+    for k in 0..6 {
+        let theta = k as f64 * std::f64::consts::FRAC_PI_2 / 5.0;
+        let inst = LsdInstance::from_angle(3, theta);
+        let p = proto.optimal_accept_probability(&inst.v1, &inst.v2);
+        assert!(p <= last + 1e-9, "acceptance must decrease with the angle");
+        last = p;
+    }
+    assert!(last < 1e-6, "orthogonal subspaces must be rejected");
+}
+
+#[test]
+fn one_way_eq_wrapped_as_qma_runs_on_the_path() {
+    let qma = OneWayAsQma::new(EqOneWay::new(FingerprintScheme::small(3, 1)));
+    let proto = QmaccPathProtocol::new(qma, 3).with_repetitions(48);
+    let x = commproto::BitString::from_u64(5, 3);
+    let y = commproto::BitString::from_u64(2, 3);
+    assert!((proto.completeness(&x, &x) - 1.0).abs() < 1e-9);
+    let single = proto.best_relaying_acceptance(&x, &y);
+    assert!(proto.repeated_acceptance(single) < 1.0 / 3.0);
+}
+
+#[test]
+fn theorem_42_costs_scale_with_the_underlying_protocol() {
+    let small = QmaccPathProtocol::new(LsdQmaOneWay::new(8), 4).costs();
+    let large = QmaccPathProtocol::new(LsdQmaOneWay::new(64), 4).costs();
+    assert!(large.local_proof_qubits > small.local_proof_qubits);
+    assert!(large.local_message_qubits > small.local_message_qubits);
+}
+
+#[test]
+fn theorem_46_pipeline_costs_compose() {
+    // dQMA costs -> QMA* protocol (Algorithm 11) -> dQMAsep protocol (Theorem 46):
+    // the resulting local cost formula is finite, monotone in the original cost,
+    // and polynomially larger — the "some overheads" of the paper.
+    let dqma_costs = QmaccPathProtocol::new(LsdQmaOneWay::new(8), 3).costs();
+    let c = qma_star_cost_from_dqma(&dqma_costs) as f64;
+    let sep_local = dqmasep_from_dqma_local_cost(3, c);
+    assert!(sep_local > c);
+    let spec = QmaCommSpec {
+        name: "LSD".into(),
+        costs: QmaCosts { proof_to_alice: 3, proof_to_bob: 0, communication: 4 },
+        rounds: 1,
+    };
+    assert!(dqmasep_from_qmacc_local_cost(3, &spec) > 0.0);
+    assert!(spec.lsd_dimension() >= 1 << 7);
+}
+
+#[test]
+fn subspace_membership_flag_construction_is_coherent() {
+    // Alice's unitary flags membership in V1 without disturbing V1 vectors.
+    let v1 = Subspace::span(&[CVector::from_reals(&[1.0, 0.0, 0.0, 0.0])]);
+    let proto = LsdQmaOneWay::new(4);
+    let u = proto.alice_unitary(&v1);
+    assert!(u.is_unitary(1e-10));
+    // |e0>|0> -> |e0>|1> (flag set), |e1>|0> -> |e1>|0> (flag clear).
+    let mut inside = qsim::PureState::computational_basis(&[4, 2], &[0, 0]);
+    inside.apply_unitary(&[0, 1], &u);
+    assert!((inside.outcome_probability(&[1], &[1]) - 1.0).abs() < 1e-10);
+    let mut outside = qsim::PureState::computational_basis(&[4, 2], &[1, 0]);
+    outside.apply_unitary(&[0, 1], &u);
+    assert!((outside.outcome_probability(&[1], &[0]) - 1.0).abs() < 1e-10);
+}
