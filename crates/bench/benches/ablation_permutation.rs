@@ -3,8 +3,8 @@
 //! what removes the factor t from the local proof size; we chart both cost
 //! formulas and the single-node test acceptance on mixed child states.
 
-use dqma_bench::{fmt, print_header, print_row};
 use dqma::eq_tree::EqTreeProtocol;
+use dqma_bench::{fmt, print_header, print_row};
 use qsim::permutation::permutation_test_acceptance_gram;
 use qsim::swap_test::swap_test_acceptance_pure;
 use qsim::PureState;
@@ -26,7 +26,11 @@ fn main() {
 
     print_header(
         "A1: single-node detection power with one deviating child among k",
-        &["k children", "permutation test acc", "SWAP-vs-random-child acc"],
+        &[
+            "k children",
+            "permutation test acc",
+            "SWAP-vs-random-child acc",
+        ],
     );
     let good = PureState::single(2, 0);
     let bad = PureState::single(2, 1);

@@ -10,14 +10,25 @@ fn main() {
     let r = 128;
     print_header(
         "A3: total proof size vs relay spacing (n = 2^15, r = 128)",
-        &["spacing", "total proof qubits", "relative to n^{1/3} choice"],
+        &[
+            "spacing",
+            "total proof qubits",
+            "relative to n^{1/3} choice",
+        ],
     );
     let paper_spacing = (n as f64).powf(1.0 / 3.0).ceil() as usize;
     let baseline = RelayEqProtocol::costs_for(n, r, paper_spacing).total_proof_qubits as f64;
     for spacing in [2usize, 8, paper_spacing, 128, 512] {
         let total = RelayEqProtocol::costs_for(n, r, spacing).total_proof_qubits as f64;
         print_row(&[
-            format!("{spacing}{}", if spacing == paper_spacing { " (=n^1/3)" } else { "" }),
+            format!(
+                "{spacing}{}",
+                if spacing == paper_spacing {
+                    " (=n^1/3)"
+                } else {
+                    ""
+                }
+            ),
             fmt(total),
             fmt(total / baseline),
         ]);

@@ -33,7 +33,13 @@ fn main() {
             let v = hy.amplitudes();
             p * v.inner(&effect.apply(v)).re
         };
-        let with = chain.acceptance_separable(&chain.uniform_proof(&hx).iter().map(|_| (hx.clone(), hy.clone())).collect());
+        let with = chain.acceptance_separable(
+            &chain
+                .uniform_proof(&hx)
+                .iter()
+                .map(|_| (hx.clone(), hy.clone()))
+                .collect(),
+        );
         print_row(&[r.to_string(), fmt(with), fmt(without)]);
     }
     println!("\nsymmetrisation forces the kept and forwarded registers to agree on average, restoring the 1 - Theta(1/r^2) soundness.");

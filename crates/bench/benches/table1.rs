@@ -1,21 +1,27 @@
 //! Table 1 (prior work, FGNP21) regeneration: proof-size formulas of the
 //! FGNP21 EQ protocol and one-way conversion, and the classical Ω(n/ν) bound,
-//! next to this paper's improvements. Also times one honest protocol run with
-//! Criterion.
+//! next to this paper's improvements. Also times one honest protocol run
+//! (plain `Instant` timing; this workspace is criterion-free).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use commproto::bitstring::BitString;
 use commproto::fingerprint::FingerprintScheme;
 use dqma::costs;
 use dqma::eq_path::EqPathProtocol;
-use dqma_bench::{fmt, print_header, print_row};
+use dqma_bench::{fmt, fmt_ns, print_header, print_row, time_it};
+use std::time::Duration;
 
-fn table1(_c: &mut Criterion) {
+fn table1() {
     print_header(
         "Table 1: FGNP21 baselines vs this paper (local proof size, qubits/bits)",
         &["n", "r", "t", "FGNP21 EQ", "this paper EQ", "classical dMA"],
     );
-    for (n, r, t) in [(64usize, 3usize, 4usize), (256, 3, 4), (4096, 3, 4), (256, 6, 4), (256, 3, 8)] {
+    for (n, r, t) in [
+        (64usize, 3usize, 4usize),
+        (256, 3, 4),
+        (4096, 3, 4),
+        (256, 6, 4),
+        (256, 3, 8),
+    ] {
         print_row(&[
             n.to_string(),
             r.to_string(),
@@ -27,17 +33,24 @@ fn table1(_c: &mut Criterion) {
     }
 }
 
-fn timing(c: &mut Criterion) {
+fn timing() {
     let proto = EqPathProtocol::with_scheme(3, FingerprintScheme::small(4, 7), 4);
     let x = BitString::from_u64(9, 4);
-    c.bench_function("eq_path_honest_run_r3", |b| {
-        b.iter(|| std::hint::black_box(proto.completeness(&x)))
-    });
+    let t = time_it(
+        || {
+            std::hint::black_box(proto.completeness(&x));
+        },
+        Duration::from_millis(600),
+    );
+    println!(
+        "\neq_path_honest_run_r3: {} / run ({:.0} runs/s, {} iterations)",
+        fmt_ns(t.ns_per_op),
+        t.ops_per_sec,
+        t.iters
+    );
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = table1, timing
+fn main() {
+    table1();
+    timing();
 }
-criterion_main!(benches);

@@ -9,7 +9,12 @@ use dqma_bench::{fmt, print_header, print_row};
 fn main() {
     print_header(
         "T2.3 / T1.3: cut-and-paste attack vs per-node classical proof size (EQ, n=8, r=4)",
-        &["sketch bits", "total proof bits", "attack succeeds", "threshold (Cor.25)"],
+        &[
+            "sketch bits",
+            "total proof bits",
+            "attack succeeds",
+            "threshold (Cor.25)",
+        ],
     );
     let n = 8;
     let r = 4;

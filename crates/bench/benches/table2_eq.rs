@@ -11,9 +11,22 @@ use netsim::topology;
 fn main() {
     print_header(
         "Table 2 / T2.1: EQ on general graphs (Theorem 19)",
-        &["n", "r(leg)", "t", "measured local", "paper O(r^2 log n)", "FGNP21 O(t r^2 log n)"],
+        &[
+            "n",
+            "r(leg)",
+            "t",
+            "measured local",
+            "paper O(r^2 log n)",
+            "FGNP21 O(t r^2 log n)",
+        ],
     );
-    for (n, leg, t) in [(64usize, 2usize, 3usize), (64, 2, 6), (64, 4, 3), (1024, 2, 3), (1024, 4, 6)] {
+    for (n, leg, t) in [
+        (64usize, 2usize, 3usize),
+        (64, 2, 6),
+        (64, 4, 3),
+        (1024, 2, 3),
+        (1024, 4, 6),
+    ] {
         let g = topology::spider(t, leg);
         let terms: Vec<usize> = (0..t).map(|k| topology::spider_leaf(k, leg)).collect();
         let proto = EqTreeProtocol::new(&g, &terms, n, 1);

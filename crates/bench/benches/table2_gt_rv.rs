@@ -29,7 +29,13 @@ fn main() {
         "T2.4 behaviour (n=4, r=3, exact)",
         &["x", "y", "completeness", "best cheat (repeated)"],
     );
-    let proto = GtPathProtocol::with_scheme(4, 3, Comparison::Greater, FingerprintScheme::small(4, 3), 48);
+    let proto = GtPathProtocol::with_scheme(
+        4,
+        3,
+        Comparison::Greater,
+        FingerprintScheme::small(4, 3),
+        48,
+    );
     for (xv, yv) in [(12u64, 5u64), (9, 9), (3, 11)] {
         let x = BitString::from_u64(xv, 4);
         let y = BitString::from_u64(yv, 4);
@@ -45,7 +51,12 @@ fn main() {
         "Table 2 / T2.5: ranking verification (Theorem 29)",
         &["n", "t", "r(leg)", "measured local", "paper O(t r^2 log n)"],
     );
-    for (n, t, leg) in [(64usize, 3usize, 2usize), (64, 6, 2), (1024, 3, 2), (64, 3, 4)] {
+    for (n, t, leg) in [
+        (64usize, 3usize, 2usize),
+        (64, 6, 2),
+        (1024, 3, 2),
+        (64, 3, 4),
+    ] {
         let c = RankingProtocol::new(n, t, 1, leg, 1).costs();
         print_row(&[
             n.to_string(),

@@ -13,7 +13,12 @@ fn main() {
         "Table 2 / T2.6: forall-t HAM<=d lift (Theorem 30/32) cost scaling",
         &["n", "t", "leg", "measured local", "paper O(t^2 r^2 s log)"],
     );
-    for (n, t, leg) in [(16usize, 2usize, 1usize), (16, 3, 1), (16, 4, 1), (16, 3, 2)] {
+    for (n, t, leg) in [
+        (16usize, 2usize, 1usize),
+        (16, 3, 1),
+        (16, 4, 1),
+        (16, 3, 2),
+    ] {
         let one_way = GapHammingOneWay::with_default_sketches(n, 2, 1);
         let s = one_way.message_qubits();
         let c = ForAllProtocol::new(one_way, t, leg).costs();

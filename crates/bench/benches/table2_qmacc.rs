@@ -29,7 +29,12 @@ fn main() {
 
     print_header(
         "Table 2 / T2.8: dQMAsep from dQMA (Theorem 46) cost overhead",
-        &["r", "dQMA total C", "QMA* cost", "dQMAsep local ~r^2 C^2 log C"],
+        &[
+            "r",
+            "dQMA total C",
+            "QMA* cost",
+            "dQMAsep local ~r^2 C^2 log C",
+        ],
     );
     for r in [2usize, 4, 8] {
         let dqma_costs = QmaccPathProtocol::new(LsdQmaOneWay::new(8), r).costs();
@@ -41,5 +46,8 @@ fn main() {
             fmt(dqmasep_from_dqma_local_cost(r, c)),
         ]);
     }
-    println!("\nProposition 47 formula at (r=4, C=16): {}", fmt(costs::table2_qmacc_local(4, 16)));
+    println!(
+        "\nProposition 47 formula at (r=4, C=16): {}",
+        fmt(costs::table2_qmacc_local(4, 16))
+    );
 }

@@ -9,7 +9,13 @@ use dqma_bench::{fmt, loglog_slope, print_header, print_row};
 fn main() {
     print_header(
         "Table 2 / T2.2-T2.3: relay-point EQ total proof vs classical Omega(rn)",
-        &["n", "r", "quantum total", "paper ~r n^{2/3} log n", "classical rn"],
+        &[
+            "n",
+            "r",
+            "quantum total",
+            "paper ~r n^{2/3} log n",
+            "classical rn",
+        ],
     );
     let r = 64;
     let mut prev: Option<(f64, f64)> = None;

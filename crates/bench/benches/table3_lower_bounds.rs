@@ -12,7 +12,14 @@ use dqma_bench::{fmt, print_header, print_row};
 fn main() {
     print_header(
         "Table 3: lower-bound formulas vs measured EQ upper bound (total qubits)",
-        &["n", "r", "Thm51 r log n", "Thm56 (log n)^1/4", "Cor55 r", "measured upper"],
+        &[
+            "n",
+            "r",
+            "Thm51 r log n",
+            "Thm56 (log n)^1/4",
+            "Cor55 r",
+            "measured upper",
+        ],
     );
     for (n, r) in [(64usize, 3usize), (1024, 3), (1024, 6), (1 << 16, 6)] {
         let measured = EqPathProtocol::costs_for(n, r).total_qubits() as f64;
@@ -41,7 +48,12 @@ fn main() {
 
     print_header(
         "Exact optimal-prover soundness (spectral method) on tiny EQ instances",
-        &["boundary dim", "r", "optimal acceptance", "paper bound 1-4/81r^2"],
+        &[
+            "boundary dim",
+            "r",
+            "optimal acceptance",
+            "paper bound 1-4/81r^2",
+        ],
     );
     // r = 2 with real (small) fingerprints; longer paths with 2-dimensional toy
     // boundary states so the joint proof space stays tractable.

@@ -38,6 +38,136 @@ pub fn loglog_slope(x0: f64, y0: f64, x1: f64, y1: f64) -> f64 {
     (y1 / y0).ln() / (x1 / x0).ln()
 }
 
+/// One timed micro-benchmark result.
+#[derive(Clone, Debug)]
+pub struct Timing {
+    /// Number of iterations actually executed.
+    pub iters: u64,
+    /// Nanoseconds per operation (total time / iterations).
+    pub ns_per_op: f64,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+}
+
+/// Times a closure with a short warm-up followed by an adaptive measurement
+/// window (criterion-free replacement: plain `Instant` timing, enough for the
+/// order-of-magnitude comparisons the tables need).
+pub fn time_it(mut f: impl FnMut(), min_duration: std::time::Duration) -> Timing {
+    use std::time::{Duration, Instant};
+    // Calibration doubles the batch size until one batch takes ≥ 200 µs, so
+    // the clock reads stay far below the measured work; it doubles as warm-up.
+    let mut batch: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        if start.elapsed() >= Duration::from_micros(200) || batch >= 1 << 30 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut iters: u64 = 0;
+    let start = Instant::now();
+    loop {
+        for _ in 0..batch {
+            f();
+        }
+        iters += batch;
+        if start.elapsed() >= min_duration {
+            break;
+        }
+    }
+    let total = start.elapsed();
+    let ns_per_op = total.as_nanos() as f64 / iters as f64;
+    Timing {
+        iters,
+        ns_per_op,
+        ops_per_sec: 1e9 / ns_per_op,
+    }
+}
+
+/// Formats a nanoseconds-per-op figure with a readable unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Minimal JSON emission for benchmark reports (no serde in the offline
+/// dependency set): a list of objects with string/number fields.
+pub struct JsonReport {
+    entries: Vec<String>,
+}
+
+impl JsonReport {
+    /// Creates an empty report.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        JsonReport {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds one benchmark record.
+    pub fn push(&mut self, fields: &[(&str, JsonValue)]) {
+        let body: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {}", v.render()))
+            .collect();
+        self.entries.push(format!("    {{{}}}", body.join(", ")));
+    }
+
+    /// Renders the full report as a JSON document.
+    pub fn render(&self, meta: &[(&str, JsonValue)]) -> String {
+        let head: Vec<String> = meta
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {}", v.render()))
+            .collect();
+        let mut out = String::from("{\n");
+        for h in &head {
+            out.push_str(h);
+            out.push_str(",\n");
+        }
+        out.push_str("  \"benchmarks\": [\n");
+        out.push_str(&self.entries.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// A JSON scalar.
+pub enum JsonValue {
+    /// A string value (escaped minimally; benchmark names are ASCII).
+    Str(String),
+    /// A float value.
+    Num(f64),
+    /// An integer value.
+    Int(u64),
+}
+
+impl JsonValue {
+    fn render(&self) -> String {
+        match self {
+            JsonValue::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+            JsonValue::Num(x) => {
+                if x.is_finite() {
+                    format!("{x}")
+                } else {
+                    "null".to_string()
+                }
+            }
+            JsonValue::Int(n) => format!("{n}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,12 +17,16 @@ pub struct BitString {
 impl BitString {
     /// Creates a bit string from a slice of bits (most significant first).
     pub fn new(bits: &[bool]) -> Self {
-        BitString { bits: bits.to_vec() }
+        BitString {
+            bits: bits.to_vec(),
+        }
     }
 
     /// The all-zeros string of length `n`.
     pub fn zeros(n: usize) -> Self {
-        BitString { bits: vec![false; n] }
+        BitString {
+            bits: vec![false; n],
+        }
     }
 
     /// Creates an `n`-bit string from the low `n` bits of `value`
@@ -32,7 +36,10 @@ impl BitString {
     ///
     /// Panics if `value` does not fit in `n` bits.
     pub fn from_u64(value: u64, n: usize) -> Self {
-        assert!(n >= 64 || value < (1u64 << n), "value {value} does not fit in {n} bits");
+        assert!(
+            n >= 64 || value < (1u64 << n),
+            "value {value} does not fit in {n} bits"
+        );
         let bits = (0..n)
             .map(|i| {
                 let shift = n - 1 - i;
@@ -94,7 +101,9 @@ impl BitString {
     /// Panics if the string is longer than 64 bits.
     pub fn to_u64(&self) -> u64 {
         assert!(self.len() <= 64, "to_u64 supports at most 64 bits");
-        self.bits.iter().fold(0u64, |acc, &b| (acc << 1) | u64::from(b))
+        self.bits
+            .iter()
+            .fold(0u64, |acc, &b| (acc << 1) | u64::from(b))
     }
 
     /// The prefix `x[0..i]` (the paper's `x[i] = x_0 ... x_{i-1}`).
@@ -159,7 +168,11 @@ impl BitString {
 
     /// Compares the strings as unsigned integers (works for any length).
     pub fn cmp_as_integer(&self, other: &BitString) -> std::cmp::Ordering {
-        assert_eq!(self.len(), other.len(), "integer comparison of unequal lengths");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "integer comparison of unequal lengths"
+        );
         self.bits.cmp(&other.bits)
     }
 
@@ -170,7 +183,9 @@ impl BitString {
     /// Panics if `n > 20` to avoid accidental exponential blow-ups.
     pub fn all(n: usize) -> Vec<BitString> {
         assert!(n <= 20, "BitString::all is limited to n <= 20");
-        (0..(1u64 << n)).map(|v| BitString::from_u64(v, n)).collect()
+        (0..(1u64 << n))
+            .map(|v| BitString::from_u64(v, n))
+            .collect()
     }
 }
 
@@ -252,7 +267,10 @@ mod tests {
     fn random_is_reproducible_per_seed() {
         let mut r1 = StdRng::seed_from_u64(4);
         let mut r2 = StdRng::seed_from_u64(4);
-        assert_eq!(BitString::random(32, &mut r1), BitString::random(32, &mut r2));
+        assert_eq!(
+            BitString::random(32, &mut r1),
+            BitString::random(32, &mut r2)
+        );
     }
 
     #[test]

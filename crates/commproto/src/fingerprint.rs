@@ -86,7 +86,10 @@ impl LinearCode {
     ///
     /// Panics if `n > 12`.
     pub fn min_relative_distance(&self) -> f64 {
-        assert!(self.n <= 12, "exhaustive distance computation limited to n <= 12");
+        assert!(
+            self.n <= 12,
+            "exhaustive distance computation limited to n <= 12"
+        );
         let zero = BitString::zeros(self.n);
         let zero_cw = self.encode(&zero);
         BitString::all(self.n)
@@ -162,7 +165,9 @@ impl FingerprintScheme {
     /// Number of qubits of one fingerprint register, rounded up:
     /// `copies · ⌈log₂(2m)⌉ = O(log n)` for `m = O(n)`.
     pub fn qubits(&self) -> usize {
-        let per_copy = (2 * self.code.codeword_len()).next_power_of_two().trailing_zeros() as usize;
+        let per_copy = (2 * self.code.codeword_len())
+            .next_power_of_two()
+            .trailing_zeros() as usize;
         self.copies * per_copy
     }
 

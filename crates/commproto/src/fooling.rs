@@ -65,7 +65,12 @@ impl FoolingSet {
 ///
 /// Panics if `n > 20` (brute-force enumeration guard).
 pub fn eq_fooling_set(n: usize) -> FoolingSet {
-    FoolingSet::new(BitString::all(n).into_iter().map(|x| (x.clone(), x)).collect())
+    FoolingSet::new(
+        BitString::all(n)
+            .into_iter()
+            .map(|x| (x.clone(), x))
+            .collect(),
+    )
 }
 
 /// A size-`2^n − 1` 1-fooling set for GT: the pairs `{(x, x − 1) : x ≥ 1}`.
@@ -108,7 +113,9 @@ pub fn greedy_fooling_set<F: TwoPartyFunction>(f: &F) -> FoolingSet {
             if !f.eval(x, y) {
                 continue;
             }
-            let ok = chosen.iter().all(|(cx, cy)| !(f.eval(cx, y) && f.eval(x, cy)));
+            let ok = chosen
+                .iter()
+                .all(|(cx, cy)| !(f.eval(cx, y) && f.eval(x, cy)));
             if ok {
                 chosen.push((x.clone(), y.clone()));
             }

@@ -36,7 +36,10 @@ impl Subspace {
     /// Panics if no vector survives orthonormalisation or the vectors have
     /// inconsistent dimensions.
     pub fn span(vectors: &[CVector]) -> Self {
-        assert!(!vectors.is_empty(), "a subspace needs at least one spanning vector");
+        assert!(
+            !vectors.is_empty(),
+            "a subspace needs at least one spanning vector"
+        );
         let m = vectors[0].dim();
         let mut basis: Vec<CVector> = Vec::new();
         for v in vectors {
@@ -310,7 +313,11 @@ mod tests {
             let yes = LsdInstance::random(6, 2, true, seed);
             assert!(yes.delta() < 1e-6, "shared vector gives distance 0");
             let no = LsdInstance::random(6, 2, false, seed);
-            assert!(no.is_no(), "orthogonal construction gives Δ = √2, got {}", no.delta());
+            assert!(
+                no.is_no(),
+                "orthogonal construction gives Δ = √2, got {}",
+                no.delta()
+            );
         }
     }
 
@@ -329,7 +336,10 @@ mod tests {
         let inst = LsdInstance::random(6, 2, false, 7);
         // Even the *optimal* proof cannot beat the soundness bound.
         let p = proto.optimal_accept_probability(&inst.v1, &inst.v2);
-        assert!(p <= proto.soundness_error() + 1e-9, "optimal acceptance {p}");
+        assert!(
+            p <= proto.soundness_error() + 1e-9,
+            "optimal acceptance {p}"
+        );
     }
 
     #[test]

@@ -143,7 +143,10 @@ impl OneWayProtocol for ExactHammingOneWay {
         PureState::single(1 << self.n, x.to_u64() as usize)
     }
     fn bob_effect(&self, y: &BitString) -> CMatrix {
-        let f = HammingAtMost { n: self.n, d: self.d };
+        let f = HammingAtMost {
+            n: self.n,
+            d: self.d,
+        };
         let dim = 1 << self.n;
         let probs: Vec<f64> = (0..dim)
             .map(|v| {
@@ -291,13 +294,21 @@ mod tests {
         // (checked analytically so no large joint state is built).
         let amplified = FingerprintScheme::with_parameters(5, 24, 4, 7);
         let delta = amplified.max_pairwise_overlap();
-        assert!(delta * delta < 1.0 / 3.0, "amplified delta^2 = {}", delta * delta);
+        assert!(
+            delta * delta < 1.0 / 3.0,
+            "amplified delta^2 = {}",
+            delta * delta
+        );
     }
 
     #[test]
     fn eq_message_size_is_logarithmic() {
         let proto = EqOneWay::for_input_len(32, 1);
-        assert!(proto.message_qubits() <= 9, "got {}", proto.message_qubits());
+        assert!(
+            proto.message_qubits() <= 9,
+            "got {}",
+            proto.message_qubits()
+        );
     }
 
     #[test]
@@ -340,7 +351,7 @@ mod tests {
     #[test]
     fn gap_hamming_identical_inputs_always_accept() {
         let proto = GapHammingOneWay::with_default_sketches(10, 2, 5);
-        let x = BitString::from_u64(777 % 1024, 10);
+        let x = BitString::from_u64(777, 10);
         assert!((proto.honest_accept_probability(&x, &x) - 1.0).abs() < 1e-10);
     }
 

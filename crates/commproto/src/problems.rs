@@ -364,9 +364,21 @@ mod tests {
         assert!(GreaterThan::strict(4).eval(&x, &y));
         assert!(!GreaterThan::strict(4).eval(&y, &x));
         assert!(!GreaterThan::strict(4).eval(&x, &x));
-        assert!(GreaterThan { n: 4, comparison: Comparison::GreaterEqual }.eval(&x, &x));
-        assert!(GreaterThan { n: 4, comparison: Comparison::Less }.eval(&y, &x));
-        assert!(GreaterThan { n: 4, comparison: Comparison::LessEqual }.eval(&y, &y));
+        assert!(GreaterThan {
+            n: 4,
+            comparison: Comparison::GreaterEqual
+        }
+        .eval(&x, &x));
+        assert!(GreaterThan {
+            n: 4,
+            comparison: Comparison::Less
+        }
+        .eval(&y, &x));
+        assert!(GreaterThan {
+            n: 4,
+            comparison: Comparison::LessEqual
+        }
+        .eval(&y, &y));
     }
 
     #[test]
@@ -377,9 +389,8 @@ mod tests {
             for yv in 0..32u64 {
                 let x = BitString::from_u64(xv, 5);
                 let y = BitString::from_u64(yv, 5);
-                let characterised = (0..5).any(|i| {
-                    x.prefix(i) == y.prefix(i) && x.bit(i) && !y.bit(i)
-                });
+                let characterised =
+                    (0..5).any(|i| x.prefix(i) == y.prefix(i) && x.bit(i) && !y.bit(i));
                 assert_eq!(f.eval(&x, &y), characterised, "x={xv} y={yv}");
             }
         }
@@ -430,11 +441,41 @@ mod tests {
             BitString::from_u64(3, 4),
             BitString::from_u64(9, 4),
         ];
-        assert!(RankingVerification { n: 4, t: 3, i: 2, j: 1 }.eval(&inputs));
-        assert!(RankingVerification { n: 4, t: 3, i: 0, j: 2 }.eval(&inputs));
-        assert!(RankingVerification { n: 4, t: 3, i: 1, j: 3 }.eval(&inputs));
-        assert!(!RankingVerification { n: 4, t: 3, i: 0, j: 1 }.eval(&inputs));
-        assert!(!RankingVerification { n: 4, t: 3, i: 2, j: 3 }.eval(&inputs));
+        assert!(RankingVerification {
+            n: 4,
+            t: 3,
+            i: 2,
+            j: 1
+        }
+        .eval(&inputs));
+        assert!(RankingVerification {
+            n: 4,
+            t: 3,
+            i: 0,
+            j: 2
+        }
+        .eval(&inputs));
+        assert!(RankingVerification {
+            n: 4,
+            t: 3,
+            i: 1,
+            j: 3
+        }
+        .eval(&inputs));
+        assert!(!RankingVerification {
+            n: 4,
+            t: 3,
+            i: 0,
+            j: 1
+        }
+        .eval(&inputs));
+        assert!(!RankingVerification {
+            n: 4,
+            t: 3,
+            i: 2,
+            j: 3
+        }
+        .eval(&inputs));
     }
 
     #[test]
@@ -446,7 +487,10 @@ mod tests {
 
     #[test]
     fn forall_pairs_lift() {
-        let f = ForAllPairs { f: HammingAtMost { n: 4, d: 1 }, t: 3 };
+        let f = ForAllPairs {
+            f: HammingAtMost { n: 4, d: 1 },
+            t: 3,
+        };
         assert!(f.eval(&[bs("1100"), bs("1101"), bs("1100")]));
         assert!(!f.eval(&[bs("1100"), bs("0100"), bs("0110")]));
         assert_eq!(f.num_terminals(), 3);
@@ -456,6 +500,13 @@ mod tests {
     fn names_are_informative() {
         assert!(Equality { n: 8 }.name().contains("EQ"));
         assert!(GreaterThan::strict(8).name().contains("GT"));
-        assert!(RankingVerification { n: 4, t: 3, i: 0, j: 1 }.name().contains("RV"));
+        assert!(RankingVerification {
+            n: 4,
+            t: 3,
+            i: 0,
+            j: 1
+        }
+        .name()
+        .contains("RV"));
     }
 }

@@ -289,12 +289,20 @@ mod tests {
     fn comm_spec_lsd_dimensions_grow_exponentially() {
         let small = QmaCommSpec {
             name: "f".into(),
-            costs: QmaCosts { proof_to_alice: 2, proof_to_bob: 0, communication: 2 },
+            costs: QmaCosts {
+                proof_to_alice: 2,
+                proof_to_bob: 0,
+                communication: 2,
+            },
             rounds: 1,
         };
         let big = QmaCommSpec {
             name: "g".into(),
-            costs: QmaCosts { proof_to_alice: 4, proof_to_bob: 0, communication: 4 },
+            costs: QmaCosts {
+                proof_to_alice: 4,
+                proof_to_bob: 0,
+                communication: 4,
+            },
             rounds: 1,
         };
         assert!(big.lsd_dimension() > small.lsd_dimension());

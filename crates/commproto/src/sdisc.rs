@@ -106,7 +106,10 @@ mod tests {
     fn bound_formulas_scale_as_stated() {
         assert!((qmacc_lower_bound(HardProblem::InnerProduct, 64) - 8.0).abs() < 1e-9);
         assert!((qmacc_lower_bound(HardProblem::Disjointness, 64) - 4.0).abs() < 1e-9);
-        assert!(qmacc_lower_bound(HardProblem::PatternAnd, 1000) > qmacc_lower_bound(HardProblem::PatternAnd, 10));
+        assert!(
+            qmacc_lower_bound(HardProblem::PatternAnd, 1000)
+                > qmacc_lower_bound(HardProblem::PatternAnd, 10)
+        );
         assert_eq!(
             dqma_total_lower_bound(HardProblem::InnerProduct, 100),
             qmacc_lower_bound(HardProblem::InnerProduct, 100)

@@ -24,7 +24,7 @@
 //!   analytically.
 
 use netsim::{CostTracker, ProtocolCosts};
-use qsim::density::embed_operator;
+use qsim::kernels;
 use qsim::linalg::max_eigenvalue;
 use qsim::swap_test::{swap_test_acceptance_pure, swap_test_projector};
 use qsim::{CMatrix, Complex, PureState};
@@ -161,7 +161,10 @@ impl SwapTestChain {
     /// in memory) or if the chain has no intermediate node.
     pub fn acceptance_operator(&self) -> CMatrix {
         let k = self.num_intermediate();
-        assert!(k >= 1, "the acceptance operator needs at least one proof register");
+        assert!(
+            k >= 1,
+            "the acceptance operator needs at least one proof register"
+        );
         let dims = vec![self.dim; 2 * k];
         let total: usize = dims.iter().product();
         assert!(
@@ -180,13 +183,25 @@ impl SwapTestChain {
             // Register index of R_{j,0} is 2j, of R_{j,1} is 2j+1 (j = 0..k-1).
             let kept = |j: usize| 2 * j + usize::from((pattern >> j) & 1 == 1);
             let forwarded = |j: usize| 2 * j + usize::from((pattern >> j) & 1 == 0);
-            let mut effect = embed_operator(&dims, &[kept(0)], &left_effect);
+            // Build the pattern's effect by strided right multiplication:
+            // each factor acts on two registers at most, so no full-dimension
+            // embedded operator or dense O(D³) matmul is ever needed.
+            let mut effect = CMatrix::identity(total);
+            kernels::right_multiply_matrix(&mut effect, &dims, &[kept(0)], &left_effect);
             for j in 1..k {
-                let e = embed_operator(&dims, &[forwarded(j - 1), kept(j)], &sym);
-                effect = effect.matmul(&e);
+                kernels::right_multiply_matrix(
+                    &mut effect,
+                    &dims,
+                    &[forwarded(j - 1), kept(j)],
+                    &sym,
+                );
             }
-            let right = embed_operator(&dims, &[forwarded(k - 1)], &self.right_effect);
-            effect = effect.matmul(&right);
+            kernels::right_multiply_matrix(
+                &mut effect,
+                &dims,
+                &[forwarded(k - 1)],
+                &self.right_effect,
+            );
             accumulated = &accumulated + &effect;
         }
         accumulated.scale(Complex::real(1.0 / patterns as f64))
@@ -332,7 +347,11 @@ mod tests {
         for r in 2..=4 {
             let (left, effect, right_state) = orthogonal_boundary(2);
             let chain = SwapTestChain::new(r, left, effect);
-            for strat in [ChainCheat::AllLeft, ChainCheat::AllRight, ChainCheat::Interpolate] {
+            for strat in [
+                ChainCheat::AllLeft,
+                ChainCheat::AllRight,
+                ChainCheat::Interpolate,
+            ] {
                 let proof = cheating_proof(&chain, &right_state, strat);
                 let p = chain.acceptance_separable(&proof);
                 assert!(p < 1.0 - 1e-6, "r={r} {strat:?}: acceptance {p}");
@@ -349,13 +368,17 @@ mod tests {
     fn interpolation_beats_naive_cheating() {
         let (left, effect, right_state) = orthogonal_boundary(2);
         let chain = SwapTestChain::new(4, left, effect);
-        let naive = chain.acceptance_separable(&cheating_proof(&chain, &right_state, ChainCheat::AllLeft));
+        let naive =
+            chain.acceptance_separable(&cheating_proof(&chain, &right_state, ChainCheat::AllLeft));
         let smart = chain.acceptance_separable(&cheating_proof(
             &chain,
             &right_state,
             ChainCheat::Interpolate,
         ));
-        assert!(smart > naive, "interpolation {smart} should beat naive {naive}");
+        assert!(
+            smart > naive,
+            "interpolation {smart} should beat naive {naive}"
+        );
     }
 
     #[test]
@@ -375,9 +398,16 @@ mod tests {
         let (left, effect, right_state) = orthogonal_boundary(2);
         let chain = SwapTestChain::new(3, left, effect);
         let optimal = chain.optimal_acceptance();
-        for strat in [ChainCheat::AllLeft, ChainCheat::AllRight, ChainCheat::Interpolate] {
+        for strat in [
+            ChainCheat::AllLeft,
+            ChainCheat::AllRight,
+            ChainCheat::Interpolate,
+        ] {
             let p = chain.acceptance_separable(&cheating_proof(&chain, &right_state, strat));
-            assert!(p <= optimal + 1e-8, "{strat:?}: separable {p} exceeds optimal {optimal}");
+            assert!(
+                p <= optimal + 1e-8,
+                "{strat:?}: separable {p} exceeds optimal {optimal}"
+            );
         }
         // And respects the paper's bound.
         assert!(optimal <= SwapTestChain::paper_soundness_bound(3) + 1e-9);
@@ -395,7 +425,10 @@ mod tests {
                 .map(|_| (gen.random_pure(&[2]), gen.random_pure(&[2])))
                 .collect();
             let p = chain.acceptance_separable(&proof);
-            assert!(p <= optimal + 1e-8, "random separable proof {p} exceeds optimal {optimal}");
+            assert!(
+                p <= optimal + 1e-8,
+                "random separable proof {p} exceeds optimal {optimal}"
+            );
         }
     }
 
@@ -440,13 +473,12 @@ mod tests {
     fn entangled_optimum_never_below_best_separable_on_nonorthogonal_boundaries() {
         // Boundary states with overlap 1/2 (a harder no-instance than orthogonal ones).
         let left = PureState::single(2, 0);
-        let right = PureState::from_amplitudes(
-            &[2],
-            CVector::from_reals(&[0.5f64.sqrt(), 0.5f64.sqrt()]),
-        );
+        let right =
+            PureState::from_amplitudes(&[2], CVector::from_reals(&[0.5f64.sqrt(), 0.5f64.sqrt()]));
         let effect = CMatrix::projector(right.amplitudes());
         let chain = SwapTestChain::new(2, left, effect);
-        let sep = chain.acceptance_separable(&cheating_proof(&chain, &right, ChainCheat::Interpolate));
+        let sep =
+            chain.acceptance_separable(&cheating_proof(&chain, &right, ChainCheat::Interpolate));
         let opt = chain.optimal_acceptance();
         assert!(opt >= sep - 1e-9);
         assert!(opt < 1.0);

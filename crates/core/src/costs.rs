@@ -148,6 +148,9 @@ mod tests {
         assert!(table2_forall_local(1 << 8, 3, 4, 10) > table2_forall_local(1 << 8, 3, 4, 5));
         assert!(table2_qmacc_local(8, 10) > table2_qmacc_local(4, 10));
         assert!(table2_dqmasep_local(4, 20.0) > table2_dqmasep_local(4, 10.0));
-        assert!(table3_hard_problem(HardProblem::InnerProduct, 256) > table3_hard_problem(HardProblem::Disjointness, 256));
+        assert!(
+            table3_hard_problem(HardProblem::InnerProduct, 256)
+                > table3_hard_problem(HardProblem::Disjointness, 256)
+        );
     }
 }

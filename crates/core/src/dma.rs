@@ -178,7 +178,10 @@ mod tests {
             .fooling_attack(&eq_fooling_set(6))
             .expect("pigeonhole guarantees a collision");
         let eq = Equality { n: 6 };
-        assert!(!eq.eval(&attack.x, &attack.y), "the attack input must be a 0-input");
+        assert!(
+            !eq.eval(&attack.x, &attack.y),
+            "the attack input must be a 0-input"
+        );
         assert!(
             proto.accepts(&attack.x, &attack.y, &attack.assignment),
             "every node must accept the forged assignment"
@@ -189,7 +192,7 @@ mod tests {
     fn attack_threshold_matches_the_paper_formula() {
         // Total proof below ⌊(r-1)/2ν⌋·⌊(n-1)/2⌋ bits -> attackable.
         assert_eq!(dma_total_proof_threshold(9, 5, 1), 2 * 4);
-        assert_eq!(dma_total_proof_threshold(9, 5, 2), 1 * 4);
+        assert_eq!(dma_total_proof_threshold(9, 5, 2), 4);
         assert_eq!(dma_total_proof_threshold(3, 1, 1), 0);
         // The threshold grows linearly in both r and n: the Ω(rn) lower bound.
         assert!(dma_total_proof_threshold(65, 33, 1) >= 16 * 32);

@@ -105,7 +105,10 @@ impl EqPathProtocol {
     /// Acceptance probability of the full `k`-fold repetition assuming the
     /// prover plays the same strategy independently in every repetition.
     pub fn repeated_acceptance(&self, x: &BitString, y: &BitString, cheat: ChainCheat) -> f64 {
-        SwapTestChain::repeated_soundness(self.single_round_acceptance(x, y, cheat), self.repetitions)
+        SwapTestChain::repeated_soundness(
+            self.single_round_acceptance(x, y, cheat),
+            self.repetitions,
+        )
     }
 
     /// Exact soundness error of a single repetition against arbitrary
@@ -120,7 +123,8 @@ impl EqPathProtocol {
         let q = self.protocol.scheme().qubits() as u64;
         let single = SwapTestChain::new(
             self.r,
-            self.protocol.alice_message(&BitString::zeros(self.input_len())),
+            self.protocol
+                .alice_message(&BitString::zeros(self.input_len())),
             qsim::CMatrix::identity(self.protocol.message_dim()),
         )
         .costs(q);
@@ -190,7 +194,11 @@ mod tests {
         let proto = small_protocol(4, 3);
         let x = BitString::from_u64(3, 4);
         let y = BitString::from_u64(12, 4);
-        for cheat in [ChainCheat::AllLeft, ChainCheat::AllRight, ChainCheat::Interpolate] {
+        for cheat in [
+            ChainCheat::AllLeft,
+            ChainCheat::AllRight,
+            ChainCheat::Interpolate,
+        ] {
             let p = proto.single_round_acceptance(&x, &y, cheat);
             assert!(p < 1.0 - 1e-4, "{cheat:?} accepted with probability {p}");
         }
@@ -244,7 +252,11 @@ mod tests {
         let opt = proto.single_round_optimal_acceptance(&x, &y);
         assert!(opt < 1.0 - 1e-6);
         // No separable strategy can beat it.
-        for cheat in [ChainCheat::AllLeft, ChainCheat::AllRight, ChainCheat::Interpolate] {
+        for cheat in [
+            ChainCheat::AllLeft,
+            ChainCheat::AllRight,
+            ChainCheat::Interpolate,
+        ] {
             assert!(proto.single_round_acceptance(&x, &y, cheat) <= opt + 1e-8);
         }
     }
@@ -253,7 +265,8 @@ mod tests {
     fn paper_local_cost_formula_shape() {
         assert!(EqPathProtocol::paper_local_cost(16, 8) > EqPathProtocol::paper_local_cost(16, 4));
         assert!(
-            EqPathProtocol::paper_local_cost(256, 4) / EqPathProtocol::paper_local_cost(16, 4) < 2.5
+            EqPathProtocol::paper_local_cost(256, 4) / EqPathProtocol::paper_local_cost(16, 4)
+                < 2.5
         );
     }
 }

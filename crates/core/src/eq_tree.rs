@@ -112,14 +112,21 @@ impl EqTreeProtocol {
         proof: &[(PureState, PureState)],
     ) -> f64 {
         let leaves: Vec<usize> = self.tree.terminal_leaves().to_vec();
-        assert_eq!(inputs.len(), leaves.len(), "one input per terminal required");
+        assert_eq!(
+            inputs.len(),
+            leaves.len(),
+            "one input per terminal required"
+        );
         let proof_nodes = self.proof_nodes();
         assert_eq!(
             proof.len(),
             proof_nodes.len(),
             "one register pair per proof node required"
         );
-        assert!(proof_nodes.len() <= 16, "too many proof nodes for exact enumeration");
+        assert!(
+            proof_nodes.len() <= 16,
+            "too many proof nodes for exact enumeration"
+        );
 
         // Fingerprints sent by the terminal leaves.
         let leaf_state = |idx: usize| -> Option<PureState> {
@@ -188,8 +195,15 @@ impl EqTreeProtocol {
 
     /// Acceptance of the full repeated protocol when the prover plays the same
     /// separable strategy independently in each repetition.
-    pub fn repeated_acceptance(&self, inputs: &[BitString], proof: &[(PureState, PureState)]) -> f64 {
-        SwapTestChain::repeated_soundness(self.acceptance_separable(inputs, proof), self.repetitions)
+    pub fn repeated_acceptance(
+        &self,
+        inputs: &[BitString],
+        proof: &[(PureState, PureState)],
+    ) -> f64 {
+        SwapTestChain::repeated_soundness(
+            self.acceptance_separable(inputs, proof),
+            self.repetitions,
+        )
     }
 
     /// Cost summary of the full repeated protocol (Theorem 19): local proof and
@@ -228,9 +242,10 @@ mod tests {
 
     fn spider_protocol(legs: usize, leg_len: usize, n: usize) -> (EqTreeProtocol, Vec<usize>) {
         let g = topology::spider(legs, leg_len);
-        let terminals: Vec<usize> = (0..legs).map(|k| topology::spider_leaf(k, leg_len)).collect();
-        let proto =
-            EqTreeProtocol::with_scheme(&g, &terminals, FingerprintScheme::small(n, 5), 4);
+        let terminals: Vec<usize> = (0..legs)
+            .map(|k| topology::spider_leaf(k, leg_len))
+            .collect();
+        let proto = EqTreeProtocol::with_scheme(&g, &terminals, FingerprintScheme::small(n, 5), 4);
         (proto, terminals)
     }
 
@@ -244,8 +259,7 @@ mod tests {
     #[test]
     fn perfect_completeness_on_path_terminals() {
         let g = topology::path(4);
-        let proto =
-            EqTreeProtocol::with_scheme(&g, &[0, 4], FingerprintScheme::small(3, 2), 2);
+        let proto = EqTreeProtocol::with_scheme(&g, &[0, 4], FingerprintScheme::small(3, 2), 2);
         let x = BitString::from_u64(5, 3);
         assert!((proto.completeness(&x) - 1.0).abs() < 1e-9);
     }
@@ -275,7 +289,10 @@ mod tests {
             .collect();
         let p_one = proto.acceptance_separable(&one_off, &proto.uniform_proof(&base));
         let p_all = proto.acceptance_separable(&all_diff, &proto.uniform_proof(&base));
-        assert!(p_all <= p_one + 1e-9, "all-different {p_all} vs one-off {p_one}");
+        assert!(
+            p_all <= p_one + 1e-9,
+            "all-different {p_all} vs one-off {p_one}"
+        );
     }
 
     #[test]
@@ -300,7 +317,8 @@ mod tests {
         );
         // The FGNP bound, in contrast, doubles.
         assert!(
-            EqTreeProtocol::fgnp_local_cost(n, 2, 6) > 1.9 * EqTreeProtocol::fgnp_local_cost(n, 2, 3)
+            EqTreeProtocol::fgnp_local_cost(n, 2, 6)
+                > 1.9 * EqTreeProtocol::fgnp_local_cost(n, 2, 3)
         );
     }
 

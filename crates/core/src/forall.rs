@@ -119,7 +119,10 @@ impl<P: OneWayProtocol> ForAllProtocol<P> {
     /// Acceptance of the repeated protocol under independent per-repetition
     /// strategies.
     pub fn repeated_acceptance(&self, inputs: &[BitString], cheat: ChainCheat) -> f64 {
-        SwapTestChain::repeated_soundness(self.single_round_acceptance(inputs, cheat), self.repetitions)
+        SwapTestChain::repeated_soundness(
+            self.single_round_acceptance(inputs, cheat),
+            self.repetitions,
+        )
     }
 
     /// Cost summary (Theorem 32): every node participates in up to `t` trees,
@@ -179,24 +182,16 @@ mod tests {
 
     #[test]
     fn eq_lift_has_perfect_completeness() {
-        let proto = ForAllProtocol::new(
-            EqOneWay::new(FingerprintScheme::small(4, 3)),
-            3,
-            1,
-        )
-        .with_repetitions(2);
+        let proto = ForAllProtocol::new(EqOneWay::new(FingerprintScheme::small(4, 3)), 3, 1)
+            .with_repetitions(2);
         let ins = inputs(&[9, 9, 9], 4);
         assert!((proto.completeness(&ins) - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn eq_lift_rejects_a_differing_terminal() {
-        let proto = ForAllProtocol::new(
-            EqOneWay::new(FingerprintScheme::small(4, 3)),
-            3,
-            1,
-        )
-        .with_repetitions(4);
+        let proto = ForAllProtocol::new(EqOneWay::new(FingerprintScheme::small(4, 3)), 3, 1)
+            .with_repetitions(4);
         let ins = inputs(&[9, 9, 6], 4);
         let single = proto.single_round_acceptance(&ins, ChainCheat::Interpolate);
         assert!(single < 1.0 - 1e-4, "single-round acceptance {single}");
@@ -207,7 +202,8 @@ mod tests {
     #[test]
     fn hamming_lift_accepts_close_inputs_and_rejects_far_ones() {
         // Exact HAM<=1 one-way protocol on 3-bit inputs, three terminals.
-        let proto = ForAllProtocol::new(ExactHammingOneWay { n: 3, d: 1 }, 3, 1).with_repetitions(4);
+        let proto =
+            ForAllProtocol::new(ExactHammingOneWay { n: 3, d: 1 }, 3, 1).with_repetitions(4);
         let close = inputs(&[0b101, 0b100, 0b101], 3);
         assert!(HammingMulti { n: 3, t: 3, d: 1 }.eval(&close));
         assert!((proto.completeness(&close) - 1.0).abs() < 1e-9);

@@ -56,7 +56,11 @@ impl<Q: QmaOneWayProtocol> QmaccPathProtocol<Q> {
     /// The state the left extremity forwards when Merlin sends `proof0`:
     /// `U_x (|proof0> ⊗ |0…0>)`.
     pub fn left_state(&self, x: &Q::Input, proof0: &PureState) -> PureState {
-        assert_eq!(proof0.dim(), self.qma.proof_dim(), "proof dimension mismatch");
+        assert_eq!(
+            proof0.dim(),
+            self.qma.proof_dim(),
+            "proof dimension mismatch"
+        );
         let ancilla = PureState::single(self.qma.ancilla_dim(), 0);
         let mut joint = proof0.tensor(&ancilla).regroup(&[self.qma.message_dim()]);
         joint.apply_unitary(&[0], &self.qma.alice_unitary(x));
@@ -199,9 +203,13 @@ mod tests {
         let proof0 = proto.qma().honest_proof(&inst.v1, &inst.v2);
         let chain = proto.chain(&inst.v1, &inst.v2, &proof0);
         let target = proto.left_state(&inst.v1, &proof0);
-        let cheat = crate::chain::cheating_proof(&chain, &target, crate::chain::ChainCheat::Interpolate);
+        let cheat =
+            crate::chain::cheating_proof(&chain, &target, crate::chain::ChainCheat::Interpolate);
         let p = proto.single_round_acceptance(&inst.v1, &inst.v2, &proof0, &cheat);
-        assert!(p <= SwapTestChain::paper_soundness_bound(3) + 1e-9, "acceptance {p}");
+        assert!(
+            p <= SwapTestChain::paper_soundness_bound(3) + 1e-9,
+            "acceptance {p}"
+        );
     }
 
     #[test]
@@ -223,7 +231,11 @@ mod tests {
         assert!(dqmasep_from_dqma_local_cost(4, 20.0) > dqmasep_from_dqma_local_cost(4, 10.0));
         let spec = QmaCommSpec {
             name: "f".into(),
-            costs: QmaCosts { proof_to_alice: 3, proof_to_bob: 1, communication: 4 },
+            costs: QmaCosts {
+                proof_to_alice: 3,
+                proof_to_bob: 1,
+                communication: 4,
+            },
             rounds: 2,
         };
         assert!(dqmasep_from_qmacc_local_cost(8, &spec) > dqmasep_from_qmacc_local_cost(4, &spec));

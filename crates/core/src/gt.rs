@@ -135,7 +135,10 @@ impl GtPathProtocol {
         let (a, b, _) = self.oriented(x, y);
         match certificate {
             GtCertificate::Equal => {
-                if !matches!(self.comparison, Comparison::GreaterEqual | Comparison::LessEqual) {
+                if !matches!(
+                    self.comparison,
+                    Comparison::GreaterEqual | Comparison::LessEqual
+                ) {
                     return 0.0;
                 }
                 // Run the plain EQ chain on the full strings.
@@ -301,10 +304,12 @@ mod tests {
         assert!((proto.completeness(&x, &x) - 1.0).abs() < 1e-10);
         // Strict GT must not accept equality via the Equal certificate.
         let strict = small(4, 3, Comparison::Greater);
-        assert!(strict
-            .single_round_acceptance(&x, &x, GtCertificate::Equal, ChainCheat::AllLeft)
-            .abs()
-            < 1e-12);
+        assert!(
+            strict
+                .single_round_acceptance(&x, &x, GtCertificate::Equal, ChainCheat::AllLeft)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@
 //! use dqma::eq_path::EqPathProtocol;
 //!
 //! // EQ on a path of length 3 with 4-bit inputs.
-//! let protocol = EqPathProtocol::with_scheme(3, FingerprintScheme::small(4, 7), 8);
+//! let protocol = EqPathProtocol::with_scheme(3, FingerprintScheme::small(4, 40), 8);
 //! let x = BitString::from_str01("1010");
 //! let y = BitString::from_str01("0110");
 //!

@@ -136,7 +136,10 @@ mod tests {
         assert_eq!(entangled_r_bound(7), 7.0);
         assert!(entangled_combined_bound(1 << 20, 0.01) > entangled_combined_bound(1 << 6, 0.01));
         assert!(entangled_ratio_bound(1 << 20, 2, 0.01) > entangled_ratio_bound(1 << 20, 8, 0.01));
-        assert!(hard_problem_bound(HardProblem::InnerProduct, 64) > hard_problem_bound(HardProblem::Disjointness, 64));
+        assert!(
+            hard_problem_bound(HardProblem::InnerProduct, 64)
+                > hard_problem_bound(HardProblem::Disjointness, 64)
+        );
     }
 
     #[test]
@@ -188,10 +191,7 @@ mod tests {
         let scheme = FingerprintScheme::small(3, 9);
         let a = scheme.fingerprint(&BitString::from_u64(1, 3));
         let b = scheme.fingerprint(&BitString::from_u64(6, 3));
-        let d = distinguishing_bound(
-            &DensityMatrix::from_pure(&a),
-            &DensityMatrix::from_pure(&b),
-        );
+        let d = distinguishing_bound(&DensityMatrix::from_pure(&a), &DensityMatrix::from_pure(&b));
         let overlap = a.inner(&b).abs();
         assert!((d - (1.0 - overlap * overlap).sqrt()).abs() < 1e-8);
     }

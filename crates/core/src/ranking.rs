@@ -76,13 +76,7 @@ impl RankingProtocol {
             Direction::GreaterEqual => Comparison::GreaterEqual,
             Direction::Less => Comparison::Less,
         };
-        GtPathProtocol::with_scheme(
-            self.n,
-            self.leg_len,
-            comparison,
-            self.scheme.clone(),
-            1,
-        )
+        GtPathProtocol::with_scheme(self.n, self.leg_len, comparison, self.scheme.clone(), 1)
     }
 
     /// The honest directions for the given inputs (index 0 is the root
@@ -123,7 +117,11 @@ impl RankingProtocol {
         cheat: ChainCheat,
     ) -> f64 {
         assert_eq!(inputs.len(), self.t, "one input per terminal required");
-        assert_eq!(directions.len(), self.t - 1, "one direction per leaf required");
+        assert_eq!(
+            directions.len(),
+            self.t - 1,
+            "one direction per leaf required"
+        );
         if !self.root_count_check(directions) {
             return 0.0;
         }
@@ -133,7 +131,12 @@ impl RankingProtocol {
             let p = match leg.honest_certificate(&inputs[0], &inputs[k + 1]) {
                 Some(cert) if *direction == self.true_direction(&inputs[0], &inputs[k + 1]) => {
                     // Truthful direction: the prover can run the leg honestly.
-                    leg.single_round_acceptance(&inputs[0], &inputs[k + 1], cert, ChainCheat::AllLeft)
+                    leg.single_round_acceptance(
+                        &inputs[0],
+                        &inputs[k + 1],
+                        cert,
+                        ChainCheat::AllLeft,
+                    )
                 }
                 _ => {
                     // Lying about this leg: the best it can do is cheat the GT chain.
@@ -191,7 +194,10 @@ impl RankingProtocol {
 
     /// Acceptance of the repeated protocol under the best cheating strategy.
     pub fn repeated_cheating_acceptance(&self, inputs: &[BitString], cheat: ChainCheat) -> f64 {
-        SwapTestChain::repeated_soundness(self.best_cheating_acceptance(inputs, cheat), self.repetitions)
+        SwapTestChain::repeated_soundness(
+            self.best_cheating_acceptance(inputs, cheat),
+            self.repetitions,
+        )
     }
 
     /// Cost summary (Theorem 29): `t − 1` parallel GT legs of length `leg_len`,
@@ -243,7 +249,12 @@ mod tests {
         let ins = inputs(&[9, 5, 3], 4);
         assert!((proto.completeness(&ins) - 1.0).abs() < 1e-10);
         // Consistency with the problem definition.
-        let rv = RankingVerification { n: 4, t: 3, i: 0, j: 1 };
+        let rv = RankingVerification {
+            n: 4,
+            t: 3,
+            i: 0,
+            j: 1,
+        };
         assert!(rv.eval(&ins));
     }
 
@@ -260,7 +271,10 @@ mod tests {
         // Root holds 5 (2nd largest) but claims rank 1.
         let proto = small(4, 3, 1);
         let ins = inputs(&[5, 9, 3], 4);
-        assert!(proto.completeness(&ins) < 1e-12, "honest directions fail the count");
+        assert!(
+            proto.completeness(&ins) < 1e-12,
+            "honest directions fail the count"
+        );
         let best = proto.best_cheating_acceptance(&ins, ChainCheat::Interpolate);
         assert!(best < 1.0 - 1e-4, "best cheating acceptance {best}");
         let repeated = proto.repeated_cheating_acceptance(&ins, ChainCheat::Interpolate);
@@ -291,7 +305,8 @@ mod tests {
         assert!(c6.local_proof_qubits >= c3.local_proof_qubits);
         assert!(c6.total_proof_qubits > c3.total_proof_qubits);
         assert!(
-            RankingProtocol::paper_local_cost(16, 3, 6) > RankingProtocol::paper_local_cost(16, 3, 3)
+            RankingProtocol::paper_local_cost(16, 3, 6)
+                > RankingProtocol::paper_local_cost(16, 3, 3)
         );
     }
 }

@@ -253,8 +253,10 @@ mod tests {
         let spacing = |n: usize| (n as f64).powf(1.0 / 3.0).ceil() as usize;
         let n_small = 1usize << 12;
         let n_large = 1usize << 24;
-        let q_small = RelayEqProtocol::costs_for(n_small, r, spacing(n_small)).total_proof_qubits as f64;
-        let q_large = RelayEqProtocol::costs_for(n_large, r, spacing(n_large)).total_proof_qubits as f64;
+        let q_small =
+            RelayEqProtocol::costs_for(n_small, r, spacing(n_small)).total_proof_qubits as f64;
+        let q_large =
+            RelayEqProtocol::costs_for(n_large, r, spacing(n_large)).total_proof_qubits as f64;
         let quantum_growth = q_large / q_small;
         let classical_growth = RelayEqProtocol::trivial_classical_total(n_large, r)
             / RelayEqProtocol::trivial_classical_total(n_small, r);

@@ -30,7 +30,10 @@ impl SpanningTree {
     /// Panics if the graph is disconnected or `root` is out of range.
     pub fn bfs(graph: &Graph, root: usize) -> Self {
         assert!(root < graph.num_nodes(), "root out of range");
-        assert!(graph.is_connected(), "BFS spanning tree requires a connected graph");
+        assert!(
+            graph.is_connected(),
+            "BFS spanning tree requires a connected graph"
+        );
         let n = graph.num_nodes();
         let mut parent = vec![None; n];
         let mut depth = vec![None; n];
@@ -94,7 +97,9 @@ impl SpanningTree {
 
     /// All nodes currently in the tree.
     pub fn nodes(&self) -> Vec<usize> {
-        (0..self.num_graph_nodes).filter(|&v| self.contains(v)).collect()
+        (0..self.num_graph_nodes)
+            .filter(|&v| self.contains(v))
+            .collect()
     }
 
     /// The path from `v` to the root (inclusive of both).
@@ -129,8 +134,8 @@ impl SpanningTree {
             }
         }
         // Drop unmarked nodes.
-        for v in 0..n {
-            if self.contains(v) && !marked[v] {
+        for (v, &kept) in marked.iter().enumerate() {
+            if self.contains(v) && !kept {
                 self.depth[v] = None;
                 self.parent[v] = None;
                 self.children[v].clear();
@@ -232,11 +237,14 @@ impl TerminalTree {
                 is_virtual: false,
             });
             depth.push(bfs.depth(v).expect("kept node has depth"));
-            parent.push(bfs.parent(v).map(|p| logical_of_physical[p].expect("parent precedes child")));
+            parent.push(
+                bfs.parent(v)
+                    .map(|p| logical_of_physical[p].expect("parent precedes child")),
+            );
             children.push(Vec::new());
         }
-        for idx in 0..nodes.len() {
-            if let Some(p) = parent[idx] {
+        for (idx, maybe_parent) in parent.iter().enumerate() {
+            if let Some(p) = *maybe_parent {
                 children[p].push(idx);
             }
         }
@@ -391,7 +399,11 @@ pub fn verify_tree_proof(graph: &Graph, labels: &[TreeLabel]) -> Vec<bool> {
         .map(|v| {
             let l = labels[v];
             // Root id must be consistent with every neighbour.
-            if graph.neighbors(v).iter().any(|&u| labels[u].root_id != l.root_id) {
+            if graph
+                .neighbors(v)
+                .iter()
+                .any(|&u| labels[u].root_id != l.root_id)
+            {
                 return false;
             }
             match l.parent {
@@ -471,10 +483,10 @@ mod tests {
         let g = topology::spider(4, 3);
         let terminals: Vec<usize> = (0..4).map(|k| topology::spider_leaf(k, 3)).collect();
         let tt = TerminalTree::build(&g, &terminals);
-        for i in 0..terminals.len() {
+        for (i, &t) in terminals.iter().enumerate() {
             let leaf = tt.terminal_leaf(i);
             assert!(tt.children(leaf).is_empty(), "terminal {i} must be a leaf");
-            assert_eq!(tt.node(leaf).physical, terminals[i]);
+            assert_eq!(tt.node(leaf).physical, t);
         }
         assert!(tt.max_depth() <= g.radius() + 1 + 3); // depth bounded by eccentricity of root terminal + 1
     }
@@ -487,7 +499,10 @@ mod tests {
         // Terminal 2 is the most central, so it is the root; it must still own a leaf.
         let root = tt.root();
         assert_eq!(tt.node(root).physical, 2);
-        assert!(tt.node(root).is_virtual, "root position is the virtual relay copy");
+        assert!(
+            tt.node(root).is_virtual,
+            "root position is the virtual relay copy"
+        );
         let leaf_idx = tt.terminal_leaf(1);
         assert_eq!(tt.node(leaf_idx).physical, 2);
         assert!(!tt.node(leaf_idx).is_virtual);
@@ -511,7 +526,10 @@ mod tests {
         let t = SpanningTree::bfs(&g, 2);
         let labels = tree_proof(&t);
         let verdicts = verify_tree_proof(&g, &labels);
-        assert!(verdicts.iter().all(|&b| b), "honest proof must be accepted everywhere");
+        assert!(
+            verdicts.iter().all(|&b| b),
+            "honest proof must be accepted everywhere"
+        );
     }
 
     #[test]
@@ -525,7 +543,11 @@ mod tests {
         assert!(!verdicts[3]);
         // Forge: two different roots.
         let mut labels2 = tree_proof(&t);
-        labels2[5] = TreeLabel { root_id: 5, dist: 0, parent: None };
+        labels2[5] = TreeLabel {
+            root_id: 5,
+            dist: 0,
+            parent: None,
+        };
         let verdicts2 = verify_tree_proof(&g, &labels2);
         assert!(verdicts2.iter().any(|&b| !b));
     }
@@ -536,10 +558,26 @@ mod tests {
         // distances cannot all decrease along a cycle.
         let g = topology::cycle(4);
         let labels = vec![
-            TreeLabel { root_id: 0, dist: 1, parent: Some(1) },
-            TreeLabel { root_id: 0, dist: 1, parent: Some(2) },
-            TreeLabel { root_id: 0, dist: 1, parent: Some(3) },
-            TreeLabel { root_id: 0, dist: 1, parent: Some(0) },
+            TreeLabel {
+                root_id: 0,
+                dist: 1,
+                parent: Some(1),
+            },
+            TreeLabel {
+                root_id: 0,
+                dist: 1,
+                parent: Some(2),
+            },
+            TreeLabel {
+                root_id: 0,
+                dist: 1,
+                parent: Some(3),
+            },
+            TreeLabel {
+                root_id: 0,
+                dist: 1,
+                parent: Some(0),
+            },
         ];
         let verdicts = verify_tree_proof(&g, &labels);
         assert!(verdicts.iter().any(|&b| !b));

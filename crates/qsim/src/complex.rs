@@ -169,6 +169,7 @@ impl Mul for Complex {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w⁻¹ by definition
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }

@@ -7,6 +7,7 @@
 //! (Lemmas 14, 16 and 17 of the paper).
 
 use crate::complex::Complex;
+use crate::kernels;
 use crate::linalg::{eigh, CMatrix};
 use crate::state::{flat_index, total_dim, unflatten_index, PureState};
 use rand::Rng;
@@ -32,7 +33,10 @@ pub fn embed_operator(dims: &[usize], targets: &[usize], op: &CMatrix) -> CMatri
     );
     for (i, &t) in targets.iter().enumerate() {
         assert!(t < dims.len(), "target {t} out of range");
-        assert!(!targets[(i + 1)..].contains(&t), "duplicate target subsystem {t}");
+        assert!(
+            !targets[(i + 1)..].contains(&t),
+            "duplicate target subsystem {t}"
+        );
     }
     let full = total_dim(dims);
     let mut out = CMatrix::zeros(full, full);
@@ -194,7 +198,11 @@ impl DensityMatrix {
     ///
     /// Panics if the product of `new_dims` differs from the total dimension.
     pub fn regroup(&self, new_dims: &[usize]) -> DensityMatrix {
-        assert_eq!(total_dim(new_dims), self.dim(), "regroup must preserve dimension");
+        assert_eq!(
+            total_dim(new_dims),
+            self.dim(),
+            "regroup must preserve dimension"
+        );
         DensityMatrix {
             dims: new_dims.to_vec(),
             mat: self.mat.clone(),
@@ -253,14 +261,38 @@ impl DensityMatrix {
     /// Partial trace discarding the listed subsystems; the kept subsystems stay
     /// in their original order.
     pub fn partial_trace_out(&self, discard: &[usize]) -> DensityMatrix {
-        let keep: Vec<usize> = (0..self.dims.len()).filter(|i| !discard.contains(i)).collect();
+        let keep: Vec<usize> = (0..self.dims.len())
+            .filter(|i| !discard.contains(i))
+            .collect();
         self.partial_trace_keep(&keep)
     }
 
     /// Applies a unitary to the listed target subsystems: `ρ → U ρ U†`.
+    ///
+    /// Runs as a direct strided conjugation through [`crate::kernels`]
+    /// (`O(D² · block)`): the full-dimension embedded operator is never
+    /// materialised and no dense `O(D³)` matmul is paid.
     pub fn apply_unitary(&mut self, targets: &[usize], u: &CMatrix) {
-        let full = embed_operator(&self.dims, targets, u);
-        self.mat = full.matmul(&self.mat).matmul(&full.adjoint());
+        kernels::conjugate_matrix(&mut self.mat, &self.dims, targets, u);
+    }
+
+    /// Applies an arbitrary local operator `A` (not necessarily unitary) to
+    /// the listed target subsystems: `ρ → A ρ A†`, without renormalising.
+    ///
+    /// This is the update step of a measurement effect; callers implementing
+    /// selective measurements divide by the outcome probability afterwards
+    /// (see [`DensityMatrix::rescale`]).
+    pub fn apply_local_operator(&mut self, targets: &[usize], a: &CMatrix) {
+        kernels::conjugate_matrix(&mut self.mat, &self.dims, targets, a);
+    }
+
+    /// Multiplies the matrix by a real scalar in place (e.g. `1/p` after a
+    /// selective measurement update).
+    pub fn rescale(&mut self, factor: f64) {
+        let f = Complex::real(factor);
+        for entry in self.mat.as_mut_slice() {
+            *entry *= f;
+        }
     }
 
     /// Applies a quantum channel given by Kraus operators acting on the listed
@@ -269,39 +301,79 @@ impl DensityMatrix {
         let d = self.dim();
         let mut out = CMatrix::zeros(d, d);
         for k in kraus {
-            let full = embed_operator(&self.dims, targets, k);
-            out = &out + &full.matmul(&self.mat).matmul(&full.adjoint());
+            let mut term = self.mat.clone();
+            kernels::conjugate_matrix(&mut term, &self.dims, targets, k);
+            out = &out + &term;
         }
         self.mat = out;
     }
 
     /// Expectation value `tr(op · ρ)` of an operator on the full register.
     ///
+    /// Computed as `Σ_{i,j} op[i,j] · ρ[j,i]` — `O(D²)`, no matrix product.
+    ///
     /// # Panics
     ///
     /// Panics if the operator dimension mismatches.
     pub fn expectation(&self, op: &CMatrix) -> Complex {
-        assert_eq!(op.rows(), self.dim(), "expectation operator dimension mismatch");
-        op.matmul(&self.mat).trace()
+        let d = self.dim();
+        assert_eq!(op.rows(), d, "expectation operator dimension mismatch");
+        assert_eq!(op.cols(), d, "expectation operator dimension mismatch");
+        let mut acc = Complex::ZERO;
+        for i in 0..d {
+            for j in 0..d {
+                let o = op[(i, j)];
+                if o.norm_sqr() != 0.0 {
+                    acc += o * self.mat[(j, i)];
+                }
+            }
+        }
+        acc
     }
 
     /// Expectation value of an operator acting on a subset of subsystems.
+    ///
+    /// The embedded operator `embed(op)` is block-local, so only
+    /// `O(D · block)` entries of `tr(embed(op) · ρ)` are nonzero; they are
+    /// summed directly through the strided layout — no embedded operator is
+    /// materialised and no matrix product is paid.
     pub fn expectation_on(&self, targets: &[usize], op: &CMatrix) -> Complex {
-        let full = embed_operator(&self.dims, targets, op);
-        self.expectation(&full)
+        let lay = kernels::layout(&self.dims, targets);
+        assert!(
+            op.rows() == lay.block && op.cols() == lay.block,
+            "operator dimension mismatch: got {}x{}, expected {block}x{block}",
+            op.rows(),
+            op.cols(),
+            block = lay.block
+        );
+        // tr(embed(op)·ρ) = Σ_base Σ_{r,c} op[r,c] · ρ[base+off_c, base+off_r]
+        let mut acc = Complex::ZERO;
+        lay.for_each_base(|base| {
+            for (r, &off_r) in lay.offsets.iter().enumerate() {
+                for (c, &off_c) in lay.offsets.iter().enumerate() {
+                    let o = op[(r, c)];
+                    if o.norm_sqr() != 0.0 {
+                        acc += o * self.mat[(base + off_c, base + off_r)];
+                    }
+                }
+            }
+        });
+        acc
     }
 
     /// Probability of the computational-basis outcome on the listed subsystems.
     pub fn outcome_probability(&self, targets: &[usize], outcome: &[usize]) -> f64 {
-        assert_eq!(targets.len(), outcome.len(), "outcome length mismatch");
-        let mut p = 0.0;
-        for flat in 0..self.dim() {
-            let multi = unflatten_index(&self.dims, flat);
-            if targets.iter().zip(outcome.iter()).all(|(&t, &o)| multi[t] == o) {
-                p += self.mat[(flat, flat)].re;
+        match kernels::outcome_offset(&self.dims, targets, outcome) {
+            None => 0.0,
+            Some((lay, offset)) => {
+                let mut p = 0.0;
+                lay.for_each_base(|base| {
+                    let i = base + offset;
+                    p += self.mat[(i, i)].re;
+                });
+                p
             }
         }
-        p
     }
 
     /// Outcome distribution over the listed subsystems, indexed by the flat
@@ -309,10 +381,23 @@ impl DensityMatrix {
     pub fn outcome_distribution(&self, targets: &[usize]) -> Vec<f64> {
         let target_dims: Vec<usize> = targets.iter().map(|&t| self.dims[t]).collect();
         let mut probs = vec![0.0; total_dim(&target_dims)];
-        for flat in 0..self.dim() {
-            let multi = unflatten_index(&self.dims, flat);
-            let outcome: Vec<usize> = targets.iter().map(|&t| multi[t]).collect();
-            probs[flat_index(&target_dims, &outcome)] += self.mat[(flat, flat)].re;
+        if kernels::targets_distinct(targets) {
+            let lay = kernels::layout(&self.dims, targets);
+            for (tb, &off) in lay.offsets.iter().enumerate() {
+                let mut acc = 0.0;
+                lay.for_each_base(|base| {
+                    let i = base + off;
+                    acc += self.mat[(i, i)].re;
+                });
+                probs[tb] = acc;
+            }
+        } else {
+            // Repeated targets: keep the original scan semantics.
+            for flat in 0..self.dim() {
+                let multi = unflatten_index(&self.dims, flat);
+                let outcome: Vec<usize> = targets.iter().map(|&t| multi[t]).collect();
+                probs[flat_index(&target_dims, &outcome)] += self.mat[(flat, flat)].re;
+            }
         }
         probs
     }
@@ -344,23 +429,22 @@ impl DensityMatrix {
     ///
     /// Panics if the outcome has (numerically) zero probability.
     pub fn collapse(&mut self, targets: &[usize], outcome: &[usize]) {
-        let p = self.outcome_probability(targets, outcome);
-        assert!(p > 1e-300, "cannot collapse onto a zero-probability outcome");
+        let (lay, offset) = match kernels::outcome_offset(&self.dims, targets, outcome) {
+            Some(found) => found,
+            None => panic!("cannot collapse onto a zero-probability outcome"),
+        };
+        let mut kept = Vec::with_capacity(lay.other_total);
+        lay.for_each_base(|base| kept.push(base + offset));
+        let p: f64 = kept.iter().map(|&i| self.mat[(i, i)].re).sum();
+        assert!(
+            p > 1e-300,
+            "cannot collapse onto a zero-probability outcome"
+        );
         let d = self.dim();
-        let mut keep = vec![false; d];
-        for (flat, k) in keep.iter_mut().enumerate() {
-            let multi = unflatten_index(&self.dims, flat);
-            *k = targets.iter().zip(outcome.iter()).all(|(&t, &o)| multi[t] == o);
-        }
         let mut out = CMatrix::zeros(d, d);
-        for r in 0..d {
-            if !keep[r] {
-                continue;
-            }
-            for c in 0..d {
-                if keep[c] {
-                    out[(r, c)] = self.mat[(r, c)] / p;
-                }
+        for &r in &kept {
+            for &c in &kept {
+                out[(r, c)] = self.mat[(r, c)] / p;
             }
         }
         self.mat = out;
@@ -419,8 +503,12 @@ mod tests {
         let rho = DensityMatrix::from_pure(&a.tensor(&b));
         let ra = rho.partial_trace_keep(&[0]);
         let rb = rho.partial_trace_keep(&[1]);
-        assert!(ra.matrix().approx_eq(DensityMatrix::from_pure(&a).matrix(), 1e-12));
-        assert!(rb.matrix().approx_eq(DensityMatrix::from_pure(&b).matrix(), 1e-12));
+        assert!(ra
+            .matrix()
+            .approx_eq(DensityMatrix::from_pure(&a).matrix(), 1e-12));
+        assert!(rb
+            .matrix()
+            .approx_eq(DensityMatrix::from_pure(&b).matrix(), 1e-12));
     }
 
     #[test]
@@ -435,7 +523,9 @@ mod tests {
         let zero = DensityMatrix::from_pure(&PureState::single(2, 0));
         let one = DensityMatrix::from_pure(&PureState::single(2, 1));
         let m = DensityMatrix::mixture(&[(2.0, zero), (2.0, one)]);
-        assert!(m.matrix().approx_eq(DensityMatrix::maximally_mixed(&[2]).matrix(), 1e-12));
+        assert!(m
+            .matrix()
+            .approx_eq(DensityMatrix::maximally_mixed(&[2]).matrix(), 1e-12));
         assert!((m.purity() - 0.5).abs() < 1e-12);
     }
 

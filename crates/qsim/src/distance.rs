@@ -144,7 +144,7 @@ mod tests {
         let dcb = trace_distance(&c, &b);
         assert!((dab - dba).abs() < 1e-10);
         assert!(dab <= dac + dcb + 1e-9, "triangle inequality violated");
-        assert!(dab >= 0.0 && dab <= 1.0 + 1e-12);
+        assert!((0.0..=1.0 + 1e-12).contains(&dab));
     }
 
     #[test]
@@ -155,7 +155,10 @@ mod tests {
             let rho = gen.random_density(&[2, 2], 3);
             let sigma = gen.random_density(&[2, 2], 3);
             let d_full = trace_distance(&rho, &sigma);
-            let d_red = trace_distance(&rho.partial_trace_keep(&[0]), &sigma.partial_trace_keep(&[0]));
+            let d_red = trace_distance(
+                &rho.partial_trace_keep(&[0]),
+                &sigma.partial_trace_keep(&[0]),
+            );
             assert!(d_red <= d_full + 1e-8, "reduced {d_red} > full {d_full}");
         }
     }

@@ -76,7 +76,10 @@ pub fn swap(d: usize) -> CMatrix {
 /// arbitrary-dimension target unitary `u` (second factor):
 /// `|0><0| ⊗ I + |1><1| ⊗ U`.
 pub fn controlled(u: &CMatrix) -> CMatrix {
-    assert!(u.is_square(), "controlled() requires a square target unitary");
+    assert!(
+        u.is_square(),
+        "controlled() requires a square target unitary"
+    );
     let d = u.rows();
     let mut m = CMatrix::zeros(2 * d, 2 * d);
     for i in 0..d {
@@ -96,7 +99,11 @@ pub fn controlled(u: &CMatrix) -> CMatrix {
 /// Panics if `us.len() != c_dim`, or if the target unitaries have mismatched
 /// dimensions.
 pub fn multiplexed(c_dim: usize, us: &[CMatrix]) -> CMatrix {
-    assert_eq!(us.len(), c_dim, "one target unitary per control value required");
+    assert_eq!(
+        us.len(),
+        c_dim,
+        "one target unitary per control value required"
+    );
     let d = us[0].rows();
     assert!(
         us.iter().all(|u| u.rows() == d && u.cols() == d),
@@ -142,7 +149,14 @@ mod tests {
 
     #[test]
     fn standard_gates_are_unitary() {
-        for g in [hadamard(), pauli_x(), pauli_y(), pauli_z(), phase(0.7), cnot()] {
+        for g in [
+            hadamard(),
+            pauli_x(),
+            pauli_y(),
+            pauli_z(),
+            phase(0.7),
+            cnot(),
+        ] {
             assert!(g.is_unitary(1e-12));
         }
     }
@@ -176,11 +190,17 @@ mod tests {
         // Control |0>: |0>|1>|0> stays.
         let mut s = PureState::computational_basis(&[2, 2, 2], &[0, 1, 0]);
         s.apply_unitary(&[0, 1, 2], &cswap);
-        assert!(s.approx_eq(&PureState::computational_basis(&[2, 2, 2], &[0, 1, 0]), 1e-12));
+        assert!(s.approx_eq(
+            &PureState::computational_basis(&[2, 2, 2], &[0, 1, 0]),
+            1e-12
+        ));
         // Control |1>: |1>|1>|0> -> |1>|0>|1>.
         let mut s = PureState::computational_basis(&[2, 2, 2], &[1, 1, 0]);
         s.apply_unitary(&[0, 1, 2], &cswap);
-        assert!(s.approx_eq(&PureState::computational_basis(&[2, 2, 2], &[1, 0, 1]), 1e-12));
+        assert!(s.approx_eq(
+            &PureState::computational_basis(&[2, 2, 2], &[1, 0, 1]),
+            1e-12
+        ));
     }
 
     #[test]

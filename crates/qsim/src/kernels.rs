@@ -1,0 +1,813 @@
+//! Strided, in-place, allocation-free gate kernels.
+//!
+//! Every protocol cost in the companion crates is driven through repeated
+//! application of *local* operators — operators acting on a few target
+//! subsystems of a larger register. The naive way to do this (retained in
+//! [`crate::naive`] as a test oracle) re-derives a heap-allocated multi-index
+//! per amplitude and clones the full state per gate; the kernels here instead
+//!
+//! * precompute, once per call, the flat-index **offset** of every element of
+//!   the target block (`offsets[b] = Σ_k b_k · stride(targets[k])`);
+//! * enumerate the non-target subsystems with an incremental **odometer**
+//!   (one add/subtract per step, no allocation per amplitude);
+//! * gather/scatter each target block through those offsets and apply the
+//!   block operator in place.
+//!
+//! Cost: `O(D · block)` for a state vector of dimension `D` and
+//! `O(D² · block)` for a density-matrix conjugation — compared to
+//! `O(D · block²)` plus a full clone, respectively `O(D³)` plus a `D×D`
+//! temporary, for the naive path.
+//!
+//! Structured operators get fast paths: diagonal operators multiply in place
+//! (`O(D)`), and monomial operators — permutation matrices up to per-entry
+//! phases, which is what [`crate::gates::swap`], [`crate::permutation`] and
+//! [`crate::swap_test`] produce — scatter in `O(D)` instead of `O(D · block)`.
+//! Single-qubit (block = 2) dense operators use an unrolled 2×2 path.
+//!
+//! With the `parallel` crate feature the outer odometer loop of the two large
+//! kernels is split across `std::thread::scope` threads (rayon cannot be
+//! vendored in this offline build environment).
+
+use crate::complex::Complex;
+use crate::linalg::CMatrix;
+use crate::state::total_dim;
+
+/// Minimum number of scalar operations before the `parallel` feature spawns
+/// threads; below this the spawn overhead dominates.
+#[cfg(feature = "parallel")]
+const PARALLEL_THRESHOLD: usize = 1 << 15;
+
+/// Row-major subsystem strides: `strides[i]` is the flat-index distance
+/// between consecutive values of subsystem `i` (last subsystem fastest).
+pub(crate) fn subsystem_strides(dims: &[usize]) -> Vec<usize> {
+    let n = dims.len();
+    let mut strides = vec![1usize; n];
+    for i in (0..n.saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+/// Precomputed flat-index geometry of a set of target subsystems.
+pub(crate) struct TargetLayout {
+    /// Product of the target dimensions.
+    pub block: usize,
+    /// `offsets[b]` is the flat-index offset of target-block element `b`
+    /// (row-major over the target dimensions, `offsets[0] == 0`).
+    pub offsets: Vec<usize>,
+    /// Dimensions of the non-target subsystems.
+    pub other_dims: Vec<usize>,
+    /// Strides of the non-target subsystems.
+    pub other_strides: Vec<usize>,
+    /// Number of non-target index combinations.
+    pub other_total: usize,
+}
+
+/// Validates targets against `dims` with the same panic messages the previous
+/// implementations used, returning the per-target dimensions.
+pub(crate) fn validate_targets(dims: &[usize], targets: &[usize]) -> Vec<usize> {
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < dims.len(), "target {t} out of range");
+        assert!(
+            !targets[(i + 1)..].contains(&t),
+            "duplicate target subsystem {t}"
+        );
+    }
+    targets.iter().map(|&t| dims[t]).collect()
+}
+
+pub(crate) fn layout(dims: &[usize], targets: &[usize]) -> TargetLayout {
+    let strides = subsystem_strides(dims);
+    let target_dims = validate_targets(dims, targets);
+    let block = total_dim(&target_dims);
+
+    // Expand the block offsets target by target, most significant first, so
+    // that offsets[b] matches the row-major flat index `b` over target_dims.
+    let mut offsets = vec![0usize];
+    for (&t, &d) in targets.iter().zip(target_dims.iter()) {
+        let stride = strides[t];
+        let mut next = Vec::with_capacity(offsets.len() * d);
+        for &o in &offsets {
+            for v in 0..d {
+                next.push(o + v * stride);
+            }
+        }
+        offsets = next;
+    }
+    debug_assert_eq!(offsets.len(), block);
+
+    let mut other_dims = Vec::with_capacity(dims.len() - targets.len());
+    let mut other_strides = Vec::with_capacity(dims.len() - targets.len());
+    for i in 0..dims.len() {
+        if !targets.contains(&i) {
+            other_dims.push(dims[i]);
+            other_strides.push(strides[i]);
+        }
+    }
+    let other_total = total_dim(&other_dims);
+    TargetLayout {
+        block,
+        offsets,
+        other_dims,
+        other_strides,
+        other_total,
+    }
+}
+
+impl TargetLayout {
+    /// Calls `f(base)` for every combination of the non-target subsystem
+    /// indices, where `base` is the flat index with all targets at 0.
+    #[inline]
+    pub(crate) fn for_each_base(&self, f: impl FnMut(usize)) {
+        for_each_base_range(
+            &self.other_dims,
+            &self.other_strides,
+            0,
+            self.other_total,
+            f,
+        );
+    }
+}
+
+/// Odometer over the non-target subsystems, visiting base indices `lo..hi`
+/// (in row-major order of the non-target multi-index). One add per step.
+fn for_each_base_range(
+    other_dims: &[usize],
+    other_strides: &[usize],
+    lo: usize,
+    hi: usize,
+    mut f: impl FnMut(usize),
+) {
+    if lo >= hi {
+        return;
+    }
+    let n = other_dims.len();
+    if n == 0 {
+        f(0);
+        return;
+    }
+    // Seed the odometer at position `lo`.
+    let mut counters = vec![0usize; n];
+    let mut rest = lo;
+    let mut base = 0usize;
+    for i in (0..n).rev() {
+        counters[i] = rest % other_dims[i];
+        rest /= other_dims[i];
+        base += counters[i] * other_strides[i];
+    }
+    let mut remaining = hi - lo;
+    loop {
+        f(base);
+        remaining -= 1;
+        if remaining == 0 {
+            return;
+        }
+        let mut i = n;
+        loop {
+            debug_assert!(i > 0, "odometer overflow before visiting `remaining` bases");
+            i -= 1;
+            counters[i] += 1;
+            base += other_strides[i];
+            if counters[i] < other_dims[i] {
+                break;
+            }
+            base -= other_dims[i] * other_strides[i];
+            counters[i] = 0;
+        }
+    }
+}
+
+/// Resolves a (targets, outcome) measurement constraint into the layout of
+/// the constrained subsystems plus the flat-index offset encoding the
+/// outcome: the flat indices compatible with the outcome are exactly
+/// `{base + offset}` over the layout's bases. Returns `None` when the
+/// constraint is unsatisfiable (an out-of-range outcome value, or
+/// conflicting duplicate targets), which corresponds to probability zero.
+pub(crate) fn outcome_offset(
+    dims: &[usize],
+    targets: &[usize],
+    outcome: &[usize],
+) -> Option<(TargetLayout, usize)> {
+    assert_eq!(targets.len(), outcome.len(), "outcome length mismatch");
+    let mut fixed: Vec<Option<usize>> = vec![None; dims.len()];
+    for (&t, &o) in targets.iter().zip(outcome.iter()) {
+        assert!(t < dims.len(), "target {t} out of range");
+        if o >= dims[t] {
+            return None;
+        }
+        match fixed[t] {
+            None => fixed[t] = Some(o),
+            Some(prev) if prev != o => return None,
+            Some(_) => {}
+        }
+    }
+    let strides = subsystem_strides(dims);
+    let mut distinct = Vec::new();
+    let mut offset = 0usize;
+    for (i, slot) in fixed.iter().enumerate() {
+        if let Some(o) = slot {
+            distinct.push(i);
+            offset += o * strides[i];
+        }
+    }
+    Some((layout(dims, &distinct), offset))
+}
+
+/// Returns `true` when the target list has no repeats — the precondition for
+/// the layout-based fast paths; callers with repeated targets fall back to
+/// scan semantics.
+pub(crate) fn targets_distinct(targets: &[usize]) -> bool {
+    targets.len() <= 1
+        || targets
+            .iter()
+            .enumerate()
+            .all(|(i, t)| !targets[(i + 1)..].contains(t))
+}
+
+/// Structural classification of a block operator, used to pick fast paths.
+enum OpKind {
+    /// The identity: nothing to do.
+    Identity,
+    /// Diagonal: entrywise multiplication.
+    Diagonal(Vec<Complex>),
+    /// One nonzero per row: `out[r] = phase[r] · in[src[r]]`. Covers
+    /// permutation operators (SWAP, register cycles) and phased variants.
+    Monomial {
+        src: Vec<usize>,
+        phase: Vec<Complex>,
+    },
+    /// General dense operator.
+    Dense,
+}
+
+fn classify(u: &CMatrix) -> OpKind {
+    let n = u.rows();
+    let mut diagonal = true;
+    'diag: for r in 0..n {
+        for c in 0..n {
+            if r != c && u[(r, c)].norm_sqr() != 0.0 {
+                diagonal = false;
+                break 'diag;
+            }
+        }
+    }
+    if diagonal {
+        let d: Vec<Complex> = (0..n).map(|i| u[(i, i)]).collect();
+        if d.iter().all(|&z| z == Complex::ONE) {
+            return OpKind::Identity;
+        }
+        return OpKind::Diagonal(d);
+    }
+    let mut src = Vec::with_capacity(n);
+    let mut phase = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut nonzero = None;
+        for c in 0..n {
+            if u[(r, c)].norm_sqr() != 0.0 {
+                if nonzero.is_some() {
+                    return OpKind::Dense;
+                }
+                nonzero = Some(c);
+            }
+        }
+        match nonzero {
+            Some(c) => {
+                src.push(c);
+                phase.push(u[(r, c)]);
+            }
+            None => return OpKind::Dense,
+        }
+    }
+    OpKind::Monomial { src, phase }
+}
+
+/// Applies a local operator to a state vector in place:
+/// `|ψ⟩ → embed(op) |ψ⟩` without materialising the embedded operator.
+///
+/// `amps` is the amplitude vector over subsystems of dimensions `dims`;
+/// `targets` lists the subsystems the operator acts on, in the order matching
+/// the operator's tensor-factor ordering.
+///
+/// # Panics
+///
+/// Panics if targets repeat or are out of range, if `op` is not square of the
+/// product of target dimensions, or if `amps.len()` differs from the product
+/// of `dims`.
+pub fn apply_to_state_vector(
+    amps: &mut [Complex],
+    dims: &[usize],
+    targets: &[usize],
+    op: &CMatrix,
+) {
+    let lay = prepared(amps.len(), dims, targets, op);
+    apply_vec(amps, &lay, op, &classify(op), false, true, &mut Vec::new());
+}
+
+/// Shared validation: checks the operator shape and the data length.
+fn prepared(len: usize, dims: &[usize], targets: &[usize], op: &CMatrix) -> TargetLayout {
+    let lay = layout(dims, targets);
+    assert!(
+        op.rows() == lay.block && op.cols() == lay.block,
+        "operator dimension mismatch: got {}x{}, expected {block}x{block}",
+        op.rows(),
+        op.cols(),
+        block = lay.block
+    );
+    assert_eq!(len, total_dim(dims), "state dimension mismatch");
+    lay
+}
+
+/// Core vector kernel. With `transposed == false` computes
+/// `out[r] = Σ_c op[r,c] · in[c]` per block (left action); with
+/// `transposed == true` computes `out[c] = Σ_r in[r] · op[r,c]` (right action
+/// on a row of a matrix, i.e. multiplication by the embedded operator from
+/// the right).
+///
+/// `scratch` is a caller-owned gather buffer: callers invoking this kernel
+/// many times (once per matrix row) pass the same buffer so the allocation
+/// happens once per gate, not once per row.
+fn apply_vec(
+    amps: &mut [Complex],
+    lay: &TargetLayout,
+    op: &CMatrix,
+    kind: &OpKind,
+    transposed: bool,
+    parallel_ok: bool,
+    scratch: &mut Vec<Complex>,
+) {
+    let _ = parallel_ok;
+    let block = lay.block;
+    let offsets = &lay.offsets;
+    match kind {
+        OpKind::Identity => {}
+        OpKind::Diagonal(d) => {
+            // Diagonal operators are symmetric under transposition.
+            lay.for_each_base(|base| {
+                for (b, &off) in offsets.iter().enumerate() {
+                    amps[base + off] *= d[b];
+                }
+            });
+        }
+        OpKind::Monomial { src, phase } => {
+            scratch.resize(block, Complex::ZERO);
+            let scratch = &mut scratch[..block];
+            lay.for_each_base(|base| {
+                for (b, &off) in offsets.iter().enumerate() {
+                    scratch[b] = amps[base + off];
+                }
+                if transposed {
+                    // out[src[r]] += in[r]·phase[r]; unwritten slots are 0.
+                    for &off in offsets.iter() {
+                        amps[base + off] = Complex::ZERO;
+                    }
+                    for (r, (&s, &ph)) in src.iter().zip(phase.iter()).enumerate() {
+                        amps[base + offsets[s]] += scratch[r] * ph;
+                    }
+                } else {
+                    for (r, (&s, &ph)) in src.iter().zip(phase.iter()).enumerate() {
+                        amps[base + offsets[r]] = scratch[s] * ph;
+                    }
+                }
+            });
+        }
+        OpKind::Dense => {
+            #[cfg(feature = "parallel")]
+            {
+                // `parallel_ok` is false when the caller invokes this kernel
+                // once per matrix row: spawning a thread scope per row would
+                // cost far more than the row's work (the caller parallelises
+                // across rows instead).
+                if parallel_ok
+                    && lay.other_total * block * block >= PARALLEL_THRESHOLD
+                    && apply_vec_dense_parallel(amps, lay, op, transposed)
+                {
+                    return;
+                }
+            }
+            if block == 2 && !transposed {
+                let (u00, u01, u10, u11) = (op[(0, 0)], op[(0, 1)], op[(1, 0)], op[(1, 1)]);
+                let off1 = offsets[1];
+                lay.for_each_base(|base| {
+                    let a = amps[base];
+                    let b = amps[base + off1];
+                    amps[base] = u00 * a + u01 * b;
+                    amps[base + off1] = u10 * a + u11 * b;
+                });
+                return;
+            }
+            scratch.resize(block, Complex::ZERO);
+            let scratch = &mut scratch[..block];
+            let uflat = op.as_slice();
+            lay.for_each_base(|base| {
+                dense_block(amps, base, offsets, uflat, block, scratch, transposed);
+            });
+        }
+    }
+}
+
+/// Gather, dense block multiply, scatter — one target block at `base`.
+///
+/// NOTE: `apply_vec_dense_parallel` (feature `parallel`) carries a raw-pointer
+/// twin of this body — keep the two in sync when changing either.
+#[inline]
+fn dense_block(
+    amps: &mut [Complex],
+    base: usize,
+    offsets: &[usize],
+    uflat: &[Complex],
+    block: usize,
+    scratch: &mut [Complex],
+    transposed: bool,
+) {
+    for (b, &off) in offsets.iter().enumerate() {
+        scratch[b] = amps[base + off];
+    }
+    if transposed {
+        for (j, &off) in offsets.iter().enumerate() {
+            let mut acc = Complex::ZERO;
+            for (r, &s) in scratch.iter().enumerate() {
+                acc += s * uflat[r * block + j];
+            }
+            amps[base + off] = acc;
+        }
+    } else {
+        for (r, &off) in offsets.iter().enumerate() {
+            let row = &uflat[r * block..(r + 1) * block];
+            let mut acc = Complex::ZERO;
+            for (&uc, &s) in row.iter().zip(scratch.iter()) {
+                acc += uc * s;
+            }
+            amps[base + off] = acc;
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+mod par {
+    /// Raw pointer that may cross thread boundaries. Safety rests on the
+    /// caller handing each thread a disjoint set of indices. The pointer is
+    /// only reachable through [`SendPtr::get`], so edition-2021 disjoint
+    /// closure capture grabs the (Send) wrapper, not the raw field.
+    pub(super) struct SendPtr(*mut crate::complex::Complex);
+    unsafe impl Send for SendPtr {}
+    impl SendPtr {
+        pub(super) fn new(ptr: *mut crate::complex::Complex) -> Self {
+            SendPtr(ptr)
+        }
+        pub(super) fn get(&self) -> *mut crate::complex::Complex {
+            self.0
+        }
+    }
+    impl Clone for SendPtr {
+        fn clone(&self) -> Self {
+            SendPtr(self.0)
+        }
+    }
+}
+
+/// Worker count for the `parallel` feature: `QSIM_PARALLEL_THREADS` when set
+/// (a testability/tuning override — results are identical for any value
+/// because threads write disjoint index sets), otherwise the host parallelism.
+#[cfg(feature = "parallel")]
+fn parallel_threads() -> usize {
+    std::env::var("QSIM_PARALLEL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Parallel dense path: splits the non-target odometer across threads.
+/// Returns `false` when only one thread is available (caller falls back).
+/// The per-base body is a raw-pointer twin of [`dense_block`] — keep the two
+/// in sync when changing either.
+///
+/// Safety: the flat indices `base + offset` visited by distinct non-target
+/// bases are disjoint (the target offsets and the non-target bases decompose
+/// every flat index uniquely), so threads write disjoint elements.
+#[cfg(feature = "parallel")]
+fn apply_vec_dense_parallel(
+    amps: &mut [Complex],
+    lay: &TargetLayout,
+    op: &CMatrix,
+    transposed: bool,
+) -> bool {
+    let threads = parallel_threads().min(lay.other_total);
+    if threads <= 1 {
+        return false;
+    }
+    let block = lay.block;
+    let uflat = op.as_slice();
+    let ptr = par::SendPtr::new(amps.as_mut_ptr());
+    let chunk = lay.other_total.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(lay.other_total);
+            if lo >= hi {
+                break;
+            }
+            let ptr = ptr.clone();
+            let offsets = &lay.offsets;
+            let (other_dims, other_strides) = (&lay.other_dims, &lay.other_strides);
+            scope.spawn(move || {
+                let data = ptr.get();
+                let mut scratch = vec![Complex::ZERO; block];
+                for_each_base_range(other_dims, other_strides, lo, hi, |base| {
+                    for (b, &off) in offsets.iter().enumerate() {
+                        scratch[b] = unsafe { *data.add(base + off) };
+                    }
+                    if transposed {
+                        for (j, &off) in offsets.iter().enumerate() {
+                            let mut acc = Complex::ZERO;
+                            for (r, &s) in scratch.iter().enumerate() {
+                                acc += s * uflat[r * block + j];
+                            }
+                            unsafe { *data.add(base + off) = acc };
+                        }
+                    } else {
+                        for (r, &off) in offsets.iter().enumerate() {
+                            let row = &uflat[r * block..(r + 1) * block];
+                            let mut acc = Complex::ZERO;
+                            for (&uc, &s) in row.iter().zip(scratch.iter()) {
+                                acc += uc * s;
+                            }
+                            unsafe { *data.add(base + off) = acc };
+                        }
+                    }
+                });
+            });
+        }
+    });
+    true
+}
+
+/// Left-multiplies a matrix by an embedded local operator in place:
+/// `M → embed(op) · M`, without materialising `embed(op)`.
+///
+/// `M` has `total_dim(dims)` rows (its row index ranges over the composite
+/// register) and any number of columns. Cost `O(rows · cols · block)`.
+///
+/// # Panics
+///
+/// Panics on target/operator shape mismatches, or if `mat.rows()` differs
+/// from the product of `dims`.
+pub fn left_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize], op: &CMatrix) {
+    let lay = prepared(mat.rows(), dims, targets, op);
+    let ncols = mat.cols();
+    let block = lay.block;
+    let data = mat.as_mut_slice();
+    match classify(op) {
+        OpKind::Identity => {}
+        OpKind::Diagonal(d) => {
+            lay.for_each_base(|base| {
+                for (b, &off) in lay.offsets.iter().enumerate() {
+                    let row = &mut data[(base + off) * ncols..][..ncols];
+                    for x in row {
+                        *x *= d[b];
+                    }
+                }
+            });
+        }
+        OpKind::Monomial { src, phase } => {
+            let mut scratch = vec![Complex::ZERO; block * ncols];
+            lay.for_each_base(|base| {
+                for (b, &off) in lay.offsets.iter().enumerate() {
+                    scratch[b * ncols..(b + 1) * ncols]
+                        .copy_from_slice(&data[(base + off) * ncols..][..ncols]);
+                }
+                for (r, (&s, &ph)) in src.iter().zip(phase.iter()).enumerate() {
+                    let out = &mut data[(base + lay.offsets[r]) * ncols..][..ncols];
+                    for (o, &x) in out.iter_mut().zip(&scratch[s * ncols..(s + 1) * ncols]) {
+                        *o = x * ph;
+                    }
+                }
+            });
+        }
+        OpKind::Dense => {
+            let mut scratch = vec![Complex::ZERO; block * ncols];
+            lay.for_each_base(|base| {
+                for (b, &off) in lay.offsets.iter().enumerate() {
+                    scratch[b * ncols..(b + 1) * ncols]
+                        .copy_from_slice(&data[(base + off) * ncols..][..ncols]);
+                }
+                for (r, &off) in lay.offsets.iter().enumerate() {
+                    let out = &mut data[(base + off) * ncols..][..ncols];
+                    let coeff = op[(r, 0)];
+                    for (o, &x) in out.iter_mut().zip(&scratch[..ncols]) {
+                        *o = coeff * x;
+                    }
+                    for c in 1..block {
+                        let coeff = op[(r, c)];
+                        if coeff.norm_sqr() == 0.0 {
+                            continue;
+                        }
+                        for (o, &x) in out.iter_mut().zip(&scratch[c * ncols..(c + 1) * ncols]) {
+                            *o += coeff * x;
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Right-multiplies a matrix by an embedded local operator in place:
+/// `M → M · embed(op)`, without materialising `embed(op)`.
+///
+/// `M` has `total_dim(dims)` columns (its column index ranges over the
+/// composite register) and any number of rows. Cost `O(rows · cols · block)`.
+///
+/// # Panics
+///
+/// Panics on target/operator shape mismatches, or if `mat.cols()` differs
+/// from the product of `dims`.
+pub fn right_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize], op: &CMatrix) {
+    let lay = prepared(mat.cols(), dims, targets, op);
+    let nrows = mat.rows();
+    let ctotal = mat.cols();
+    let kind = classify(op);
+    // Row i of the product is (row i of M) · embed(op): the transposed vector
+    // kernel applied to each (contiguous) row. Per-row parallelism inside
+    // `apply_vec` is disabled — a thread scope per row would dwarf the row's
+    // work — and the `parallel` feature splits across rows instead (rows are
+    // disjoint `chunks_mut` slices, so this is safe code).
+    #[cfg(feature = "parallel")]
+    {
+        let threads = parallel_threads().min(nrows);
+        if threads > 1 && nrows * ctotal * lay.block >= PARALLEL_THRESHOLD {
+            let rows_per_thread = nrows.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let mut rest = mat.as_mut_slice();
+                while !rest.is_empty() {
+                    let take = (rows_per_thread * ctotal).min(rest.len());
+                    let (chunk, tail) = rest.split_at_mut(take);
+                    rest = tail;
+                    let (lay, kind) = (&lay, &kind);
+                    scope.spawn(move || {
+                        let mut scratch = Vec::new();
+                        for row in chunk.chunks_mut(ctotal) {
+                            apply_vec(row, lay, op, kind, true, false, &mut scratch);
+                        }
+                    });
+                }
+            });
+            return;
+        }
+    }
+    let _ = nrows;
+    let mut scratch = Vec::new();
+    for row in mat.as_mut_slice().chunks_mut(ctotal) {
+        apply_vec(row, &lay, op, &kind, true, false, &mut scratch);
+    }
+}
+
+/// Conjugates a square matrix by an embedded local operator in place:
+/// `M → embed(op) · M · embed(op)†`, without materialising `embed(op)`.
+///
+/// This is the density-matrix update `ρ → U ρ U†` for a local unitary, and
+/// works for arbitrary (non-unitary) local operators such as measurement
+/// effects. Cost `O(D² · block)` versus `O(D³)` for embed-then-matmul.
+///
+/// # Panics
+///
+/// Panics on target/operator shape mismatches, or if `mat` is not square of
+/// dimension `total_dim(dims)`.
+pub fn conjugate_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize], op: &CMatrix) {
+    assert_eq!(
+        mat.rows(),
+        mat.cols(),
+        "conjugation requires a square matrix"
+    );
+    left_multiply_matrix(mat, dims, targets, op);
+    right_multiply_matrix(mat, dims, targets, &op.adjoint());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use crate::linalg::CVector;
+    use crate::random::RandomStateGenerator;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(subsystem_strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(subsystem_strides(&[5]), vec![1]);
+        assert_eq!(subsystem_strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn layout_offsets_match_flat_index() {
+        use crate::state::flat_index;
+        let dims = [2, 3, 2, 2];
+        let targets = [2, 0];
+        let lay = layout(&dims, &targets);
+        assert_eq!(lay.block, 4);
+        // offsets[b] must equal flat_index with the target multi-index b and
+        // zeros elsewhere.
+        for b in 0..lay.block {
+            let (b0, b1) = (b / 2, b % 2);
+            let mut multi = [0usize; 4];
+            multi[2] = b0;
+            multi[0] = b1;
+            assert_eq!(lay.offsets[b], flat_index(&dims, &multi));
+        }
+        assert_eq!(lay.other_total, 6);
+    }
+
+    #[test]
+    fn odometer_visits_every_base_once() {
+        let dims = [2, 3, 2];
+        let lay = layout(&dims, &[1]);
+        let mut seen = Vec::new();
+        lay.for_each_base(|b| seen.push(b));
+        let mut expected: Vec<usize> = Vec::new();
+        for i in 0..2 {
+            for k in 0..2 {
+                expected.push(i * 6 + k);
+            }
+        }
+        seen.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn odometer_range_splits_cleanly() {
+        let dims = [3usize, 2, 2];
+        let strides = subsystem_strides(&dims);
+        let mut all = Vec::new();
+        for_each_base_range(&dims, &strides, 0, 12, |b| all.push(b));
+        for split in [1, 5, 7, 11] {
+            let mut lo_part = Vec::new();
+            let mut hi_part = Vec::new();
+            for_each_base_range(&dims, &strides, 0, split, |b| lo_part.push(b));
+            for_each_base_range(&dims, &strides, split, 12, |b| hi_part.push(b));
+            lo_part.extend(hi_part);
+            assert_eq!(lo_part, all, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn swap_gate_classified_as_monomial() {
+        match classify(&gates::swap(3)) {
+            OpKind::Monomial { .. } => {}
+            _ => panic!("swap should classify as monomial"),
+        }
+        match classify(&CMatrix::identity(4)) {
+            OpKind::Identity => {}
+            _ => panic!("identity should classify as identity"),
+        }
+        match classify(&gates::hadamard()) {
+            OpKind::Dense => {}
+            _ => panic!("hadamard should classify as dense"),
+        }
+    }
+
+    #[test]
+    fn conjugate_matches_explicit_embedding() {
+        let mut gen = RandomStateGenerator::new(11);
+        let dims = [2usize, 3, 2];
+        let targets = [2usize, 0];
+        let u = gen.random_unitary(4);
+        let rho = gen.random_density(&dims, 2);
+        let mut fast = rho.matrix().clone();
+        conjugate_matrix(&mut fast, &dims, &targets, &u);
+        let full = crate::density::embed_operator(&dims, &targets, &u);
+        let slow = full.matmul(rho.matrix()).matmul(&full.adjoint());
+        assert!(fast.approx_eq(&slow, 1e-12));
+    }
+
+    #[test]
+    fn right_multiply_matches_explicit_embedding() {
+        let mut gen = RandomStateGenerator::new(12);
+        let dims = [2usize, 2, 3];
+        let targets = [1usize, 2];
+        let u = gen.random_unitary(6);
+        let m = CMatrix::from_fn(12, 12, |i, j| Complex::new(i as f64, j as f64));
+        let mut fast = m.clone();
+        right_multiply_matrix(&mut fast, &dims, &targets, &u);
+        let slow = m.matmul(&crate::density::embed_operator(&dims, &targets, &u));
+        assert!(fast.approx_eq(&slow, 1e-9));
+    }
+
+    #[test]
+    fn diagonal_fast_path_matches_dense() {
+        let dims = [2usize, 2, 2];
+        let phase = CMatrix::from_rows(&[
+            vec![Complex::ONE, Complex::ZERO],
+            vec![Complex::ZERO, Complex::I],
+        ]);
+        let mut gen = RandomStateGenerator::new(13);
+        let psi = gen.random_pure(&dims);
+        let mut fast: Vec<Complex> = psi.amplitudes().as_slice().to_vec();
+        apply_to_state_vector(&mut fast, &dims, &[1], &phase);
+        let slow = crate::density::embed_operator(&dims, &[1], &phase).apply(psi.amplitudes());
+        assert!(CVector::new(fast).approx_eq(&slow, 1e-12));
+    }
+}

@@ -23,6 +23,39 @@
 //! statements in the paper are about acceptance probabilities, which exact
 //! simulation reproduces up to floating-point error.
 //!
+//! # Performance
+//!
+//! Gate application is the hot path of every protocol sweep, and it runs
+//! through the strided in-place kernels of [`kernels`]:
+//!
+//! * **State vectors** — `PureState::apply_unitary` precomputes per-target
+//!   flat-index offsets once per call, walks the non-target subsystems with
+//!   an incremental odometer (no per-amplitude heap allocation, no
+//!   full-vector clone) and gathers/scatters each target block in place:
+//!   `O(D · block)` for a `D`-dimensional register and a `block`-dimensional
+//!   operator, with an unrolled fast path for single-qubit gates.
+//! * **Density matrices** — `DensityMatrix::apply_unitary` conjugates
+//!   `ρ → U ρ U†` directly as a strided left multiplication over row blocks
+//!   plus a strided right multiplication over rows: `O(D² · block)` instead
+//!   of the naive embed-then-matmul `O(D³)`, and the `D×D` embedded operator
+//!   is never materialised.
+//! * **Structured operators** — diagonal operators (phase gates, classical
+//!   acceptance effects) and monomial operators (SWAP, register
+//!   permutations, X) are detected structurally and applied in `O(D)`.
+//! * **Dense algebra** — `CMatrix::matmul` is cache-blocked (tiles over the
+//!   inner and column dimensions with a contiguous vectorisable axpy core),
+//!   which feeds the remaining genuinely-dense work in [`linalg::eigen`] and
+//!   [`distance`].
+//! * **`parallel` feature** — enables `std::thread::scope` parallelism over
+//!   the outer odometer loop of the large kernels (rayon is deliberately not
+//!   a dependency: this workspace builds offline). Off by default; exact
+//!   results are identical either way.
+//!
+//! The pre-kernel implementations survive in [`naive`] as reference oracles:
+//! randomized property tests pin the kernels to them within `1e-12`, and the
+//! `bench_qsim` benchmark (crate `dqma_bench`) tracks the speedup — of the
+//! order of 10–100× on the shapes the protocols use — in `BENCH_qsim.json`.
+//!
 //! # Example
 //!
 //! ```
@@ -46,8 +79,10 @@ pub mod complex;
 pub mod density;
 pub mod distance;
 pub mod gates;
+pub mod kernels;
 pub mod linalg;
 pub mod measure;
+pub mod naive;
 pub mod permutation;
 pub mod random;
 pub mod state;

@@ -263,8 +263,14 @@ mod tests {
         for seed in 1..5u64 {
             let a = random_hermitian(6, seed);
             let e = eigh(&a);
-            assert!(e.eigenvectors.is_unitary(1e-8), "V not unitary (seed {seed})");
-            assert!(e.reconstruct().approx_eq(&a, 1e-7), "V D V† != A (seed {seed})");
+            assert!(
+                e.eigenvectors.is_unitary(1e-8),
+                "V not unitary (seed {seed})"
+            );
+            assert!(
+                e.reconstruct().approx_eq(&a, 1e-7),
+                "V D V† != A (seed {seed})"
+            );
             // Eigenvalues are sorted.
             for w in e.eigenvalues.windows(2) {
                 assert!(w[0] <= w[1] + 1e-12);

@@ -76,7 +76,11 @@ impl CMatrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        CMatrix { rows: r, cols: c, data }
+        CMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a diagonal matrix from real diagonal entries.
@@ -128,6 +132,13 @@ impl CMatrix {
         &self.data
     }
 
+    /// Returns the underlying row-major data mutably (used by the strided
+    /// kernels in `qsim::kernels` to update matrices in place).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex] {
+        &mut self.data
+    }
+
     /// Matrix transpose.
     pub fn transpose(&self) -> CMatrix {
         CMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
@@ -162,7 +173,17 @@ impl CMatrix {
         (0..self.rows).map(|i| self[(i, i)]).sum()
     }
 
-    /// Matrix product `self * rhs`.
+    /// Matrix product `self * rhs`, cache-blocked.
+    ///
+    /// The product is tiled over the inner (`k`) and column (`j`) dimensions
+    /// so that the working set of each tile — a strip of the output row, two
+    /// strips of `rhs` rows — stays resident in L1/L2 while the `k` tile is
+    /// consumed, and the `k` loop is unrolled two-wide so each pass over the
+    /// output strip retires two rank-1 updates (halving the output-row
+    /// load/store traffic, the bottleneck of the naive triple loop). The
+    /// innermost loop is a contiguous zipped axpy, which the compiler
+    /// vectorises without bounds checks. All-zero `k` pairs of `self` skip
+    /// their pass (operators here are often sparse embeddings).
     ///
     /// # Panics
     ///
@@ -173,15 +194,52 @@ impl CMatrix {
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = CMatrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a.norm_sqr() == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += a * rhs[(k, j)];
+        const KC: usize = 64;
+        const JC: usize = 512;
+        let (m, kd, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = CMatrix::zeros(m, n);
+        for jc in (0..n).step_by(JC) {
+            let jw = JC.min(n - jc);
+            for kc in (0..kd).step_by(KC) {
+                let kw = KC.min(kd - kc);
+                for i in 0..m {
+                    let out_row = &mut out.data[i * n + jc..i * n + jc + jw];
+                    let a_row = &self.data[i * kd + kc..i * kd + kc + kw];
+                    let mut dk = 0;
+                    while dk + 1 < kw {
+                        let (a0, a1) = (a_row[dk], a_row[dk + 1]);
+                        let (z0, z1) = (a0.norm_sqr() == 0.0, a1.norm_sqr() == 0.0);
+                        let k = kc + dk;
+                        if !z0 && !z1 {
+                            let r0 = &rhs.data[k * n + jc..k * n + jc + jw];
+                            let r1 = &rhs.data[(k + 1) * n + jc..(k + 1) * n + jc + jw];
+                            for ((o, &b0), &b1) in out_row.iter_mut().zip(r0.iter()).zip(r1.iter())
+                            {
+                                *o += a0 * b0 + a1 * b1;
+                            }
+                        } else if !z0 {
+                            let r0 = &rhs.data[k * n + jc..k * n + jc + jw];
+                            for (o, &b0) in out_row.iter_mut().zip(r0.iter()) {
+                                *o += a0 * b0;
+                            }
+                        } else if !z1 {
+                            let r1 = &rhs.data[(k + 1) * n + jc..(k + 1) * n + jc + jw];
+                            for (o, &b1) in out_row.iter_mut().zip(r1.iter()) {
+                                *o += a1 * b1;
+                            }
+                        }
+                        dk += 2;
+                    }
+                    if dk < kw {
+                        let a = a_row[dk];
+                        if a.norm_sqr() != 0.0 {
+                            let k = kc + dk;
+                            let rhs_row = &rhs.data[k * n + jc..k * n + jc + jw];
+                            for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                                *o += a * b;
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -380,7 +438,9 @@ mod tests {
         let rhs = pauli_z().scale(Complex::I);
         assert!(lhs.approx_eq(&rhs, 1e-12));
         // X^2 = I
-        assert!(pauli_x().matmul(&pauli_x()).approx_eq(&CMatrix::identity(2), 1e-12));
+        assert!(pauli_x()
+            .matmul(&pauli_x())
+            .approx_eq(&CMatrix::identity(2), 1e-12));
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl CVector {
     ///
     /// Panics if `index >= dim`.
     pub fn basis(dim: usize, index: usize) -> Self {
-        assert!(index < dim, "basis index {index} out of range for dim {dim}");
+        assert!(
+            index < dim,
+            "basis index {index} out of range for dim {dim}"
+        );
         let mut v = CVector::zeros(dim);
         v.data[index] = Complex::ONE;
         v
@@ -56,9 +59,9 @@ impl CVector {
     }
 
     /// Creates a vector by evaluating `f` at each index.
-    pub fn from_fn(dim: usize, mut f: impl FnMut(usize) -> Complex) -> Self {
+    pub fn from_fn(dim: usize, f: impl FnMut(usize) -> Complex) -> Self {
         CVector {
-            data: (0..dim).map(|i| f(i)).collect(),
+            data: (0..dim).map(f).collect(),
         }
     }
 
@@ -195,7 +198,11 @@ impl Add for &CVector {
 impl Sub for &CVector {
     type Output = CVector;
     fn sub(self, rhs: &CVector) -> CVector {
-        assert_eq!(self.dim(), rhs.dim(), "vector subtraction dimension mismatch");
+        assert_eq!(
+            self.dim(),
+            rhs.dim(),
+            "vector subtraction dimension mismatch"
+        );
         CVector::from_fn(self.dim(), |i| self[i] - rhs[i])
     }
 }
@@ -280,7 +287,10 @@ mod tests {
         let b = CVector::from_reals(&[3.0, 4.0, 5.0]);
         let k = a.kron(&b);
         assert_eq!(k.dim(), 6);
-        assert!(k.approx_eq(&CVector::from_reals(&[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]), 1e-12));
+        assert!(k.approx_eq(
+            &CVector::from_reals(&[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]),
+            1e-12
+        ));
     }
 
     #[test]

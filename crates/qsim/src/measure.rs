@@ -38,7 +38,10 @@ impl Povm {
             );
             assert!(e.is_hermitian(tol), "POVM elements must be Hermitian");
             let min_eig = eigh(e).eigenvalues[0];
-            assert!(min_eig > -tol, "POVM elements must be positive semidefinite");
+            assert!(
+                min_eig > -tol,
+                "POVM elements must be positive semidefinite"
+            );
             sum = &sum + e;
         }
         assert!(
@@ -133,7 +136,10 @@ pub fn diagonal_effect(accept_probs: &[f64]) -> CMatrix {
     let d = accept_probs.len();
     let mut m = CMatrix::zeros(d, d);
     for (i, &p) in accept_probs.iter().enumerate() {
-        assert!((0.0..=1.0 + 1e-12).contains(&p), "acceptance probabilities must lie in [0,1]");
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&p),
+            "acceptance probabilities must lie in [0,1]"
+        );
         m[(i, i)] = Complex::real(p.min(1.0));
     }
     m

@@ -1,0 +1,110 @@
+//! Naive reference implementations, retained as oracles.
+//!
+//! These are the original (pre-kernel) gate-application and matmul paths:
+//! multi-index arithmetic through [`unflatten_index`]/[`flat_index`] with a
+//! heap allocation per amplitude, full-vector clones, and embed-then-matmul
+//! density updates. They are kept — unoptimised on purpose — so that
+//!
+//! * the randomized equivalence tests can pin the strided kernels in
+//!   [`crate::kernels`] to them bit-for-bit (within 1e-12), and
+//! * the `bench_qsim` micro-benchmark can report speedups against a fixed
+//!   baseline across PRs.
+//!
+//! Nothing else should call into this module.
+
+use crate::complex::Complex;
+use crate::density::{embed_operator, DensityMatrix};
+use crate::linalg::CMatrix;
+use crate::state::{flat_index, total_dim, unflatten_index, PureState};
+
+/// Applies a local operator to a pure state the naive way: clone the full
+/// amplitude vector, re-derive a multi-index per amplitude, gather and
+/// scatter through [`flat_index`]. Returns the new state.
+pub fn apply_unitary_pure(state: &PureState, targets: &[usize], u: &CMatrix) -> PureState {
+    let dims = state.dims().to_vec();
+    let target_dims: Vec<usize> = targets.iter().map(|&t| dims[t]).collect();
+    let block = total_dim(&target_dims);
+    assert!(
+        u.rows() == block && u.cols() == block,
+        "operator dimension mismatch"
+    );
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < dims.len(), "target {t} out of range");
+        assert!(
+            !targets[(i + 1)..].contains(&t),
+            "duplicate target subsystem {t}"
+        );
+    }
+
+    let n = dims.len();
+    let others: Vec<usize> = (0..n).filter(|i| !targets.contains(i)).collect();
+    let other_dims: Vec<usize> = others.iter().map(|&i| dims[i]).collect();
+    let other_total = total_dim(&other_dims);
+
+    let amps = state.amplitudes();
+    let mut new_amps = amps.clone();
+    let mut multi = vec![0usize; n];
+    let mut in_block = vec![Complex::ZERO; block];
+
+    for rest in 0..other_total {
+        let rest_multi = unflatten_index(&other_dims, rest);
+        for (pos, &subsys) in others.iter().enumerate() {
+            multi[subsys] = rest_multi[pos];
+        }
+        for (b, slot) in in_block.iter_mut().enumerate() {
+            let b_multi = unflatten_index(&target_dims, b);
+            for (pos, &subsys) in targets.iter().enumerate() {
+                multi[subsys] = b_multi[pos];
+            }
+            *slot = amps[flat_index(&dims, &multi)];
+        }
+        for row in 0..block {
+            let val: Complex = (0..block).map(|c| u[(row, c)] * in_block[c]).sum();
+            let b_multi = unflatten_index(&target_dims, row);
+            for (pos, &subsys) in targets.iter().enumerate() {
+                multi[subsys] = b_multi[pos];
+            }
+            new_amps[flat_index(&dims, &multi)] = val;
+        }
+    }
+    PureState::from_amplitudes(&dims, new_amps)
+}
+
+/// Applies a local unitary to a density matrix the naive way: materialise the
+/// full-dimension embedded operator and pay two dense matmuls
+/// (`ρ → U ρ U†`, `O(D³)`). Returns the new density matrix.
+pub fn apply_unitary_density(rho: &DensityMatrix, targets: &[usize], u: &CMatrix) -> DensityMatrix {
+    let full = embed_operator(rho.dims(), targets, u);
+    let mat = matmul(&matmul(&full, rho.matrix()), &full.adjoint());
+    DensityMatrix::from_matrix(rho.dims(), mat)
+}
+
+/// Dense matrix product with the original unblocked triple loop.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions do not match.
+pub fn matmul(a: &CMatrix, b: &CMatrix) -> CMatrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul dimension mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut out = CMatrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let v = a[(i, k)];
+            if v.norm_sqr() == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                out[(i, j)] += v * b[(k, j)];
+            }
+        }
+    }
+    out
+}

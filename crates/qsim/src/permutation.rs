@@ -8,7 +8,7 @@
 //! what removes the factor `t` from the FGNP21 proof size.
 
 use crate::complex::Complex;
-use crate::density::{embed_operator, DensityMatrix};
+use crate::density::DensityMatrix;
 use crate::linalg::CMatrix;
 use crate::state::{flat_index, unflatten_index, PureState};
 use rand::Rng;
@@ -35,7 +35,7 @@ fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
     }
     for i in 0..k {
         heap_permute(items, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             items.swap(i, k - 1);
         } else {
             items.swap(0, k - 1);
@@ -103,13 +103,18 @@ pub fn permutation_test_acceptance(rho: &DensityMatrix) -> f64 {
         dims.iter().all(|&x| x == d),
         "permutation test registers must have equal dimension"
     );
-    rho.expectation(&symmetric_projector(d, k)).re.clamp(0.0, 1.0)
+    rho.expectation(&symmetric_projector(d, k))
+        .re
+        .clamp(0.0, 1.0)
 }
 
 /// Acceptance probability of the permutation test on a product of pure states
 /// (all of the same dimension).
 pub fn permutation_test_acceptance_pure(states: &[PureState]) -> f64 {
-    assert!(!states.is_empty(), "permutation test needs at least one state");
+    assert!(
+        !states.is_empty(),
+        "permutation test needs at least one state"
+    );
     let joint = PureState::tensor_all(states);
     let d = states[0].dim();
     let k = states.len();
@@ -175,13 +180,9 @@ pub fn permutation_test_on<R: Rng + ?Sized>(
     };
     let p = if accept { p_accept } else { 1.0 - p_accept };
     if p > 1e-12 {
-        let full = embed_operator(rho.dims(), targets, &effect);
-        let dims = rho.dims().to_vec();
-        let new_mat = full
-            .matmul(rho.matrix())
-            .matmul(&full.adjoint())
-            .scale(Complex::real(1.0 / p));
-        *rho = DensityMatrix::from_matrix(&dims, new_mat);
+        // Strided in-place conjugation — the embedded effect is never built.
+        rho.apply_local_operator(targets, &effect);
+        rho.rescale(1.0 / p);
     }
     accept
 }

@@ -159,6 +159,9 @@ mod tests {
         let mut gen = RandomStateGenerator::new(6);
         let a = gen.random_pure(&[32]);
         let b = gen.random_pure(&[32]);
-        assert!(a.overlap_sqr(&b) < 0.5, "random 32-dim states should be nearly orthogonal");
+        assert!(
+            a.overlap_sqr(&b) < 0.5,
+            "random 32-dim states should be nearly orthogonal"
+        );
     }
 }

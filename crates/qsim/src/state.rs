@@ -12,6 +12,7 @@
 //! dimension `2^q`.
 
 use crate::complex::Complex;
+use crate::kernels;
 use crate::linalg::{CMatrix, CVector};
 use rand::Rng;
 
@@ -75,7 +76,10 @@ impl PureState {
     /// Panics if the amplitude vector length does not equal the product of dimensions,
     /// or if any dimension is zero.
     pub fn from_amplitudes(dims: &[usize], amps: CVector) -> Self {
-        assert!(dims.iter().all(|&d| d > 0), "subsystem dimensions must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "subsystem dimensions must be positive"
+        );
         assert_eq!(
             amps.dim(),
             total_dim(dims),
@@ -207,57 +211,17 @@ impl PureState {
     /// `targets` lists subsystem indices in the order that matches the matrix's
     /// tensor-factor ordering; they must be distinct.
     ///
+    /// The update runs through the strided in-place kernels of
+    /// [`crate::kernels`]: no full-vector clone, no per-amplitude heap
+    /// allocation, and `O(D)` fast paths for diagonal and permutation
+    /// operators.
+    ///
     /// # Panics
     ///
     /// Panics if targets are repeated, out of range, or if the matrix dimension
     /// does not match the product of the target dimensions.
     pub fn apply_unitary(&mut self, targets: &[usize], u: &CMatrix) {
-        let target_dims: Vec<usize> = targets.iter().map(|&t| self.dims[t]).collect();
-        let block = total_dim(&target_dims);
-        assert!(u.rows() == block && u.cols() == block, "operator dimension mismatch");
-        for (i, &t) in targets.iter().enumerate() {
-            assert!(t < self.dims.len(), "target {t} out of range");
-            assert!(
-                !targets[(i + 1)..].contains(&t),
-                "duplicate target subsystem {t}"
-            );
-        }
-
-        let n = self.dims.len();
-        let others: Vec<usize> = (0..n).filter(|i| !targets.contains(i)).collect();
-        let other_dims: Vec<usize> = others.iter().map(|&i| self.dims[i]).collect();
-        let other_total = total_dim(&other_dims);
-
-        let mut new_amps = self.amps.clone();
-        let mut multi = vec![0usize; n];
-        let mut in_block = vec![Complex::ZERO; block];
-
-        for rest in 0..other_total {
-            let rest_multi = unflatten_index(&other_dims, rest);
-            for (pos, &subsys) in others.iter().enumerate() {
-                multi[subsys] = rest_multi[pos];
-            }
-            // Gather the block amplitudes.
-            for b in 0..block {
-                let b_multi = unflatten_index(&target_dims, b);
-                for (pos, &subsys) in targets.iter().enumerate() {
-                    multi[subsys] = b_multi[pos];
-                }
-                in_block[b] = self.amps[flat_index(&self.dims, &multi)];
-            }
-            // Apply the operator.
-            for (row, out_slot) in (0..block).map(|r| {
-                let val: Complex = (0..block).map(|c| u[(r, c)] * in_block[c]).sum();
-                (r, val)
-            }) {
-                let b_multi = unflatten_index(&target_dims, row);
-                for (pos, &subsys) in targets.iter().enumerate() {
-                    multi[subsys] = b_multi[pos];
-                }
-                new_amps[flat_index(&self.dims, &multi)] = out_slot;
-            }
-        }
-        self.amps = new_amps;
+        kernels::apply_to_state_vector(self.amps.as_mut_slice(), &self.dims, targets, u);
     }
 
     /// Returns a new state with the subsystems reordered so that subsystem `perm[k]`
@@ -277,10 +241,41 @@ impl PureState {
         let new_dims: Vec<usize> = perm.iter().map(|&p| self.dims[p]).collect();
         let total = self.dim();
         let mut new_amps = CVector::zeros(total);
+        if n == 0 {
+            new_amps[0] = self.amps[0];
+            return PureState {
+                dims: new_dims,
+                amps: new_amps,
+            };
+        }
+        // Old subsystem p lands at new position inv[p]; walking the old flat
+        // index with an odometer, each old digit p contributes with weight
+        // new_strides[inv[p]] to the new flat index — no per-amplitude
+        // multi-index materialisation.
+        let mut inv = vec![0usize; n];
+        for (k, &p) in perm.iter().enumerate() {
+            inv[p] = k;
+        }
+        let new_strides = kernels::subsystem_strides(&new_dims);
+        let weights: Vec<usize> = (0..n).map(|p| new_strides[inv[p]]).collect();
+        let mut counters = vec![0usize; n];
+        let mut new_flat = 0usize;
         for flat in 0..total {
-            let old_multi = unflatten_index(&self.dims, flat);
-            let new_multi: Vec<usize> = perm.iter().map(|&p| old_multi[p]).collect();
-            new_amps[flat_index(&new_dims, &new_multi)] = self.amps[flat];
+            new_amps[new_flat] = self.amps[flat];
+            let mut i = n;
+            loop {
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+                counters[i] += 1;
+                new_flat += weights[i];
+                if counters[i] < self.dims[i] {
+                    break;
+                }
+                new_flat -= self.dims[i] * weights[i];
+                counters[i] = 0;
+            }
         }
         PureState {
             dims: new_dims,
@@ -291,16 +286,15 @@ impl PureState {
     /// Probability of obtaining `outcome` when measuring `targets` in the
     /// computational basis (without collapsing the state).
     pub fn outcome_probability(&self, targets: &[usize], outcome: &[usize]) -> f64 {
-        assert_eq!(targets.len(), outcome.len(), "outcome length mismatch");
-        let total = self.dim();
-        let mut p = 0.0;
-        for flat in 0..total {
-            let multi = unflatten_index(&self.dims, flat);
-            if targets.iter().zip(outcome.iter()).all(|(&t, &o)| multi[t] == o) {
-                p += self.amps[flat].norm_sqr();
+        match kernels::outcome_offset(&self.dims, targets, outcome) {
+            None => 0.0,
+            Some((lay, offset)) => {
+                let amps = self.amps.as_slice();
+                let mut p = 0.0;
+                lay.for_each_base(|base| p += amps[base + offset].norm_sqr());
+                p
             }
         }
-        p
     }
 
     /// Full outcome distribution over the listed target subsystems, indexed by the
@@ -308,10 +302,21 @@ impl PureState {
     pub fn outcome_distribution(&self, targets: &[usize]) -> Vec<f64> {
         let target_dims: Vec<usize> = targets.iter().map(|&t| self.dims[t]).collect();
         let mut probs = vec![0.0; total_dim(&target_dims)];
-        for flat in 0..self.dim() {
-            let multi = unflatten_index(&self.dims, flat);
-            let outcome: Vec<usize> = targets.iter().map(|&t| multi[t]).collect();
-            probs[flat_index(&target_dims, &outcome)] += self.amps[flat].norm_sqr();
+        if kernels::targets_distinct(targets) {
+            let lay = kernels::layout(&self.dims, targets);
+            let amps = self.amps.as_slice();
+            for (tb, &off) in lay.offsets.iter().enumerate() {
+                let mut acc = 0.0;
+                lay.for_each_base(|base| acc += amps[base + off].norm_sqr());
+                probs[tb] = acc;
+            }
+        } else {
+            // Repeated targets: keep the original scan semantics.
+            for flat in 0..self.dim() {
+                let multi = unflatten_index(&self.dims, flat);
+                let outcome: Vec<usize> = targets.iter().map(|&t| multi[t]).collect();
+                probs[flat_index(&target_dims, &outcome)] += self.amps[flat].norm_sqr();
+            }
         }
         probs
     }
@@ -345,21 +350,26 @@ impl PureState {
     ///
     /// Panics if the outcome has probability (numerically) zero.
     pub fn collapse(&mut self, targets: &[usize], outcome: &[usize]) {
-        let p = self.outcome_probability(targets, outcome);
-        assert!(p > 1e-300, "cannot collapse onto a zero-probability outcome");
+        let (lay, offset) = match kernels::outcome_offset(&self.dims, targets, outcome) {
+            Some(found) => found,
+            None => panic!("cannot collapse onto a zero-probability outcome"),
+        };
+        let amps = self.amps.as_slice();
+        let mut p = 0.0;
+        lay.for_each_base(|base| p += amps[base + offset].norm_sqr());
+        assert!(
+            p > 1e-300,
+            "cannot collapse onto a zero-probability outcome"
+        );
         let scale = Complex::real(1.0 / p.sqrt());
-        for flat in 0..self.dim() {
-            let multi = unflatten_index(&self.dims, flat);
-            let keep = targets
-                .iter()
-                .zip(outcome.iter())
-                .all(|(&t, &o)| multi[t] == o);
-            if keep {
-                self.amps[flat] = self.amps[flat] * scale;
-            } else {
-                self.amps[flat] = Complex::ZERO;
-            }
+        let mut new_amps = CVector::zeros(self.dim());
+        {
+            let out = new_amps.as_mut_slice();
+            lay.for_each_base(|base| {
+                out[base + offset] = amps[base + offset] * scale;
+            });
         }
+        self.amps = new_amps;
     }
 
     /// Returns `true` when the two states agree entrywise up to `tol`.
@@ -507,10 +517,7 @@ mod tests {
 
     #[test]
     fn collapse_on_partial_outcome() {
-        let mut s = PureState::from_amplitudes(
-            &[2, 2],
-            CVector::from_reals(&[0.5, 0.5, 0.5, 0.5]),
-        );
+        let mut s = PureState::from_amplitudes(&[2, 2], CVector::from_reals(&[0.5, 0.5, 0.5, 0.5]));
         s.collapse(&[0], &[1]);
         assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
         assert!((s.outcome_probability(&[0], &[1]) - 1.0).abs() < 1e-12);

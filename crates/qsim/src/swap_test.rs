@@ -8,7 +8,7 @@
 //! implemented here (no ancilla needed for exact simulation).
 
 use crate::complex::Complex;
-use crate::density::{embed_operator, DensityMatrix};
+use crate::density::DensityMatrix;
 use crate::gates;
 use crate::linalg::CMatrix;
 use crate::state::PureState;
@@ -29,7 +29,11 @@ pub fn swap_test_projector(d: usize) -> CMatrix {
 ///
 /// Panics if the states have different total dimensions.
 pub fn swap_test_acceptance_pure(a: &PureState, b: &PureState) -> f64 {
-    assert_eq!(a.dim(), b.dim(), "SWAP test requires equal register dimensions");
+    assert_eq!(
+        a.dim(),
+        b.dim(),
+        "SWAP test requires equal register dimensions"
+    );
     0.5 + 0.5 * a.overlap_sqr(b)
 }
 
@@ -40,9 +44,17 @@ pub fn swap_test_acceptance_pure(a: &PureState, b: &PureState) -> f64 {
 ///
 /// Panics if the state does not consist of exactly two equal-dimension registers.
 pub fn swap_test_acceptance(rho: &DensityMatrix) -> f64 {
-    assert_eq!(rho.dims().len(), 2, "SWAP test acts on exactly two registers");
+    assert_eq!(
+        rho.dims().len(),
+        2,
+        "SWAP test acts on exactly two registers"
+    );
     let d = rho.dims()[0];
-    assert_eq!(d, rho.dims()[1], "SWAP test registers must have equal dimension");
+    assert_eq!(
+        d,
+        rho.dims()[1],
+        "SWAP test registers must have equal dimension"
+    );
     rho.expectation(&swap_test_projector(d)).re.clamp(0.0, 1.0)
 }
 
@@ -50,7 +62,11 @@ pub fn swap_test_acceptance(rho: &DensityMatrix) -> f64 {
 /// larger state, without disturbing it.
 pub fn swap_test_acceptance_on(rho: &DensityMatrix, r1: usize, r2: usize) -> f64 {
     let d = rho.dims()[r1];
-    assert_eq!(d, rho.dims()[r2], "SWAP test registers must have equal dimension");
+    assert_eq!(
+        d,
+        rho.dims()[r2],
+        "SWAP test registers must have equal dimension"
+    );
     rho.expectation_on(&[r1, r2], &swap_test_projector(d))
         .re
         .clamp(0.0, 1.0)
@@ -67,7 +83,11 @@ pub fn swap_test_on<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> bool {
     let d = rho.dims()[r1];
-    assert_eq!(d, rho.dims()[r2], "SWAP test registers must have equal dimension");
+    assert_eq!(
+        d,
+        rho.dims()[r2],
+        "SWAP test registers must have equal dimension"
+    );
     let proj = swap_test_projector(d);
     let p_accept = rho.expectation_on(&[r1, r2], &proj).re.clamp(0.0, 1.0);
     let accept = rng.random::<f64>() < p_accept;
@@ -78,13 +98,9 @@ pub fn swap_test_on<R: Rng + ?Sized>(
     };
     let p = if accept { p_accept } else { 1.0 - p_accept };
     if p > 1e-12 {
-        let full = embed_operator(rho.dims(), &[r1, r2], &effect);
-        let dims = rho.dims().to_vec();
-        let new_mat = full
-            .matmul(rho.matrix())
-            .matmul(&full.adjoint())
-            .scale(Complex::real(1.0 / p));
-        *rho = DensityMatrix::from_matrix(&dims, new_mat);
+        // Strided in-place conjugation — the embedded effect is never built.
+        rho.apply_local_operator(&[r1, r2], &effect);
+        rho.rescale(1.0 / p);
     }
     accept
 }
@@ -157,7 +173,10 @@ mod tests {
         let psi = gen.random_pure(&[3]);
         let joint = DensityMatrix::from_pure(&psi.tensor(&psi));
         assert!((swap_test_acceptance(&joint) - 1.0).abs() < 1e-10);
-        let d = trace_distance(&joint.partial_trace_keep(&[0]), &joint.partial_trace_keep(&[1]));
+        let d = trace_distance(
+            &joint.partial_trace_keep(&[0]),
+            &joint.partial_trace_keep(&[1]),
+        );
         assert!(d < 1e-8);
     }
 

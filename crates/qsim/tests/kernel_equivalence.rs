@@ -1,0 +1,400 @@
+//! Randomized equivalence tests: the strided in-place kernels must agree with
+//! the retained naive oracles (`qsim::naive`) within 1e-12, over mixed qudit
+//! dimensions and out-of-order, non-contiguous target lists, for both pure
+//! states and density matrices.
+
+use qsim::linalg::CMatrix;
+use qsim::{gates, naive, Complex, PureState, RandomStateGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TOL: f64 = 1e-12;
+
+/// Draws a random register shape (mixed qudit dimensions) and a random
+/// out-of-order subset of its subsystems as targets.
+fn random_shape(rng: &mut StdRng, max_subsystems: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = rng.random_range(2..=max_subsystems);
+    let dims: Vec<usize> = (0..n).map(|_| rng.random_range(2..=4usize)).collect();
+    let k = rng.random_range(1..=2.min(n));
+    // Fisher–Yates over subsystem indices, then take a prefix: targets come
+    // out non-contiguous and out of order.
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    (dims, order[..k].to_vec())
+}
+
+fn block_dim(dims: &[usize], targets: &[usize]) -> usize {
+    targets.iter().map(|&t| dims[t]).product()
+}
+
+/// Like [`random_shape`] but bounded in total dimension, so the `O(D³)` naive
+/// density oracle stays fast in debug builds.
+fn random_small_shape(rng: &mut StdRng, max_subsystems: usize) -> (Vec<usize>, Vec<usize>) {
+    loop {
+        let (dims, targets) = random_shape(rng, max_subsystems);
+        if dims.iter().product::<usize>() <= 144 {
+            return (dims, targets);
+        }
+    }
+}
+
+#[test]
+fn pure_strided_matches_naive_on_random_shapes() {
+    let mut rng = StdRng::seed_from_u64(1001);
+    let mut gen = RandomStateGenerator::new(2001);
+    for trial in 0..60 {
+        let (dims, targets) = random_shape(&mut rng, 5);
+        let u = gen.random_unitary(block_dim(&dims, &targets));
+        let psi = gen.random_pure(&dims);
+        let mut fast = psi.clone();
+        fast.apply_unitary(&targets, &u);
+        let slow = naive::apply_unitary_pure(&psi, &targets, &u);
+        assert!(
+            fast.approx_eq(&slow, TOL),
+            "trial {trial}: dims {dims:?}, targets {targets:?}"
+        );
+    }
+}
+
+#[test]
+fn density_strided_matches_naive_on_random_shapes() {
+    let mut rng = StdRng::seed_from_u64(1002);
+    let mut gen = RandomStateGenerator::new(2002);
+    for trial in 0..25 {
+        let (dims, targets) = random_small_shape(&mut rng, 4);
+        let u = gen.random_unitary(block_dim(&dims, &targets));
+        let rho = gen.random_density(&dims, 2);
+        let mut fast = rho.clone();
+        fast.apply_unitary(&targets, &u);
+        let slow = naive::apply_unitary_density(&rho, &targets, &u);
+        assert!(
+            fast.matrix().approx_eq(slow.matrix(), TOL),
+            "trial {trial}: dims {dims:?}, targets {targets:?}"
+        );
+    }
+}
+
+#[test]
+fn diagonal_fast_path_matches_naive() {
+    let mut rng = StdRng::seed_from_u64(1003);
+    let mut gen = RandomStateGenerator::new(2003);
+    for trial in 0..15 {
+        let (dims, targets) = random_small_shape(&mut rng, 5);
+        let b = block_dim(&dims, &targets);
+        let diag = CMatrix::from_fn(b, b, |i, j| {
+            if i == j {
+                Complex::from_polar(1.0, rng.random::<f64>() * std::f64::consts::TAU)
+            } else {
+                Complex::ZERO
+            }
+        });
+        let psi = gen.random_pure(&dims);
+        let mut fast = psi.clone();
+        fast.apply_unitary(&targets, &diag);
+        let slow = naive::apply_unitary_pure(&psi, &targets, &diag);
+        assert!(
+            fast.approx_eq(&slow, TOL),
+            "trial {trial}: dims {dims:?}, targets {targets:?}"
+        );
+        let rho = gen.random_density(&dims, 2);
+        let mut fast = rho.clone();
+        fast.apply_unitary(&targets, &diag);
+        let slow = naive::apply_unitary_density(&rho, &targets, &diag);
+        assert!(
+            fast.matrix().approx_eq(slow.matrix(), TOL),
+            "density trial {trial}"
+        );
+    }
+}
+
+#[test]
+fn permutation_fast_path_matches_naive() {
+    let mut rng = StdRng::seed_from_u64(1004);
+    let mut gen = RandomStateGenerator::new(2004);
+    for trial in 0..15 {
+        let (dims, targets) = random_small_shape(&mut rng, 5);
+        let b = block_dim(&dims, &targets);
+        // Random monomial operator: a permutation with random phases.
+        let mut perm: Vec<usize> = (0..b).collect();
+        for i in (1..b).rev() {
+            let j = rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        let mono = CMatrix::from_fn(b, b, |i, j| {
+            if perm[i] == j {
+                Complex::from_polar(1.0, rng.random::<f64>() * std::f64::consts::TAU)
+            } else {
+                Complex::ZERO
+            }
+        });
+        let psi = gen.random_pure(&dims);
+        let mut fast = psi.clone();
+        fast.apply_unitary(&targets, &mono);
+        let slow = naive::apply_unitary_pure(&psi, &targets, &mono);
+        assert!(
+            fast.approx_eq(&slow, TOL),
+            "trial {trial}: dims {dims:?}, targets {targets:?}"
+        );
+        let rho = gen.random_density(&dims, 2);
+        let mut fast = rho.clone();
+        fast.apply_unitary(&targets, &mono);
+        let slow = naive::apply_unitary_density(&rho, &targets, &mono);
+        assert!(
+            fast.matrix().approx_eq(slow.matrix(), TOL),
+            "density trial {trial}"
+        );
+    }
+}
+
+#[test]
+fn swap_on_non_adjacent_qudits_matches_naive() {
+    let mut gen = RandomStateGenerator::new(2005);
+    let dims = [3usize, 2, 3, 2];
+    let sw = gates::swap(3);
+    let psi = gen.random_pure(&dims);
+    let mut fast = psi.clone();
+    fast.apply_unitary(&[2, 0], &sw);
+    let slow = naive::apply_unitary_pure(&psi, &[2, 0], &sw);
+    assert!(fast.approx_eq(&slow, TOL));
+}
+
+#[test]
+fn three_target_gate_matches_naive() {
+    let mut gen = RandomStateGenerator::new(2006);
+    let dims = [2usize, 3, 2, 2, 2];
+    let targets = [4usize, 0, 2];
+    let u = gen.random_unitary(8);
+    let psi = gen.random_pure(&dims);
+    let mut fast = psi.clone();
+    fast.apply_unitary(&targets, &u);
+    let slow = naive::apply_unitary_pure(&psi, &targets, &u);
+    assert!(fast.approx_eq(&slow, TOL));
+}
+
+#[test]
+fn kraus_channel_matches_naive_embedding() {
+    let mut gen = RandomStateGenerator::new(2007);
+    let dims = [2usize, 3, 2];
+    let targets = [2usize, 1];
+    // Projective dephasing channel on the (2·3)-dimensional block.
+    let b = 6;
+    let kraus: Vec<CMatrix> = (0..b)
+        .map(|i| {
+            CMatrix::from_fn(b, b, |r, c| {
+                if r == i && c == i {
+                    Complex::ONE
+                } else {
+                    Complex::ZERO
+                }
+            })
+        })
+        .collect();
+    let rho = gen.random_density(&dims, 2);
+    let mut fast = rho.clone();
+    fast.apply_kraus(&targets, &kraus);
+    let mut slow_mat = CMatrix::zeros(rho.dim(), rho.dim());
+    for k in &kraus {
+        let full = qsim::embed_operator(rho.dims(), &targets, k);
+        slow_mat = &slow_mat + &full.matmul(rho.matrix()).matmul(&full.adjoint());
+    }
+    assert!(fast.matrix().approx_eq(&slow_mat, TOL));
+}
+
+#[test]
+fn blocked_matmul_matches_naive_on_random_shapes() {
+    let mut rng = StdRng::seed_from_u64(1008);
+    for _ in 0..20 {
+        let m = rng.random_range(1..40usize);
+        let k = rng.random_range(1..40usize);
+        let n = rng.random_range(1..40usize);
+        let a = CMatrix::from_fn(m, k, |_i, _j| {
+            Complex::new(rng.random::<f64>() - 0.5, rng.random::<f64>() - 0.5)
+        });
+        let b = CMatrix::from_fn(k, n, |_i, _j| {
+            Complex::new(rng.random::<f64>() - 0.5, rng.random::<f64>() - 0.5)
+        });
+        assert!(a.matmul(&b).approx_eq(&naive::matmul(&a, &b), 1e-10));
+    }
+    // Shapes that straddle the tile boundaries.
+    for d in [63usize, 64, 65, 130] {
+        let a = CMatrix::from_fn(d, d, |i, j| Complex::new((i % 5) as f64, (j % 3) as f64));
+        let b = CMatrix::from_fn(d, d, |i, j| Complex::new((j % 7) as f64, (i % 2) as f64));
+        assert!(a.matmul(&b).approx_eq(&naive::matmul(&a, &b), 1e-9));
+    }
+}
+
+/// Scan-based oracle for measurement quantities, mirroring the original
+/// implementation of `outcome_probability`.
+fn scan_probability(psi: &PureState, targets: &[usize], outcome: &[usize]) -> f64 {
+    let dims = psi.dims();
+    let mut p = 0.0;
+    for flat in 0..psi.dim() {
+        let multi = qsim::state::unflatten_index(dims, flat);
+        if targets
+            .iter()
+            .zip(outcome.iter())
+            .all(|(&t, &o)| multi[t] == o)
+        {
+            p += psi.amplitudes()[flat].norm_sqr();
+        }
+    }
+    p
+}
+
+#[test]
+fn outcome_quantities_match_scan_oracle() {
+    let mut rng = StdRng::seed_from_u64(1009);
+    let mut gen = RandomStateGenerator::new(2009);
+    for _ in 0..30 {
+        let (dims, targets) = random_shape(&mut rng, 5);
+        let psi = gen.random_pure(&dims);
+        let outcome: Vec<usize> = targets
+            .iter()
+            .map(|&t| rng.random_range(0..dims[t]))
+            .collect();
+        let fast = psi.outcome_probability(&targets, &outcome);
+        let slow = scan_probability(&psi, &targets, &outcome);
+        assert!(
+            (fast - slow).abs() < TOL,
+            "dims {dims:?}, targets {targets:?}"
+        );
+
+        let dist = psi.outcome_distribution(&targets);
+        assert!((dist.iter().sum::<f64>() - psi.norm_sqr()).abs() < 1e-10);
+        let flat_outcome: usize = targets
+            .iter()
+            .zip(outcome.iter())
+            .fold(0, |acc, (&t, &o)| acc * dims[t] + o);
+        assert!((dist[flat_outcome] - slow).abs() < TOL);
+
+        if slow > 1e-12 {
+            let mut collapsed = psi.clone();
+            collapsed.collapse(&targets, &outcome);
+            assert!((collapsed.norm_sqr() - 1.0).abs() < 1e-10);
+            assert!((collapsed.outcome_probability(&targets, &outcome) - 1.0).abs() < 1e-10);
+        }
+    }
+}
+
+#[test]
+fn permute_subsystems_matches_index_oracle() {
+    let mut rng = StdRng::seed_from_u64(1010);
+    let mut gen = RandomStateGenerator::new(2010);
+    for _ in 0..20 {
+        let n = rng.random_range(2..=5usize);
+        let dims: Vec<usize> = (0..n).map(|_| rng.random_range(2..=3usize)).collect();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        let psi = gen.random_pure(&dims);
+        let permuted = psi.permute_subsystems(&perm);
+        // Oracle: per-amplitude multi-index remap.
+        let new_dims: Vec<usize> = perm.iter().map(|&p| dims[p]).collect();
+        for flat in 0..psi.dim() {
+            let old_multi = qsim::state::unflatten_index(&dims, flat);
+            let new_multi: Vec<usize> = perm.iter().map(|&p| old_multi[p]).collect();
+            let new_flat = qsim::state::flat_index(&new_dims, &new_multi);
+            assert!(
+                permuted.amplitudes()[new_flat].approx_eq(psi.amplitudes()[flat], TOL),
+                "dims {dims:?}, perm {perm:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn density_outcome_quantities_match_scan_oracle() {
+    let mut rng = StdRng::seed_from_u64(1011);
+    let mut gen = RandomStateGenerator::new(2011);
+    for _ in 0..20 {
+        let (dims, targets) = random_small_shape(&mut rng, 4);
+        let rho = gen.random_density(&dims, 2);
+        let outcome: Vec<usize> = targets
+            .iter()
+            .map(|&t| rng.random_range(0..dims[t]))
+            .collect();
+        // Scan oracle over the diagonal.
+        let mut slow = 0.0;
+        for flat in 0..rho.dim() {
+            let multi = qsim::state::unflatten_index(&dims, flat);
+            if targets
+                .iter()
+                .zip(outcome.iter())
+                .all(|(&t, &o)| multi[t] == o)
+            {
+                slow += rho.matrix()[(flat, flat)].re;
+            }
+        }
+        let fast = rho.outcome_probability(&targets, &outcome);
+        assert!(
+            (fast - slow).abs() < TOL,
+            "dims {dims:?}, targets {targets:?}"
+        );
+
+        if slow > 1e-9 {
+            let mut collapsed = rho.clone();
+            collapsed.collapse(&targets, &outcome);
+            assert!((collapsed.trace() - 1.0).abs() < 1e-9);
+            assert!((collapsed.outcome_probability(&targets, &outcome) - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn effect_conjugation_matches_embedding() {
+    // apply_local_operator with a non-unitary effect (projector) must agree
+    // with the explicit embed-then-conjugate path.
+    let mut gen = RandomStateGenerator::new(2012);
+    let dims = [2usize, 2, 3];
+    let targets = [1usize, 2];
+    let proj = {
+        let v = gen.random_pure(&[6]);
+        CMatrix::projector(v.amplitudes())
+    };
+    let rho = gen.random_density(&dims, 3);
+    let mut fast = rho.clone();
+    fast.apply_local_operator(&targets, &proj);
+    let full = qsim::embed_operator(&dims, &targets, &proj);
+    let slow = full.matmul(rho.matrix()).matmul(&full.adjoint());
+    assert!(fast.matrix().approx_eq(&slow, TOL));
+}
+
+/// With the `parallel` feature the dense kernel splits across threads once
+/// the state is large enough; the result must stay bit-compatible with the
+/// sequential oracle.
+#[cfg(feature = "parallel")]
+#[test]
+fn parallel_kernel_matches_naive_on_large_state() {
+    let mut gen = RandomStateGenerator::new(2013);
+    let dims = vec![2usize; 14];
+    let u = gen.random_unitary(4);
+    let psi = gen.random_pure(&dims);
+    let mut fast = psi.clone();
+    fast.apply_unitary(&[11, 3], &u);
+    let slow = naive::apply_unitary_pure(&psi, &[11, 3], &u);
+    assert!(fast.approx_eq(&slow, TOL));
+}
+
+#[test]
+fn expectation_on_matches_embedding() {
+    let mut rng = StdRng::seed_from_u64(1012);
+    let mut gen = RandomStateGenerator::new(2014);
+    for _ in 0..20 {
+        let (dims, targets) = random_small_shape(&mut rng, 4);
+        let b = block_dim(&dims, &targets);
+        let op = gen.random_unitary(b);
+        let rho = gen.random_density(&dims, 2);
+        let fast = rho.expectation_on(&targets, &op);
+        let full = qsim::embed_operator(&dims, &targets, &op);
+        let slow = full.matmul(rho.matrix()).trace();
+        assert!(
+            fast.approx_eq(slow, 1e-10),
+            "dims {dims:?}, targets {targets:?}: {fast} vs {slow}"
+        );
+    }
+}

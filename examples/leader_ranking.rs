@@ -17,7 +17,10 @@ fn main() {
 
     let bids = [19u64, 7, 23, 12];
     let inputs: Vec<BitString> = bids.iter().map(|&b| BitString::from_u64(b, n)).collect();
-    println!("participants' bids: {bids:?} (coordinator holds {})\n", bids[0]);
+    println!(
+        "participants' bids: {bids:?} (coordinator holds {})\n",
+        bids[0]
+    );
 
     for claimed_rank in 1..=t {
         let protocol = RankingProtocol::with_scheme(

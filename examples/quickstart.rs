@@ -29,7 +29,11 @@ fn main() {
     );
 
     println!("\nno-instance (x = {x}, y = {different}):");
-    for cheat in [ChainCheat::AllLeft, ChainCheat::AllRight, ChainCheat::Interpolate] {
+    for cheat in [
+        ChainCheat::AllLeft,
+        ChainCheat::AllRight,
+        ChainCheat::Interpolate,
+    ] {
         let single = protocol.single_round_acceptance(&x, &different, cheat);
         let repeated = protocol.repeated_acceptance(&x, &different, cheat);
         println!(
@@ -40,8 +44,14 @@ fn main() {
 
     let costs = protocol.costs();
     println!("\ncosts of the repeated protocol:");
-    println!("  local proof  : {} qubits per node", costs.local_proof_qubits);
-    println!("  local message: {} qubits per edge", costs.local_message_qubits);
+    println!(
+        "  local proof  : {} qubits per node",
+        costs.local_proof_qubits
+    );
+    println!(
+        "  local message: {} qubits per edge",
+        costs.local_message_qubits
+    );
     println!("  total proof  : {} qubits", costs.total_proof_qubits);
     println!(
         "\npaper bound O(r^2 log n) evaluates to {:.0} qubits (constant 1)",

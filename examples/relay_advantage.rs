@@ -14,7 +14,10 @@ fn main() {
     let x = BitString::from_u64(0b0011, 4);
     let y = BitString::from_u64(0b1100, 4);
     println!("small instance (n = 4, r = 4, relay spacing 2):");
-    println!("  completeness on equal inputs: {:.6}", protocol.completeness(&x));
+    println!(
+        "  completeness on equal inputs: {:.6}",
+        protocol.completeness(&x)
+    );
     let cheat = protocol.best_interpolating_acceptance(&x, &y);
     println!("  best interpolating-relay cheat on unequal inputs: {cheat:.6}");
 

@@ -14,7 +14,9 @@ fn main() {
     let legs = 4;
     let leg_len = 2;
     let graph = topology::spider(legs, leg_len);
-    let replicas: Vec<usize> = (0..legs).map(|k| topology::spider_leaf(k, leg_len)).collect();
+    let replicas: Vec<usize> = (0..legs)
+        .map(|k| topology::spider_leaf(k, leg_len))
+        .collect();
     let n = 6;
 
     let protocol =
@@ -45,7 +47,10 @@ fn main() {
 
     let costs = protocol.costs();
     println!("\ncosts (independent of the number of replicas, Theorem 19):");
-    println!("  local proof  : {} qubits per node", costs.local_proof_qubits);
+    println!(
+        "  local proof  : {} qubits per node",
+        costs.local_proof_qubits
+    );
     println!("  total proof  : {} qubits", costs.total_proof_qubits);
     println!(
         "  FGNP21 would have needed ~{:.0} (local, grows with t); this paper: ~{:.0}",

@@ -23,7 +23,10 @@ fn main() {
     let spec = HammingMulti { n, t, d };
 
     for readings in [consistent, inconsistent] {
-        let inputs: Vec<BitString> = readings.iter().map(|&v| BitString::from_u64(v, n)).collect();
+        let inputs: Vec<BitString> = readings
+            .iter()
+            .map(|&v| BitString::from_u64(v, n))
+            .collect();
         let truth = spec.eval(&inputs);
         let honest = protocol.completeness(&inputs);
         let cheat = protocol.repeated_acceptance(&inputs, ChainCheat::Interpolate);

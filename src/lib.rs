@@ -1,0 +1,17 @@
+//! Workspace façade: re-exports the crates of the dQMA reproduction so the
+//! end-to-end tests in `tests/` and the runnable `examples/` have a single
+//! package to hang off.
+//!
+//! The real content lives in the member crates:
+//!
+//! * [`qsim`] — exact quantum simulation substrate (states, density matrices,
+//!   strided gate kernels, distances, SWAP/permutation tests);
+//! * [`netsim`] — network graphs, topologies, spanning trees, cost accounting;
+//! * [`commproto`] — communication-complexity substrate (problems,
+//!   fingerprints, one-way and QMA protocols, fooling sets);
+//! * [`dqma`] — the distributed verification protocols of the paper.
+
+pub use commproto;
+pub use dqma;
+pub use netsim;
+pub use qsim;

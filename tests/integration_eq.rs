@@ -31,8 +31,7 @@ fn eq_path_soundness_over_random_no_instances() {
     // paper's full repetition count so even the worst pair drops below 1/3.
     let scheme = FingerprintScheme::with_parameters(4, 16, 1, 2);
     assert!(scheme.max_pairwise_overlap() < 1.0 - 1e-9);
-    let proto =
-        EqPathProtocol::with_scheme(3, scheme, dqma::SwapTestChain::paper_repetitions(3));
+    let proto = EqPathProtocol::with_scheme(3, scheme, dqma::SwapTestChain::paper_repetitions(3));
     for _ in 0..10 {
         let x = BitString::random(4, &mut rng);
         let mut y = BitString::random(4, &mut rng);
@@ -104,7 +103,9 @@ fn eq_tree_costs_do_not_grow_with_terminal_count_but_fgnp_formula_does() {
         EqTreeProtocol::new(&g, &t, n, 1).costs().local_proof_qubits
     };
     assert_eq!(local(3), local(7));
-    assert!(EqTreeProtocol::fgnp_local_cost(n, leg, 7) > EqTreeProtocol::fgnp_local_cost(n, leg, 3));
+    assert!(
+        EqTreeProtocol::fgnp_local_cost(n, leg, 7) > EqTreeProtocol::fgnp_local_cost(n, leg, 3)
+    );
 }
 
 #[test]

@@ -4,7 +4,9 @@
 
 use commproto::bitstring::BitString;
 use commproto::fingerprint::FingerprintScheme;
-use commproto::problems::{Comparison, GreaterThan, MultiPartyFunction, RankingVerification, TwoPartyFunction};
+use commproto::problems::{
+    Comparison, GreaterThan, MultiPartyFunction, RankingVerification, TwoPartyFunction,
+};
 use dqma::chain::ChainCheat;
 use dqma::gt::GtPathProtocol;
 use dqma::ranking::RankingProtocol;
@@ -42,15 +44,24 @@ fn gt_variants_agree_with_their_predicates_on_a_sample() {
         (Comparison::LessEqual, Comparison::LessEqual),
     ] {
         let proto = gt_small(comparison);
-        let f = GreaterThan { n: 3, comparison: cmp_fn };
+        let f = GreaterThan {
+            n: 3,
+            comparison: cmp_fn,
+        };
         for (xv, yv) in [(2u64, 5u64), (5, 2), (4, 4), (7, 0)] {
             let x = BitString::from_u64(xv, 3);
             let y = BitString::from_u64(yv, 3);
             if f.eval(&x, &y) {
-                assert!((proto.completeness(&x, &y) - 1.0).abs() < 1e-9, "{comparison:?} ({xv},{yv})");
+                assert!(
+                    (proto.completeness(&x, &y) - 1.0).abs() < 1e-9,
+                    "{comparison:?} ({xv},{yv})"
+                );
             } else {
                 let p = proto.repeated_cheating_acceptance(&x, &y, ChainCheat::Interpolate);
-                assert!(p < 1.0 / 3.0, "{comparison:?} ({xv},{yv}) accepted with {p}");
+                assert!(
+                    p < 1.0 / 3.0,
+                    "{comparison:?} ({xv},{yv}) accepted with {p}"
+                );
             }
         }
     }

@@ -76,6 +76,8 @@ fn forall_costs_scale_quadratically_in_t_and_match_the_formula_shape() {
     let formula_ratio = ForAllProtocol::<ExactHammingOneWay>::paper_local_cost(4, 4, 4, 3)
         / ForAllProtocol::<ExactHammingOneWay>::paper_local_cost(4, 4, 2, 3);
     // Both should show the ~t² growth of Theorem 32 (within a factor ~2).
-    assert!(measured_ratio > 0.4 * formula_ratio && measured_ratio < 2.5 * formula_ratio,
-        "measured {measured_ratio} vs formula {formula_ratio}");
+    assert!(
+        measured_ratio > 0.4 * formula_ratio && measured_ratio < 2.5 * formula_ratio,
+        "measured {measured_ratio} vs formula {formula_ratio}"
+    );
 }

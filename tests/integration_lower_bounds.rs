@@ -21,7 +21,9 @@ fn cut_and_paste_attack_breaks_every_small_sketch_protocol() {
     let fooling = eq_fooling_set(n);
     for s in 1..=3usize {
         let proto = SketchEqDma::new(n, 4, s, 11);
-        let attack = proto.fooling_attack(&fooling).expect("short sketches must collide");
+        let attack = proto
+            .fooling_attack(&fooling)
+            .expect("short sketches must collide");
         assert!(!Equality { n }.eval(&attack.x, &attack.y));
         assert!(proto.accepts(&attack.x, &attack.y, &attack.assignment));
     }
@@ -36,8 +38,8 @@ fn classical_threshold_grows_as_rn_and_quantum_total_stays_polylog() {
     let large_n = 1 << 12;
     let classical_growth = dma_total_proof_threshold(large_n, r, 1) as f64
         / dma_total_proof_threshold(small_n, r, 1) as f64;
-    let quantum_growth = EqPathProtocol::paper_local_cost(large_n, r)
-        / EqPathProtocol::paper_local_cost(small_n, r);
+    let quantum_growth =
+        EqPathProtocol::paper_local_cost(large_n, r) / EqPathProtocol::paper_local_cost(small_n, r);
     assert!(classical_growth > 50.0);
     assert!(quantum_growth < 3.0);
 }
@@ -89,7 +91,10 @@ fn table3_formulas_sit_below_measured_upper_bounds() {
 fn qma_star_reduction_cost_matches_algorithm_11_accounting() {
     let costs = EqPathProtocol::new(64, 4, 1).costs();
     let reduced = lower_bounds::qma_star_cost_from_dqma(&costs);
-    assert_eq!(reduced, costs.total_proof_qubits + costs.local_message_qubits);
+    assert_eq!(
+        reduced,
+        costs.total_proof_qubits + costs.local_message_qubits
+    );
     assert!(reduced >= costs.total_proof_qubits);
 }
 
@@ -102,8 +107,11 @@ fn interpolating_prover_never_beats_the_spectral_optimum() {
     let y = BitString::from_u64(2, 2);
     let chain = SwapTestChain::new(2, scheme.fingerprint(&x), scheme.accept_effect(&y));
     let optimal = chain.optimal_acceptance();
-    let separable =
-        chain.acceptance_separable(&cheating_proof(&chain, &scheme.fingerprint(&y), ChainCheat::Interpolate));
+    let separable = chain.acceptance_separable(&cheating_proof(
+        &chain,
+        &scheme.fingerprint(&y),
+        ChainCheat::Interpolate,
+    ));
     assert!(separable <= optimal + 1e-8);
     assert!(optimal <= SwapTestChain::paper_soundness_bound(2) + 1e-9);
 }

@@ -20,10 +20,13 @@ fn terminal_trees_on_random_graphs_have_terminals_as_leaves_and_bounded_depth() 
             }
         }
         let tree = TerminalTree::build(&g, &terminals);
-        for i in 0..terminals.len() {
+        for (i, &t) in terminals.iter().enumerate() {
             let leaf = tree.terminal_leaf(i);
-            assert!(tree.children(leaf).is_empty(), "terminal {i} must be a leaf");
-            assert_eq!(tree.node(leaf).physical, terminals[i]);
+            assert!(
+                tree.children(leaf).is_empty(),
+                "terminal {i} must be a leaf"
+            );
+            assert_eq!(tree.node(leaf).physical, t);
         }
         // Depth at most eccentricity of the root terminal + 1 <= diameter + 1.
         assert!(tree.max_depth() <= g.diameter() + 1);
@@ -60,7 +63,11 @@ fn lemma_18_accepts_honest_trees_and_rejects_forgeries_on_random_graphs() {
 fn star_center_is_chosen_as_root_when_it_is_a_terminal() {
     let g = topology::star(5);
     let tree = TerminalTree::build(&g, &[0, 1, 3]);
-    assert_eq!(tree.node(tree.root()).physical, 0, "the centre terminal is most central");
+    assert_eq!(
+        tree.node(tree.root()).physical,
+        0,
+        "the centre terminal is most central"
+    );
 }
 
 #[test]

@@ -6,7 +6,9 @@ use commproto::fingerprint::FingerprintScheme;
 use commproto::lsd::{LsdInstance, LsdQmaOneWay, Subspace};
 use commproto::one_way::EqOneWay;
 use commproto::qma::{OneWayAsQma, QmaCommSpec, QmaCosts, QmaOneWayProtocol};
-use dqma::from_qmacc::{dqmasep_from_dqma_local_cost, dqmasep_from_qmacc_local_cost, QmaccPathProtocol};
+use dqma::from_qmacc::{
+    dqmasep_from_dqma_local_cost, dqmasep_from_qmacc_local_cost, QmaccPathProtocol,
+};
 use dqma::lower_bounds::qma_star_cost_from_dqma;
 use qsim::CVector;
 
@@ -71,7 +73,11 @@ fn theorem_46_pipeline_costs_compose() {
     assert!(sep_local > c);
     let spec = QmaCommSpec {
         name: "LSD".into(),
-        costs: QmaCosts { proof_to_alice: 3, proof_to_bob: 0, communication: 4 },
+        costs: QmaCosts {
+            proof_to_alice: 3,
+            proof_to_bob: 0,
+            communication: 4,
+        },
         rounds: 1,
     };
     assert!(dqmasep_from_qmacc_local_cost(3, &spec) > 0.0);
