@@ -1,0 +1,501 @@
+//! `bench_protocols` — protocol-level benchmarks of the matrix-free
+//! measurement layer.
+//!
+//! Where `bench_qsim` times single gates, this bench times the paper's hot
+//! path: SWAP-test and permutation-test measurements (acceptance
+//! probabilities and post-measurement effects) and full sampled protocol
+//! rounds — EQ on a path (§3.2), EQ on a tree (§3.3) and the relay protocol
+//! (§4.1). Each measurement row compares the matrix-free path (`O(k!·D)`
+//! monomial traces, `O(D²)` in-place symmetrisation) against the
+//! dense-projector oracle exactly as it shipped pre-PR: the `d^k × d^k`
+//! symmetric projector rebuilt per call as a sum of `k!` permutation
+//! matrices, then a dense block expectation/effect. The memoised oracle
+//! (`qsim::naive`) is reported as a third column.
+//!
+//! EQ-path rounds are simulated end to end through the pure-state fast path
+//! (`O(r·d)` per round), which reaches `r = 32`; the joint-state dense
+//! simulation — the only way to run a round before this layer existed — is
+//! `O(d^{3(2r−1)})` and is timed where feasible (`r ≤ 4`), reported as
+//! unreachable (`null`) beyond.
+//!
+//! Emits `BENCH_protocols.json` at the workspace root.
+//!
+//! Run with: `cargo bench --bench bench_protocols`
+
+use commproto::bitstring::BitString;
+use commproto::fingerprint::FingerprintScheme;
+use commproto::OneWayProtocol;
+use dqma::chain::{cheating_proof, ChainCheat, SeparableChainProof, SwapTestChain};
+use dqma::eq_path::EqPathProtocol;
+use dqma::eq_tree::EqTreeProtocol;
+use dqma::relay::RelayEqProtocol;
+use dqma_bench::{fmt_ns, print_header, print_row, time_it, JsonReport, JsonValue, Timing};
+use netsim::topology;
+use qsim::linalg::CMatrix;
+use qsim::permutation::{
+    permutation_test_acceptance_on, project_symmetric_on, symmetric_projector,
+};
+use qsim::swap_test::{swap_test_acceptance_on, swap_test_projector};
+use qsim::{embed_operator, naive, Complex, DensityMatrix, PureState, RandomStateGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const WINDOW: Duration = Duration::from_millis(120);
+
+struct Entry {
+    name: String,
+    fast: Timing,
+    /// Dense-projector oracle with per-call construction (pre-PR semantics);
+    /// `None` where the dense path cannot run in bench time.
+    dense: Option<Timing>,
+    /// Dense oracle with the projector memoised (`qsim::naive`).
+    dense_cached: Option<Timing>,
+}
+
+impl Entry {
+    fn speedup(&self) -> Option<f64> {
+        self.dense
+            .as_ref()
+            .map(|d| d.ns_per_op / self.fast.ns_per_op)
+    }
+}
+
+/// The benchmark register shape: `k` test registers of dimension `d` plus a
+/// dimension-2 spectator wedged at position 1, targets non-contiguous and
+/// reversed — the same shape the equivalence tests pin.
+fn shape(d: usize, k: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut dims = vec![d; k];
+    dims.insert(1, 2);
+    let mut targets: Vec<usize> = (0..=k).filter(|&i| i != 1).collect();
+    targets.reverse();
+    (dims, targets)
+}
+
+fn bench_perm_acceptance(
+    entries: &mut Vec<Entry>,
+    gen: &mut RandomStateGenerator,
+    d: usize,
+    k: usize,
+) {
+    let (dims, targets) = shape(d, k);
+    let rho = gen.random_density(&dims, 2);
+    let fast = time_it(
+        || {
+            std::hint::black_box(permutation_test_acceptance_on(&rho, &targets));
+        },
+        WINDOW,
+    );
+    let dense = time_it(
+        || {
+            // Pre-PR path: projector rebuilt per call, dense expectation.
+            let proj = symmetric_projector(d, k);
+            std::hint::black_box(rho.expectation_on(&targets, &proj).re);
+        },
+        WINDOW,
+    );
+    let dense_cached = time_it(
+        || {
+            std::hint::black_box(naive::permutation_test_acceptance_on(&rho, &targets));
+        },
+        WINDOW,
+    );
+    entries.push(Entry {
+        name: format!("perm_accept_d{d}_k{k}"),
+        fast,
+        dense: Some(dense),
+        dense_cached: Some(dense_cached),
+    });
+}
+
+fn bench_swap_acceptance(entries: &mut Vec<Entry>, gen: &mut RandomStateGenerator, d: usize) {
+    let dims = [d, 2, d];
+    let rho = gen.random_density(&dims, 2);
+    let fast = time_it(
+        || {
+            std::hint::black_box(swap_test_acceptance_on(&rho, 2, 0));
+        },
+        WINDOW,
+    );
+    let dense = time_it(
+        || {
+            let proj = swap_test_projector(d);
+            std::hint::black_box(rho.expectation_on(&[2, 0], &proj).re);
+        },
+        WINDOW,
+    );
+    let dense_cached = time_it(
+        || {
+            std::hint::black_box(naive::swap_test_acceptance_on(&rho, 2, 0));
+        },
+        WINDOW,
+    );
+    entries.push(Entry {
+        name: format!("swap_accept_d{d}"),
+        fast,
+        dense: Some(dense),
+        dense_cached: Some(dense_cached),
+    });
+}
+
+fn bench_symmetrize_effect(
+    entries: &mut Vec<Entry>,
+    gen: &mut RandomStateGenerator,
+    d: usize,
+    k: usize,
+) {
+    let (dims, targets) = shape(d, k);
+    let rho = gen.random_density(&dims, 2);
+    let fast = time_it(
+        || {
+            let mut work = rho.clone();
+            project_symmetric_on(&mut work, &targets);
+            std::hint::black_box(&mut work);
+        },
+        WINDOW,
+    );
+    let dense = time_it(
+        || {
+            let mut work = rho.clone();
+            let proj = symmetric_projector(d, k);
+            work.apply_local_operator(&targets, &proj);
+            std::hint::black_box(&mut work);
+        },
+        WINDOW,
+    );
+    let dense_cached = time_it(
+        || {
+            let mut work = rho.clone();
+            naive::apply_symmetric_effect(&mut work, &targets, true);
+            std::hint::black_box(&mut work);
+        },
+        WINDOW,
+    );
+    entries.push(Entry {
+        name: format!("symmetrize_effect_d{d}_k{k}"),
+        fast,
+        dense: Some(dense),
+        dense_cached: Some(dense_cached),
+    });
+}
+
+/// One sampled EQ-path round over the **joint** register state with dense
+/// projector effects and embed-then-matmul conjugations — the only way to
+/// simulate a round before the matrix-free layer and the pure-state fast
+/// paths existed. `O(d^{3(2r−1)})` per round.
+fn dense_joint_round(chain: &SwapTestChain, proof: &SeparableChainProof, rng: &mut StdRng) -> bool {
+    let d = chain.register_dim();
+    let k = chain.num_intermediate();
+    let dims = vec![d; 2 * k + 1];
+    let total: usize = dims.iter().product();
+    let mut regs: Vec<PureState> = vec![chain.left_state().clone()];
+    for (a, b) in proof {
+        regs.push(a.clone());
+        regs.push(b.clone());
+    }
+    let joint = PureState::tensor_all(&regs).regroup(&dims);
+    let mut rho = DensityMatrix::from_pure(&joint).matrix().clone();
+    let conj =
+        |m: &CMatrix, full: &CMatrix| naive::matmul(&naive::matmul(full, m), &full.adjoint());
+    let mut sent = 0usize;
+    for j in 1..=k {
+        let (kept, fwd) = (2 * j - 1, 2 * j);
+        // Symmetrisation channel ρ → ½ρ + ½ SρS†, through the embedded SWAP
+        // (memoised in the oracle module — the embedding is the honest cost).
+        let s_emb = embed_operator(&dims, &[kept, fwd], &naive::cached_swap(d));
+        rho = (&rho + &conj(&rho, &s_emb)).scale(Complex::real(0.5));
+        // Dense SWAP-test effect on (sent, kept).
+        let proj = embed_operator(&dims, &[sent, kept], &swap_test_projector(d));
+        let p = naive::matmul(&proj, &rho).trace().re.clamp(0.0, 1.0);
+        let accept = rng.random::<f64>() < p;
+        let effect = if accept {
+            proj
+        } else {
+            &CMatrix::identity(total) - &proj
+        };
+        let pr = if accept { p } else { 1.0 - p };
+        if pr > 1e-12 {
+            rho = conj(&rho, &effect).scale(Complex::real(1.0 / pr));
+        }
+        if !accept {
+            return false;
+        }
+        sent = fwd;
+    }
+    let m_emb = embed_operator(&dims, &[sent], chain.right_effect());
+    let p = naive::matmul(&m_emb, &rho).trace().re.clamp(0.0, 1.0);
+    rng.random::<f64>() < p
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    let mut gen = RandomStateGenerator::new(17);
+
+    // Permutation-test acceptance: the paper's node measurement (Lemmas
+    // 15–16), swept over qudit dimension and fan-out. (5, 4) is omitted —
+    // the dense oracle alone would dominate the bench budget.
+    for &(d, k) in &[
+        (2usize, 2usize),
+        (2, 3),
+        (2, 4),
+        (3, 2),
+        (3, 3),
+        (3, 4),
+        (5, 2),
+        (5, 3),
+    ] {
+        bench_perm_acceptance(&mut entries, &mut gen, d, k);
+    }
+
+    // SWAP-test acceptance (Lemmas 13–14) over the register dimension.
+    for &d in &[2usize, 4, 8] {
+        bench_swap_acceptance(&mut entries, &mut gen, d);
+    }
+
+    // Post-measurement effect Π_sym ρ Π_sym: in-place register
+    // symmetrisation vs the dense block conjugation.
+    for &(d, k) in &[(2usize, 4usize), (3, 3)] {
+        bench_symmetrize_effect(&mut entries, &mut gen, d, k);
+    }
+
+    // EQ-path end-to-end rounds (§3.2). Dimension-2 fingerprints so the
+    // joint-state dense oracle is feasible at all for small r; the
+    // matrix-free sampler runs through the pure-state fast path and the cost
+    // of the joint simulation is d^{3(2r−1)} — unreachable from r = 8 on.
+    let scheme = FingerprintScheme::with_parameters(4, 1, 1, 7);
+    let x = BitString::from_u64(3, 4);
+    let y = BitString::from_u64(12, 4);
+    let mut eq_path_max_r = 0usize;
+    for &r in &[2usize, 4, 8, 16, 32] {
+        // Chain and proof are prepared once outside both timing loops so the
+        // fast and dense columns measure exactly the same work: one sampled
+        // round on a fixed proof.
+        let proto = EqPathProtocol::with_scheme(r, scheme.clone(), 1);
+        let chain = proto.chain(&x, &y);
+        let right_state = proto.one_way().alice_message(&y);
+        let proof = cheating_proof(&chain, &right_state, ChainCheat::Interpolate);
+        let mut rng = StdRng::seed_from_u64(101);
+        let fast = time_it(
+            || {
+                std::hint::black_box(chain.simulate_round(&proof, &mut rng));
+            },
+            WINDOW,
+        );
+        let dense = if r <= 4 {
+            let mut rng = StdRng::seed_from_u64(101);
+            Some(time_it(
+                || {
+                    std::hint::black_box(dense_joint_round(&chain, &proof, &mut rng));
+                },
+                WINDOW,
+            ))
+        } else {
+            None
+        };
+        eq_path_max_r = r;
+        entries.push(Entry {
+            name: format!("eq_path_round_r{r}"),
+            fast,
+            dense,
+            dense_cached: None,
+        });
+    }
+
+    // EQ-path rounds with mixed per-node proofs: the density-matrix frontier
+    // sampler (matrix-free swap_test_on + monomial SWAP channel), which also
+    // reaches r = 32 because the frontier never exceeds three registers.
+    for &r in &[8usize, 32] {
+        let proto = EqPathProtocol::with_scheme(r, scheme.clone(), 1);
+        let chain = proto.chain(&x, &y);
+        let right_state = proto.one_way().alice_message(&y);
+        let proof: Vec<DensityMatrix> =
+            cheating_proof(&chain, &right_state, ChainCheat::Interpolate)
+                .iter()
+                .map(|(a, b)| DensityMatrix::from_pure(&a.tensor(b)))
+                .collect();
+        let mut rng = StdRng::seed_from_u64(103);
+        let fast = time_it(
+            || {
+                std::hint::black_box(chain.simulate_round_mixed(&proof, &mut rng));
+            },
+            WINDOW,
+        );
+        entries.push(Entry {
+            name: format!("eq_path_round_mixed_r{r}"),
+            fast,
+            dense: None,
+            dense_cached: None,
+        });
+    }
+
+    // EQ-tree rounds (§3.3, Algorithm 5) on spiders: every internal node
+    // tests all its children at once with the permutation test.
+    for &legs in &[2usize, 3, 4] {
+        let g = topology::spider(legs, 1);
+        let terminals: Vec<usize> = (0..legs).map(|k| topology::spider_leaf(k, 1)).collect();
+        let proto = EqTreeProtocol::with_scheme(
+            &g,
+            &terminals,
+            FingerprintScheme::with_parameters(4, 1, 1, 9),
+            1,
+        );
+        let mut inputs = vec![x.clone(); terminals.len()];
+        inputs[legs - 1] = y.clone();
+        let proof = proto.uniform_proof(&x);
+        let mut rng = StdRng::seed_from_u64(107);
+        let fast = time_it(
+            || {
+                std::hint::black_box(proto.simulate_round(&inputs, &proof, &mut rng));
+            },
+            WINDOW,
+        );
+        let mut rng2 = StdRng::seed_from_u64(107);
+        let density = time_it(
+            || {
+                std::hint::black_box(proto.simulate_round_via_density(&inputs, &proof, &mut rng2));
+            },
+            WINDOW,
+        );
+        entries.push(Entry {
+            name: format!("eq_tree_round_t{legs}"),
+            fast,
+            dense: None,
+            dense_cached: None,
+        });
+        entries.push(Entry {
+            name: format!("eq_tree_round_density_t{legs}"),
+            fast: density,
+            dense: None,
+            dense_cached: None,
+        });
+    }
+
+    // Relay rounds (§4.1): one repetition of every segment, sampled.
+    for &r in &[8usize, 16] {
+        let proto = RelayEqProtocol::with_spacing(4, r, 2, 11);
+        let relays = vec![x.clone(); proto.relay_points().len()];
+        let mut rng = StdRng::seed_from_u64(109);
+        let fast = time_it(
+            || {
+                std::hint::black_box(proto.simulate_round(
+                    &x,
+                    &y,
+                    &relays,
+                    ChainCheat::Interpolate,
+                    &mut rng,
+                ));
+            },
+            WINDOW,
+        );
+        entries.push(Entry {
+            name: format!("relay_round_r{r}"),
+            fast,
+            dense: None,
+            dense_cached: None,
+        });
+    }
+
+    // Report.
+    let (par_enabled, par_threads) = dqma_bench::parallel_config();
+    let mut columns = vec![
+        "benchmark",
+        "matrix-free",
+        "dense",
+        "speedup",
+        "dense(memo)",
+    ];
+    if par_enabled {
+        columns.push("parallel");
+    }
+    print_header(
+        "bench_protocols: matrix-free measurements vs dense-projector oracles",
+        &columns,
+    );
+    let mut report = JsonReport::new();
+    for e in &entries {
+        let mut cells = vec![
+            e.name.clone(),
+            fmt_ns(e.fast.ns_per_op),
+            e.dense
+                .as_ref()
+                .map_or("unreachable".to_string(), |t| fmt_ns(t.ns_per_op)),
+            e.speedup().map_or("—".to_string(), |s| format!("{s:.1}x")),
+            e.dense_cached
+                .as_ref()
+                .map_or("—".to_string(), |t| fmt_ns(t.ns_per_op)),
+        ];
+        if par_enabled {
+            cells.push(format!("{par_threads} threads"));
+        }
+        print_row(&cells);
+        let mut fields = vec![
+            ("name", JsonValue::Str(e.name.clone())),
+            ("ns_per_op", JsonValue::Num(e.fast.ns_per_op)),
+            ("ops_per_sec", JsonValue::Num(e.fast.ops_per_sec)),
+            ("iters", JsonValue::Int(e.fast.iters)),
+            (
+                "dense_ns_per_op",
+                JsonValue::Num(e.dense.as_ref().map_or(f64::NAN, |t| t.ns_per_op)),
+            ),
+            (
+                "speedup_vs_dense",
+                JsonValue::Num(e.speedup().unwrap_or(f64::NAN)),
+            ),
+            (
+                "dense_cached_ns_per_op",
+                JsonValue::Num(e.dense_cached.as_ref().map_or(f64::NAN, |t| t.ns_per_op)),
+            ),
+        ];
+        if par_enabled {
+            fields.push(("parallel", JsonValue::Str("true".to_string())));
+        }
+        report.push(&fields);
+    }
+
+    // Acceptance gate: ≥ 10× on the permutation-test acceptance at d=2, k=4.
+    let gate = entries
+        .iter()
+        .find(|e| e.name == "perm_accept_d2_k4")
+        .expect("acceptance benchmark present");
+    let gate_speedup = gate.speedup().expect("dense oracle timed");
+    let meets = gate_speedup >= 10.0;
+    println!(
+        "\nacceptance: perm_accept_d2_k4 speedup {gate_speedup:.1}x (target >= 10x) — {}",
+        if meets { "OK" } else { "MISS" }
+    );
+    println!("eq-path rounds benched up to r = {eq_path_max_r} (dense joint path stops at r = 4)");
+
+    let json = report.render(&[
+        ("suite", JsonValue::Str("bench_protocols".to_string())),
+        (
+            "acceptance_perm_d2_k4_speedup",
+            JsonValue::Num(gate_speedup),
+        ),
+        ("meets_10x_target", JsonValue::Str(meets.to_string())),
+        ("eq_path_max_r", JsonValue::Int(eq_path_max_r as u64)),
+        ("parallel", JsonValue::Str(par_enabled.to_string())),
+        ("parallel_threads", JsonValue::Int(par_threads)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_protocols.json");
+    std::fs::write(path, &json).expect("write BENCH_protocols.json");
+    println!("wrote {path}");
+
+    // Sanity: the matrix-free measurements must agree with the dense oracles
+    // on a spot check, so a silently-broken path can't report a speedup.
+    let (dims, targets) = shape(2, 4);
+    let rho = gen.random_density(&dims, 2);
+    let fast = permutation_test_acceptance_on(&rho, &targets);
+    let slow = naive::permutation_test_acceptance_on(&rho, &targets);
+    assert!(
+        (fast - slow).abs() < 1e-12,
+        "matrix-free/dense acceptance divergence: {fast} vs {slow}"
+    );
+    let mut a = rho.clone();
+    project_symmetric_on(&mut a, &targets);
+    let mut b = rho.clone();
+    naive::apply_symmetric_effect(&mut b, &targets, true);
+    assert!(
+        a.matrix().approx_eq(b.matrix(), 1e-12),
+        "matrix-free/dense effect divergence"
+    );
+}

@@ -168,33 +168,43 @@ fn main() {
         bench_matmul(&mut entries, d);
     }
 
-    print_header(
-        "bench_qsim: strided kernels vs naive oracles",
-        &[
-            "benchmark",
-            "strided",
-            "naive",
-            "speedup",
-            "ops/s (strided)",
-        ],
-    );
+    let (par_enabled, par_threads) = dqma_bench::parallel_config();
+    let mut columns = vec![
+        "benchmark",
+        "strided",
+        "naive",
+        "speedup",
+        "ops/s (strided)",
+    ];
+    if par_enabled {
+        columns.push("parallel");
+    }
+    print_header("bench_qsim: strided kernels vs naive oracles", &columns);
     let mut report = JsonReport::new();
     for e in &entries {
-        print_row(&[
+        let mut cells = vec![
             e.name.clone(),
             fmt_ns(e.fast.ns_per_op),
             fmt_ns(e.naive.ns_per_op),
             format!("{:.1}x", e.speedup()),
             format!("{:.0}", e.fast.ops_per_sec),
-        ]);
-        report.push(&[
+        ];
+        if par_enabled {
+            cells.push(format!("{par_threads} threads"));
+        }
+        print_row(&cells);
+        let mut fields = vec![
             ("name", JsonValue::Str(e.name.clone())),
             ("ns_per_op", JsonValue::Num(e.fast.ns_per_op)),
             ("ops_per_sec", JsonValue::Num(e.fast.ops_per_sec)),
             ("iters", JsonValue::Int(e.fast.iters)),
             ("naive_ns_per_op", JsonValue::Num(e.naive.ns_per_op)),
             ("speedup_vs_naive", JsonValue::Num(e.speedup())),
-        ]);
+        ];
+        if par_enabled {
+            fields.push(("parallel", JsonValue::Str("true".to_string())));
+        }
+        report.push(&fields);
     }
 
     // The PR-1 acceptance gate: ≥ 10× on the 8-qubit density 1q gate.
@@ -216,6 +226,8 @@ fn main() {
             JsonValue::Num(gate.speedup()),
         ),
         ("meets_10x_target", JsonValue::Str(meets.to_string())),
+        ("parallel", JsonValue::Str(par_enabled.to_string())),
+        ("parallel_threads", JsonValue::Int(par_threads)),
     ]);
     // cargo runs benches with the package directory as cwd; anchor the
     // report at the workspace root so the perf trajectory lives in one place.

@@ -87,6 +87,23 @@ pub fn time_it(mut f: impl FnMut(), min_duration: std::time::Duration) -> Timing
     }
 }
 
+/// Reports the kernel threading configuration of this build: whether the
+/// `parallel` feature is compiled in, and the worker count the qsim kernels
+/// will use (their own `QSIM_PARALLEL_THREADS`-or-host-parallelism policy,
+/// queried from `qsim::kernels::parallel_threads` so this never drifts
+/// from it). The bench bins attach this to their JSON reports so perf
+/// trajectories are comparable across configurations.
+pub fn parallel_config() -> (bool, u64) {
+    #[cfg(feature = "parallel")]
+    {
+        (true, qsim::kernels::parallel_threads() as u64)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        (false, 1)
+    }
+}
+
 /// Formats a nanoseconds-per-op figure with a readable unit.
 pub fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {

@@ -24,10 +24,11 @@
 //!   analytically.
 
 use netsim::{CostTracker, ProtocolCosts};
-use qsim::kernels;
 use qsim::linalg::max_eigenvalue;
-use qsim::swap_test::{swap_test_acceptance_pure, swap_test_projector};
-use qsim::{CMatrix, Complex, PureState};
+use qsim::permutation::right_project_symmetric;
+use qsim::swap_test::{swap_test_acceptance_pure, swap_test_on};
+use qsim::{gates, kernels, CMatrix, Complex, DensityMatrix, PureState};
+use rand::Rng;
 
 /// A proof for the chain: one pair of register states per intermediate node
 /// (`R_{j,0}`, `R_{j,1}` for `j = 1..r−1`), each a pure state of the chain's
@@ -171,7 +172,6 @@ impl SwapTestChain {
             total <= 1024,
             "joint proof dimension {total} too large for the spectral method"
         );
-        let sym = swap_test_projector(self.dim);
         // Effective effect of the SWAP test against the fixed left state |a>:
         // (⟨a| ⊗ I) Π_sym (|a> ⊗ I) = (I + |a><a|) / 2 on the kept register.
         let a_proj = CMatrix::projector(self.left_state.amplitudes());
@@ -183,18 +183,15 @@ impl SwapTestChain {
             // Register index of R_{j,0} is 2j, of R_{j,1} is 2j+1 (j = 0..k-1).
             let kept = |j: usize| 2 * j + usize::from((pattern >> j) & 1 == 1);
             let forwarded = |j: usize| 2 * j + usize::from((pattern >> j) & 1 == 0);
-            // Build the pattern's effect by strided right multiplication:
-            // each factor acts on two registers at most, so no full-dimension
-            // embedded operator or dense O(D³) matmul is ever needed.
+            // Build the pattern's effect by strided right multiplication. The
+            // SWAP-test factors are symmetric-subspace projectors, applied
+            // matrix-free as column class averages (`O(rows·D)` each, no
+            // d²×d² projector); the boundary effects are genuinely dense
+            // one-register operators and go through the dense stride kernel.
             let mut effect = CMatrix::identity(total);
             kernels::right_multiply_matrix(&mut effect, &dims, &[kept(0)], &left_effect);
             for j in 1..k {
-                kernels::right_multiply_matrix(
-                    &mut effect,
-                    &dims,
-                    &[forwarded(j - 1), kept(j)],
-                    &sym,
-                );
+                right_project_symmetric(&mut effect, &dims, &[forwarded(j - 1), kept(j)]);
             }
             kernels::right_multiply_matrix(
                 &mut effect,
@@ -228,6 +225,117 @@ impl SwapTestChain {
         let a = self.acceptance_operator();
         let herm = (&a + &a.adjoint()).scale(Complex::real(0.5));
         max_eigenvalue(&herm).clamp(0.0, 1.0)
+    }
+
+    /// The measurement effect applied by the right extremity.
+    pub fn right_effect(&self) -> &CMatrix {
+        &self.right_effect
+    }
+
+    /// Samples one full round of the chain protocol for a separable per-node
+    /// pure proof: symmetrisation coins, one SWAP test per intermediate node,
+    /// and Bob's final measurement. Returns `true` when every node accepts.
+    ///
+    /// Pure-state fast path: conditioned on the symmetrisation pattern every
+    /// test acts on disjoint product registers, so each outcome is an
+    /// independent Bernoulli draw from the overlap closed form — the joint
+    /// density matrix is never formed and a round costs `O(r·d)`. This is
+    /// what makes end-to-end rounds at `r ≥ 8` benchable; the joint-state
+    /// dense-projector simulation is `O(d^{3(2r−1)})` and already
+    /// unreachable at `r = 8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proof does not have one register pair per intermediate
+    /// node or if any register has the wrong dimension.
+    pub fn simulate_round<R: Rng + ?Sized>(
+        &self,
+        proof: &SeparableChainProof,
+        rng: &mut R,
+    ) -> bool {
+        assert_eq!(
+            proof.len(),
+            self.num_intermediate(),
+            "need one register pair per intermediate node"
+        );
+        let mut sent: &PureState = &self.left_state;
+        for (r0, r1) in proof {
+            assert_eq!(r0.dim(), self.dim, "proof register dimension mismatch");
+            assert_eq!(r1.dim(), self.dim, "proof register dimension mismatch");
+            let swapped = rng.random::<f64>() < 0.5;
+            let (kept, forwarded) = if swapped { (r1, r0) } else { (r0, r1) };
+            let p = swap_test_acceptance_pure(sent, kept);
+            if rng.random::<f64>() >= p {
+                return false;
+            }
+            sent = forwarded;
+        }
+        let v = sent.amplitudes();
+        let p = v.inner(&self.right_effect.apply(v)).re.clamp(0.0, 1.0);
+        rng.random::<f64>() < p
+    }
+
+    /// Samples one full round for per-node *mixed* proofs (one two-register
+    /// density matrix per intermediate node), through the matrix-free
+    /// measurement layer: the walk keeps only the frontier — the forwarded
+    /// state tensored with the current node's register pair, a 3-register
+    /// density matrix — applies the symmetrisation channel
+    /// `ρ → ½ρ + ½ SρS†` as a (monomial fast-path) Kraus channel, runs the
+    /// sampled matrix-free [`swap_test_on`], and traces down to the next
+    /// forwarded register. `O(r·d⁶)` total; no dense projector, no joint
+    /// state over the whole chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proof does not have one two-register density matrix of
+    /// the chain's register dimension per intermediate node.
+    pub fn simulate_round_mixed<R: Rng + ?Sized>(
+        &self,
+        proof: &[DensityMatrix],
+        rng: &mut R,
+    ) -> bool {
+        assert_eq!(
+            proof.len(),
+            self.num_intermediate(),
+            "need one register pair per intermediate node"
+        );
+        let half = Complex::real(std::f64::consts::FRAC_1_SQRT_2);
+        let kraus = [
+            CMatrix::identity(self.dim * self.dim).scale(half),
+            gates::swap(self.dim).scale(half),
+        ];
+        let mut sent = DensityMatrix::from_pure(&self.left_state);
+        for pair in proof {
+            assert_eq!(
+                pair.dims(),
+                &[self.dim, self.dim],
+                "proof register dimension mismatch"
+            );
+            // Frontier: (sent, kept, forwarded) — everything already tested
+            // has been traced out.
+            let mut frontier = sent.tensor(pair);
+            frontier.apply_kraus(&[1, 2], &kraus);
+            if !swap_test_on(&mut frontier, 0, 1, rng) {
+                return false;
+            }
+            sent = frontier.partial_trace_keep(&[2]);
+        }
+        let p = sent.expectation(&self.right_effect).re.clamp(0.0, 1.0);
+        rng.random::<f64>() < p
+    }
+
+    /// Empirical acceptance frequency over `trials` sampled rounds — a Monte
+    /// Carlo check against [`SwapTestChain::acceptance_separable`].
+    pub fn estimate_acceptance<R: Rng + ?Sized>(
+        &self,
+        proof: &SeparableChainProof,
+        trials: usize,
+        rng: &mut R,
+    ) -> f64 {
+        let accepts = (0..trials)
+            .filter(|_| self.simulate_round(proof, rng))
+            .count();
+        accepts as f64 / trials as f64
     }
 
     /// Cost summary of one repetition of the chain protocol, given the size in
@@ -444,6 +552,49 @@ mod tests {
         let p_op = v.inner(&a.apply(v)).re;
         let p_formula = chain.completeness();
         assert!((p_op - p_formula).abs() < 1e-9, "{p_op} vs {p_formula}");
+    }
+
+    #[test]
+    fn sampled_rounds_match_exact_acceptance() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (left, effect, right_state) = orthogonal_boundary(2);
+        let chain = SwapTestChain::new(3, left, effect);
+        let proof = cheating_proof(&chain, &right_state, ChainCheat::Interpolate);
+        let exact = chain.acceptance_separable(&proof);
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 3000;
+        let est = chain.estimate_acceptance(&proof, trials, &mut rng);
+        assert!(
+            (est - exact).abs() < 0.05,
+            "estimated {est} vs exact {exact}"
+        );
+        // The mixed-proof frontier sampler agrees on the same (pure) proof.
+        let mixed: Vec<qsim::DensityMatrix> = proof
+            .iter()
+            .map(|(a, b)| qsim::DensityMatrix::from_pure(&a.tensor(b)))
+            .collect();
+        let accepts = (0..trials)
+            .filter(|_| chain.simulate_round_mixed(&mixed, &mut rng))
+            .count();
+        let est_mixed = accepts as f64 / trials as f64;
+        assert!(
+            (est_mixed - exact).abs() < 0.05,
+            "mixed-sampler estimate {est_mixed} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn honest_sampled_round_always_accepts() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (left, effect) = matching_boundary(2);
+        let chain = SwapTestChain::new(4, left, effect);
+        let proof = chain.honest_proof();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..50 {
+            assert!(chain.simulate_round(&proof, &mut rng));
+        }
     }
 
     #[test]

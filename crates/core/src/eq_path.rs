@@ -111,6 +111,41 @@ impl EqPathProtocol {
         )
     }
 
+    /// Samples one full round of a single repetition under a named cheating
+    /// strategy, through the chain's pure-state fast path
+    /// ([`SwapTestChain::simulate_round`]). No joint density matrix is ever
+    /// formed, so end-to-end rounds stay benchable at `r ≥ 8` where the
+    /// joint dense-projector simulation cannot run.
+    ///
+    /// This convenience wrapper also prepares the round's instance data
+    /// (Alice's fingerprint, Bob's effect, the cheating proof) on every call.
+    /// Monte-Carlo loops over a *fixed* instance should hoist that once —
+    /// build [`EqPathProtocol::chain`] plus
+    /// [`crate::chain::cheating_proof`] and call
+    /// [`SwapTestChain::simulate_round`] directly, which is `O(r·d)` per
+    /// round (what `bench_protocols` measures).
+    pub fn simulate_round<R: rand::Rng + ?Sized>(
+        &self,
+        x: &BitString,
+        y: &BitString,
+        cheat: ChainCheat,
+        rng: &mut R,
+    ) -> bool {
+        let chain = self.chain(x, y);
+        let right_state = self.protocol.alice_message(y);
+        let proof = cheating_proof(&chain, &right_state, cheat);
+        chain.simulate_round(&proof, rng)
+    }
+
+    /// Samples one honest round on a yes-instance (both extremities hold `x`,
+    /// the prover forwards the fingerprint unchanged). Accepts with
+    /// probability 1 up to floating-point error.
+    pub fn simulate_honest_round<R: rand::Rng + ?Sized>(&self, x: &BitString, rng: &mut R) -> bool {
+        let chain = self.chain(x, x);
+        let proof = chain.honest_proof();
+        chain.simulate_round(&proof, rng)
+    }
+
     /// Exact soundness error of a single repetition against arbitrary
     /// (entangled) proofs, via the acceptance-operator spectral method.
     /// Only available for small fingerprint dimensions and short paths.
@@ -215,6 +250,30 @@ mod tests {
         assert!(repeated < 1.0 / 3.0, "repeated acceptance {repeated}");
         // Completeness survives repetition unchanged.
         assert!((proto.completeness(&x) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sampled_rounds_agree_with_exact_single_round_acceptance() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let proto = small_protocol(4, 3);
+        let x = BitString::from_u64(3, 4);
+        let y = BitString::from_u64(12, 4);
+        let exact = proto.single_round_acceptance(&x, &y, ChainCheat::Interpolate);
+        let mut rng = StdRng::seed_from_u64(21);
+        let trials = 3000;
+        let accepts = (0..trials)
+            .filter(|_| proto.simulate_round(&x, &y, ChainCheat::Interpolate, &mut rng))
+            .count();
+        let est = accepts as f64 / trials as f64;
+        assert!(
+            (est - exact).abs() < 0.05,
+            "estimated {est} vs exact {exact}"
+        );
+        // Honest rounds accept with certainty.
+        for _ in 0..20 {
+            assert!(proto.simulate_honest_round(&x, &mut rng));
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use commproto::bitstring::BitString;
 use commproto::fingerprint::FingerprintScheme;
 use netsim::tree::TerminalTree;
 use netsim::{CostTracker, Graph, ProtocolCosts};
-use qsim::permutation::permutation_test_acceptance_gram;
+use qsim::permutation::{permutation_test_acceptance_gram, permutation_test_on};
 use qsim::PureState;
 
 use crate::chain::SwapTestChain;
@@ -128,53 +128,20 @@ impl EqTreeProtocol {
             "too many proof nodes for exact enumeration"
         );
 
-        // Fingerprints sent by the terminal leaves.
-        let leaf_state = |idx: usize| -> Option<PureState> {
-            leaves
-                .iter()
-                .position(|&l| l == idx)
-                .map(|i| self.scheme.fingerprint(&inputs[i]))
-        };
-        let proof_index = |idx: usize| proof_nodes.iter().position(|&p| p == idx);
-
+        let leaf_states = self.leaf_fingerprints(inputs);
         let patterns = 1usize << proof_nodes.len();
         let mut total = 0.0;
+        let order = self.tree.post_order();
         for pattern in 0..patterns {
-            // Which register each proof node keeps vs. forwards under this pattern.
-            let kept = |idx: usize| -> &PureState {
-                let pi = proof_index(idx).expect("proof node");
-                let swapped = (pattern >> pi) & 1 == 1;
-                if swapped {
-                    &proof[pi].1
-                } else {
-                    &proof[pi].0
-                }
-            };
-            let forwarded = |idx: usize| -> &PureState {
-                let pi = proof_index(idx).expect("proof node");
-                let swapped = (pattern >> pi) & 1 == 1;
-                if swapped {
-                    &proof[pi].0
-                } else {
-                    &proof[pi].1
-                }
-            };
-
+            let swapped: Vec<bool> = (0..proof_nodes.len())
+                .map(|pi| (pattern >> pi) & 1 == 1)
+                .collect();
             let mut prob = 1.0;
-            for v in 0..self.tree.num_nodes() {
+            for &v in &order {
                 if self.tree.children(v).is_empty() {
                     continue;
                 }
-                // States entering node v's permutation test: its kept register
-                // plus whatever each child sent up.
-                let mut states: Vec<PureState> = vec![kept(v).clone()];
-                for &c in self.tree.children(v) {
-                    if let Some(s) = leaf_state(c) {
-                        states.push(s);
-                    } else {
-                        states.push(forwarded(c).clone());
-                    }
-                }
+                let states = self.node_test_states(v, &leaf_states, proof, &proof_nodes, &swapped);
                 prob *= permutation_test_acceptance_gram(&states);
                 if prob < 1e-15 {
                     break;
@@ -183,6 +150,150 @@ impl EqTreeProtocol {
             total += prob;
         }
         (total / patterns as f64).clamp(0.0, 1.0)
+    }
+
+    /// The fingerprints the terminal leaves send up — prepared once per round
+    /// (as the terminals do), not once per internal node.
+    fn leaf_fingerprints(&self, inputs: &[BitString]) -> Vec<PureState> {
+        inputs.iter().map(|x| self.scheme.fingerprint(x)).collect()
+    }
+
+    /// The states entering node `v`'s permutation test: its kept register plus
+    /// whatever each child sends up (a terminal fingerprint for leaves, the
+    /// forwarded proof register otherwise), given which register each proof
+    /// node keeps under the symmetrisation outcome `swapped`.
+    fn node_test_states(
+        &self,
+        v: usize,
+        leaf_states: &[PureState],
+        proof: &[(PureState, PureState)],
+        proof_nodes: &[usize],
+        swapped: &[bool],
+    ) -> Vec<PureState> {
+        let leaves = self.tree.terminal_leaves();
+        let leaf_state = |idx: usize| -> Option<&PureState> {
+            leaves
+                .iter()
+                .position(|&l| l == idx)
+                .map(|i| &leaf_states[i])
+        };
+        let proof_index = |idx: usize| {
+            proof_nodes
+                .iter()
+                .position(|&p| p == idx)
+                .expect("proof node")
+        };
+        let kept = |idx: usize| -> &PureState {
+            let pi = proof_index(idx);
+            if swapped[pi] {
+                &proof[pi].1
+            } else {
+                &proof[pi].0
+            }
+        };
+        let forwarded = |idx: usize| -> &PureState {
+            let pi = proof_index(idx);
+            if swapped[pi] {
+                &proof[pi].0
+            } else {
+                &proof[pi].1
+            }
+        };
+        let mut states: Vec<PureState> = vec![kept(v).clone()];
+        for &c in self.tree.children(v) {
+            if let Some(s) = leaf_state(c) {
+                states.push(s.clone());
+            } else {
+                states.push(forwarded(c).clone());
+            }
+        }
+        states
+    }
+
+    /// Samples one full round: symmetrisation coins at every proof node, then
+    /// one permutation test per internal node, walked bottom-up over the
+    /// tree's post-order. Returns `true` when every node accepts.
+    ///
+    /// Pure-state fast path: conditioned on the coins the tests act on
+    /// disjoint product registers (each register participates in exactly one
+    /// test), so each outcome is an independent Bernoulli draw from the
+    /// Gram-matrix closed form — no joint density matrix is ever formed.
+    pub fn simulate_round<R: rand::Rng + ?Sized>(
+        &self,
+        inputs: &[BitString],
+        proof: &[(PureState, PureState)],
+        rng: &mut R,
+    ) -> bool {
+        let proof_nodes = self.proof_nodes();
+        assert_eq!(
+            inputs.len(),
+            self.tree.terminal_leaves().len(),
+            "one input per terminal required"
+        );
+        assert_eq!(
+            proof.len(),
+            proof_nodes.len(),
+            "one register pair per proof node required"
+        );
+        let leaf_states = self.leaf_fingerprints(inputs);
+        let swapped: Vec<bool> = (0..proof_nodes.len())
+            .map(|_| rng.random::<f64>() < 0.5)
+            .collect();
+        for &v in &self.tree.post_order() {
+            if self.tree.children(v).is_empty() {
+                continue;
+            }
+            let states = self.node_test_states(v, &leaf_states, proof, &proof_nodes, &swapped);
+            let p = permutation_test_acceptance_gram(&states);
+            if rng.random::<f64>() >= p {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Samples one full round through the density-matrix measurement layer:
+    /// per internal node the incoming registers are assembled into a
+    /// `(k+1)`-register joint density matrix and the sampled matrix-free
+    /// [`permutation_test_on`] is run on all of them at once — the paper's
+    /// Algorithm 5 node operation, with `O(k!·D)` acceptance and `O(D²)`
+    /// symmetrisation effects instead of a dense `d^{k+1} × d^{k+1}`
+    /// projector.
+    pub fn simulate_round_via_density<R: rand::Rng + ?Sized>(
+        &self,
+        inputs: &[BitString],
+        proof: &[(PureState, PureState)],
+        rng: &mut R,
+    ) -> bool {
+        let proof_nodes = self.proof_nodes();
+        assert_eq!(
+            inputs.len(),
+            self.tree.terminal_leaves().len(),
+            "one input per terminal required"
+        );
+        assert_eq!(
+            proof.len(),
+            proof_nodes.len(),
+            "one register pair per proof node required"
+        );
+        let leaf_states = self.leaf_fingerprints(inputs);
+        let swapped: Vec<bool> = (0..proof_nodes.len())
+            .map(|_| rng.random::<f64>() < 0.5)
+            .collect();
+        let d = self.scheme.dim();
+        for &v in &self.tree.post_order() {
+            if self.tree.children(v).is_empty() {
+                continue;
+            }
+            let states = self.node_test_states(v, &leaf_states, proof, &proof_nodes, &swapped);
+            let joint = PureState::tensor_all(&states).regroup(&vec![d; states.len()]);
+            let mut rho = qsim::DensityMatrix::from_pure(&joint);
+            let targets: Vec<usize> = (0..states.len()).collect();
+            if !permutation_test_on(&mut rho, &targets, rng) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Completeness witness: acceptance of the honest proof when every terminal
@@ -293,6 +404,54 @@ mod tests {
             p_all <= p_one + 1e-9,
             "all-different {p_all} vs one-off {p_one}"
         );
+    }
+
+    #[test]
+    fn sampled_rounds_agree_with_exact_acceptance() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // A dimension-2 fingerprint keeps the density-matrix sampler's
+        // per-node joint states tiny in debug builds.
+        let g = topology::spider(3, 1);
+        let terminals: Vec<usize> = (0..3).map(|k| topology::spider_leaf(k, 1)).collect();
+        let proto = EqTreeProtocol::with_scheme(
+            &g,
+            &terminals,
+            FingerprintScheme::with_parameters(4, 1, 1, 5),
+            4,
+        );
+        let x = BitString::from_u64(9, 4);
+        let y = BitString::from_u64(6, 4);
+        let mut inputs = vec![x.clone(); terminals.len()];
+        inputs[1] = y;
+        let proof = proto.uniform_proof(&x);
+        let exact = proto.acceptance_separable(&inputs, &proof);
+        let mut rng = StdRng::seed_from_u64(31);
+        let trials = 2000;
+        let est = (0..trials)
+            .filter(|_| proto.simulate_round(&inputs, &proof, &mut rng))
+            .count() as f64
+            / trials as f64;
+        assert!(
+            (est - exact).abs() < 0.06,
+            "estimated {est} vs exact {exact}"
+        );
+        // The density-matrix sampler (matrix-free permutation_test_on per
+        // node) agrees with the closed-form sampler.
+        let est_density = (0..trials)
+            .filter(|_| proto.simulate_round_via_density(&inputs, &proof, &mut rng))
+            .count() as f64
+            / trials as f64;
+        assert!(
+            (est_density - exact).abs() < 0.06,
+            "density-sampler estimate {est_density} vs exact {exact}"
+        );
+        // Honest rounds accept with certainty.
+        let honest_inputs = vec![x.clone(); terminals.len()];
+        for _ in 0..10 {
+            assert!(proto.simulate_round(&honest_inputs, &proof, &mut rng));
+            assert!(proto.simulate_round_via_density(&honest_inputs, &proof, &mut rng));
+        }
     }
 
     #[test]

@@ -160,6 +160,64 @@ impl RelayEqProtocol {
         self.acceptance(x, y, &strings, ChainCheat::Interpolate)
     }
 
+    /// Samples one round of every segment chain (one repetition each):
+    /// honest segments (equal endpoint strings) run the honest proof, the
+    /// others the `cheat` strategy. Returns `true` when every node of every
+    /// segment accepts.
+    ///
+    /// Each segment round goes through the chain's pure-state fast path
+    /// ([`SwapTestChain::simulate_round`]) — no joint density matrix per
+    /// segment. As in the protocol, every sampled round re-prepares each
+    /// segment's boundary states (fingerprints, Bob's effect) and proof, so
+    /// the per-round cost is dominated by that preparation; Monte-Carlo
+    /// loops over a fixed instance can hoist the per-segment
+    /// `(SwapTestChain, proof)` pairs and drive
+    /// [`SwapTestChain::simulate_round`] directly for `O(r·d)` rounds.
+    pub fn simulate_round<R: rand::Rng + ?Sized>(
+        &self,
+        x: &BitString,
+        y: &BitString,
+        relay_strings: &[BitString],
+        cheat: ChainCheat,
+        rng: &mut R,
+    ) -> bool {
+        let relays = self.relay_points();
+        assert_eq!(
+            relay_strings.len(),
+            relays.len(),
+            "one classical string per relay point required"
+        );
+        let boundaries = self.segment_boundaries();
+        let string_at = |b: usize| -> &BitString {
+            if b == 0 {
+                x
+            } else if b == self.r {
+                y
+            } else {
+                let idx = relays.iter().position(|&p| p == b).expect("relay boundary");
+                &relay_strings[idx]
+            }
+        };
+        for w in boundaries.windows(2) {
+            let (left, right) = (string_at(w[0]), string_at(w[1]));
+            let seg_len = w[1] - w[0];
+            let chain = SwapTestChain::new(
+                seg_len,
+                self.scheme.fingerprint(left),
+                self.scheme.accept_effect(right),
+            );
+            let proof = if left == right {
+                chain.honest_proof()
+            } else {
+                cheating_proof(&chain, &self.scheme.fingerprint(right), cheat)
+            };
+            if !chain.simulate_round(&proof, rng) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Cost summary (Theorem 22): relay points receive `n` qubits, other
     /// nodes receive `2·42·⌈n^{1/3}⌉²·O(log n)` qubits, for a total of
     /// `Õ(r·n^{2/3})`.
@@ -229,6 +287,27 @@ mod tests {
         let y = BitString::from_u64(12, 4);
         let p = proto.best_interpolating_acceptance(&x, &y);
         assert!(p < 1.0 / 3.0, "acceptance {p}");
+    }
+
+    #[test]
+    fn sampled_relay_rounds_behave_like_the_exact_formulas() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let proto = RelayEqProtocol::with_spacing(4, 6, 2, 3);
+        let x = BitString::from_u64(11, 4);
+        let mut rng = StdRng::seed_from_u64(41);
+        // Honest relays on a yes-instance accept every sampled round.
+        let honest = vec![x.clone(); proto.relay_points().len()];
+        for _ in 0..20 {
+            assert!(proto.simulate_round(&x, &x, &honest, ChainCheat::AllLeft, &mut rng));
+        }
+        // A no-instance with honest-looking relays is rejected a positive
+        // fraction of the time.
+        let y = BitString::from_u64(4, 4);
+        let rejects = (0..400)
+            .filter(|_| !proto.simulate_round(&x, &y, &honest, ChainCheat::Interpolate, &mut rng))
+            .count();
+        assert!(rejects > 0, "no-instance must be rejected sometimes");
     }
 
     #[test]

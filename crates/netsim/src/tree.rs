@@ -346,6 +346,27 @@ impl TerminalTree {
         self.children[idx].is_empty() && idx != self.root
     }
 
+    /// The logical nodes in post-order (every node after all of its
+    /// descendants) — the order in which a bottom-up protocol sweep can run
+    /// each node's permutation test after all of its children have forwarded
+    /// their registers.
+    pub fn post_order(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        // Iterative DFS with an explicit visited flag per stack entry.
+        let mut stack = vec![(self.root, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                out.push(v);
+            } else {
+                stack.push((v, true));
+                for &c in &self.children[v] {
+                    stack.push((c, false));
+                }
+            }
+        }
+        out
+    }
+
     /// The logical path from a leaf up to the root (inclusive).
     pub fn path_to_root(&self, idx: usize) -> Vec<usize> {
         let mut path = vec![idx];
@@ -518,6 +539,29 @@ mod tests {
         let tt = TerminalTree::build(&g, &[1, 2]);
         // Logical nodes: the two terminals plus possibly the centre and a virtual copy.
         assert!(tt.num_nodes() <= 4);
+    }
+
+    #[test]
+    fn post_order_visits_children_before_parents() {
+        let g = topology::spider(3, 2);
+        let terminals: Vec<usize> = (0..3).map(|k| topology::spider_leaf(k, 2)).collect();
+        let tt = TerminalTree::build(&g, &terminals);
+        let order = tt.post_order();
+        assert_eq!(
+            order.len(),
+            tt.num_nodes(),
+            "post-order must visit every node once"
+        );
+        let position = |v: usize| order.iter().position(|&x| x == v).unwrap();
+        for v in 0..tt.num_nodes() {
+            for &c in tt.children(v) {
+                assert!(
+                    position(c) < position(v),
+                    "child {c} must precede parent {v}"
+                );
+            }
+        }
+        assert_eq!(*order.last().unwrap(), tt.root());
     }
 
     #[test]

@@ -286,6 +286,25 @@ impl DensityMatrix {
         kernels::conjugate_matrix(&mut self.mat, &self.dims, targets, a);
     }
 
+    /// Conjugates by the embedded class-averaging projector `P` of the listed
+    /// target subsystems, in place and without renormalising:
+    /// `ρ → P ρ P` (or `(I−P) ρ (I−P)` with `complement`).
+    ///
+    /// With the `S_k` digit-orbit classes of
+    /// [`crate::permutation::symmetric_classes`] this is the post-measurement
+    /// effect of the SWAP/permutation test, executed as an in-place register
+    /// symmetrisation over the [`crate::kernels`] stride machinery — `O(D²)`,
+    /// no block factor, no projector allocation.
+    pub fn apply_class_projector(
+        &mut self,
+        targets: &[usize],
+        classes: &kernels::BlockClasses,
+        complement: bool,
+    ) {
+        kernels::project_classes_rows(&mut self.mat, &self.dims, targets, classes, complement);
+        kernels::project_classes_cols(&mut self.mat, &self.dims, targets, classes, complement);
+    }
+
     /// Multiplies the matrix by a real scalar in place (e.g. `1/p` after a
     /// selective measurement update).
     pub fn rescale(&mut self, factor: f64) {

@@ -468,8 +468,11 @@ mod par {
 /// Worker count for the `parallel` feature: `QSIM_PARALLEL_THREADS` when set
 /// (a testability/tuning override — results are identical for any value
 /// because threads write disjoint index sets), otherwise the host parallelism.
+///
+/// Public so benchmark harnesses can label their reports with the exact
+/// worker count the kernels will use, rather than re-deriving the policy.
 #[cfg(feature = "parallel")]
-fn parallel_threads() -> usize {
+pub fn parallel_threads() -> usize {
     std::env::var("QSIM_PARALLEL_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -663,6 +666,262 @@ pub fn right_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize
     let mut scratch = Vec::new();
     for row in mat.as_mut_slice().chunks_mut(ctotal) {
         apply_vec(row, &lay, op, &kind, true, false, &mut scratch);
+    }
+}
+
+/// Trace of an embedded monomial operator against a square matrix:
+/// `tr(embed(A) · M)` where `A` is the block operator with exactly one
+/// nonzero per row, `A[r, src[r]] = phase[r]`.
+///
+/// Permutation unitaries `U_π` (and SWAP in particular) are monomial, so this
+/// is the `O(D)` stride walk behind the matrix-free SWAP/permutation tests:
+/// `tr(embed(A)·M) = Σ_base Σ_r phase[r] · M[base+off_{src[r]}, base+off_r]`
+/// visits each of the `D = total_dim(dims)` per-base block entries once —
+/// no operator, embedded or block-local, is ever materialised.
+///
+/// # Panics
+///
+/// Panics if `M` is not square of dimension `total_dim(dims)`, or if
+/// `src`/`phase` do not have one entry per target-block index.
+pub fn monomial_embedded_trace(
+    mat: &CMatrix,
+    dims: &[usize],
+    targets: &[usize],
+    src: &[usize],
+    phase: &[Complex],
+) -> Complex {
+    let lay = layout(dims, targets);
+    assert_eq!(src.len(), lay.block, "monomial source map length mismatch");
+    assert_eq!(
+        phase.len(),
+        lay.block,
+        "monomial phase vector length mismatch"
+    );
+    assert!(
+        mat.rows() == total_dim(dims) && mat.cols() == mat.rows(),
+        "matrix dimension mismatch"
+    );
+    let offsets = &lay.offsets;
+    let mut acc = Complex::ZERO;
+    lay.for_each_base(|base| {
+        for (r, (&s, &ph)) in src.iter().zip(phase.iter()).enumerate() {
+            acc += ph * mat[(base + offsets[s], base + offsets[r])];
+        }
+    });
+    acc
+}
+
+/// A partition of the target-block indices into equivalence classes:
+/// `class_of[b]` is the class of block index `b` and `class_size[c]` the
+/// number of block indices in class `c`.
+///
+/// The associated orthogonal projector `P[r, c] = [r ~ c] / |class(r)|`
+/// averages each class. When the classes are the orbits of the register
+/// digits under `S_k` (see [`crate::permutation::symmetric_classes`]), `P`
+/// is exactly the symmetric-subspace projector `Π_sym = (1/k!) Σ_π U_π`, so
+/// the [`project_classes_rows`]/[`project_classes_cols`] pair implements the
+/// post-measurement effect `Π_sym ρ Π_sym` of the permutation test as an
+/// in-place register symmetrisation — `O(D²)` with no `k!` factor and no
+/// projector allocation.
+#[derive(Clone, Debug)]
+pub struct BlockClasses {
+    /// Class id of each target-block index.
+    pub class_of: Vec<usize>,
+    /// Number of block indices in each class.
+    pub class_size: Vec<usize>,
+}
+
+impl BlockClasses {
+    fn validate(&self, block: usize) {
+        assert_eq!(self.class_of.len(), block, "class map length mismatch");
+        assert!(
+            self.class_of.iter().all(|&c| c < self.class_size.len()),
+            "class id out of range"
+        );
+    }
+}
+
+/// Applies the class-averaging projector of `classes` to a single vector over
+/// the composite register, in place: `v → embed(P) v` (or `(I − P) v` with
+/// `complement`). Each amplitude is visited a constant number of times: `O(D)`.
+pub fn project_classes_vector(
+    amps: &mut [Complex],
+    dims: &[usize],
+    targets: &[usize],
+    classes: &BlockClasses,
+    complement: bool,
+) {
+    let lay = layout(dims, targets);
+    classes.validate(lay.block);
+    assert_eq!(amps.len(), total_dim(dims), "state dimension mismatch");
+    let nclasses = classes.class_size.len();
+    let mut sums = vec![Complex::ZERO; nclasses];
+    project_vector_impl(amps, &lay, classes, complement, &mut sums);
+}
+
+/// Shared per-base class-averaging body for vectors and matrix rows.
+fn project_vector_impl(
+    amps: &mut [Complex],
+    lay: &TargetLayout,
+    classes: &BlockClasses,
+    complement: bool,
+    sums: &mut [Complex],
+) {
+    let offsets = &lay.offsets;
+    lay.for_each_base(|base| {
+        for s in sums.iter_mut() {
+            *s = Complex::ZERO;
+        }
+        for (b, &off) in offsets.iter().enumerate() {
+            sums[classes.class_of[b]] += amps[base + off];
+        }
+        for (b, &off) in offsets.iter().enumerate() {
+            let c = classes.class_of[b];
+            let avg = sums[c] * Complex::real(1.0 / classes.class_size[c] as f64);
+            if complement {
+                amps[base + off] -= avg;
+            } else {
+                amps[base + off] = avg;
+            }
+        }
+    });
+}
+
+/// Squared norm of the class-averaging projection of a vector, without
+/// materialising the projected vector: `‖embed(P) v‖² = Σ_class |Σ v|²/|class|`
+/// summed per base. This is the acceptance probability of the permutation
+/// test on a pure state when `classes` are the `S_k` digit orbits.
+pub fn class_projection_weight(
+    amps: &[Complex],
+    dims: &[usize],
+    targets: &[usize],
+    classes: &BlockClasses,
+) -> f64 {
+    let lay = layout(dims, targets);
+    classes.validate(lay.block);
+    assert_eq!(amps.len(), total_dim(dims), "state dimension mismatch");
+    let offsets = &lay.offsets;
+    let nclasses = classes.class_size.len();
+    let mut sums = vec![Complex::ZERO; nclasses];
+    let mut weight = 0.0;
+    lay.for_each_base(|base| {
+        for s in sums.iter_mut() {
+            *s = Complex::ZERO;
+        }
+        for (b, &off) in offsets.iter().enumerate() {
+            sums[classes.class_of[b]] += amps[base + off];
+        }
+        for (c, &s) in sums.iter().enumerate() {
+            weight += s.norm_sqr() / classes.class_size[c] as f64;
+        }
+    });
+    weight
+}
+
+/// Trace of the embedded class-averaging projector against a square matrix:
+/// `tr(embed(P)·M) = Σ_base Σ_class (Σ_{r,c ∈ class} M[base+off_c, base+off_r]) / |class|`.
+///
+/// When the classes are the `S_k` digit orbits this equals
+/// `(1/k!) Σ_π tr(embed(U_π)·M)` — the permutation-test acceptance — with the
+/// `k!` monomial gathers regrouped by orbit, so the cost per base drops from
+/// `k!·block` to `Σ_orbit |orbit|² ≤ k!·block` and the permutations are never
+/// enumerated.
+pub fn class_projection_trace(
+    mat: &CMatrix,
+    dims: &[usize],
+    targets: &[usize],
+    classes: &BlockClasses,
+) -> Complex {
+    let lay = layout(dims, targets);
+    classes.validate(lay.block);
+    assert!(
+        mat.rows() == total_dim(dims) && mat.cols() == mat.rows(),
+        "matrix dimension mismatch"
+    );
+    // Group the block offsets by class once per call.
+    let nclasses = classes.class_size.len();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); nclasses];
+    for (b, &c) in classes.class_of.iter().enumerate() {
+        members[c].push(lay.offsets[b]);
+    }
+    let mut acc = Complex::ZERO;
+    lay.for_each_base(|base| {
+        for (c, offs) in members.iter().enumerate() {
+            let mut class_sum = Complex::ZERO;
+            for &or in offs {
+                for &oc in offs {
+                    class_sum += mat[(base + oc, base + or)];
+                }
+            }
+            acc += class_sum * Complex::real(1.0 / classes.class_size[c] as f64);
+        }
+    });
+    acc
+}
+
+/// Left-multiplies a matrix by the embedded class-averaging projector in
+/// place: `M → embed(P) · M` (or `(I − P) · M` with `complement`), where `M`
+/// has `total_dim(dims)` rows. Cost `O(rows · cols)` — no `block` factor.
+pub fn project_classes_rows(
+    mat: &mut CMatrix,
+    dims: &[usize],
+    targets: &[usize],
+    classes: &BlockClasses,
+    complement: bool,
+) {
+    let lay = layout(dims, targets);
+    classes.validate(lay.block);
+    assert_eq!(mat.rows(), total_dim(dims), "matrix row dimension mismatch");
+    let ncols = mat.cols();
+    let nclasses = classes.class_size.len();
+    let offsets = &lay.offsets;
+    let data = mat.as_mut_slice();
+    let mut sums = vec![Complex::ZERO; nclasses * ncols];
+    lay.for_each_base(|base| {
+        for s in sums.iter_mut() {
+            *s = Complex::ZERO;
+        }
+        for (b, &off) in offsets.iter().enumerate() {
+            let c = classes.class_of[b];
+            let row = &data[(base + off) * ncols..][..ncols];
+            for (acc, &x) in sums[c * ncols..(c + 1) * ncols].iter_mut().zip(row) {
+                *acc += x;
+            }
+        }
+        for (b, &off) in offsets.iter().enumerate() {
+            let c = classes.class_of[b];
+            let inv = Complex::real(1.0 / classes.class_size[c] as f64);
+            let row = &mut data[(base + off) * ncols..][..ncols];
+            for (x, &s) in row.iter_mut().zip(&sums[c * ncols..(c + 1) * ncols]) {
+                if complement {
+                    *x -= s * inv;
+                } else {
+                    *x = s * inv;
+                }
+            }
+        }
+    });
+}
+
+/// Right-multiplies a matrix by the embedded class-averaging projector in
+/// place: `M → M · embed(P)` (or `M · (I − P)` with `complement`), where `M`
+/// has `total_dim(dims)` columns. `P` is symmetric, so this is the row-wise
+/// application of [`project_classes_vector`]. Cost `O(rows · cols)`.
+pub fn project_classes_cols(
+    mat: &mut CMatrix,
+    dims: &[usize],
+    targets: &[usize],
+    classes: &BlockClasses,
+    complement: bool,
+) {
+    let lay = layout(dims, targets);
+    classes.validate(lay.block);
+    let ctotal = total_dim(dims);
+    assert_eq!(mat.cols(), ctotal, "matrix column dimension mismatch");
+    let nclasses = classes.class_size.len();
+    let mut sums = vec![Complex::ZERO; nclasses];
+    for row in mat.as_mut_slice().chunks_mut(ctotal) {
+        project_vector_impl(row, &lay, classes, complement, &mut sums);
     }
 }
 

@@ -14,8 +14,8 @@
 //! * the distance measures used in the paper's soundness analyses
 //!   ([`distance`]: trace distance, fidelity, Fuchs–van de Graaf);
 //! * the SWAP test and the permutation test ([`swap_test`], [`permutation`]),
-//!   implemented as symmetric-subspace projectors exactly as analysed in
-//!   Lemmas 13–16 of the paper;
+//!   with the symmetric-subspace-projector semantics analysed in Lemmas
+//!   13–16 of the paper but executed matrix-free (see **Performance** below);
 //! * seeded random states and unitaries ([`random`]).
 //!
 //! The simulator is exact (state vectors / density matrices), which is the
@@ -42,6 +42,26 @@
 //! * **Structured operators** — diagonal operators (phase gates, classical
 //!   acceptance effects) and monomial operators (SWAP, register
 //!   permutations, X) are detected structurally and applied in `O(D)`.
+//! * **Matrix-free measurements** — the SWAP and permutation tests (the hot
+//!   path of every protocol in the paper) never build the `d^k × d^k`
+//!   symmetric-subspace projector. Acceptance probabilities are evaluated as
+//!   `tr(Π_sym ρ) = (1/k!) Σ_π tr(embed(U_π) ρ)`: each `U_π` is monomial, so
+//!   each term is an `O(D)` gather over permuted index pairs
+//!   ([`kernels::monomial_embedded_trace`]), and the sum is regrouped by
+//!   `S_k` digit orbit ([`kernels::class_projection_trace`]) so at most
+//!   `k!·D` — and typically far fewer — entries are visited, with zero
+//!   projector allocation. The post-measurement effects `Π_sym ρ Π_sym` and
+//!   `(I−Π_sym) ρ (I−Π_sym)` run as in-place register symmetrisation — class
+//!   averaging over the digit orbits ([`permutation::symmetric_classes`],
+//!   memoised `O(d^k)` metadata) through the stride machinery — in `O(D²)`
+//!   with no `k!` or `block` factor, versus `O(k!·D²)` construction plus an
+//!   `O(D²·block)` dense conjugation for the pre-existing dense path. Pure
+//!   states get the same treatment in `O(D)`
+//!   ([`permutation::permutation_test_on_pure`]), and products of pure
+//!   states use Gram-matrix closed forms so joint states are never formed.
+//!   The dense-projector paths survive in [`naive`] (with a small projector
+//!   memo) as equivalence-test oracles and benchmark baselines; the
+//!   `bench_protocols` bench tracks the speedup in `BENCH_protocols.json`.
 //! * **Dense algebra** — `CMatrix::matmul` is cache-blocked (tiles over the
 //!   inner and column dimensions with a contiguous vectorisable axpy core),
 //!   which feeds the remaining genuinely-dense work in [`linalg::eigen`] and

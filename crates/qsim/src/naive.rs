@@ -7,15 +7,29 @@
 //!
 //! * the randomized equivalence tests can pin the strided kernels in
 //!   [`crate::kernels`] to them bit-for-bit (within 1e-12), and
-//! * the `bench_qsim` micro-benchmark can report speedups against a fixed
-//!   baseline across PRs.
+//! * the `bench_qsim` / `bench_protocols` micro-benchmarks can report
+//!   speedups against a fixed baseline across PRs.
 //!
-//! Nothing else should call into this module.
+//! It also retains the dense-projector SWAP/permutation-test measurement
+//! paths (projector built as a sum of `k!` permutation matrices, expectation
+//! and effects through the dense block operator) that the matrix-free layer
+//! in [`crate::permutation`]/[`crate::swap_test`] replaced. The dense
+//! projectors are memoised behind a small process-wide cache so the
+//! equivalence tests do not pay the `O(k!·D²)` construction on every
+//! iteration; `bench_protocols` times the *uncached* construction separately,
+//! since rebuilding per call is what the pre-kernel code did.
+//!
+//! Nothing outside tests and benches should call into this module.
 
 use crate::complex::Complex;
 use crate::density::{embed_operator, DensityMatrix};
+use crate::gates;
 use crate::linalg::CMatrix;
+use crate::permutation::symmetric_projector;
 use crate::state::{flat_index, total_dim, unflatten_index, PureState};
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Applies a local operator to a pure state the naive way: clone the full
 /// amplitude vector, re-derive a multi-index per amplitude, gather and
@@ -107,4 +121,145 @@ pub fn matmul(a: &CMatrix, b: &CMatrix) -> CMatrix {
         }
     }
     out
+}
+
+type ProjectorCache = Mutex<HashMap<(usize, usize), Arc<CMatrix>>>;
+
+/// Process-wide memo of dense symmetric-subspace projectors, keyed by
+/// `(d, k)`; the SWAP gates have their own cache, see [`cached_swap`].
+fn projector_cache() -> &'static ProjectorCache {
+    static CACHE: OnceLock<ProjectorCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn swap_cache() -> &'static Mutex<HashMap<usize, Arc<CMatrix>>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<CMatrix>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The dense symmetric-subspace projector `Π_sym` of `k` registers of
+/// dimension `d`, built once per process and shared thereafter — so the
+/// equivalence tests don't pay the `O(k!·D²)` construction per iteration.
+pub fn cached_symmetric_projector(d: usize, k: usize) -> Arc<CMatrix> {
+    let mut cache = projector_cache().lock().expect("projector cache poisoned");
+    cache
+        .entry((d, k))
+        .or_insert_with(|| Arc::new(symmetric_projector(d, k)))
+        .clone()
+}
+
+/// The dense SWAP gate on two `d`-dimensional registers, memoised like
+/// [`cached_symmetric_projector`].
+pub fn cached_swap(d: usize) -> Arc<CMatrix> {
+    let mut cache = swap_cache().lock().expect("swap cache poisoned");
+    cache
+        .entry(d)
+        .or_insert_with(|| Arc::new(gates::swap(d)))
+        .clone()
+}
+
+/// Dense-projector oracle for the permutation-test acceptance probability on
+/// a full register: `tr(Π_sym ρ)` through the memoised dense projector.
+pub fn permutation_test_acceptance(rho: &DensityMatrix) -> f64 {
+    let dims = rho.dims();
+    let d = dims[0];
+    assert!(
+        dims.iter().all(|&x| x == d),
+        "permutation test registers must have equal dimension"
+    );
+    rho.expectation(&cached_symmetric_projector(d, dims.len()))
+        .re
+        .clamp(0.0, 1.0)
+}
+
+/// Dense-projector oracle for the permutation-test acceptance probability on
+/// a subset of registers.
+pub fn permutation_test_acceptance_on(rho: &DensityMatrix, targets: &[usize]) -> f64 {
+    let d = rho.dims()[targets[0]];
+    assert!(
+        targets.iter().all(|&t| rho.dims()[t] == d),
+        "permutation test registers must have equal dimension"
+    );
+    let proj = cached_symmetric_projector(d, targets.len());
+    rho.expectation_on(targets, &proj).re.clamp(0.0, 1.0)
+}
+
+/// Dense-projector oracle for the permutation-test acceptance probability on
+/// a product of pure states: forms the joint `d^k`-dimensional density matrix
+/// and takes the dense expectation — the path the Gram closed form replaced.
+pub fn permutation_test_acceptance_pure(states: &[PureState]) -> f64 {
+    assert!(
+        !states.is_empty(),
+        "permutation test needs at least one state"
+    );
+    let joint = PureState::tensor_all(states);
+    let d = states[0].dim();
+    let k = states.len();
+    let joint = joint.regroup(&vec![d; k]);
+    permutation_test_acceptance(&DensityMatrix::from_pure(&joint))
+}
+
+/// Dense-projector oracle for the post-measurement effect of the permutation
+/// test: conjugates by the dense block projector `Π_sym` (accept) or
+/// `I − Π_sym` (reject), without renormalising.
+pub fn apply_symmetric_effect(rho: &mut DensityMatrix, targets: &[usize], accept: bool) {
+    let d = rho.dims()[targets[0]];
+    let proj = cached_symmetric_projector(d, targets.len());
+    if accept {
+        rho.apply_local_operator(targets, &proj);
+    } else {
+        let effect = &CMatrix::identity(proj.rows()) - &proj;
+        rho.apply_local_operator(targets, &effect);
+    }
+}
+
+/// Dense-projector oracle for the sampled permutation test, mirroring the
+/// pre-kernel implementation (memoised projector, dense expectation, dense
+/// effect conjugation).
+pub fn permutation_test_on<R: Rng + ?Sized>(
+    rho: &mut DensityMatrix,
+    targets: &[usize],
+    rng: &mut R,
+) -> bool {
+    let p_accept = permutation_test_acceptance_on(rho, targets);
+    let accept = rng.random::<f64>() < p_accept;
+    let p = if accept { p_accept } else { 1.0 - p_accept };
+    if p > 1e-12 {
+        apply_symmetric_effect(rho, targets, accept);
+        rho.rescale(1.0 / p);
+    }
+    accept
+}
+
+/// Dense-projector oracle for the SWAP-test acceptance probability on two
+/// registers of a larger state.
+pub fn swap_test_acceptance_on(rho: &DensityMatrix, r1: usize, r2: usize) -> f64 {
+    let d = rho.dims()[r1];
+    assert_eq!(
+        d,
+        rho.dims()[r2],
+        "SWAP test registers must have equal dimension"
+    );
+    permutation_test_acceptance_on(rho, &[r1, r2])
+}
+
+/// Dense-projector oracle for the SWAP-test acceptance probability on a
+/// two-register state.
+pub fn swap_test_acceptance(rho: &DensityMatrix) -> f64 {
+    assert_eq!(
+        rho.dims().len(),
+        2,
+        "SWAP test acts on exactly two registers"
+    );
+    swap_test_acceptance_on(rho, 0, 1)
+}
+
+/// Dense-projector oracle for the sampled SWAP test.
+pub fn swap_test_on<R: Rng + ?Sized>(
+    rho: &mut DensityMatrix,
+    r1: usize,
+    r2: usize,
+    rng: &mut R,
+) -> bool {
+    permutation_test_on(rho, &[r1, r2], rng)
 }

@@ -9,11 +9,14 @@
 
 use crate::complex::Complex;
 use crate::density::DensityMatrix;
+use crate::kernels::{self, BlockClasses};
 use crate::linalg::CMatrix;
 use crate::state::{flat_index, unflatten_index, PureState};
 use rand::Rng;
 
-/// Returns all permutations of `0..k` in lexicographic order.
+/// Returns all permutations of `0..k`, each exactly once, in Heap's-algorithm
+/// generation order (NOT lexicographic — callers must treat the result as a
+/// set).
 ///
 /// # Panics
 ///
@@ -24,7 +27,6 @@ pub fn permutations(k: usize) -> Vec<Vec<usize>> {
     let mut items: Vec<usize> = (0..k).collect();
     let mut out = Vec::new();
     heap_permute(&mut items, k, &mut out);
-    out.sort();
     out
 }
 
@@ -89,37 +91,124 @@ pub fn symmetric_subspace_dim(d: usize, k: usize) -> usize {
     (num / den) as usize
 }
 
+/// The `S_k` digit-orbit partition of the block indices `0..d^k`: two block
+/// indices are in the same class iff their base-`d` digit strings are
+/// permutations of each other.
+///
+/// The class-averaging projector of this partition (see
+/// [`kernels::BlockClasses`]) *is* the symmetric-subspace projector
+/// `Π_sym = (1/k!) Σ_π U_π`: averaging over all `k!` permutations counts each
+/// orbit element `k!/|orbit|` times, which collapses to a plain orbit
+/// average. This is what lets the post-measurement effects run in `O(D²)`
+/// with no `k!` factor.
+///
+/// The partition is `O(d^k)` metadata (not an operator); it is memoised
+/// process-wide so the hot measurement paths pay the construction once per
+/// `(d, k)`.
+pub fn symmetric_classes(d: usize, k: usize) -> std::sync::Arc<BlockClasses> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    type ClassesCache = Mutex<HashMap<(usize, usize), Arc<BlockClasses>>>;
+    static CACHE: OnceLock<ClassesCache> = OnceLock::new();
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("symmetric-classes cache poisoned");
+    cache
+        .entry((d, k))
+        .or_insert_with(|| Arc::new(build_symmetric_classes(d, k)))
+        .clone()
+}
+
+fn build_symmetric_classes(d: usize, k: usize) -> BlockClasses {
+    let dims = vec![d; k];
+    let total: usize = d.pow(k as u32);
+    let mut key_to_class: std::collections::HashMap<Vec<usize>, usize> =
+        std::collections::HashMap::new();
+    let mut class_of = Vec::with_capacity(total);
+    let mut class_size: Vec<usize> = Vec::new();
+    for b in 0..total {
+        let mut digits = unflatten_index(&dims, b);
+        digits.sort_unstable();
+        let next = class_size.len();
+        let c = *key_to_class.entry(digits).or_insert(next);
+        if c == class_size.len() {
+            class_size.push(0);
+        }
+        class_size[c] += 1;
+        class_of.push(c);
+    }
+    BlockClasses {
+        class_of,
+        class_size,
+    }
+}
+
+/// The block-monomial source map of `U_π` on `k` registers of dimension `d`:
+/// `src[row] = col` where `U_π[row, col] = 1`.
+fn permutation_block_src(d: usize, perm: &[usize]) -> Vec<usize> {
+    let k = perm.len();
+    let dims = vec![d; k];
+    let total: usize = d.pow(k as u32);
+    let mut inv = vec![0usize; k];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    let mut src = vec![0usize; total];
+    let mut permuted = vec![0usize; k];
+    for col in 0..total {
+        let multi = unflatten_index(&dims, col);
+        for slot in 0..k {
+            permuted[slot] = multi[inv[slot]];
+        }
+        let row = flat_index(&dims, &permuted);
+        src[row] = col;
+    }
+    src
+}
+
+fn assert_equal_target_dims(rho: &DensityMatrix, targets: &[usize]) -> usize {
+    let d = rho.dims()[targets[0]];
+    assert!(
+        targets.iter().all(|&t| rho.dims()[t] == d),
+        "permutation test registers must have equal dimension"
+    );
+    d
+}
+
 /// Acceptance probability of the permutation test on a joint state of `k`
 /// registers, each of dimension `d` (Lemma 15): `tr(Π_sym ρ)`.
+///
+/// Matrix-free: computed as `(1/k!) Σ_π tr(U_π ρ)` where each `tr(U_π ρ)` is
+/// an `O(D)` gather over permuted index pairs ([`kernels::monomial_embedded_trace`])
+/// — `O(k!·D)` total, with zero projector allocation. The dense-projector
+/// path survives as [`crate::naive::permutation_test_acceptance`].
 ///
 /// # Panics
 ///
 /// Panics if the registers do not all have the same dimension.
 pub fn permutation_test_acceptance(rho: &DensityMatrix) -> f64 {
-    let dims = rho.dims();
-    let k = dims.len();
-    let d = dims[0];
-    assert!(
-        dims.iter().all(|&x| x == d),
-        "permutation test registers must have equal dimension"
-    );
-    rho.expectation(&symmetric_projector(d, k))
-        .re
-        .clamp(0.0, 1.0)
+    let targets: Vec<usize> = (0..rho.dims().len()).collect();
+    permutation_test_acceptance_on(rho, &targets)
 }
 
 /// Acceptance probability of the permutation test on a product of pure states
 /// (all of the same dimension).
+///
+/// Fast path: evaluated through the Gram-matrix closed form
+/// ([`permutation_test_acceptance_gram`]) — the joint state (let alone its
+/// `d^k × d^k` density matrix) is never formed.
 pub fn permutation_test_acceptance_pure(states: &[PureState]) -> f64 {
     assert!(
         !states.is_empty(),
         "permutation test needs at least one state"
     );
-    let joint = PureState::tensor_all(states);
     let d = states[0].dim();
-    let k = states.len();
-    let joint = joint.regroup(&vec![d; k]);
-    permutation_test_acceptance(&DensityMatrix::from_pure(&joint))
+    assert!(
+        states.iter().all(|s| s.dim() == d),
+        "permutation test registers must have equal dimension"
+    );
+    permutation_test_acceptance_gram(states)
 }
 
 /// Acceptance probability of the permutation test on a *product* of pure
@@ -147,20 +236,64 @@ pub fn permutation_test_acceptance_gram(states: &[PureState]) -> f64 {
     (total.re / perms.len() as f64).clamp(0.0, 1.0)
 }
 
+/// `tr(embed(U_π) · ρ)` for a single register permutation `π` of the listed
+/// (equal-dimension) targets: an `O(D)` gather over permuted index pairs
+/// through [`kernels::monomial_embedded_trace`] — each `U_π` is monomial, so
+/// no operator is ever built.
+pub fn permutation_unitary_expectation(
+    rho: &DensityMatrix,
+    targets: &[usize],
+    perm: &[usize],
+) -> Complex {
+    let d = assert_equal_target_dims(rho, targets);
+    assert_eq!(perm.len(), targets.len(), "permutation length mismatch");
+    let src = permutation_block_src(d, perm);
+    let phase = vec![Complex::ONE; src.len()];
+    kernels::monomial_embedded_trace(rho.matrix(), rho.dims(), targets, &src, &phase)
+}
+
 /// Acceptance probability of the permutation test applied to a subset of the
 /// registers of a larger state, without disturbing it.
+///
+/// Matrix-free: `tr(Π_sym ρ) = (1/k!) Σ_π tr(embed(U_π) ρ)`, each term an
+/// `O(D)` monomial gather ([`permutation_unitary_expectation`]); the sum is
+/// evaluated in its orbit-grouped form ([`kernels::class_projection_trace`]),
+/// which regroups the `k!` gathers by digit orbit — at most `k!·D` and
+/// typically far fewer visited entries, with zero projector allocation. The
+/// dense-projector path survives as
+/// [`crate::naive::permutation_test_acceptance_on`].
 pub fn permutation_test_acceptance_on(rho: &DensityMatrix, targets: &[usize]) -> f64 {
-    let d = rho.dims()[targets[0]];
-    assert!(
-        targets.iter().all(|&t| rho.dims()[t] == d),
-        "permutation test registers must have equal dimension"
-    );
-    let proj = symmetric_projector(d, targets.len());
-    rho.expectation_on(targets, &proj).re.clamp(0.0, 1.0)
+    let d = assert_equal_target_dims(rho, targets);
+    let classes = symmetric_classes(d, targets.len());
+    kernels::class_projection_trace(rho.matrix(), rho.dims(), targets, &classes)
+        .re
+        .clamp(0.0, 1.0)
+}
+
+/// Applies the accept effect of the permutation test in place, without
+/// renormalising: `ρ → Π_sym ρ Π_sym`.
+///
+/// Implemented as an in-place register symmetrisation — class averaging over
+/// the `S_k` digit orbits through the [`kernels`] stride machinery: `O(D²)`,
+/// no `k!` factor, no projector allocation.
+pub fn project_symmetric_on(rho: &mut DensityMatrix, targets: &[usize]) {
+    let d = assert_equal_target_dims(rho, targets);
+    let classes = symmetric_classes(d, targets.len());
+    rho.apply_class_projector(targets, &classes, false);
+}
+
+/// Applies the reject effect of the permutation test in place, without
+/// renormalising: `ρ → (I − Π_sym) ρ (I − Π_sym)`.
+pub fn project_complement_on(rho: &mut DensityMatrix, targets: &[usize]) {
+    let d = assert_equal_target_dims(rho, targets);
+    let classes = symmetric_classes(d, targets.len());
+    rho.apply_class_projector(targets, &classes, true);
 }
 
 /// Performs the permutation test on the listed registers of a larger state,
-/// sampling the outcome and collapsing the state accordingly.
+/// sampling the outcome and collapsing the state accordingly. Both the
+/// acceptance probability and the post-measurement effect are matrix-free
+/// (see [`permutation_test_acceptance_on`], [`project_symmetric_on`]).
 ///
 /// Returns `true` on acceptance.
 pub fn permutation_test_on<R: Rng + ?Sized>(
@@ -168,23 +301,65 @@ pub fn permutation_test_on<R: Rng + ?Sized>(
     targets: &[usize],
     rng: &mut R,
 ) -> bool {
-    let d = rho.dims()[targets[0]];
-    let proj = symmetric_projector(d, targets.len());
-    let p_accept = rho.expectation_on(targets, &proj).re.clamp(0.0, 1.0);
+    let d = assert_equal_target_dims(rho, targets);
+    let p_accept = permutation_test_acceptance_on(rho, targets);
     let accept = rng.random::<f64>() < p_accept;
-    let block = proj.rows();
-    let effect = if accept {
-        proj
-    } else {
-        &CMatrix::identity(block) - &proj
-    };
     let p = if accept { p_accept } else { 1.0 - p_accept };
     if p > 1e-12 {
-        // Strided in-place conjugation — the embedded effect is never built.
-        rho.apply_local_operator(targets, &effect);
+        let classes = symmetric_classes(d, targets.len());
+        rho.apply_class_projector(targets, &classes, !accept);
         rho.rescale(1.0 / p);
     }
     accept
+}
+
+/// Performs the permutation test on the listed registers of a larger *pure*
+/// state, sampling the outcome and collapsing in place. The acceptance
+/// probability `‖Π_sym |ψ>‖²` and both effect branches run as `O(D)` class
+/// averages — the pure-state fast path of the protocol samplers.
+///
+/// Returns `true` on acceptance.
+pub fn permutation_test_on_pure<R: Rng + ?Sized>(
+    psi: &mut PureState,
+    targets: &[usize],
+    rng: &mut R,
+) -> bool {
+    let d = psi.dims()[targets[0]];
+    assert!(
+        targets.iter().all(|&t| psi.dims()[t] == d),
+        "permutation test registers must have equal dimension"
+    );
+    let classes = symmetric_classes(d, targets.len());
+    let p_accept = kernels::class_projection_weight(
+        psi.amplitudes().as_slice(),
+        psi.dims(),
+        targets,
+        &classes,
+    )
+    .clamp(0.0, 1.0);
+    let accept = rng.random::<f64>() < p_accept;
+    let p = if accept { p_accept } else { 1.0 - p_accept };
+    if p > 1e-12 {
+        psi.apply_class_projector(targets, &classes, !accept);
+        psi.rescale(1.0 / p.sqrt());
+    }
+    accept
+}
+
+/// Right-multiplies a matrix by the embedded symmetric-subspace projector of
+/// the listed (equal-dimension) registers, in place and matrix-free:
+/// `M → M · embed(Π_sym)` as a class average over columns, `O(rows · D)`.
+///
+/// This is how the chain acceptance-operator construction applies its SWAP
+/// effects without ever building the `d²×d²` projector.
+pub fn right_project_symmetric(mat: &mut CMatrix, dims: &[usize], targets: &[usize]) {
+    let d = dims[targets[0]];
+    assert!(
+        targets.iter().all(|&t| dims[t] == d),
+        "permutation test registers must have equal dimension"
+    );
+    let classes = symmetric_classes(d, targets.len());
+    kernels::project_classes_cols(mat, dims, targets, &classes, false);
 }
 
 #[cfg(test)]
@@ -200,6 +375,49 @@ mod tests {
         assert_eq!(permutations(2).len(), 2);
         assert_eq!(permutations(3).len(), 6);
         assert_eq!(permutations(4).len(), 24);
+    }
+
+    #[test]
+    fn permutations_form_the_full_symmetric_group_as_a_set() {
+        // Heap's algorithm emits each permutation exactly once; callers must
+        // not depend on the order, so assert the *set*, not the sequence.
+        for k in 1..=5usize {
+            let mut perms = permutations(k);
+            let count = perms.len();
+            perms.sort();
+            perms.dedup();
+            assert_eq!(perms.len(), count, "k={k}: duplicates emitted");
+            assert_eq!(count, (1..=k).product::<usize>(), "k={k}: wrong count");
+            for p in &perms {
+                let mut sorted = p.clone();
+                sorted.sort_unstable();
+                assert_eq!(
+                    sorted,
+                    (0..k).collect::<Vec<_>>(),
+                    "k={k}: not a permutation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_classes_average_is_the_symmetric_projector() {
+        for (d, k) in [(2usize, 2usize), (2, 3), (3, 2), (2, 4), (3, 3)] {
+            let classes = symmetric_classes(d, k);
+            let total = d.pow(k as u32);
+            let dense = symmetric_projector(d, k);
+            let class_matrix = CMatrix::from_fn(total, total, |r, c| {
+                if classes.class_of[r] == classes.class_of[c] {
+                    Complex::real(1.0 / classes.class_size[classes.class_of[r]] as f64)
+                } else {
+                    Complex::ZERO
+                }
+            });
+            assert!(
+                class_matrix.approx_eq(&dense, 1e-12),
+                "d={d}, k={k}: class average differs from Π_sym"
+            );
+        }
     }
 
     #[test]
@@ -297,12 +515,12 @@ mod tests {
     }
 
     #[test]
-    fn gram_formula_matches_projector_formula() {
+    fn gram_formula_matches_dense_projector_formula() {
         let mut gen = RandomStateGenerator::new(21);
         for k in 2..=3usize {
             let states: Vec<PureState> = (0..k).map(|_| gen.random_pure(&[3])).collect();
             let via_gram = permutation_test_acceptance_gram(&states);
-            let via_projector = permutation_test_acceptance_pure(&states);
+            let via_projector = crate::naive::permutation_test_acceptance_pure(&states);
             assert!(
                 (via_gram - via_projector).abs() < 1e-9,
                 "k={k}: {via_gram} vs {via_projector}"

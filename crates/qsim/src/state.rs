@@ -224,6 +224,35 @@ impl PureState {
         kernels::apply_to_state_vector(self.amps.as_mut_slice(), &self.dims, targets, u);
     }
 
+    /// Applies the embedded class-averaging projector `P` of the listed target
+    /// subsystems in place, without renormalising: `|ψ> → P |ψ>` (or
+    /// `(I−P)|ψ>` with `complement`). With the `S_k` digit-orbit classes of
+    /// [`crate::permutation::symmetric_classes`] this is the post-measurement
+    /// update of the SWAP/permutation test on a pure state, in `O(D)`.
+    pub fn apply_class_projector(
+        &mut self,
+        targets: &[usize],
+        classes: &kernels::BlockClasses,
+        complement: bool,
+    ) {
+        kernels::project_classes_vector(
+            self.amps.as_mut_slice(),
+            &self.dims,
+            targets,
+            classes,
+            complement,
+        );
+    }
+
+    /// Multiplies every amplitude by a real scalar in place (e.g. `1/√p` after
+    /// a selective measurement update).
+    pub fn rescale(&mut self, factor: f64) {
+        let f = Complex::real(factor);
+        for a in self.amps.as_mut_slice() {
+            *a *= f;
+        }
+    }
+
     /// Returns a new state with the subsystems reordered so that subsystem `perm[k]`
     /// of the original becomes subsystem `k` of the result.
     ///

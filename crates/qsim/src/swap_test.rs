@@ -11,6 +11,7 @@ use crate::complex::Complex;
 use crate::density::DensityMatrix;
 use crate::gates;
 use crate::linalg::CMatrix;
+use crate::permutation;
 use crate::state::PureState;
 use rand::Rng;
 
@@ -40,6 +41,10 @@ pub fn swap_test_acceptance_pure(a: &PureState, b: &PureState) -> f64 {
 /// Acceptance probability of the SWAP test on a joint (possibly entangled or
 /// mixed) state of two registers of equal dimension.
 ///
+/// Matrix-free: `tr(Π ρ) = (tr ρ + tr(SWAP·ρ))/2` where `tr(SWAP·ρ)` is an
+/// `O(D)` gather over swapped index pairs — the projector is never built.
+/// The dense-projector path survives as [`crate::naive::swap_test_acceptance`].
+///
 /// # Panics
 ///
 /// Panics if the state does not consist of exactly two equal-dimension registers.
@@ -49,17 +54,12 @@ pub fn swap_test_acceptance(rho: &DensityMatrix) -> f64 {
         2,
         "SWAP test acts on exactly two registers"
     );
-    let d = rho.dims()[0];
-    assert_eq!(
-        d,
-        rho.dims()[1],
-        "SWAP test registers must have equal dimension"
-    );
-    rho.expectation(&swap_test_projector(d)).re.clamp(0.0, 1.0)
+    swap_test_acceptance_on(rho, 0, 1)
 }
 
 /// Acceptance probability of the SWAP test applied to two registers inside a
-/// larger state, without disturbing it.
+/// larger state, without disturbing it. Matrix-free (see
+/// [`swap_test_acceptance`]).
 pub fn swap_test_acceptance_on(rho: &DensityMatrix, r1: usize, r2: usize) -> f64 {
     let d = rho.dims()[r1];
     assert_eq!(
@@ -67,13 +67,13 @@ pub fn swap_test_acceptance_on(rho: &DensityMatrix, r1: usize, r2: usize) -> f64
         rho.dims()[r2],
         "SWAP test registers must have equal dimension"
     );
-    rho.expectation_on(&[r1, r2], &swap_test_projector(d))
-        .re
-        .clamp(0.0, 1.0)
+    permutation::permutation_test_acceptance_on(rho, &[r1, r2])
 }
 
 /// Performs the SWAP test on registers `r1` and `r2` of a larger state,
-/// sampling the outcome and collapsing the state accordingly.
+/// sampling the outcome and collapsing the state accordingly. Both the
+/// acceptance probability and the post-measurement effect (register
+/// symmetrisation, both branches) are matrix-free.
 ///
 /// Returns `true` on acceptance.
 pub fn swap_test_on<R: Rng + ?Sized>(
@@ -88,21 +88,27 @@ pub fn swap_test_on<R: Rng + ?Sized>(
         rho.dims()[r2],
         "SWAP test registers must have equal dimension"
     );
-    let proj = swap_test_projector(d);
-    let p_accept = rho.expectation_on(&[r1, r2], &proj).re.clamp(0.0, 1.0);
-    let accept = rng.random::<f64>() < p_accept;
-    let effect = if accept {
-        proj
-    } else {
-        &CMatrix::identity(d * d) - &proj
-    };
-    let p = if accept { p_accept } else { 1.0 - p_accept };
-    if p > 1e-12 {
-        // Strided in-place conjugation — the embedded effect is never built.
-        rho.apply_local_operator(&[r1, r2], &effect);
-        rho.rescale(1.0 / p);
-    }
-    accept
+    permutation::permutation_test_on(rho, &[r1, r2], rng)
+}
+
+/// Performs the SWAP test on registers `r1` and `r2` of a larger *pure*
+/// state, sampling and collapsing in place — the pure-state fast path of the
+/// protocol samplers (`O(D)` per test).
+///
+/// Returns `true` on acceptance.
+pub fn swap_test_on_pure<R: Rng + ?Sized>(
+    psi: &mut PureState,
+    r1: usize,
+    r2: usize,
+    rng: &mut R,
+) -> bool {
+    let d = psi.dims()[r1];
+    assert_eq!(
+        d,
+        psi.dims()[r2],
+        "SWAP test registers must have equal dimension"
+    );
+    permutation::permutation_test_on_pure(psi, &[r1, r2], rng)
 }
 
 #[cfg(test)]
