@@ -430,6 +430,15 @@ fn main() {
         print_row(&cells);
         let mut fields = vec![
             ("name", JsonValue::Str(e.name.clone())),
+            // Storage layout of the matrix-free column ("soa" split re/im
+            // from PR 3 on); the oracle columns go through the dense
+            // projector path. Keeps cross-PR comparison of
+            // BENCH_protocols.json unambiguous.
+            ("layout", JsonValue::Str("soa".to_string())),
+            (
+                "baseline_layout",
+                JsonValue::Str("dense-projector".to_string()),
+            ),
             ("ns_per_op", JsonValue::Num(e.fast.ns_per_op)),
             ("ops_per_sec", JsonValue::Num(e.fast.ops_per_sec)),
             ("iters", JsonValue::Int(e.fast.iters)),
@@ -467,6 +476,7 @@ fn main() {
 
     let json = report.render(&[
         ("suite", JsonValue::Str("bench_protocols".to_string())),
+        ("layout", JsonValue::Str("soa".to_string())),
         (
             "acceptance_perm_d2_k4_speedup",
             JsonValue::Num(gate_speedup),

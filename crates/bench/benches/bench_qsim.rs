@@ -195,6 +195,12 @@ fn main() {
         print_row(&cells);
         let mut fields = vec![
             ("name", JsonValue::Str(e.name.clone())),
+            // The storage layout of the timed kernels ("soa" split re/im
+            // planes from PR 3 on; "aos" interleaved before) and of the naive
+            // baseline column, so cross-PR trajectory comparison in
+            // BENCH_qsim.json stays unambiguous.
+            ("layout", JsonValue::Str("soa".to_string())),
+            ("baseline_layout", JsonValue::Str("aos-naive".to_string())),
             ("ns_per_op", JsonValue::Num(e.fast.ns_per_op)),
             ("ops_per_sec", JsonValue::Num(e.fast.ops_per_sec)),
             ("iters", JsonValue::Int(e.fast.iters)),
@@ -221,6 +227,7 @@ fn main() {
 
     let json = report.render(&[
         ("suite", JsonValue::Str("bench_qsim".to_string())),
+        ("layout", JsonValue::Str("soa".to_string())),
         (
             "acceptance_density_1q_n8_speedup",
             JsonValue::Num(gate.speedup()),

@@ -119,10 +119,10 @@ impl LsdInstance {
     pub fn from_angle(m: usize, theta: f64) -> Self {
         assert!(m >= 2, "ambient dimension must be at least 2");
         let mut a = CVector::zeros(m);
-        a[0] = Complex::ONE;
+        a.set(0, Complex::ONE);
         let mut b = CVector::zeros(m);
-        b[0] = Complex::real(theta.cos());
-        b[1] = Complex::real(theta.sin());
+        b.set(0, Complex::real(theta.cos()));
+        b.set(1, Complex::real(theta.sin()));
         LsdInstance::new(Subspace::line(&a), Subspace::line(&b))
     }
 

@@ -123,7 +123,7 @@ pub trait QmaOneWayProtocol {
         // Restrict to the proof ⊗ |0> block.
         let pd = self.proof_dim();
         let ad = self.ancilla_dim();
-        let a = CMatrix::from_fn(pd, pd, |i, j| inner[(i * ad, j * ad)]);
+        let a = CMatrix::from_fn(pd, pd, |i, j| inner.at(i * ad, j * ad));
         qsim::linalg::max_eigenvalue(&a).clamp(0.0, 1.0)
     }
 }
@@ -147,7 +147,7 @@ pub fn unitary_with_first_column(v: &CVector) -> CMatrix {
         }
     }
     assert_eq!(cols.len(), d, "failed to complete an orthonormal basis");
-    CMatrix::from_fn(d, d, |i, j| cols[j][i])
+    CMatrix::from_fn(d, d, |i, j| cols[j].at(i))
 }
 
 /// Wraps a (Merlin-free) one-way quantum protocol as a degenerate QMA one-way

@@ -45,7 +45,7 @@ pub fn embed_operator(dims: &[usize], targets: &[usize], op: &CMatrix) -> CMatri
         let row_block: Vec<usize> = targets.iter().map(|&t| row_multi[t]).collect();
         let rb = flat_index(&target_dims, &row_block);
         for cb in 0..block {
-            let val = op[(rb, cb)];
+            let val = op.at(rb, cb);
             if val.norm_sqr() == 0.0 {
                 continue;
             }
@@ -55,7 +55,7 @@ pub fn embed_operator(dims: &[usize], targets: &[usize], op: &CMatrix) -> CMatri
                 col_multi[t] = col_block[pos];
             }
             let col = flat_index(dims, &col_multi);
-            out[(row, col)] = val;
+            out.set(row, col, val);
         }
     }
     out
@@ -244,12 +244,12 @@ impl DensityMatrix {
                         row_multi[s] = o_multi[pos];
                         col_multi[s] = o_multi[pos];
                     }
-                    acc += self.mat[(
+                    acc += self.mat.at(
                         flat_index(&self.dims, &row_multi),
                         flat_index(&self.dims, &col_multi),
-                    )];
+                    );
                 }
-                out[(kr, kc)] = acc;
+                out.set(kr, kc, acc);
             }
         }
         DensityMatrix {
@@ -308,10 +308,7 @@ impl DensityMatrix {
     /// Multiplies the matrix by a real scalar in place (e.g. `1/p` after a
     /// selective measurement update).
     pub fn rescale(&mut self, factor: f64) {
-        let f = Complex::real(factor);
-        for entry in self.mat.as_mut_slice() {
-            *entry *= f;
-        }
+        self.mat.scale_real_in_place(factor);
     }
 
     /// Applies a quantum channel given by Kraus operators acting on the listed
@@ -338,16 +335,20 @@ impl DensityMatrix {
         let d = self.dim();
         assert_eq!(op.rows(), d, "expectation operator dimension mismatch");
         assert_eq!(op.cols(), d, "expectation operator dimension mismatch");
-        let mut acc = Complex::ZERO;
+        // Paired-plane accumulation: tr(op·ρ) = Σ_{i,j} op[i,j]·ρ[j,i].
+        let (ore, oim) = (op.re(), op.im());
+        let (mre, mim) = (self.mat.re(), self.mat.im());
+        let mut acc_re = 0.0;
+        let mut acc_im = 0.0;
         for i in 0..d {
             for j in 0..d {
-                let o = op[(i, j)];
-                if o.norm_sqr() != 0.0 {
-                    acc += o * self.mat[(j, i)];
-                }
+                let (opr, opi) = (ore[i * d + j], oim[i * d + j]);
+                let (rr, ri) = (mre[j * d + i], mim[j * d + i]);
+                acc_re += opr * rr - opi * ri;
+                acc_im += opr * ri + opi * rr;
             }
         }
-        acc
+        Complex::new(acc_re, acc_im)
     }
 
     /// Expectation value of an operator acting on a subset of subsystems.
@@ -366,18 +367,26 @@ impl DensityMatrix {
             block = lay.block
         );
         // tr(embed(op)·ρ) = Σ_base Σ_{r,c} op[r,c] · ρ[base+off_c, base+off_r]
-        let mut acc = Complex::ZERO;
+        let d = self.dim();
+        let (ore, oim) = (op.re(), op.im());
+        let (mre, mim) = (self.mat.re(), self.mat.im());
+        let block = lay.block;
+        let mut acc_re = 0.0;
+        let mut acc_im = 0.0;
         lay.for_each_base(|base| {
             for (r, &off_r) in lay.offsets.iter().enumerate() {
                 for (c, &off_c) in lay.offsets.iter().enumerate() {
-                    let o = op[(r, c)];
-                    if o.norm_sqr() != 0.0 {
-                        acc += o * self.mat[(base + off_c, base + off_r)];
+                    let (opr, opi) = (ore[r * block + c], oim[r * block + c]);
+                    if opr == 0.0 && opi == 0.0 {
+                        continue;
                     }
+                    let idx = (base + off_c) * d + (base + off_r);
+                    acc_re += opr * mre[idx] - opi * mim[idx];
+                    acc_im += opr * mim[idx] + opi * mre[idx];
                 }
             }
         });
-        acc
+        Complex::new(acc_re, acc_im)
     }
 
     /// Probability of the computational-basis outcome on the listed subsystems.
@@ -388,7 +397,7 @@ impl DensityMatrix {
                 let mut p = 0.0;
                 lay.for_each_base(|base| {
                     let i = base + offset;
-                    p += self.mat[(i, i)].re;
+                    p += self.mat.at(i, i).re;
                 });
                 p
             }
@@ -406,7 +415,7 @@ impl DensityMatrix {
                 let mut acc = 0.0;
                 lay.for_each_base(|base| {
                     let i = base + off;
-                    acc += self.mat[(i, i)].re;
+                    acc += self.mat.at(i, i).re;
                 });
                 probs[tb] = acc;
             }
@@ -415,7 +424,7 @@ impl DensityMatrix {
             for flat in 0..self.dim() {
                 let multi = unflatten_index(&self.dims, flat);
                 let outcome: Vec<usize> = targets.iter().map(|&t| multi[t]).collect();
-                probs[flat_index(&target_dims, &outcome)] += self.mat[(flat, flat)].re;
+                probs[flat_index(&target_dims, &outcome)] += self.mat.at(flat, flat).re;
             }
         }
         probs
@@ -454,7 +463,7 @@ impl DensityMatrix {
         };
         let mut kept = Vec::with_capacity(lay.other_total);
         lay.for_each_base(|base| kept.push(base + offset));
-        let p: f64 = kept.iter().map(|&i| self.mat[(i, i)].re).sum();
+        let p: f64 = kept.iter().map(|&i| self.mat.at(i, i).re).sum();
         assert!(
             p > 1e-300,
             "cannot collapse onto a zero-probability outcome"
@@ -463,7 +472,7 @@ impl DensityMatrix {
         let mut out = CMatrix::zeros(d, d);
         for &r in &kept {
             for &c in &kept {
-                out[(r, c)] = self.mat[(r, c)] / p;
+                out.set(r, c, self.mat.at(r, c) / p);
             }
         }
         self.mat = out;

@@ -52,10 +52,10 @@ pub fn phase(theta: f64) -> CMatrix {
 /// The two-qubit CNOT gate (control = first factor, target = second factor).
 pub fn cnot() -> CMatrix {
     let mut m = CMatrix::zeros(4, 4);
-    m[(0, 0)] = Complex::ONE;
-    m[(1, 1)] = Complex::ONE;
-    m[(2, 3)] = Complex::ONE;
-    m[(3, 2)] = Complex::ONE;
+    m.set(0, 0, Complex::ONE);
+    m.set(1, 1, Complex::ONE);
+    m.set(2, 3, Complex::ONE);
+    m.set(3, 2, Complex::ONE);
     m
 }
 
@@ -66,7 +66,7 @@ pub fn swap(d: usize) -> CMatrix {
     let mut m = CMatrix::zeros(d * d, d * d);
     for i in 0..d {
         for j in 0..d {
-            m[(j * d + i, i * d + j)] = Complex::ONE;
+            m.set(j * d + i, i * d + j, Complex::ONE);
         }
     }
     m
@@ -83,9 +83,9 @@ pub fn controlled(u: &CMatrix) -> CMatrix {
     let d = u.rows();
     let mut m = CMatrix::zeros(2 * d, 2 * d);
     for i in 0..d {
-        m[(i, i)] = Complex::ONE;
+        m.set(i, i, Complex::ONE);
         for j in 0..d {
-            m[(d + i, d + j)] = u[(i, j)];
+            m.set(d + i, d + j, u.at(i, j));
         }
     }
     m
@@ -113,7 +113,7 @@ pub fn multiplexed(c_dim: usize, us: &[CMatrix]) -> CMatrix {
     for (k, u) in us.iter().enumerate() {
         for i in 0..d {
             for j in 0..d {
-                m[(k * d + i, k * d + j)] = u[(i, j)];
+                m.set(k * d + i, k * d + j, u.at(i, j));
             }
         }
     }
@@ -137,7 +137,7 @@ pub fn xor_constant(bits: &[bool]) -> CMatrix {
     }
     let mut m = CMatrix::zeros(dim, dim);
     for i in 0..dim {
-        m[(i ^ x, i)] = Complex::ONE;
+        m.set(i ^ x, i, Complex::ONE);
     }
     m
 }

@@ -1,17 +1,22 @@
-//! Strided, in-place, allocation-free gate kernels.
+//! Strided, in-place, allocation-free gate kernels over split (SoA) storage.
 //!
 //! Every protocol cost in the companion crates is driven through repeated
 //! application of *local* operators — operators acting on a few target
 //! subsystems of a larger register. The naive way to do this (retained in
-//! [`crate::naive`] as a test oracle) re-derives a heap-allocated multi-index
-//! per amplitude and clones the full state per gate; the kernels here instead
+//! [`crate::naive`] as a test oracle, on interleaved AoS `Vec<Complex>`
+//! storage) re-derives a heap-allocated multi-index per amplitude and clones
+//! the full state per gate; the kernels here instead
 //!
 //! * precompute, once per call, the flat-index **offset** of every element of
 //!   the target block (`offsets[b] = Σ_k b_k · stride(targets[k])`);
 //! * enumerate the non-target subsystems with an incremental **odometer**
 //!   (one add/subtract per step, no allocation per amplitude);
 //! * gather/scatter each target block through those offsets and apply the
-//!   block operator in place.
+//!   block operator in place — as **paired `f64` loops over the split re/im
+//!   planes** ([`crate::linalg::SplitBuffer`]): the complex multiply-add
+//!   `acc += u·s` becomes four fused multiply-adds on plain `f64` strips with
+//!   no per-element `Complex` temporaries, which LLVM autovectorises where
+//!   the interleaved layout defeated it.
 //!
 //! Cost: `O(D · block)` for a state vector of dimension `D` and
 //! `O(D² · block)` for a density-matrix conjugation — compared to
@@ -29,6 +34,7 @@
 //! vendored in this offline build environment).
 
 use crate::complex::Complex;
+use crate::linalg::split::{Split, SplitMut};
 use crate::linalg::CMatrix;
 use crate::state::total_dim;
 
@@ -225,16 +231,22 @@ pub(crate) fn targets_distinct(targets: &[usize]) -> bool {
 }
 
 /// Structural classification of a block operator, used to pick fast paths.
+/// Structured operators are stored split (re/im vectors) so the fast paths
+/// run as paired real loops like the dense kernel.
 enum OpKind {
     /// The identity: nothing to do.
     Identity,
     /// Diagonal: entrywise multiplication.
-    Diagonal(Vec<Complex>),
+    Diagonal { re: Vec<f64>, im: Vec<f64> },
     /// One nonzero per row: `out[r] = phase[r] · in[src[r]]`. Covers
     /// permutation operators (SWAP, register cycles) and phased variants.
+    /// `unit_phase` marks plain permutations (every phase exactly 1), whose
+    /// scatter degenerates to a copy with no multiplies.
     Monomial {
         src: Vec<usize>,
-        phase: Vec<Complex>,
+        phase_re: Vec<f64>,
+        phase_im: Vec<f64>,
+        unit_phase: bool,
     },
     /// General dense operator.
     Dense,
@@ -245,25 +257,28 @@ fn classify(u: &CMatrix) -> OpKind {
     let mut diagonal = true;
     'diag: for r in 0..n {
         for c in 0..n {
-            if r != c && u[(r, c)].norm_sqr() != 0.0 {
+            if r != c && u.at(r, c).norm_sqr() != 0.0 {
                 diagonal = false;
                 break 'diag;
             }
         }
     }
     if diagonal {
-        let d: Vec<Complex> = (0..n).map(|i| u[(i, i)]).collect();
-        if d.iter().all(|&z| z == Complex::ONE) {
+        if (0..n).all(|i| u.at(i, i) == Complex::ONE) {
             return OpKind::Identity;
         }
-        return OpKind::Diagonal(d);
+        return OpKind::Diagonal {
+            re: (0..n).map(|i| u.at(i, i).re).collect(),
+            im: (0..n).map(|i| u.at(i, i).im).collect(),
+        };
     }
     let mut src = Vec::with_capacity(n);
-    let mut phase = Vec::with_capacity(n);
+    let mut phase_re = Vec::with_capacity(n);
+    let mut phase_im = Vec::with_capacity(n);
     for r in 0..n {
         let mut nonzero = None;
         for c in 0..n {
-            if u[(r, c)].norm_sqr() != 0.0 {
+            if u.at(r, c).norm_sqr() != 0.0 {
                 if nonzero.is_some() {
                     return OpKind::Dense;
                 }
@@ -273,34 +288,59 @@ fn classify(u: &CMatrix) -> OpKind {
         match nonzero {
             Some(c) => {
                 src.push(c);
-                phase.push(u[(r, c)]);
+                phase_re.push(u.at(r, c).re);
+                phase_im.push(u.at(r, c).im);
             }
             None => return OpKind::Dense,
         }
     }
-    OpKind::Monomial { src, phase }
+    let unit_phase = phase_re.iter().all(|&x| x == 1.0) && phase_im.iter().all(|&x| x == 0.0);
+    OpKind::Monomial {
+        src,
+        phase_re,
+        phase_im,
+        unit_phase,
+    }
+}
+
+/// Reusable pair of gather buffers (one per plane) for the block kernels.
+#[derive(Default)]
+struct Scratch {
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+impl Scratch {
+    fn resize(&mut self, len: usize) {
+        self.re.resize(len, 0.0);
+        self.im.resize(len, 0.0);
+    }
 }
 
 /// Applies a local operator to a state vector in place:
 /// `|ψ⟩ → embed(op) |ψ⟩` without materialising the embedded operator.
 ///
-/// `amps` is the amplitude vector over subsystems of dimensions `dims`;
-/// `targets` lists the subsystems the operator acts on, in the order matching
-/// the operator's tensor-factor ordering.
+/// `amps` is the split view of the amplitude vector over subsystems of
+/// dimensions `dims`; `targets` lists the subsystems the operator acts on,
+/// in the order matching the operator's tensor-factor ordering.
 ///
 /// # Panics
 ///
 /// Panics if targets repeat or are out of range, if `op` is not square of the
 /// product of target dimensions, or if `amps.len()` differs from the product
 /// of `dims`.
-pub fn apply_to_state_vector(
-    amps: &mut [Complex],
-    dims: &[usize],
-    targets: &[usize],
-    op: &CMatrix,
-) {
+pub fn apply_to_state_vector(amps: SplitMut<'_>, dims: &[usize], targets: &[usize], op: &CMatrix) {
     let lay = prepared(amps.len(), dims, targets, op);
-    apply_vec(amps, &lay, op, &classify(op), false, true, &mut Vec::new());
+    apply_vec(
+        amps.re,
+        amps.im,
+        &lay,
+        op,
+        &classify(op),
+        false,
+        true,
+        &mut Scratch::default(),
+    );
 }
 
 /// Shared validation: checks the operator shape and the data length.
@@ -323,49 +363,95 @@ fn prepared(len: usize, dims: &[usize], targets: &[usize], op: &CMatrix) -> Targ
 /// on a row of a matrix, i.e. multiplication by the embedded operator from
 /// the right).
 ///
-/// `scratch` is a caller-owned gather buffer: callers invoking this kernel
-/// many times (once per matrix row) pass the same buffer so the allocation
-/// happens once per gate, not once per row.
+/// `scratch` is a caller-owned gather buffer pair: callers invoking this
+/// kernel many times (once per matrix row) pass the same buffers so the
+/// allocation happens once per gate, not once per row.
+#[allow(clippy::too_many_arguments)]
 fn apply_vec(
-    amps: &mut [Complex],
+    re: &mut [f64],
+    im: &mut [f64],
     lay: &TargetLayout,
     op: &CMatrix,
     kind: &OpKind,
     transposed: bool,
     parallel_ok: bool,
-    scratch: &mut Vec<Complex>,
+    scratch: &mut Scratch,
 ) {
     let _ = parallel_ok;
+    // Equal-length reslice: lets the optimiser fold the imaginary plane's
+    // bounds checks into the real plane's (same index, same length).
+    let im = &mut im[..re.len()];
     let block = lay.block;
     let offsets = &lay.offsets;
     match kind {
         OpKind::Identity => {}
-        OpKind::Diagonal(d) => {
-            // Diagonal operators are symmetric under transposition.
+        OpKind::Diagonal { re: dre, im: dim } => {
+            // Diagonal operators are symmetric under transposition. Zipping
+            // the offset and diagonal slices keeps the per-element work at
+            // exactly two checked plane accesses.
             lay.for_each_base(|base| {
-                for (b, &off) in offsets.iter().enumerate() {
-                    amps[base + off] *= d[b];
+                for ((&off, &dr), &di) in offsets.iter().zip(dre.iter()).zip(dim.iter()) {
+                    let idx = base + off;
+                    let (ar, ai) = (re[idx], im[idx]);
+                    re[idx] = ar * dr - ai * di;
+                    im[idx] = ar * di + ai * dr;
                 }
             });
         }
-        OpKind::Monomial { src, phase } => {
-            scratch.resize(block, Complex::ZERO);
-            let scratch = &mut scratch[..block];
+        OpKind::Monomial {
+            src,
+            phase_re,
+            phase_im,
+            unit_phase,
+        } => {
+            scratch.resize(block);
+            let (sre, sim) = (&mut scratch.re[..block], &mut scratch.im[..block]);
+            if *unit_phase && !transposed {
+                // Plain permutation: the scatter is a copy, no multiplies.
+                lay.for_each_base(|base| {
+                    for ((&off, sr), si) in offsets.iter().zip(sre.iter_mut()).zip(sim.iter_mut()) {
+                        *sr = re[base + off];
+                        *si = im[base + off];
+                    }
+                    for (&s, &off) in src.iter().zip(offsets.iter()) {
+                        re[base + off] = sre[s];
+                        im[base + off] = sim[s];
+                    }
+                });
+                return;
+            }
             lay.for_each_base(|base| {
-                for (b, &off) in offsets.iter().enumerate() {
-                    scratch[b] = amps[base + off];
+                for ((&off, sr), si) in offsets.iter().zip(sre.iter_mut()).zip(sim.iter_mut()) {
+                    *sr = re[base + off];
+                    *si = im[base + off];
                 }
                 if transposed {
                     // out[src[r]] += in[r]·phase[r]; unwritten slots are 0.
                     for &off in offsets.iter() {
-                        amps[base + off] = Complex::ZERO;
+                        re[base + off] = 0.0;
+                        im[base + off] = 0.0;
                     }
-                    for (r, (&s, &ph)) in src.iter().zip(phase.iter()).enumerate() {
-                        amps[base + offsets[s]] += scratch[r] * ph;
+                    for (r, ((&s, &pr), &pi)) in src
+                        .iter()
+                        .zip(phase_re.iter())
+                        .zip(phase_im.iter())
+                        .enumerate()
+                    {
+                        let idx = base + offsets[s];
+                        re[idx] += sre[r] * pr - sim[r] * pi;
+                        im[idx] += sre[r] * pi + sim[r] * pr;
                     }
                 } else {
-                    for (r, (&s, &ph)) in src.iter().zip(phase.iter()).enumerate() {
-                        amps[base + offsets[r]] = scratch[s] * ph;
+                    for (((&s, &pr), &pi), &off) in src
+                        .iter()
+                        .zip(phase_re.iter())
+                        .zip(phase_im.iter())
+                        .zip(offsets.iter())
+                    {
+                        let idx = base + off;
+                        let (xr, xi) = (sre[s], sim[s]);
+                        re[idx] = xr * pr - xi * pi;
+                        im[idx] = xr * pi + xi * pr;
                     }
                 }
             });
@@ -379,88 +465,115 @@ fn apply_vec(
                 // across rows instead).
                 if parallel_ok
                     && lay.other_total * block * block >= PARALLEL_THRESHOLD
-                    && apply_vec_dense_parallel(amps, lay, op, transposed)
+                    && apply_vec_dense_parallel(re, im, lay, op, transposed)
                 {
                     return;
                 }
             }
-            if block == 2 && !transposed {
-                let (u00, u01, u10, u11) = (op[(0, 0)], op[(0, 1)], op[(1, 0)], op[(1, 1)]);
+            if block == 2 {
+                // Unrolled 2×2 path, in registers, no scratch. The transposed
+                // action is the same update with the operator transposed.
+                let (u00, u11) = (op.at(0, 0), op.at(1, 1));
+                let (u01, u10) = if transposed {
+                    (op.at(1, 0), op.at(0, 1))
+                } else {
+                    (op.at(0, 1), op.at(1, 0))
+                };
                 let off1 = offsets[1];
                 lay.for_each_base(|base| {
-                    let a = amps[base];
-                    let b = amps[base + off1];
-                    amps[base] = u00 * a + u01 * b;
-                    amps[base + off1] = u10 * a + u11 * b;
+                    let (ar, ai) = (re[base], im[base]);
+                    let (br, bi) = (re[base + off1], im[base + off1]);
+                    re[base] = u00.re * ar - u00.im * ai + u01.re * br - u01.im * bi;
+                    im[base] = u00.re * ai + u00.im * ar + u01.re * bi + u01.im * br;
+                    re[base + off1] = u10.re * ar - u10.im * ai + u11.re * br - u11.im * bi;
+                    im[base + off1] = u10.re * ai + u10.im * ar + u11.re * bi + u11.im * br;
                 });
                 return;
             }
-            scratch.resize(block, Complex::ZERO);
-            let scratch = &mut scratch[..block];
-            let uflat = op.as_slice();
+            scratch.resize(block);
+            let (sre, sim) = (&mut scratch.re[..block], &mut scratch.im[..block]);
+            let (ure, uim) = (op.re(), op.im());
             lay.for_each_base(|base| {
-                dense_block(amps, base, offsets, uflat, block, scratch, transposed);
+                dense_block(re, im, base, offsets, ure, uim, block, sre, sim, transposed);
             });
         }
     }
 }
 
-/// Gather, dense block multiply, scatter — one target block at `base`.
+/// Gather, dense block multiply, scatter — one target block at `base`, as
+/// paired re/im fused multiply-add loops.
 ///
 /// NOTE: `apply_vec_dense_parallel` (feature `parallel`) carries a raw-pointer
 /// twin of this body — keep the two in sync when changing either.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn dense_block(
-    amps: &mut [Complex],
+    re: &mut [f64],
+    im: &mut [f64],
     base: usize,
     offsets: &[usize],
-    uflat: &[Complex],
+    ure: &[f64],
+    uim: &[f64],
     block: usize,
-    scratch: &mut [Complex],
+    sre: &mut [f64],
+    sim: &mut [f64],
     transposed: bool,
 ) {
     for (b, &off) in offsets.iter().enumerate() {
-        scratch[b] = amps[base + off];
+        sre[b] = re[base + off];
+        sim[b] = im[base + off];
     }
     if transposed {
         for (j, &off) in offsets.iter().enumerate() {
-            let mut acc = Complex::ZERO;
-            for (r, &s) in scratch.iter().enumerate() {
-                acc += s * uflat[r * block + j];
+            let mut acc_re = 0.0;
+            let mut acc_im = 0.0;
+            for r in 0..block {
+                let (ur, ui) = (ure[r * block + j], uim[r * block + j]);
+                acc_re += sre[r] * ur - sim[r] * ui;
+                acc_im += sre[r] * ui + sim[r] * ur;
             }
-            amps[base + off] = acc;
+            re[base + off] = acc_re;
+            im[base + off] = acc_im;
         }
     } else {
         for (r, &off) in offsets.iter().enumerate() {
-            let row = &uflat[r * block..(r + 1) * block];
-            let mut acc = Complex::ZERO;
-            for (&uc, &s) in row.iter().zip(scratch.iter()) {
-                acc += uc * s;
+            let urow_re = &ure[r * block..(r + 1) * block];
+            let urow_im = &uim[r * block..(r + 1) * block];
+            let mut acc_re = 0.0;
+            let mut acc_im = 0.0;
+            for c in 0..block {
+                acc_re += urow_re[c] * sre[c] - urow_im[c] * sim[c];
+                acc_im += urow_re[c] * sim[c] + urow_im[c] * sre[c];
             }
-            amps[base + off] = acc;
+            re[base + off] = acc_re;
+            im[base + off] = acc_im;
         }
     }
 }
 
 #[cfg(feature = "parallel")]
 mod par {
-    /// Raw pointer that may cross thread boundaries. Safety rests on the
-    /// caller handing each thread a disjoint set of indices. The pointer is
-    /// only reachable through [`SendPtr::get`], so edition-2021 disjoint
-    /// closure capture grabs the (Send) wrapper, not the raw field.
-    pub(super) struct SendPtr(*mut crate::complex::Complex);
-    unsafe impl Send for SendPtr {}
-    impl SendPtr {
-        pub(super) fn new(ptr: *mut crate::complex::Complex) -> Self {
-            SendPtr(ptr)
+    /// Raw plane pointers that may cross thread boundaries. Safety rests on
+    /// the caller handing each thread a disjoint set of indices. The pointers
+    /// are only reachable through [`SendPlanes::re`]/[`SendPlanes::im`], so
+    /// edition-2021 disjoint closure capture grabs the (Send) wrapper, not
+    /// the raw fields.
+    pub(super) struct SendPlanes(*mut f64, *mut f64);
+    unsafe impl Send for SendPlanes {}
+    impl SendPlanes {
+        pub(super) fn new(re: *mut f64, im: *mut f64) -> Self {
+            SendPlanes(re, im)
         }
-        pub(super) fn get(&self) -> *mut crate::complex::Complex {
+        pub(super) fn re(&self) -> *mut f64 {
             self.0
         }
+        pub(super) fn im(&self) -> *mut f64 {
+            self.1
+        }
     }
-    impl Clone for SendPtr {
+    impl Clone for SendPlanes {
         fn clone(&self) -> Self {
-            SendPtr(self.0)
+            SendPlanes(self.0, self.1)
         }
     }
 }
@@ -491,10 +604,12 @@ pub fn parallel_threads() -> usize {
 ///
 /// Safety: the flat indices `base + offset` visited by distinct non-target
 /// bases are disjoint (the target offsets and the non-target bases decompose
-/// every flat index uniquely), so threads write disjoint elements.
+/// every flat index uniquely), so threads write disjoint elements of both
+/// planes.
 #[cfg(feature = "parallel")]
 fn apply_vec_dense_parallel(
-    amps: &mut [Complex],
+    re: &mut [f64],
+    im: &mut [f64],
     lay: &TargetLayout,
     op: &CMatrix,
     transposed: bool,
@@ -504,8 +619,8 @@ fn apply_vec_dense_parallel(
         return false;
     }
     let block = lay.block;
-    let uflat = op.as_slice();
-    let ptr = par::SendPtr::new(amps.as_mut_ptr());
+    let (ure, uim) = (op.re(), op.im());
+    let planes = par::SendPlanes::new(re.as_mut_ptr(), im.as_mut_ptr());
     let chunk = lay.other_total.div_ceil(threads);
     std::thread::scope(|scope| {
         for t in 0..threads {
@@ -514,32 +629,46 @@ fn apply_vec_dense_parallel(
             if lo >= hi {
                 break;
             }
-            let ptr = ptr.clone();
+            let planes = planes.clone();
             let offsets = &lay.offsets;
             let (other_dims, other_strides) = (&lay.other_dims, &lay.other_strides);
             scope.spawn(move || {
-                let data = ptr.get();
-                let mut scratch = vec![Complex::ZERO; block];
+                let (pre, pim) = (planes.re(), planes.im());
+                let mut sre = vec![0.0f64; block];
+                let mut sim = vec![0.0f64; block];
                 for_each_base_range(other_dims, other_strides, lo, hi, |base| {
                     for (b, &off) in offsets.iter().enumerate() {
-                        scratch[b] = unsafe { *data.add(base + off) };
+                        sre[b] = unsafe { *pre.add(base + off) };
+                        sim[b] = unsafe { *pim.add(base + off) };
                     }
                     if transposed {
                         for (j, &off) in offsets.iter().enumerate() {
-                            let mut acc = Complex::ZERO;
-                            for (r, &s) in scratch.iter().enumerate() {
-                                acc += s * uflat[r * block + j];
+                            let mut acc_re = 0.0;
+                            let mut acc_im = 0.0;
+                            for r in 0..block {
+                                let (ur, ui) = (ure[r * block + j], uim[r * block + j]);
+                                acc_re += sre[r] * ur - sim[r] * ui;
+                                acc_im += sre[r] * ui + sim[r] * ur;
                             }
-                            unsafe { *data.add(base + off) = acc };
+                            unsafe {
+                                *pre.add(base + off) = acc_re;
+                                *pim.add(base + off) = acc_im;
+                            }
                         }
                     } else {
                         for (r, &off) in offsets.iter().enumerate() {
-                            let row = &uflat[r * block..(r + 1) * block];
-                            let mut acc = Complex::ZERO;
-                            for (&uc, &s) in row.iter().zip(scratch.iter()) {
-                                acc += uc * s;
+                            let urow_re = &ure[r * block..(r + 1) * block];
+                            let urow_im = &uim[r * block..(r + 1) * block];
+                            let mut acc_re = 0.0;
+                            let mut acc_im = 0.0;
+                            for c in 0..block {
+                                acc_re += urow_re[c] * sre[c] - urow_im[c] * sim[c];
+                                acc_im += urow_re[c] * sim[c] + urow_im[c] * sre[c];
                             }
-                            unsafe { *data.add(base + off) = acc };
+                            unsafe {
+                                *pre.add(base + off) = acc_re;
+                                *pim.add(base + off) = acc_im;
+                            }
                         }
                     }
                 });
@@ -563,54 +692,119 @@ pub fn left_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize]
     let lay = prepared(mat.rows(), dims, targets, op);
     let ncols = mat.cols();
     let block = lay.block;
-    let data = mat.as_mut_slice();
-    match classify(op) {
+    let kind = classify(op);
+    let data = mat.split_mut();
+    let (dre, dim) = (data.re, data.im);
+    match kind {
         OpKind::Identity => {}
-        OpKind::Diagonal(d) => {
+        OpKind::Diagonal { re: cre, im: cim } => {
             lay.for_each_base(|base| {
                 for (b, &off) in lay.offsets.iter().enumerate() {
-                    let row = &mut data[(base + off) * ncols..][..ncols];
-                    for x in row {
-                        *x *= d[b];
+                    let row_re = &mut dre[(base + off) * ncols..][..ncols];
+                    let row_im = &mut dim[(base + off) * ncols..][..ncols];
+                    let (cr, ci) = (cre[b], cim[b]);
+                    for t in 0..ncols {
+                        let (xr, xi) = (row_re[t], row_im[t]);
+                        row_re[t] = xr * cr - xi * ci;
+                        row_im[t] = xr * ci + xi * cr;
                     }
                 }
             });
         }
-        OpKind::Monomial { src, phase } => {
-            let mut scratch = vec![Complex::ZERO; block * ncols];
+        OpKind::Monomial {
+            src,
+            phase_re,
+            phase_im,
+            unit_phase,
+        } => {
+            let mut sre = vec![0.0f64; block * ncols];
+            let mut sim = vec![0.0f64; block * ncols];
             lay.for_each_base(|base| {
                 for (b, &off) in lay.offsets.iter().enumerate() {
-                    scratch[b * ncols..(b + 1) * ncols]
-                        .copy_from_slice(&data[(base + off) * ncols..][..ncols]);
+                    sre[b * ncols..(b + 1) * ncols]
+                        .copy_from_slice(&dre[(base + off) * ncols..][..ncols]);
+                    sim[b * ncols..(b + 1) * ncols]
+                        .copy_from_slice(&dim[(base + off) * ncols..][..ncols]);
                 }
-                for (r, (&s, &ph)) in src.iter().zip(phase.iter()).enumerate() {
-                    let out = &mut data[(base + lay.offsets[r]) * ncols..][..ncols];
-                    for (o, &x) in out.iter_mut().zip(&scratch[s * ncols..(s + 1) * ncols]) {
-                        *o = x * ph;
+                for (r, &s) in src.iter().enumerate() {
+                    let out_re = &mut dre[(base + lay.offsets[r]) * ncols..][..ncols];
+                    let out_im = &mut dim[(base + lay.offsets[r]) * ncols..][..ncols];
+                    let in_re = &sre[s * ncols..(s + 1) * ncols];
+                    let in_im = &sim[s * ncols..(s + 1) * ncols];
+                    if unit_phase {
+                        // Plain permutation of rows: straight copies.
+                        out_re.copy_from_slice(in_re);
+                        out_im.copy_from_slice(in_im);
+                        continue;
+                    }
+                    let (pr, pi) = (phase_re[r], phase_im[r]);
+                    for t in 0..ncols {
+                        out_re[t] = in_re[t] * pr - in_im[t] * pi;
+                        out_im[t] = in_re[t] * pi + in_im[t] * pr;
                     }
                 }
             });
         }
         OpKind::Dense => {
-            let mut scratch = vec![Complex::ZERO; block * ncols];
+            if block == 2 {
+                // Two-row streaming path: both rows of the 2×2 block update
+                // are computed in registers per column, written back in
+                // place — no scratch copy of the rows. The second block row
+                // always sits strictly after the first (`offsets[1] > 0`),
+                // so `split_at_mut` hands out the two disjoint row slices.
+                let (u00, u01, u10, u11) = (op.at(0, 0), op.at(0, 1), op.at(1, 0), op.at(1, 1));
+                let gap = lay.offsets[1] * ncols;
+                lay.for_each_base(|base| {
+                    let start = base * ncols;
+                    let (lo_re, hi_re) = dre[start..].split_at_mut(gap);
+                    let (lo_im, hi_im) = dim[start..].split_at_mut(gap);
+                    let row0_re = &mut lo_re[..ncols];
+                    let row0_im = &mut lo_im[..ncols];
+                    let row1_re = &mut hi_re[..ncols];
+                    let row1_im = &mut hi_im[..ncols];
+                    for t in 0..ncols {
+                        let (ar, ai) = (row0_re[t], row0_im[t]);
+                        let (br, bi) = (row1_re[t], row1_im[t]);
+                        row0_re[t] = u00.re * ar - u00.im * ai + u01.re * br - u01.im * bi;
+                        row0_im[t] = u00.re * ai + u00.im * ar + u01.re * bi + u01.im * br;
+                        row1_re[t] = u10.re * ar - u10.im * ai + u11.re * br - u11.im * bi;
+                        row1_im[t] = u10.re * ai + u10.im * ar + u11.re * bi + u11.im * br;
+                    }
+                });
+                return;
+            }
+            let mut sre = vec![0.0f64; block * ncols];
+            let mut sim = vec![0.0f64; block * ncols];
+            let (ure, uim) = (op.re(), op.im());
             lay.for_each_base(|base| {
                 for (b, &off) in lay.offsets.iter().enumerate() {
-                    scratch[b * ncols..(b + 1) * ncols]
-                        .copy_from_slice(&data[(base + off) * ncols..][..ncols]);
+                    sre[b * ncols..(b + 1) * ncols]
+                        .copy_from_slice(&dre[(base + off) * ncols..][..ncols]);
+                    sim[b * ncols..(b + 1) * ncols]
+                        .copy_from_slice(&dim[(base + off) * ncols..][..ncols]);
                 }
                 for (r, &off) in lay.offsets.iter().enumerate() {
-                    let out = &mut data[(base + off) * ncols..][..ncols];
-                    let coeff = op[(r, 0)];
-                    for (o, &x) in out.iter_mut().zip(&scratch[..ncols]) {
-                        *o = coeff * x;
+                    let out_re = &mut dre[(base + off) * ncols..][..ncols];
+                    let out_im = &mut dim[(base + off) * ncols..][..ncols];
+                    let (cr, ci) = (ure[r * block], uim[r * block]);
+                    {
+                        let in_re = &sre[..ncols];
+                        let in_im = &sim[..ncols];
+                        for t in 0..ncols {
+                            out_re[t] = cr * in_re[t] - ci * in_im[t];
+                            out_im[t] = cr * in_im[t] + ci * in_re[t];
+                        }
                     }
                     for c in 1..block {
-                        let coeff = op[(r, c)];
-                        if coeff.norm_sqr() == 0.0 {
+                        let (cr, ci) = (ure[r * block + c], uim[r * block + c]);
+                        if cr == 0.0 && ci == 0.0 {
                             continue;
                         }
-                        for (o, &x) in out.iter_mut().zip(&scratch[c * ncols..(c + 1) * ncols]) {
-                            *o += coeff * x;
+                        let in_re = &sre[c * ncols..(c + 1) * ncols];
+                        let in_im = &sim[c * ncols..(c + 1) * ncols];
+                        for t in 0..ncols {
+                            out_re[t] += cr * in_re[t] - ci * in_im[t];
+                            out_im[t] += cr * in_im[t] + ci * in_re[t];
                         }
                     }
                 }
@@ -635,26 +829,33 @@ pub fn right_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize
     let ctotal = mat.cols();
     let kind = classify(op);
     // Row i of the product is (row i of M) · embed(op): the transposed vector
-    // kernel applied to each (contiguous) row. Per-row parallelism inside
-    // `apply_vec` is disabled — a thread scope per row would dwarf the row's
-    // work — and the `parallel` feature splits across rows instead (rows are
-    // disjoint `chunks_mut` slices, so this is safe code).
+    // kernel applied to each (contiguous, in both planes) row. Per-row
+    // parallelism inside `apply_vec` is disabled — a thread scope per row
+    // would dwarf the row's work — and the `parallel` feature splits across
+    // rows instead (rows are disjoint `chunks_mut` slices of each plane, so
+    // this is safe code).
     #[cfg(feature = "parallel")]
     {
         let threads = parallel_threads().min(nrows);
         if threads > 1 && nrows * ctotal * lay.block >= PARALLEL_THRESHOLD {
             let rows_per_thread = nrows.div_ceil(threads);
+            let data = mat.split_mut();
             std::thread::scope(|scope| {
-                let mut rest = mat.as_mut_slice();
-                while !rest.is_empty() {
-                    let take = (rows_per_thread * ctotal).min(rest.len());
-                    let (chunk, tail) = rest.split_at_mut(take);
-                    rest = tail;
+                let mut rest_re: &mut [f64] = data.re;
+                let mut rest_im: &mut [f64] = data.im;
+                while !rest_re.is_empty() {
+                    let take = (rows_per_thread * ctotal).min(rest_re.len());
+                    let (chunk_re, tail_re) = rest_re.split_at_mut(take);
+                    let (chunk_im, tail_im) = rest_im.split_at_mut(take);
+                    rest_re = tail_re;
+                    rest_im = tail_im;
                     let (lay, kind) = (&lay, &kind);
                     scope.spawn(move || {
-                        let mut scratch = Vec::new();
-                        for row in chunk.chunks_mut(ctotal) {
-                            apply_vec(row, lay, op, kind, true, false, &mut scratch);
+                        let mut scratch = Scratch::default();
+                        for (row_re, row_im) in
+                            chunk_re.chunks_mut(ctotal).zip(chunk_im.chunks_mut(ctotal))
+                        {
+                            apply_vec(row_re, row_im, lay, op, kind, true, false, &mut scratch);
                         }
                     });
                 }
@@ -663,9 +864,10 @@ pub fn right_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize
         }
     }
     let _ = nrows;
-    let mut scratch = Vec::new();
-    for row in mat.as_mut_slice().chunks_mut(ctotal) {
-        apply_vec(row, &lay, op, &kind, true, false, &mut scratch);
+    let mut scratch = Scratch::default();
+    let data = mat.split_mut();
+    for (row_re, row_im) in data.re.chunks_mut(ctotal).zip(data.im.chunks_mut(ctotal)) {
+        apply_vec(row_re, row_im, &lay, op, &kind, true, false, &mut scratch);
     }
 }
 
@@ -701,14 +903,19 @@ pub fn monomial_embedded_trace(
         mat.rows() == total_dim(dims) && mat.cols() == mat.rows(),
         "matrix dimension mismatch"
     );
+    let d = mat.rows();
+    let (mre, mim) = (mat.re(), mat.im());
     let offsets = &lay.offsets;
-    let mut acc = Complex::ZERO;
+    let mut acc_re = 0.0;
+    let mut acc_im = 0.0;
     lay.for_each_base(|base| {
         for (r, (&s, &ph)) in src.iter().zip(phase.iter()).enumerate() {
-            acc += ph * mat[(base + offsets[s], base + offsets[r])];
+            let idx = (base + offsets[s]) * d + (base + offsets[r]);
+            acc_re += ph.re * mre[idx] - ph.im * mim[idx];
+            acc_im += ph.re * mim[idx] + ph.im * mre[idx];
         }
     });
-    acc
+    Complex::new(acc_re, acc_im)
 }
 
 /// A partition of the target-block indices into equivalence classes:
@@ -745,7 +952,7 @@ impl BlockClasses {
 /// the composite register, in place: `v → embed(P) v` (or `(I − P) v` with
 /// `complement`). Each amplitude is visited a constant number of times: `O(D)`.
 pub fn project_classes_vector(
-    amps: &mut [Complex],
+    amps: SplitMut<'_>,
     dims: &[usize],
     targets: &[usize],
     classes: &BlockClasses,
@@ -755,33 +962,53 @@ pub fn project_classes_vector(
     classes.validate(lay.block);
     assert_eq!(amps.len(), total_dim(dims), "state dimension mismatch");
     let nclasses = classes.class_size.len();
-    let mut sums = vec![Complex::ZERO; nclasses];
-    project_vector_impl(amps, &lay, classes, complement, &mut sums);
+    let mut sums_re = vec![0.0f64; nclasses];
+    let mut sums_im = vec![0.0f64; nclasses];
+    project_vector_impl(
+        amps.re,
+        amps.im,
+        &lay,
+        classes,
+        complement,
+        &mut sums_re,
+        &mut sums_im,
+    );
 }
 
 /// Shared per-base class-averaging body for vectors and matrix rows.
+#[allow(clippy::too_many_arguments)]
 fn project_vector_impl(
-    amps: &mut [Complex],
+    re: &mut [f64],
+    im: &mut [f64],
     lay: &TargetLayout,
     classes: &BlockClasses,
     complement: bool,
-    sums: &mut [Complex],
+    sums_re: &mut [f64],
+    sums_im: &mut [f64],
 ) {
     let offsets = &lay.offsets;
     lay.for_each_base(|base| {
-        for s in sums.iter_mut() {
-            *s = Complex::ZERO;
+        for s in sums_re.iter_mut() {
+            *s = 0.0;
         }
-        for (b, &off) in offsets.iter().enumerate() {
-            sums[classes.class_of[b]] += amps[base + off];
+        for s in sums_im.iter_mut() {
+            *s = 0.0;
         }
         for (b, &off) in offsets.iter().enumerate() {
             let c = classes.class_of[b];
-            let avg = sums[c] * Complex::real(1.0 / classes.class_size[c] as f64);
+            sums_re[c] += re[base + off];
+            sums_im[c] += im[base + off];
+        }
+        for (b, &off) in offsets.iter().enumerate() {
+            let c = classes.class_of[b];
+            let inv = 1.0 / classes.class_size[c] as f64;
+            let (avg_re, avg_im) = (sums_re[c] * inv, sums_im[c] * inv);
             if complement {
-                amps[base + off] -= avg;
+                re[base + off] -= avg_re;
+                im[base + off] -= avg_im;
             } else {
-                amps[base + off] = avg;
+                re[base + off] = avg_re;
+                im[base + off] = avg_im;
             }
         }
     });
@@ -792,7 +1019,7 @@ fn project_vector_impl(
 /// summed per base. This is the acceptance probability of the permutation
 /// test on a pure state when `classes` are the `S_k` digit orbits.
 pub fn class_projection_weight(
-    amps: &[Complex],
+    amps: Split<'_>,
     dims: &[usize],
     targets: &[usize],
     classes: &BlockClasses,
@@ -800,19 +1027,26 @@ pub fn class_projection_weight(
     let lay = layout(dims, targets);
     classes.validate(lay.block);
     assert_eq!(amps.len(), total_dim(dims), "state dimension mismatch");
+    let (re, im) = (amps.re, amps.im);
     let offsets = &lay.offsets;
     let nclasses = classes.class_size.len();
-    let mut sums = vec![Complex::ZERO; nclasses];
+    let mut sums_re = vec![0.0f64; nclasses];
+    let mut sums_im = vec![0.0f64; nclasses];
     let mut weight = 0.0;
     lay.for_each_base(|base| {
-        for s in sums.iter_mut() {
-            *s = Complex::ZERO;
+        for s in sums_re.iter_mut() {
+            *s = 0.0;
+        }
+        for s in sums_im.iter_mut() {
+            *s = 0.0;
         }
         for (b, &off) in offsets.iter().enumerate() {
-            sums[classes.class_of[b]] += amps[base + off];
+            let c = classes.class_of[b];
+            sums_re[c] += re[base + off];
+            sums_im[c] += im[base + off];
         }
-        for (c, &s) in sums.iter().enumerate() {
-            weight += s.norm_sqr() / classes.class_size[c] as f64;
+        for (c, (&sr, &si)) in sums_re.iter().zip(sums_im.iter()).enumerate() {
+            weight += (sr * sr + si * si) / classes.class_size[c] as f64;
         }
     });
     weight
@@ -844,19 +1078,27 @@ pub fn class_projection_trace(
     for (b, &c) in classes.class_of.iter().enumerate() {
         members[c].push(lay.offsets[b]);
     }
-    let mut acc = Complex::ZERO;
+    let d = mat.rows();
+    let (mre, mim) = (mat.re(), mat.im());
+    let mut acc_re = 0.0;
+    let mut acc_im = 0.0;
     lay.for_each_base(|base| {
         for (c, offs) in members.iter().enumerate() {
-            let mut class_sum = Complex::ZERO;
+            let mut class_re = 0.0;
+            let mut class_im = 0.0;
             for &or in offs {
+                let row = (base + or) * d + base;
                 for &oc in offs {
-                    class_sum += mat[(base + oc, base + or)];
+                    class_re += mre[row + oc];
+                    class_im += mim[row + oc];
                 }
             }
-            acc += class_sum * Complex::real(1.0 / classes.class_size[c] as f64);
+            let inv = 1.0 / classes.class_size[c] as f64;
+            acc_re += class_re * inv;
+            acc_im += class_im * inv;
         }
     });
-    acc
+    Complex::new(acc_re, acc_im)
 }
 
 /// Left-multiplies a matrix by the embedded class-averaging projector in
@@ -875,28 +1117,44 @@ pub fn project_classes_rows(
     let ncols = mat.cols();
     let nclasses = classes.class_size.len();
     let offsets = &lay.offsets;
-    let data = mat.as_mut_slice();
-    let mut sums = vec![Complex::ZERO; nclasses * ncols];
+    let data = mat.split_mut();
+    let (dre, dim) = (data.re, data.im);
+    let mut sums_re = vec![0.0f64; nclasses * ncols];
+    let mut sums_im = vec![0.0f64; nclasses * ncols];
     lay.for_each_base(|base| {
-        for s in sums.iter_mut() {
-            *s = Complex::ZERO;
+        for s in sums_re.iter_mut() {
+            *s = 0.0;
+        }
+        for s in sums_im.iter_mut() {
+            *s = 0.0;
         }
         for (b, &off) in offsets.iter().enumerate() {
             let c = classes.class_of[b];
-            let row = &data[(base + off) * ncols..][..ncols];
-            for (acc, &x) in sums[c * ncols..(c + 1) * ncols].iter_mut().zip(row) {
-                *acc += x;
+            let row_re = &dre[(base + off) * ncols..][..ncols];
+            let row_im = &dim[(base + off) * ncols..][..ncols];
+            let acc_re = &mut sums_re[c * ncols..(c + 1) * ncols];
+            let acc_im = &mut sums_im[c * ncols..(c + 1) * ncols];
+            for t in 0..ncols {
+                acc_re[t] += row_re[t];
+                acc_im[t] += row_im[t];
             }
         }
         for (b, &off) in offsets.iter().enumerate() {
             let c = classes.class_of[b];
-            let inv = Complex::real(1.0 / classes.class_size[c] as f64);
-            let row = &mut data[(base + off) * ncols..][..ncols];
-            for (x, &s) in row.iter_mut().zip(&sums[c * ncols..(c + 1) * ncols]) {
-                if complement {
-                    *x -= s * inv;
-                } else {
-                    *x = s * inv;
+            let inv = 1.0 / classes.class_size[c] as f64;
+            let row_re = &mut dre[(base + off) * ncols..][..ncols];
+            let row_im = &mut dim[(base + off) * ncols..][..ncols];
+            let acc_re = &sums_re[c * ncols..(c + 1) * ncols];
+            let acc_im = &sums_im[c * ncols..(c + 1) * ncols];
+            if complement {
+                for t in 0..ncols {
+                    row_re[t] -= acc_re[t] * inv;
+                    row_im[t] -= acc_im[t] * inv;
+                }
+            } else {
+                for t in 0..ncols {
+                    row_re[t] = acc_re[t] * inv;
+                    row_im[t] = acc_im[t] * inv;
                 }
             }
         }
@@ -919,9 +1177,19 @@ pub fn project_classes_cols(
     let ctotal = total_dim(dims);
     assert_eq!(mat.cols(), ctotal, "matrix column dimension mismatch");
     let nclasses = classes.class_size.len();
-    let mut sums = vec![Complex::ZERO; nclasses];
-    for row in mat.as_mut_slice().chunks_mut(ctotal) {
-        project_vector_impl(row, &lay, classes, complement, &mut sums);
+    let mut sums_re = vec![0.0f64; nclasses];
+    let mut sums_im = vec![0.0f64; nclasses];
+    let data = mat.split_mut();
+    for (row_re, row_im) in data.re.chunks_mut(ctotal).zip(data.im.chunks_mut(ctotal)) {
+        project_vector_impl(
+            row_re,
+            row_im,
+            &lay,
+            classes,
+            complement,
+            &mut sums_re,
+            &mut sums_im,
+        );
     }
 }
 
@@ -950,7 +1218,7 @@ pub fn conjugate_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize], op
 mod tests {
     use super::*;
     use crate::gates;
-    use crate::linalg::CVector;
+    use crate::linalg::{CVector, SplitBuffer};
     use crate::random::RandomStateGenerator;
 
     #[test]
@@ -1064,9 +1332,9 @@ mod tests {
         ]);
         let mut gen = RandomStateGenerator::new(13);
         let psi = gen.random_pure(&dims);
-        let mut fast: Vec<Complex> = psi.amplitudes().as_slice().to_vec();
-        apply_to_state_vector(&mut fast, &dims, &[1], &phase);
+        let mut fast = SplitBuffer::from_complex(&psi.amplitudes().to_complex_vec());
+        apply_to_state_vector(fast.split_mut(), &dims, &[1], &phase);
         let slow = crate::density::embed_operator(&dims, &[1], &phase).apply(psi.amplitudes());
-        assert!(CVector::new(fast).approx_eq(&slow, 1e-12));
+        assert!(CVector::from_buffer(fast).approx_eq(&slow, 1e-12));
     }
 }

@@ -28,6 +28,25 @@
 //! Gate application is the hot path of every protocol sweep, and it runs
 //! through the strided in-place kernels of [`kernels`]:
 //!
+//! * **Split re/im (SoA) storage** — [`CMatrix`], [`CVector`], [`PureState`]
+//!   and [`DensityMatrix`] keep their complex data as two separate `f64`
+//!   planes ([`linalg::SplitBuffer`]) instead of one interleaved
+//!   `Vec<Complex>`. Invariants: the planes always have equal length,
+//!   element `i` is `re[i] + i·im[i]`, and matrices lay each plane out
+//!   row-major, so a matrix row is contiguous *in both planes*. Every hot
+//!   kernel is written as a pair of plain `f64` multiply-add loops over the
+//!   planes — no per-element `Complex` temporaries — which LLVM
+//!   autovectorises where the interleaved layout forced shuffles. Entries
+//!   are read by value (`at`) and written with `set`; the interleaved
+//!   representation survives only at explicit boundaries
+//!   (`to_complex_vec`/`CVector::new`) and inside [`naive`], which stays on
+//!   AoS storage as the oracle the SoA kernels are pinned against (the
+//!   `soa_*` cases of `tests/kernel_equivalence.rs`, at 1e-12). Structured
+//!   fast paths dispatch on the operator: unrolled 2×2 register updates
+//!   (both left and transposed action, plus a two-row streaming matrix
+//!   update), copy-only scatter for unit-phase permutations, and split
+//!   diagonal/monomial phase multiplies.
+//!
 //! * **State vectors** — `PureState::apply_unitary` precomputes per-target
 //!   flat-index offsets once per call, walks the non-target subsystems with
 //!   an incremental odometer (no per-amplitude heap allocation, no

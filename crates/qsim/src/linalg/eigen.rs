@@ -63,8 +63,9 @@ impl EigenDecomposition {
                 continue;
             }
             for i in 0..n {
+                let vik = v.at(i, k).scale(lam);
                 for j in 0..n {
-                    out[(i, j)] += v[(i, k)] * v[(j, k)].conj() * Complex::real(lam);
+                    out.add_at(i, j, vik * v.at(j, k).conj());
                 }
             }
         }
@@ -98,13 +99,13 @@ pub fn eigh(a: &CMatrix) -> EigenDecomposition {
         }
         for p in 0..n {
             for q in (p + 1)..n {
-                let apq = m[(p, q)];
+                let apq = m.at(p, q);
                 let r = apq.abs();
                 if r < tol / (n as f64) {
                     continue;
                 }
-                let app = m[(p, p)].re;
-                let aqq = m[(q, q)].re;
+                let app = m.at(p, p).re;
+                let aqq = m.at(q, q).re;
                 // Phase that makes the (p, q) entry real: a_pq = r e^{i phi}.
                 let phase = apq / Complex::real(r);
                 // Real Jacobi rotation on the phase-adjusted 2x2 block.
@@ -127,35 +128,35 @@ pub fn eigh(a: &CMatrix) -> EigenDecomposition {
 
                 // m <- G^dagger m G : update columns p and q ...
                 for i in 0..n {
-                    let mip = m[(i, p)];
-                    let miq = m[(i, q)];
-                    m[(i, p)] = mip * g00 + miq * g10;
-                    m[(i, q)] = mip * g01 + miq * g11;
+                    let mip = m.at(i, p);
+                    let miq = m.at(i, q);
+                    m.set(i, p, mip * g00 + miq * g10);
+                    m.set(i, q, mip * g01 + miq * g11);
                 }
                 // ... then rows p and q.
                 for j in 0..n {
-                    let mpj = m[(p, j)];
-                    let mqj = m[(q, j)];
-                    m[(p, j)] = g00.conj() * mpj + g10.conj() * mqj;
-                    m[(q, j)] = g01.conj() * mpj + g11.conj() * mqj;
+                    let mpj = m.at(p, j);
+                    let mqj = m.at(q, j);
+                    m.set(p, j, g00.conj() * mpj + g10.conj() * mqj);
+                    m.set(q, j, g01.conj() * mpj + g11.conj() * mqj);
                 }
                 // v <- v G
                 for i in 0..n {
-                    let vip = v[(i, p)];
-                    let viq = v[(i, q)];
-                    v[(i, p)] = vip * g00 + viq * g10;
-                    v[(i, q)] = vip * g01 + viq * g11;
+                    let vip = v.at(i, p);
+                    let viq = v.at(i, q);
+                    v.set(i, p, vip * g00 + viq * g10);
+                    v.set(i, q, vip * g01 + viq * g11);
                 }
             }
         }
     }
 
     // Collect eigenvalues (diagonal is real up to round-off) and sort.
-    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.at(i, i).re, i)).collect();
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("non-finite eigenvalue"));
 
     let eigenvalues: Vec<f64> = pairs.iter().map(|&(lam, _)| lam).collect();
-    let eigenvectors = CMatrix::from_fn(n, n, |i, k| v[(i, pairs[k].1)]);
+    let eigenvectors = CMatrix::from_fn(n, n, |i, k| v.at(i, pairs[k].1));
 
     EigenDecomposition {
         eigenvalues,
@@ -169,7 +170,7 @@ fn off_diagonal_norm(m: &CMatrix) -> f64 {
     for i in 0..n {
         for j in 0..n {
             if i != j {
-                s += m[(i, j)].norm_sqr();
+                s += m.at(i, j).norm_sqr();
             }
         }
     }

@@ -1,16 +1,20 @@
-//! Dense complex matrices.
+//! Dense complex matrices on split (SoA) storage.
 
 use crate::complex::Complex;
+use crate::linalg::split::{Split, SplitBuffer, SplitMut};
 use crate::linalg::vector::CVector;
 use std::fmt;
-use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+use std::ops::{Add, Mul, Neg, Sub};
 
-/// A dense complex matrix stored in row-major order.
+/// A dense complex matrix, row-major in each of two split re/im planes.
 ///
 /// This is the workhorse for density matrices, unitaries, projectors and POVM
 /// elements. All protocol Hilbert spaces in this crate are small (at most a
 /// few hundred dimensions), so a straightforward dense representation is both
-/// simpler and fast enough.
+/// simpler and fast enough. Entries are read with [`CMatrix::at`] and written
+/// with [`CMatrix::set`]; the split planes cannot hand out `&Complex`
+/// references, which is exactly what lets the [`crate::kernels`] hot loops
+/// run as autovectorisable paired `f64` loops.
 ///
 /// # Examples
 ///
@@ -27,7 +31,7 @@ use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 pub struct CMatrix {
     rows: usize,
     cols: usize,
-    data: Vec<Complex>,
+    buf: SplitBuffer,
 }
 
 impl CMatrix {
@@ -36,7 +40,7 @@ impl CMatrix {
         CMatrix {
             rows,
             cols,
-            data: vec![Complex::ZERO; rows * cols],
+            buf: SplitBuffer::zeros(rows * cols),
         }
     }
 
@@ -44,20 +48,15 @@ impl CMatrix {
     pub fn identity(n: usize) -> Self {
         let mut m = CMatrix::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = Complex::ONE;
+            m.set(i, i, Complex::ONE);
         }
         m
     }
 
     /// Creates a matrix by evaluating `f(row, col)` for every entry.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
-        for i in 0..rows {
-            for j in 0..cols {
-                data.push(f(i, j));
-            }
-        }
-        CMatrix { rows, cols, data }
+        let buf = SplitBuffer::from_fn(rows * cols, |k| f(k / cols, k % cols));
+        CMatrix { rows, cols, buf }
     }
 
     /// Creates a matrix from a slice of rows.
@@ -72,14 +71,25 @@ impl CMatrix {
             rows.iter().all(|row| row.len() == c),
             "all rows must have the same length"
         );
-        let mut data = Vec::with_capacity(r * c);
-        for row in rows {
-            data.extend_from_slice(row);
-        }
+        let buf = SplitBuffer::from_fn(r * c, |k| rows[k / c][k % c]);
         CMatrix {
             rows: r,
             cols: c,
-            data,
+            buf,
+        }
+    }
+
+    /// Creates a matrix from an interleaved row-major entry list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_complex(rows: usize, cols: usize, data: &[Complex]) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        CMatrix {
+            rows,
+            cols,
+            buf: SplitBuffer::from_complex(data),
         }
     }
 
@@ -88,14 +98,31 @@ impl CMatrix {
         let n = diag.len();
         let mut m = CMatrix::zeros(n, n);
         for (i, &d) in diag.iter().enumerate() {
-            m[(i, i)] = Complex::real(d);
+            m.set(i, i, Complex::real(d));
         }
         m
     }
 
     /// Creates the rank-one outer product `|v><w|`.
     pub fn outer(v: &CVector, w: &CVector) -> Self {
-        CMatrix::from_fn(v.dim(), w.dim(), |i, j| v[i] * w[j].conj())
+        let (vr, vi) = (v.re(), v.im());
+        let (wr, wi) = (w.re(), w.im());
+        let (m, n) = (vr.len(), wr.len());
+        let mut out = CMatrix::zeros(m, n);
+        {
+            let o = out.buf.split_mut();
+            for i in 0..m {
+                let (air, aii) = (vr[i], vi[i]);
+                let row_re = &mut o.re[i * n..(i + 1) * n];
+                let row_im = &mut o.im[i * n..(i + 1) * n];
+                // v[i] * conj(w[j]) = (air + i·aii)(wr[j] - i·wi[j])
+                for j in 0..n {
+                    row_re[j] = air * wr[j] + aii * wi[j];
+                    row_im[j] = aii * wr[j] - air * wi[j];
+                }
+            }
+        }
+        out
     }
 
     /// Returns the projector `|v><v| / <v|v>` onto the span of `v`.
@@ -126,40 +153,84 @@ impl CMatrix {
         self.rows == self.cols
     }
 
-    /// Returns the underlying row-major data.
+    /// Reads entry `(i, j)` as a value.
     #[inline]
-    pub fn as_slice(&self) -> &[Complex] {
-        &self.data
+    pub fn at(&self, i: usize, j: usize) -> Complex {
+        self.buf.get(i * self.cols + j)
     }
 
-    /// Returns the underlying row-major data mutably (used by the strided
-    /// kernels in `qsim::kernels` to update matrices in place).
+    /// Writes entry `(i, j)`.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [Complex] {
-        &mut self.data
+    pub fn set(&mut self, i: usize, j: usize, z: Complex) {
+        self.buf.set(i * self.cols + j, z);
+    }
+
+    /// Adds `z` to entry `(i, j)`.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, z: Complex) {
+        self.buf.add(i * self.cols + j, z);
+    }
+
+    /// The real plane, row-major.
+    #[inline]
+    pub fn re(&self) -> &[f64] {
+        self.buf.re()
+    }
+
+    /// The imaginary plane, row-major.
+    #[inline]
+    pub fn im(&self) -> &[f64] {
+        self.buf.im()
+    }
+
+    /// Immutable split view of the row-major entries (used by the
+    /// [`crate::kernels`] read-only paths).
+    #[inline]
+    pub fn split(&self) -> Split<'_> {
+        self.buf.split()
+    }
+
+    /// Mutable split view of the row-major entries (used by the
+    /// [`crate::kernels`] in-place paths).
+    #[inline]
+    pub fn split_mut(&mut self) -> SplitMut<'_> {
+        self.buf.split_mut()
+    }
+
+    /// Returns the entries as an interleaved (AoS) row-major vector — the
+    /// boundary conversion the [`crate::naive`] oracles use.
+    pub fn to_complex_vec(&self) -> Vec<Complex> {
+        self.buf.to_complex_vec()
+    }
+
+    /// Multiplies every entry by a real scalar in place.
+    pub fn scale_real_in_place(&mut self, s: f64) {
+        self.buf.scale_real_in_place(s);
     }
 
     /// Matrix transpose.
     pub fn transpose(&self) -> CMatrix {
-        CMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+        CMatrix::from_fn(self.cols, self.rows, |i, j| self.at(j, i))
     }
 
     /// Entrywise complex conjugate.
     pub fn conj(&self) -> CMatrix {
-        CMatrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)].conj())
+        CMatrix::from_fn(self.rows, self.cols, |i, j| self.at(i, j).conj())
     }
 
     /// Conjugate transpose (adjoint, dagger).
     pub fn adjoint(&self) -> CMatrix {
-        CMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+        CMatrix::from_fn(self.cols, self.rows, |i, j| self.at(j, i).conj())
     }
 
     /// Scales every entry by `c`.
     pub fn scale(&self, c: Complex) -> CMatrix {
+        let mut buf = self.buf.clone();
+        buf.scale_in_place(c);
         CMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&z| z * c).collect(),
+            buf,
         }
     }
 
@@ -170,18 +241,19 @@ impl CMatrix {
     /// Panics if the matrix is not square.
     pub fn trace(&self) -> Complex {
         assert!(self.is_square(), "trace requires a square matrix");
-        (0..self.rows).map(|i| self[(i, i)]).sum()
+        (0..self.rows).map(|i| self.at(i, i)).sum()
     }
 
-    /// Matrix product `self * rhs`, cache-blocked.
+    /// Matrix product `self * rhs`, cache-blocked over split re/im planes.
     ///
     /// The product is tiled over the inner (`k`) and column (`j`) dimensions
     /// so that the working set of each tile — a strip of the output row, two
-    /// strips of `rhs` rows — stays resident in L1/L2 while the `k` tile is
-    /// consumed, and the `k` loop is unrolled two-wide so each pass over the
-    /// output strip retires two rank-1 updates (halving the output-row
-    /// load/store traffic, the bottleneck of the naive triple loop). The
-    /// innermost loop is a contiguous zipped axpy, which the compiler
+    /// strips of `rhs` rows, in both planes — stays resident in L1/L2 while
+    /// the `k` tile is consumed, and the `k` loop is unrolled two-wide so each
+    /// pass over the output strip retires two rank-1 updates (halving the
+    /// output-row load/store traffic, the bottleneck of the naive triple
+    /// loop). The innermost loop is a pair of contiguous `f64`
+    /// multiply-add strips with no complex temporaries, which the compiler
     /// vectorises without bounds checks. All-zero `k` pairs of `self` skip
     /// their pass (operators here are often sparse embeddings).
     ///
@@ -198,46 +270,47 @@ impl CMatrix {
         const JC: usize = 512;
         let (m, kd, n) = (self.rows, self.cols, rhs.cols);
         let mut out = CMatrix::zeros(m, n);
+        let o = out.buf.split_mut();
+        let (are, aim) = (self.buf.re(), self.buf.im());
+        let (bre, bim) = (rhs.buf.re(), rhs.buf.im());
         for jc in (0..n).step_by(JC) {
             let jw = JC.min(n - jc);
             for kc in (0..kd).step_by(KC) {
                 let kw = KC.min(kd - kc);
                 for i in 0..m {
-                    let out_row = &mut out.data[i * n + jc..i * n + jc + jw];
-                    let a_row = &self.data[i * kd + kc..i * kd + kc + kw];
+                    let out_re = &mut o.re[i * n + jc..i * n + jc + jw];
+                    let out_im = &mut o.im[i * n + jc..i * n + jc + jw];
+                    let arow_re = &are[i * kd + kc..i * kd + kc + kw];
+                    let arow_im = &aim[i * kd + kc..i * kd + kc + kw];
                     let mut dk = 0;
                     while dk + 1 < kw {
-                        let (a0, a1) = (a_row[dk], a_row[dk + 1]);
-                        let (z0, z1) = (a0.norm_sqr() == 0.0, a1.norm_sqr() == 0.0);
+                        let (a0r, a0i) = (arow_re[dk], arow_im[dk]);
+                        let (a1r, a1i) = (arow_re[dk + 1], arow_im[dk + 1]);
+                        let (z0, z1) = (a0r == 0.0 && a0i == 0.0, a1r == 0.0 && a1i == 0.0);
                         let k = kc + dk;
                         if !z0 && !z1 {
-                            let r0 = &rhs.data[k * n + jc..k * n + jc + jw];
-                            let r1 = &rhs.data[(k + 1) * n + jc..(k + 1) * n + jc + jw];
-                            for ((o, &b0), &b1) in out_row.iter_mut().zip(r0.iter()).zip(r1.iter())
-                            {
-                                *o += a0 * b0 + a1 * b1;
+                            let r0r = &bre[k * n + jc..k * n + jc + jw];
+                            let r0i = &bim[k * n + jc..k * n + jc + jw];
+                            let r1r = &bre[(k + 1) * n + jc..(k + 1) * n + jc + jw];
+                            let r1i = &bim[(k + 1) * n + jc..(k + 1) * n + jc + jw];
+                            for t in 0..jw {
+                                out_re[t] +=
+                                    a0r * r0r[t] - a0i * r0i[t] + a1r * r1r[t] - a1i * r1i[t];
+                                out_im[t] +=
+                                    a0r * r0i[t] + a0i * r0r[t] + a1r * r1i[t] + a1i * r1r[t];
                             }
                         } else if !z0 {
-                            let r0 = &rhs.data[k * n + jc..k * n + jc + jw];
-                            for (o, &b0) in out_row.iter_mut().zip(r0.iter()) {
-                                *o += a0 * b0;
-                            }
+                            axpy_strip(out_re, out_im, a0r, a0i, bre, bim, k * n + jc, jw);
                         } else if !z1 {
-                            let r1 = &rhs.data[(k + 1) * n + jc..(k + 1) * n + jc + jw];
-                            for (o, &b1) in out_row.iter_mut().zip(r1.iter()) {
-                                *o += a1 * b1;
-                            }
+                            axpy_strip(out_re, out_im, a1r, a1i, bre, bim, (k + 1) * n + jc, jw);
                         }
                         dk += 2;
                     }
                     if dk < kw {
-                        let a = a_row[dk];
-                        if a.norm_sqr() != 0.0 {
+                        let (ar, ai) = (arow_re[dk], arow_im[dk]);
+                        if ar != 0.0 || ai != 0.0 {
                             let k = kc + dk;
-                            let rhs_row = &rhs.data[k * n + jc..k * n + jc + jw];
-                            for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
-                                *o += a * b;
-                            }
+                            axpy_strip(out_re, out_im, ar, ai, bre, bim, k * n + jc, jw);
                         }
                     }
                 }
@@ -253,9 +326,37 @@ impl CMatrix {
     /// Panics if `v.dim() != self.cols()`.
     pub fn apply(&self, v: &CVector) -> CVector {
         assert_eq!(self.cols, v.dim(), "apply dimension mismatch");
-        CVector::from_fn(self.rows, |i| {
-            (0..self.cols).map(|j| self[(i, j)] * v[j]).sum()
-        })
+        if self.rows == 2 && self.cols == 2 {
+            // Unrolled qubit path: boundary effects of the sampled protocol
+            // rounds apply 2×2 operators to dimension-2 fingerprints.
+            let (m00, m01, m10, m11) = (self.at(0, 0), self.at(0, 1), self.at(1, 0), self.at(1, 1));
+            let (v0, v1) = (v.at(0), v.at(1));
+            let (o0, o1) = (m00 * v0 + m01 * v1, m10 * v0 + m11 * v1);
+            return CVector::from_buffer(SplitBuffer::from_raw(
+                2,
+                vec![o0.re, o1.re, o0.im, o1.im],
+            ));
+        }
+        let (vr, vi) = (v.re(), v.im());
+        let (are, aim) = (self.buf.re(), self.buf.im());
+        let n = self.cols;
+        let mut out = CVector::zeros(self.rows);
+        {
+            let o = out.split_mut();
+            for i in 0..self.rows {
+                let row_re = &are[i * n..(i + 1) * n];
+                let row_im = &aim[i * n..(i + 1) * n];
+                let mut acc_re = 0.0;
+                let mut acc_im = 0.0;
+                for j in 0..n {
+                    acc_re += row_re[j] * vr[j] - row_im[j] * vi[j];
+                    acc_im += row_re[j] * vi[j] + row_im[j] * vr[j];
+                }
+                o.re[i] = acc_re;
+                o.im[i] = acc_im;
+            }
+        }
+        out
     }
 
     /// Kronecker (tensor) product `self ⊗ rhs`.
@@ -265,13 +366,13 @@ impl CMatrix {
         let mut out = CMatrix::zeros(rows, cols);
         for i1 in 0..self.rows {
             for j1 in 0..self.cols {
-                let a = self[(i1, j1)];
+                let a = self.at(i1, j1);
                 if a.norm_sqr() == 0.0 {
                     continue;
                 }
                 for i2 in 0..rhs.rows {
                     for j2 in 0..rhs.cols {
-                        out[(i1 * rhs.rows + i2, j1 * rhs.cols + j2)] = a * rhs[(i2, j2)];
+                        out.set(i1 * rhs.rows + i2, j1 * rhs.cols + j2, a * rhs.at(i2, j2));
                     }
                 }
             }
@@ -281,7 +382,7 @@ impl CMatrix {
 
     /// Returns the Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+        self.buf.norm_sqr().sqrt()
     }
 
     /// Returns `true` when `self` is Hermitian to within `tol`.
@@ -291,7 +392,7 @@ impl CMatrix {
         }
         for i in 0..self.rows {
             for j in 0..self.cols {
-                if !self[(i, j)].approx_eq(self[(j, i)].conj(), tol) {
+                if !self.at(i, j).approx_eq(self.at(j, i).conj(), tol) {
                     return false;
                 }
             }
@@ -313,10 +414,10 @@ impl CMatrix {
         self.rows == other.rows
             && self.cols == other.cols
             && self
-                .data
+                .buf
                 .iter()
-                .zip(other.data.iter())
-                .all(|(a, b)| a.approx_eq(*b, tol))
+                .zip(other.buf.iter())
+                .all(|(a, b)| a.approx_eq(b, tol))
     }
 
     /// Returns the `k`-fold Kronecker power of a square matrix.
@@ -335,22 +436,29 @@ impl CMatrix {
 
     /// Extracts a column as a vector.
     pub fn column(&self, j: usize) -> CVector {
-        CVector::from_fn(self.rows, |i| self[(i, j)])
+        CVector::from_fn(self.rows, |i| self.at(i, j))
     }
 }
 
-impl Index<(usize, usize)> for CMatrix {
-    type Output = Complex;
-    #[inline]
-    fn index(&self, (i, j): (usize, usize)) -> &Complex {
-        &self.data[i * self.cols + j]
-    }
-}
-
-impl IndexMut<(usize, usize)> for CMatrix {
-    #[inline]
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
-        &mut self.data[i * self.cols + j]
+/// `out += (ar + i·ai) · b[off..off+len]` over split planes — the contiguous
+/// vectorisable axpy strip of the blocked matmul.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn axpy_strip(
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+    ar: f64,
+    ai: f64,
+    bre: &[f64],
+    bim: &[f64],
+    off: usize,
+    len: usize,
+) {
+    let br = &bre[off..off + len];
+    let bi = &bim[off..off + len];
+    for t in 0..len {
+        out_re[t] += ar * br[t] - ai * bi[t];
+        out_im[t] += ar * bi[t] + ai * br[t];
     }
 }
 
@@ -359,7 +467,7 @@ impl Add for &CMatrix {
     fn add(self, rhs: &CMatrix) -> CMatrix {
         assert_eq!(self.rows, rhs.rows, "matrix addition row mismatch");
         assert_eq!(self.cols, rhs.cols, "matrix addition column mismatch");
-        CMatrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)] + rhs[(i, j)])
+        CMatrix::from_fn(self.rows, self.cols, |i, j| self.at(i, j) + rhs.at(i, j))
     }
 }
 
@@ -368,14 +476,14 @@ impl Sub for &CMatrix {
     fn sub(self, rhs: &CMatrix) -> CMatrix {
         assert_eq!(self.rows, rhs.rows, "matrix subtraction row mismatch");
         assert_eq!(self.cols, rhs.cols, "matrix subtraction column mismatch");
-        CMatrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)] - rhs[(i, j)])
+        CMatrix::from_fn(self.rows, self.cols, |i, j| self.at(i, j) - rhs.at(i, j))
     }
 }
 
 impl Neg for &CMatrix {
     type Output = CMatrix;
     fn neg(self) -> CMatrix {
-        CMatrix::from_fn(self.rows, self.cols, |i, j| -self[(i, j)])
+        CMatrix::from_fn(self.rows, self.cols, |i, j| -self.at(i, j))
     }
 }
 
@@ -390,7 +498,7 @@ impl fmt::Display for CMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for i in 0..self.rows {
             for j in 0..self.cols {
-                write!(f, "{} ", self[(i, j)])?;
+                write!(f, "{} ", self.at(i, j))?;
             }
             writeln!(f)?;
         }
@@ -499,13 +607,25 @@ mod tests {
     }
 
     #[test]
+    fn outer_product_with_complex_entries() {
+        let v = CVector::new(vec![Complex::new(1.0, 2.0), Complex::new(0.0, -1.0)]);
+        let w = CVector::new(vec![Complex::new(0.5, -0.5), Complex::new(2.0, 1.0)]);
+        let m = CMatrix::outer(&v, &w);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(m.at(i, j).approx_eq(v.at(i) * w.at(j).conj(), 1e-12));
+            }
+        }
+    }
+
+    #[test]
     fn apply_matches_matmul_on_column() {
         let m = CMatrix::from_fn(3, 3, |i, j| Complex::new((i + 2 * j) as f64, j as f64));
         let v = CVector::from_reals(&[1.0, -1.0, 0.5]);
         let applied = m.apply(&v);
         for i in 0..3 {
-            let expected: Complex = (0..3).map(|j| m[(i, j)] * v[j]).sum();
-            assert!(applied[i].approx_eq(expected, 1e-12));
+            let expected: Complex = (0..3).map(|j| m.at(i, j) * v.at(j)).sum();
+            assert!(applied.at(i).approx_eq(expected, 1e-12));
         }
     }
 
@@ -532,5 +652,12 @@ mod tests {
         assert!((d.trace().re - 6.0).abs() < 1e-12);
         let c = d.column(1);
         assert!(c.approx_eq(&CVector::from_reals(&[0.0, 2.0, 0.0]), 1e-12));
+    }
+
+    #[test]
+    fn split_planes_are_row_major() {
+        let m = CMatrix::from_fn(2, 2, |i, j| Complex::new((2 * i + j) as f64, -1.0));
+        assert_eq!(m.re(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(m.im(), &[-1.0; 4]);
     }
 }

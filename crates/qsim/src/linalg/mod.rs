@@ -2,13 +2,17 @@
 //! eigendecomposition.
 //!
 //! The protocols simulated by this crate only ever manipulate small, dense
-//! operators, so the implementation favours clarity and testability over raw
-//! performance.
+//! operators. Storage is split re/im planes ([`split::SplitBuffer`]) so the
+//! hot kernels in `qsim::kernels` and the blocked [`CMatrix::matmul`] run as
+//! autovectorisable paired `f64` loops; entries are accessed by value
+//! (`at`/`set`) since the planes cannot hand out `&Complex` references.
 
 pub mod eigen;
 pub mod matrix;
+pub mod split;
 pub mod vector;
 
 pub use eigen::{abs_hermitian, eigh, max_eigenvalue, sqrt_psd, trace_norm, EigenDecomposition};
 pub use matrix::CMatrix;
+pub use split::{Split, SplitBuffer, SplitMut};
 pub use vector::CVector;

@@ -1,13 +1,16 @@
-//! Dense complex vectors.
+//! Dense complex vectors on split (SoA) storage.
 
 use crate::complex::Complex;
+use crate::linalg::split::{Split, SplitBuffer, SplitMut};
 use std::fmt;
-use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+use std::ops::{Add, Mul, Neg, Sub};
 
 /// A dense complex column vector.
 ///
 /// Used to represent (unnormalised) pure-state amplitudes and intermediate
-/// results of linear-algebra routines.
+/// results of linear-algebra routines. Storage is split re/im planes
+/// ([`SplitBuffer`]), so entries are read with [`CVector::at`] and written
+/// with [`CVector::set`] (the planes cannot hand out `&Complex` references).
 ///
 /// # Examples
 ///
@@ -17,22 +20,30 @@ use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 /// let v = CVector::from_reals(&[1.0, 0.0, 0.0, 1.0]);
 /// assert_eq!(v.dim(), 4);
 /// assert!((v.norm() - 2f64.sqrt()).abs() < 1e-12);
+/// assert_eq!(v.at(3), Complex::ONE);
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct CVector {
-    data: Vec<Complex>,
+    buf: SplitBuffer,
 }
 
 impl CVector {
-    /// Creates a vector from a slice of complex entries.
+    /// Creates a vector from a list of complex entries.
     pub fn new(data: Vec<Complex>) -> Self {
-        CVector { data }
+        CVector {
+            buf: SplitBuffer::from_complex(&data),
+        }
+    }
+
+    /// Creates a vector directly from its split backing.
+    pub fn from_buffer(buf: SplitBuffer) -> Self {
+        CVector { buf }
     }
 
     /// Creates the zero vector of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
         CVector {
-            data: vec![Complex::ZERO; dim],
+            buf: SplitBuffer::zeros(dim),
         }
     }
 
@@ -47,45 +58,88 @@ impl CVector {
             "basis index {index} out of range for dim {dim}"
         );
         let mut v = CVector::zeros(dim);
-        v.data[index] = Complex::ONE;
+        v.buf.set(index, Complex::ONE);
         v
     }
 
     /// Creates a vector from real entries.
     pub fn from_reals(entries: &[f64]) -> Self {
         CVector {
-            data: entries.iter().map(|&x| Complex::real(x)).collect(),
+            buf: SplitBuffer::from_fn(entries.len(), |i| Complex::real(entries[i])),
         }
     }
 
     /// Creates a vector by evaluating `f` at each index.
     pub fn from_fn(dim: usize, f: impl FnMut(usize) -> Complex) -> Self {
         CVector {
-            data: (0..dim).map(f).collect(),
+            buf: SplitBuffer::from_fn(dim, f),
         }
     }
 
     /// Returns the dimension.
     #[inline]
     pub fn dim(&self) -> usize {
-        self.data.len()
+        self.buf.len()
     }
 
-    /// Returns the underlying entries as a slice.
+    /// Reads entry `i` as a value.
     #[inline]
-    pub fn as_slice(&self) -> &[Complex] {
-        &self.data
+    pub fn at(&self, i: usize) -> Complex {
+        self.buf.get(i)
     }
 
-    /// Returns the underlying entries as a mutable slice.
+    /// Writes entry `i`.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [Complex] {
-        &mut self.data
+    pub fn set(&mut self, i: usize, z: Complex) {
+        self.buf.set(i, z);
     }
 
-    /// Consumes the vector and returns the entries.
+    /// Adds `z` to entry `i`.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, z: Complex) {
+        self.buf.add(i, z);
+    }
+
+    /// The real plane.
+    #[inline]
+    pub fn re(&self) -> &[f64] {
+        self.buf.re()
+    }
+
+    /// The imaginary plane.
+    #[inline]
+    pub fn im(&self) -> &[f64] {
+        self.buf.im()
+    }
+
+    /// Immutable split view of the entries (used by the [`crate::kernels`]
+    /// read-only paths).
+    #[inline]
+    pub fn split(&self) -> Split<'_> {
+        self.buf.split()
+    }
+
+    /// Mutable split view of the entries (used by the [`crate::kernels`]
+    /// in-place paths).
+    #[inline]
+    pub fn split_mut(&mut self) -> SplitMut<'_> {
+        self.buf.split_mut()
+    }
+
+    /// Iterates the entries as values.
+    pub fn iter(&self) -> impl Iterator<Item = Complex> + '_ {
+        self.buf.iter()
+    }
+
+    /// Consumes the vector and returns the entries interleaved.
     pub fn into_vec(self) -> Vec<Complex> {
-        self.data
+        self.buf.to_complex_vec()
+    }
+
+    /// Returns the entries as an interleaved (AoS) vector — the boundary
+    /// conversion the [`crate::naive`] oracles use.
+    pub fn to_complex_vec(&self) -> Vec<Complex> {
+        self.buf.to_complex_vec()
     }
 
     /// Returns the Hermitian inner product `<self|other>` (conjugate-linear in `self`).
@@ -93,18 +147,41 @@ impl CVector {
     /// # Panics
     ///
     /// Panics if the dimensions differ.
+    #[inline]
     pub fn inner(&self, other: &CVector) -> Complex {
         assert_eq!(self.dim(), other.dim(), "inner product dimension mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a.conj() * *b)
-            .sum()
+        let a = self.buf.split();
+        let b = other.buf.split();
+        if a.re.len() == 2 {
+            // Unrolled qubit path: this is the per-node overlap of every
+            // sampled protocol round (dimension-2 fingerprint registers).
+            let (a0, a1) = (a.get(0), a.get(1));
+            let (b0, b1) = (b.get(0), b.get(1));
+            return Complex::new(
+                a0.re * b0.re + a0.im * b0.im + a1.re * b1.re + a1.im * b1.im,
+                a0.re * b0.im - a0.im * b0.re + a1.re * b1.im - a1.im * b1.re,
+            );
+        }
+        let mut acc_re = 0.0;
+        let mut acc_im = 0.0;
+        // Zipped so the four plane streams carry no per-element bounds
+        // checks — this runs per node in the sampled protocol rounds.
+        for ((&ar, &ai), (&br, &bi)) in
+            a.re.iter()
+                .zip(a.im.iter())
+                .zip(b.re.iter().zip(b.im.iter()))
+        {
+            // conj(a) * b = (ar - i·ai)(br + i·bi)
+            acc_re += ar * br + ai * bi;
+            acc_im += ar * bi - ai * br;
+        }
+        Complex::new(acc_re, acc_im)
     }
 
     /// Returns the squared Euclidean norm.
+    #[inline]
     pub fn norm_sqr(&self) -> f64 {
-        self.data.iter().map(|z| z.norm_sqr()).sum()
+        self.buf.norm_sqr()
     }
 
     /// Returns the Euclidean norm.
@@ -125,27 +202,39 @@ impl CVector {
 
     /// Returns `self` multiplied by the scalar `c`.
     pub fn scale(&self, c: Complex) -> CVector {
-        CVector {
-            data: self.data.iter().map(|&z| z * c).collect(),
-        }
+        let mut buf = self.buf.clone();
+        buf.scale_in_place(c);
+        CVector { buf }
+    }
+
+    /// Multiplies every entry by a real scalar in place.
+    pub fn scale_real_in_place(&mut self, s: f64) {
+        self.buf.scale_real_in_place(s);
     }
 
     /// Returns the entrywise complex conjugate.
     pub fn conj(&self) -> CVector {
-        CVector {
-            data: self.data.iter().map(|z| z.conj()).collect(),
-        }
+        CVector::from_fn(self.dim(), |i| self.at(i).conj())
     }
 
     /// Returns the Kronecker (tensor) product `self ⊗ other`.
     pub fn kron(&self, other: &CVector) -> CVector {
-        let mut data = Vec::with_capacity(self.dim() * other.dim());
-        for &a in &self.data {
-            for &b in &other.data {
-                data.push(a * b);
+        let (ar, ai) = (self.buf.re(), self.buf.im());
+        let (br, bi) = (other.buf.re(), other.buf.im());
+        let n = br.len();
+        let mut out = SplitBuffer::zeros(ar.len() * n);
+        {
+            let o = out.split_mut();
+            for (k, (&xr, &xi)) in ar.iter().zip(ai.iter()).enumerate() {
+                let out_re = &mut o.re[k * n..(k + 1) * n];
+                let out_im = &mut o.im[k * n..(k + 1) * n];
+                for t in 0..n {
+                    out_re[t] = xr * br[t] - xi * bi[t];
+                    out_im[t] = xr * bi[t] + xi * br[t];
+                }
             }
         }
-        CVector { data }
+        CVector { buf: out }
     }
 
     /// Adds `c * other` to `self` in place.
@@ -155,8 +244,11 @@ impl CVector {
     /// Panics if the dimensions differ.
     pub fn add_scaled(&mut self, other: &CVector, c: Complex) {
         assert_eq!(self.dim(), other.dim(), "axpy dimension mismatch");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += *b * c;
+        let (br, bi) = (other.buf.re(), other.buf.im());
+        let s = self.buf.split_mut();
+        for k in 0..br.len() {
+            s.re[k] += br[k] * c.re - bi[k] * c.im;
+            s.im[k] += br[k] * c.im + bi[k] * c.re;
         }
     }
 
@@ -165,25 +257,9 @@ impl CVector {
     pub fn approx_eq(&self, other: &CVector, tol: f64) -> bool {
         self.dim() == other.dim()
             && self
-                .data
                 .iter()
-                .zip(other.data.iter())
-                .all(|(a, b)| a.approx_eq(*b, tol))
-    }
-}
-
-impl Index<usize> for CVector {
-    type Output = Complex;
-    #[inline]
-    fn index(&self, i: usize) -> &Complex {
-        &self.data[i]
-    }
-}
-
-impl IndexMut<usize> for CVector {
-    #[inline]
-    fn index_mut(&mut self, i: usize) -> &mut Complex {
-        &mut self.data[i]
+                .zip(other.iter())
+                .all(|(a, b)| a.approx_eq(b, tol))
     }
 }
 
@@ -191,7 +267,7 @@ impl Add for &CVector {
     type Output = CVector;
     fn add(self, rhs: &CVector) -> CVector {
         assert_eq!(self.dim(), rhs.dim(), "vector addition dimension mismatch");
-        CVector::from_fn(self.dim(), |i| self[i] + rhs[i])
+        CVector::from_fn(self.dim(), |i| self.at(i) + rhs.at(i))
     }
 }
 
@@ -203,14 +279,14 @@ impl Sub for &CVector {
             rhs.dim(),
             "vector subtraction dimension mismatch"
         );
-        CVector::from_fn(self.dim(), |i| self[i] - rhs[i])
+        CVector::from_fn(self.dim(), |i| self.at(i) - rhs.at(i))
     }
 }
 
 impl Neg for &CVector {
     type Output = CVector;
     fn neg(self) -> CVector {
-        CVector::from_fn(self.dim(), |i| -self[i])
+        CVector::from_fn(self.dim(), |i| -self.at(i))
     }
 }
 
@@ -224,7 +300,7 @@ impl Mul<Complex> for &CVector {
 impl fmt::Display for CVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, z) in self.data.iter().enumerate() {
+        for (i, z) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -301,6 +377,18 @@ mod tests {
     }
 
     #[test]
+    fn kron_with_complex_entries_matches_scalar_products() {
+        let a = CVector::new(vec![Complex::new(1.0, 2.0), Complex::new(-0.5, 0.25)]);
+        let b = CVector::new(vec![Complex::new(0.0, 1.0), Complex::new(2.0, -1.0)]);
+        let k = a.kron(&b);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(k.at(i * 2 + j).approx_eq(a.at(i) * b.at(j), 1e-12));
+            }
+        }
+    }
+
+    #[test]
     fn arithmetic_ops() {
         let a = CVector::from_reals(&[1.0, 2.0]);
         let b = CVector::from_reals(&[3.0, -1.0]);
@@ -310,6 +398,14 @@ mod tests {
         let mut c = a.clone();
         c.add_scaled(&b, Complex::real(2.0));
         assert!(c.approx_eq(&CVector::from_reals(&[7.0, 0.0]), 1e-12));
+    }
+
+    #[test]
+    fn split_planes_expose_soa_layout() {
+        let v = CVector::new(vec![Complex::new(1.0, -1.0), Complex::new(2.0, 3.0)]);
+        assert_eq!(v.re(), &[1.0, 2.0]);
+        assert_eq!(v.im(), &[-1.0, 3.0]);
+        assert_eq!(v.to_complex_vec()[1], Complex::new(2.0, 3.0));
     }
 
     #[test]

@@ -140,7 +140,7 @@ pub fn diagonal_effect(accept_probs: &[f64]) -> CMatrix {
             (0.0..=1.0 + 1e-12).contains(&p),
             "acceptance probabilities must lie in [0,1]"
         );
-        m[(i, i)] = Complex::real(p.min(1.0));
+        m.set(i, i, Complex::real(p.min(1.0)));
     }
     m
 }

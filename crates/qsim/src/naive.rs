@@ -55,7 +55,11 @@ pub fn apply_unitary_pure(state: &PureState, targets: &[usize], u: &CMatrix) -> 
     let other_dims: Vec<usize> = others.iter().map(|&i| dims[i]).collect();
     let other_total = total_dim(&other_dims);
 
-    let amps = state.amplitudes();
+    // The oracle works on interleaved (AoS) storage on purpose: the split
+    // re/im layout is converted to `Vec<Complex>` at this boundary and back
+    // at the end, so the body below is exactly the pre-kernel implementation.
+    let amps: Vec<Complex> = state.amplitudes().to_complex_vec();
+    let uflat: Vec<Complex> = u.to_complex_vec();
     let mut new_amps = amps.clone();
     let mut multi = vec![0usize; n];
     let mut in_block = vec![Complex::ZERO; block];
@@ -73,7 +77,9 @@ pub fn apply_unitary_pure(state: &PureState, targets: &[usize], u: &CMatrix) -> 
             *slot = amps[flat_index(&dims, &multi)];
         }
         for row in 0..block {
-            let val: Complex = (0..block).map(|c| u[(row, c)] * in_block[c]).sum();
+            let val: Complex = (0..block)
+                .map(|c| uflat[row * block + c] * in_block[c])
+                .sum();
             let b_multi = unflatten_index(&target_dims, row);
             for (pos, &subsys) in targets.iter().enumerate() {
                 multi[subsys] = b_multi[pos];
@@ -81,7 +87,7 @@ pub fn apply_unitary_pure(state: &PureState, targets: &[usize], u: &CMatrix) -> 
             new_amps[flat_index(&dims, &multi)] = val;
         }
     }
-    PureState::from_amplitudes(&dims, new_amps)
+    PureState::from_amplitudes(&dims, crate::linalg::CVector::new(new_amps))
 }
 
 /// Applies a local unitary to a density matrix the naive way: materialise the
@@ -108,19 +114,24 @@ pub fn matmul(a: &CMatrix, b: &CMatrix) -> CMatrix {
         b.rows(),
         b.cols()
     );
-    let mut out = CMatrix::zeros(a.rows(), b.cols());
-    for i in 0..a.rows() {
-        for k in 0..a.cols() {
-            let v = a[(i, k)];
+    // AoS oracle: interleaved row-major copies of both operands and the
+    // original unblocked triple loop over them.
+    let (m, kd, n) = (a.rows(), a.cols(), b.cols());
+    let aflat = a.to_complex_vec();
+    let bflat = b.to_complex_vec();
+    let mut out = vec![Complex::ZERO; m * n];
+    for i in 0..m {
+        for k in 0..kd {
+            let v = aflat[i * kd + k];
             if v.norm_sqr() == 0.0 {
                 continue;
             }
-            for j in 0..b.cols() {
-                out[(i, j)] += v * b[(k, j)];
+            for j in 0..n {
+                out[i * n + j] += v * bflat[k * n + j];
             }
         }
     }
-    out
+    CMatrix::from_complex(m, n, &out)
 }
 
 type ProjectorCache = Mutex<HashMap<(usize, usize), Arc<CMatrix>>>;

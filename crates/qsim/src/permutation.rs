@@ -61,7 +61,7 @@ pub fn permutation_operator(d: usize, perm: &[usize]) -> CMatrix {
         let multi = unflatten_index(&dims, col);
         let permuted: Vec<usize> = (0..k).map(|slot| multi[inv[slot]]).collect();
         let row = flat_index(&dims, &permuted);
-        m[(row, col)] = Complex::ONE;
+        m.set(row, col, Complex::ONE);
     }
     m
 }
@@ -330,13 +330,9 @@ pub fn permutation_test_on_pure<R: Rng + ?Sized>(
         "permutation test registers must have equal dimension"
     );
     let classes = symmetric_classes(d, targets.len());
-    let p_accept = kernels::class_projection_weight(
-        psi.amplitudes().as_slice(),
-        psi.dims(),
-        targets,
-        &classes,
-    )
-    .clamp(0.0, 1.0);
+    let p_accept =
+        kernels::class_projection_weight(psi.amplitudes().split(), psi.dims(), targets, &classes)
+            .clamp(0.0, 1.0);
     let accept = rng.random::<f64>() < p_accept;
     let p = if accept { p_accept } else { 1.0 - p_accept };
     if p > 1e-12 {

@@ -78,7 +78,7 @@ impl RandomStateGenerator {
             }
             cols.push(v.normalized());
         }
-        CMatrix::from_fn(d, d, |i, j| cols[j][i])
+        CMatrix::from_fn(d, d, |i, j| cols[j].at(i))
     }
 
     /// Samples a uniformly random bit string of length `n`.

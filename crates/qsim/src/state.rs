@@ -125,6 +125,7 @@ impl PureState {
     }
 
     /// Total Hilbert-space dimension.
+    #[inline]
     pub fn dim(&self) -> usize {
         self.amps.dim()
     }
@@ -156,11 +157,13 @@ impl PureState {
     /// # Panics
     ///
     /// Panics if total dimensions differ.
+    #[inline]
     pub fn inner(&self, other: &PureState) -> Complex {
         self.amps.inner(&other.amps)
     }
 
     /// Squared overlap `|<self|other>|²`.
+    #[inline]
     pub fn overlap_sqr(&self, other: &PureState) -> f64 {
         self.inner(other).norm_sqr()
     }
@@ -221,7 +224,7 @@ impl PureState {
     /// Panics if targets are repeated, out of range, or if the matrix dimension
     /// does not match the product of the target dimensions.
     pub fn apply_unitary(&mut self, targets: &[usize], u: &CMatrix) {
-        kernels::apply_to_state_vector(self.amps.as_mut_slice(), &self.dims, targets, u);
+        kernels::apply_to_state_vector(self.amps.split_mut(), &self.dims, targets, u);
     }
 
     /// Applies the embedded class-averaging projector `P` of the listed target
@@ -236,7 +239,7 @@ impl PureState {
         complement: bool,
     ) {
         kernels::project_classes_vector(
-            self.amps.as_mut_slice(),
+            self.amps.split_mut(),
             &self.dims,
             targets,
             classes,
@@ -247,10 +250,7 @@ impl PureState {
     /// Multiplies every amplitude by a real scalar in place (e.g. `1/√p` after
     /// a selective measurement update).
     pub fn rescale(&mut self, factor: f64) {
-        let f = Complex::real(factor);
-        for a in self.amps.as_mut_slice() {
-            *a *= f;
-        }
+        self.amps.scale_real_in_place(factor);
     }
 
     /// Returns a new state with the subsystems reordered so that subsystem `perm[k]`
@@ -271,7 +271,7 @@ impl PureState {
         let total = self.dim();
         let mut new_amps = CVector::zeros(total);
         if n == 0 {
-            new_amps[0] = self.amps[0];
+            new_amps.set(0, self.amps.at(0));
             return PureState {
                 dims: new_dims,
                 amps: new_amps,
@@ -289,8 +289,11 @@ impl PureState {
         let weights: Vec<usize> = (0..n).map(|p| new_strides[inv[p]]).collect();
         let mut counters = vec![0usize; n];
         let mut new_flat = 0usize;
+        let (sre, sim) = (self.amps.re(), self.amps.im());
+        let out = new_amps.split_mut();
         for flat in 0..total {
-            new_amps[new_flat] = self.amps[flat];
+            out.re[new_flat] = sre[flat];
+            out.im[new_flat] = sim[flat];
             let mut i = n;
             loop {
                 if i == 0 {
@@ -318,9 +321,12 @@ impl PureState {
         match kernels::outcome_offset(&self.dims, targets, outcome) {
             None => 0.0,
             Some((lay, offset)) => {
-                let amps = self.amps.as_slice();
+                let (re, im) = (self.amps.re(), self.amps.im());
                 let mut p = 0.0;
-                lay.for_each_base(|base| p += amps[base + offset].norm_sqr());
+                lay.for_each_base(|base| {
+                    let i = base + offset;
+                    p += re[i] * re[i] + im[i] * im[i];
+                });
                 p
             }
         }
@@ -333,10 +339,13 @@ impl PureState {
         let mut probs = vec![0.0; total_dim(&target_dims)];
         if kernels::targets_distinct(targets) {
             let lay = kernels::layout(&self.dims, targets);
-            let amps = self.amps.as_slice();
+            let (re, im) = (self.amps.re(), self.amps.im());
             for (tb, &off) in lay.offsets.iter().enumerate() {
                 let mut acc = 0.0;
-                lay.for_each_base(|base| acc += amps[base + off].norm_sqr());
+                lay.for_each_base(|base| {
+                    let i = base + off;
+                    acc += re[i] * re[i] + im[i] * im[i];
+                });
                 probs[tb] = acc;
             }
         } else {
@@ -344,7 +353,7 @@ impl PureState {
             for flat in 0..self.dim() {
                 let multi = unflatten_index(&self.dims, flat);
                 let outcome: Vec<usize> = targets.iter().map(|&t| multi[t]).collect();
-                probs[flat_index(&target_dims, &outcome)] += self.amps[flat].norm_sqr();
+                probs[flat_index(&target_dims, &outcome)] += self.amps.at(flat).norm_sqr();
             }
         }
         probs
@@ -383,19 +392,24 @@ impl PureState {
             Some(found) => found,
             None => panic!("cannot collapse onto a zero-probability outcome"),
         };
-        let amps = self.amps.as_slice();
+        let (re, im) = (self.amps.re(), self.amps.im());
         let mut p = 0.0;
-        lay.for_each_base(|base| p += amps[base + offset].norm_sqr());
+        lay.for_each_base(|base| {
+            let i = base + offset;
+            p += re[i] * re[i] + im[i] * im[i];
+        });
         assert!(
             p > 1e-300,
             "cannot collapse onto a zero-probability outcome"
         );
-        let scale = Complex::real(1.0 / p.sqrt());
+        let scale = 1.0 / p.sqrt();
         let mut new_amps = CVector::zeros(self.dim());
         {
-            let out = new_amps.as_mut_slice();
+            let out = new_amps.split_mut();
             lay.for_each_base(|base| {
-                out[base + offset] = amps[base + offset] * scale;
+                let i = base + offset;
+                out.re[i] = re[i] * scale;
+                out.im[i] = im[i] * scale;
             });
         }
         self.amps = new_amps;

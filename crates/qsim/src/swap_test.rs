@@ -29,6 +29,7 @@ pub fn swap_test_projector(d: usize) -> CMatrix {
 /// # Panics
 ///
 /// Panics if the states have different total dimensions.
+#[inline]
 pub fn swap_test_acceptance_pure(a: &PureState, b: &PureState) -> f64 {
     assert_eq!(
         a.dim(),

@@ -10,19 +10,31 @@ use rand::{Rng, SeedableRng};
 
 const TOL: f64 = 1e-12;
 
+/// In-place Fisher–Yates shuffle (the one shuffle primitive the vendored
+/// `rand` lacks); every randomized target/permutation draw goes through it.
+fn shuffle(rng: &mut StdRng, items: &mut [usize]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// A uniformly random permutation of `0..n`.
+fn random_permutation(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    shuffle(rng, &mut perm);
+    perm
+}
+
 /// Draws a random register shape (mixed qudit dimensions) and a random
 /// out-of-order subset of its subsystems as targets.
 fn random_shape(rng: &mut StdRng, max_subsystems: usize) -> (Vec<usize>, Vec<usize>) {
     let n = rng.random_range(2..=max_subsystems);
     let dims: Vec<usize> = (0..n).map(|_| rng.random_range(2..=4usize)).collect();
     let k = rng.random_range(1..=2.min(n));
-    // Fisher–Yates over subsystem indices, then take a prefix: targets come
-    // out non-contiguous and out of order.
-    let mut order: Vec<usize> = (0..n).collect();
-    for i in (1..n).rev() {
-        let j = rng.random_range(0..=i);
-        order.swap(i, j);
-    }
+    // Shuffled subsystem indices, then take a prefix: targets come out
+    // non-contiguous and out of order.
+    let order = random_permutation(rng, n);
     (dims, order[..k].to_vec())
 }
 
@@ -118,11 +130,7 @@ fn permutation_fast_path_matches_naive() {
         let (dims, targets) = random_small_shape(&mut rng, 5);
         let b = block_dim(&dims, &targets);
         // Random monomial operator: a permutation with random phases.
-        let mut perm: Vec<usize> = (0..b).collect();
-        for i in (1..b).rev() {
-            let j = rng.random_range(0..=i);
-            perm.swap(i, j);
-        }
+        let perm = random_permutation(&mut rng, b);
         let mono = CMatrix::from_fn(b, b, |i, j| {
             if perm[i] == j {
                 Complex::from_polar(1.0, rng.random::<f64>() * std::f64::consts::TAU)
@@ -238,7 +246,7 @@ fn scan_probability(psi: &PureState, targets: &[usize], outcome: &[usize]) -> f6
             .zip(outcome.iter())
             .all(|(&t, &o)| multi[t] == o)
         {
-            p += psi.amplitudes()[flat].norm_sqr();
+            p += psi.amplitudes().at(flat).norm_sqr();
         }
     }
     p
@@ -286,11 +294,7 @@ fn permute_subsystems_matches_index_oracle() {
     for _ in 0..20 {
         let n = rng.random_range(2..=5usize);
         let dims: Vec<usize> = (0..n).map(|_| rng.random_range(2..=3usize)).collect();
-        let mut perm: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = rng.random_range(0..=i);
-            perm.swap(i, j);
-        }
+        let perm = random_permutation(&mut rng, n);
         let psi = gen.random_pure(&dims);
         let permuted = psi.permute_subsystems(&perm);
         // Oracle: per-amplitude multi-index remap.
@@ -300,7 +304,10 @@ fn permute_subsystems_matches_index_oracle() {
             let new_multi: Vec<usize> = perm.iter().map(|&p| old_multi[p]).collect();
             let new_flat = qsim::state::flat_index(&new_dims, &new_multi);
             assert!(
-                permuted.amplitudes()[new_flat].approx_eq(psi.amplitudes()[flat], TOL),
+                permuted
+                    .amplitudes()
+                    .at(new_flat)
+                    .approx_eq(psi.amplitudes().at(flat), TOL),
                 "dims {dims:?}, perm {perm:?}"
             );
         }
@@ -327,7 +334,7 @@ fn density_outcome_quantities_match_scan_oracle() {
                 .zip(outcome.iter())
                 .all(|(&t, &o)| multi[t] == o)
             {
-                slow += rho.matrix()[(flat, flat)].re;
+                slow += rho.matrix().at(flat, flat).re;
             }
         }
         let fast = rho.outcome_probability(&targets, &outcome);
@@ -396,5 +403,208 @@ fn expectation_on_matches_embedding() {
             fast.approx_eq(slow, 1e-10),
             "dims {dims:?}, targets {targets:?}: {fast} vs {slow}"
         );
+    }
+}
+
+// --- SoA layout pinning (PR 3) -------------------------------------------
+//
+// The numeric core stores split re/im planes (`SplitBuffer`) and the kernels
+// run as paired f64 loops with several structure-dependent fast paths (2×2
+// register path, unit-phase permutation scatter, two-row matrix update).
+// `qsim::naive` deliberately stays on interleaved AoS `Vec<Complex>` storage,
+// so the tests below pin the SoA layout — including the fast-path dispatch —
+// to the AoS oracle at 1e-12 over randomized shapes.
+
+/// A random block operator of one of the structural kinds the kernel
+/// classifier dispatches on.
+fn random_operator(
+    rng: &mut StdRng,
+    gen: &mut RandomStateGenerator,
+    b: usize,
+    kind: usize,
+) -> CMatrix {
+    match kind {
+        // Diagonal: random unit phases.
+        0 => CMatrix::from_fn(b, b, |i, j| {
+            if i == j {
+                Complex::from_polar(1.0, rng.random::<f64>() * std::f64::consts::TAU)
+            } else {
+                Complex::ZERO
+            }
+        }),
+        // Monomial: a random permutation, with unit phases (kind 1 — the
+        // copy-only scatter) or random phases (kind 2).
+        1 | 2 => {
+            let perm = random_permutation(rng, b);
+            let unit = kind == 1;
+            CMatrix::from_fn(b, b, |i, j| {
+                if perm[i] != j {
+                    Complex::ZERO
+                } else if unit {
+                    Complex::ONE
+                } else {
+                    Complex::from_polar(1.0, rng.random::<f64>() * std::f64::consts::TAU)
+                }
+            })
+        }
+        // Dense unitary.
+        _ => gen.random_unitary(b),
+    }
+}
+
+#[test]
+fn soa_mixed_operator_sequences_match_naive_on_pure_states() {
+    // Sequences of diagonal/monomial/dense operators on rotating
+    // non-contiguous target sets: errors that survive one fast path are
+    // carried into the next, so a whole-sequence comparison at 1e-12 pins
+    // the SoA planes through every dispatch combination.
+    let mut rng = StdRng::seed_from_u64(3001);
+    let mut gen = RandomStateGenerator::new(4001);
+    for trial in 0..20 {
+        let (dims, _) = random_shape(&mut rng, 5);
+        let mut fast = gen.random_pure(&dims);
+        let mut slow = fast.clone();
+        for step in 0..6 {
+            // Redraw targets against the fixed dims: out of order and
+            // non-contiguous, like random_shape.
+            let order = random_permutation(&mut rng, dims.len());
+            let k = rng.random_range(1..=2.min(dims.len()));
+            let targets = order[..k].to_vec();
+            let b = block_dim(&dims, &targets);
+            let u = random_operator(&mut rng, &mut gen, b, step % 4);
+            fast.apply_unitary(&targets, &u);
+            slow = naive::apply_unitary_pure(&slow, &targets, &u);
+            assert!(
+                fast.approx_eq(&slow, TOL),
+                "trial {trial} step {step}: dims {dims:?}, targets {targets:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn soa_mixed_operator_sequences_match_naive_on_density_matrices() {
+    let mut rng = StdRng::seed_from_u64(3002);
+    let mut gen = RandomStateGenerator::new(4002);
+    for trial in 0..8 {
+        let (dims, _) = random_small_shape(&mut rng, 4);
+        let mut fast = gen.random_density(&dims, 2);
+        let mut slow = fast.clone();
+        for step in 0..4 {
+            let order = random_permutation(&mut rng, dims.len());
+            let k = rng.random_range(1..=2.min(dims.len()));
+            let targets = order[..k].to_vec();
+            let b = block_dim(&dims, &targets);
+            let u = random_operator(&mut rng, &mut gen, b, step % 4);
+            fast.apply_unitary(&targets, &u);
+            slow = naive::apply_unitary_density(&slow, &targets, &u);
+            assert!(
+                fast.matrix().approx_eq(slow.matrix(), TOL),
+                "trial {trial} step {step}: dims {dims:?}, targets {targets:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn soa_random_kraus_channels_match_naive_embedding() {
+    // Random (not necessarily trace-preserving) Kraus sets on non-contiguous
+    // targets: apply_kraus runs the SoA conjugation kernel per operator; the
+    // oracle embeds each operator and pays AoS matmuls.
+    let mut rng = StdRng::seed_from_u64(3003);
+    let mut gen = RandomStateGenerator::new(4003);
+    for trial in 0..6 {
+        let (dims, targets) = random_small_shape(&mut rng, 4);
+        let b = block_dim(&dims, &targets);
+        let n_ops = rng.random_range(1..=3usize);
+        let kraus: Vec<CMatrix> = (0..n_ops)
+            .map(|_| {
+                CMatrix::from_fn(b, b, |_i, _j| {
+                    Complex::new(rng.random::<f64>() - 0.5, rng.random::<f64>() - 0.5)
+                })
+            })
+            .collect();
+        let rho = gen.random_density(&dims, 2);
+        let mut fast = rho.clone();
+        fast.apply_kraus(&targets, &kraus);
+        let mut slow_mat = CMatrix::zeros(rho.dim(), rho.dim());
+        for k in &kraus {
+            let full = qsim::embed_operator(rho.dims(), &targets, k);
+            let term = naive::matmul(&naive::matmul(&full, rho.matrix()), &full.adjoint());
+            slow_mat = &slow_mat + &term;
+        }
+        assert!(
+            fast.matrix().approx_eq(&slow_mat, TOL),
+            "trial {trial}: dims {dims:?}, targets {targets:?}"
+        );
+    }
+}
+
+#[test]
+fn soa_unit_phase_permutation_fast_path_matches_naive() {
+    // Plain permutations (every phase exactly 1) take the copy-only scatter;
+    // qudit SWAPs and register cycles are the protocol-relevant instances.
+    let mut rng = StdRng::seed_from_u64(3004);
+    let mut gen = RandomStateGenerator::new(4004);
+    for trial in 0..12 {
+        let (dims, targets) = random_small_shape(&mut rng, 5);
+        let b = block_dim(&dims, &targets);
+        let u = random_operator(&mut rng, &mut gen, b, 1);
+        let psi = gen.random_pure(&dims);
+        let mut fast = psi.clone();
+        fast.apply_unitary(&targets, &u);
+        let slow = naive::apply_unitary_pure(&psi, &targets, &u);
+        assert!(fast.approx_eq(&slow, TOL), "trial {trial}: dims {dims:?}");
+        let rho = gen.random_density(&dims, 2);
+        let mut fast = rho.clone();
+        fast.apply_unitary(&targets, &u);
+        let slow = naive::apply_unitary_density(&rho, &targets, &u);
+        assert!(
+            fast.matrix().approx_eq(slow.matrix(), TOL),
+            "density trial {trial}: dims {dims:?}"
+        );
+    }
+}
+
+#[test]
+fn soa_two_by_two_register_paths_match_naive() {
+    // block = 2 takes dedicated unrolled paths in both the vector kernel
+    // (left and transposed action) and the matrix kernels (two-row
+    // streaming update); pin them on a dimension-2 subsystem wedged into a
+    // mixed-dimension register.
+    let mut gen = RandomStateGenerator::new(4005);
+    let dims = [3usize, 2, 2, 3];
+    for targets in [[1usize], [2usize]] {
+        let u = gen.random_unitary(2);
+        let psi = gen.random_pure(&dims);
+        let mut fast = psi.clone();
+        fast.apply_unitary(&targets, &u);
+        let slow = naive::apply_unitary_pure(&psi, &targets, &u);
+        assert!(fast.approx_eq(&slow, TOL), "pure targets {targets:?}");
+        let rho = gen.random_density(&dims, 2);
+        let mut fast = rho.clone();
+        fast.apply_unitary(&targets, &u);
+        let slow = naive::apply_unitary_density(&rho, &targets, &u);
+        assert!(
+            fast.matrix().approx_eq(slow.matrix(), TOL),
+            "density targets {targets:?}"
+        );
+    }
+}
+
+#[test]
+fn soa_planes_roundtrip_through_the_naive_boundary() {
+    // The AoS↔SoA boundary conversions themselves must be lossless: a
+    // random state pushed through `to_complex_vec` and back is identical,
+    // and the split planes agree entrywise with the interleaved view.
+    let mut gen = RandomStateGenerator::new(4006);
+    let psi = gen.random_pure(&[3, 2, 2]);
+    let v = psi.amplitudes();
+    let interleaved = v.to_complex_vec();
+    let rebuilt = qsim::CVector::new(interleaved.clone());
+    assert!(v.approx_eq(&rebuilt, 0.0), "roundtrip must be exact");
+    for (i, z) in interleaved.iter().enumerate() {
+        assert_eq!(v.re()[i], z.re);
+        assert_eq!(v.im()[i], z.im);
     }
 }

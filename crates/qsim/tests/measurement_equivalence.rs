@@ -243,12 +243,8 @@ fn class_projection_weight_matches_dense_norm() {
         let (dims, targets) = shape(d, k);
         let psi = gen.random_pure(&dims);
         let classes = qsim::permutation::symmetric_classes(d, k);
-        let fast = kernels::class_projection_weight(
-            psi.amplitudes().as_slice(),
-            &dims,
-            &targets,
-            &classes,
-        );
+        let fast =
+            kernels::class_projection_weight(psi.amplitudes().split(), &dims, &targets, &classes);
         let slow = naive::permutation_test_acceptance_on(&DensityMatrix::from_pure(&psi), &targets);
         assert!(
             (fast - slow).abs() < 1e-10,
