@@ -29,6 +29,7 @@ use dqma::chain::{cheating_proof, ChainCheat, SeparableChainProof, SwapTestChain
 use dqma::eq_path::EqPathProtocol;
 use dqma::eq_tree::EqTreeProtocol;
 use dqma::relay::RelayEqProtocol;
+use dqma::trials::{self, TrialReport};
 use dqma_bench::{fmt_ns, print_header, print_row, time_it, JsonReport, JsonValue, Timing};
 use netsim::topology;
 use qsim::linalg::CMatrix;
@@ -395,6 +396,164 @@ fn main() {
         });
     }
 
+    // Batched trial engine (PR 4): rounds/sec on the same fixed instances —
+    // the serial per-round loop (the PR-3 consumer pattern, the `fast`
+    // column of the round rows above) against the batched engine dispatched
+    // over 1/2/4/8 persistent pool workers. Accept counts at a fixed seed
+    // must be identical across worker counts (the engine's determinism
+    // contract), which each row records.
+    struct TrialRow {
+        name: String,
+        serial_loop_ns: f64,
+        reports: Vec<(usize, TrialReport)>,
+    }
+    impl TrialRow {
+        fn deterministic(&self) -> bool {
+            self.reports
+                .iter()
+                .all(|(_, r)| r.accepts == self.reports[0].1.accepts)
+        }
+        fn at(&self, workers: usize) -> &TrialReport {
+            &self
+                .reports
+                .iter()
+                .find(|(w, _)| *w == workers)
+                .expect("worker column present")
+                .1
+        }
+        fn speedup_vs_loop(&self, workers: usize) -> f64 {
+            self.serial_loop_ns / self.at(workers).ns_per_round()
+        }
+    }
+    let workers_sweep = [1usize, 2, 4, 8];
+    let trial_seed = 20240601u64;
+    let serial_ns = |entries: &[Entry], name: &str| -> f64 {
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .expect("serial-loop baseline row present")
+            .fast
+            .ns_per_op
+    };
+    let mut trial_rows: Vec<TrialRow> = Vec::new();
+
+    // EQ-path trials (the r = 32 shape is the PR-4 acceptance gate).
+    for &r in &[8usize, 32] {
+        let proto = EqPathProtocol::with_scheme(r, scheme.clone(), 1);
+        let chain = proto.chain(&x, &y);
+        let right_state = proto.one_way().alice_message(&y);
+        let proof = cheating_proof(&chain, &right_state, ChainCheat::Interpolate);
+        let n = 2_000_000u64;
+        let reports = workers_sweep
+            .iter()
+            .map(|&w| {
+                (
+                    w,
+                    chain.sample_rounds_with_workers(&proof, n, trial_seed, w),
+                )
+            })
+            .collect();
+        trial_rows.push(TrialRow {
+            name: format!("eq_path_trials_r{r}"),
+            serial_loop_ns: serial_ns(&entries, &format!("eq_path_round_r{r}")),
+            reports,
+        });
+    }
+
+    // Mixed-proof EQ-path trials: the density-frontier walk with per-worker
+    // scratch reuse (frontier/conjugation/traced-down buffers hoisted).
+    {
+        let proto = EqPathProtocol::with_scheme(8, scheme.clone(), 1);
+        let chain = proto.chain(&x, &y);
+        let right_state = proto.one_way().alice_message(&y);
+        let proof: Vec<DensityMatrix> =
+            cheating_proof(&chain, &right_state, ChainCheat::Interpolate)
+                .iter()
+                .map(|(a, b)| DensityMatrix::from_pure(&a.tensor(b)))
+                .collect();
+        let sampler = chain.mixed_sampler(&proof);
+        // ≥ 8 RNG blocks (BLOCK_TRIALS = 8192) so the w8 column really
+        // dispatches 8 slots instead of being clamped by the block count.
+        let n = 10 * trials::BLOCK_TRIALS;
+        let reports = workers_sweep
+            .iter()
+            .map(|&w| {
+                (
+                    w,
+                    trials::run_trials_with_workers(&sampler, n, trial_seed, w),
+                )
+            })
+            .collect();
+        trial_rows.push(TrialRow {
+            name: "eq_path_trials_mixed_r8".to_string(),
+            serial_loop_ns: serial_ns(&entries, "eq_path_round_mixed_r8"),
+            reports,
+        });
+    }
+
+    // EQ-tree trials on the 3-leg spider instance above.
+    {
+        let legs = 3usize;
+        let g = topology::spider(legs, 1);
+        let terminals: Vec<usize> = (0..legs).map(|k| topology::spider_leaf(k, 1)).collect();
+        let proto = EqTreeProtocol::with_scheme(
+            &g,
+            &terminals,
+            FingerprintScheme::with_parameters(4, 1, 1, 9),
+            1,
+        );
+        let mut inputs = vec![x.clone(); terminals.len()];
+        inputs[legs - 1] = y.clone();
+        let proof = proto.uniform_proof(&x);
+        let n = 2_000_000u64;
+        let reports = workers_sweep
+            .iter()
+            .map(|&w| {
+                (
+                    w,
+                    proto.sample_rounds_with_workers(&inputs, &proof, n, trial_seed, w),
+                )
+            })
+            .collect();
+        trial_rows.push(TrialRow {
+            name: format!("eq_tree_trials_t{legs}"),
+            serial_loop_ns: serial_ns(&entries, &format!("eq_tree_round_t{legs}")),
+            reports,
+        });
+    }
+
+    // Relay trials: every round runs one repetition of every segment; the
+    // serial loop re-prepares fingerprints and proofs per round, the plan
+    // hoists all of it.
+    {
+        let r = 16usize;
+        let proto = RelayEqProtocol::with_spacing(4, r, 2, 11);
+        let relays = vec![x.clone(); proto.relay_points().len()];
+        let n = 1_000_000u64;
+        let reports = workers_sweep
+            .iter()
+            .map(|&w| {
+                (
+                    w,
+                    proto.sample_rounds_with_workers(
+                        &x,
+                        &y,
+                        &relays,
+                        ChainCheat::Interpolate,
+                        n,
+                        trial_seed,
+                        w,
+                    ),
+                )
+            })
+            .collect();
+        trial_rows.push(TrialRow {
+            name: format!("relay_trials_r{r}"),
+            serial_loop_ns: serial_ns(&entries, &format!("relay_round_r{r}")),
+            reports,
+        });
+    }
+
     // Report.
     let (par_enabled, par_threads) = dqma_bench::parallel_config();
     let mut columns = vec![
@@ -461,6 +620,68 @@ fn main() {
         report.push(&fields);
     }
 
+    // Batched-trial table and JSON rows.
+    print_header(
+        "bench_protocols: batched trial engine (ns/round, serial loop vs pooled workers)",
+        &[
+            "benchmark",
+            "serial loop",
+            "batched w1",
+            "w2",
+            "w4",
+            "w8",
+            "speedup w8",
+            "deterministic",
+        ],
+    );
+    for row in &trial_rows {
+        print_row(&[
+            row.name.clone(),
+            fmt_ns(row.serial_loop_ns),
+            fmt_ns(row.at(1).ns_per_round()),
+            fmt_ns(row.at(2).ns_per_round()),
+            fmt_ns(row.at(4).ns_per_round()),
+            fmt_ns(row.at(8).ns_per_round()),
+            format!("{:.1}x", row.speedup_vs_loop(8)),
+            if row.deterministic() { "yes" } else { "NO" }.to_string(),
+        ]);
+        // Per-worker field names, declared before `fields` so the borrowed
+        // keys outlive it.
+        let keys: Vec<(String, String)> = row
+            .reports
+            .iter()
+            .map(|(w, _)| (format!("ns_per_round_w{w}"), format!("rounds_per_sec_w{w}")))
+            .collect();
+        let mut fields = vec![
+            ("name", JsonValue::Str(row.name.clone())),
+            ("kind", JsonValue::Str("batched_trials".to_string())),
+            ("trials", JsonValue::Int(row.at(1).trials)),
+            ("accepts", JsonValue::Int(row.at(1).accepts)),
+            (
+                "acceptance_rate",
+                JsonValue::Num(row.at(1).acceptance_rate()),
+            ),
+            (
+                "serial_loop_ns_per_round",
+                JsonValue::Num(row.serial_loop_ns),
+            ),
+            (
+                "speedup_batched_vs_loop",
+                JsonValue::Num(row.speedup_vs_loop(1)),
+            ),
+            ("speedup_w8_vs_loop", JsonValue::Num(row.speedup_vs_loop(8))),
+            (
+                "accepts_identical_across_workers",
+                JsonValue::Str(row.deterministic().to_string()),
+            ),
+        ];
+        for ((ns_key, rps_key), (_, r)) in keys.iter().zip(row.reports.iter()) {
+            fields.push((ns_key.as_str(), JsonValue::Num(r.ns_per_round())));
+            fields.push((rps_key.as_str(), JsonValue::Num(r.rounds_per_sec())));
+        }
+        report.push(&fields);
+    }
+
     // Acceptance gate: ≥ 10× on the permutation-test acceptance at d=2, k=4.
     let gate = entries
         .iter()
@@ -474,6 +695,21 @@ fn main() {
     );
     println!("eq-path rounds benched up to r = {eq_path_max_r} (dense joint path stops at r = 4)");
 
+    // PR-4 acceptance gate: ≥ 10× rounds/sec on the r = 32 EQ-path shape at
+    // 8 workers vs the serial per-round loop, with accept counts identical
+    // across worker counts.
+    let trial_gate = trial_rows
+        .iter()
+        .find(|r| r.name == "eq_path_trials_r32")
+        .expect("trial gate row present");
+    let trial_gate_speedup = trial_gate.speedup_vs_loop(8);
+    let trials_deterministic = trial_rows.iter().all(|r| r.deterministic());
+    let trial_meets = trial_gate_speedup >= 10.0 && trials_deterministic;
+    println!(
+        "acceptance: eq_path_trials_r32 batched w8 speedup {trial_gate_speedup:.1}x (target >= 10x), accept counts worker-invariant: {trials_deterministic} — {}",
+        if trial_meets { "OK" } else { "MISS" }
+    );
+
     let json = report.render(&[
         ("suite", JsonValue::Str("bench_protocols".to_string())),
         ("layout", JsonValue::Str("soa".to_string())),
@@ -482,6 +718,18 @@ fn main() {
             JsonValue::Num(gate_speedup),
         ),
         ("meets_10x_target", JsonValue::Str(meets.to_string())),
+        (
+            "batched_eq_path_r32_w8_speedup",
+            JsonValue::Num(trial_gate_speedup),
+        ),
+        (
+            "batched_meets_10x_target",
+            JsonValue::Str(trial_meets.to_string()),
+        ),
+        (
+            "batched_accepts_worker_invariant",
+            JsonValue::Str(trials_deterministic.to_string()),
+        ),
         ("eq_path_max_r", JsonValue::Int(eq_path_max_r as u64)),
         ("parallel", JsonValue::Str(par_enabled.to_string())),
         ("parallel_threads", JsonValue::Int(par_threads)),

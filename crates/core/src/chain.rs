@@ -23,11 +23,13 @@
 //!   arbitrary *entangled* proofs — the quantity the paper can only bound
 //!   analytically.
 
+use crate::trials::{self, BatchSampler, TrialReport};
 use netsim::{CostTracker, ProtocolCosts};
 use qsim::linalg::max_eigenvalue;
 use qsim::permutation::right_project_symmetric;
 use qsim::swap_test::{swap_test_acceptance_pure, swap_test_on};
-use qsim::{gates, kernels, CMatrix, Complex, DensityMatrix, PureState};
+use qsim::{kernels, CMatrix, Complex, DensityMatrix, PureState};
+use rand::rngs::StdRng;
 use rand::Rng;
 
 /// A proof for the chain: one pair of register states per intermediate node
@@ -125,8 +127,7 @@ impl SwapTestChain {
         let k = self.num_intermediate();
         if k == 0 {
             // v_r measures the left state directly.
-            let v = self.left_state.amplitudes();
-            return v.inner(&self.right_effect.apply(v)).re.clamp(0.0, 1.0);
+            return self.boundary_acceptance(&self.left_state);
         }
         let patterns = 1usize << k;
         let mut total = 0.0;
@@ -140,8 +141,7 @@ impl SwapTestChain {
                 prob *= swap_test_acceptance_pure(sent, kept);
                 sent = forwarded;
             }
-            let v = sent.amplitudes();
-            prob *= v.inner(&self.right_effect.apply(v)).re.clamp(0.0, 1.0);
+            prob *= self.boundary_acceptance(sent);
             total += prob;
         }
         (total / patterns as f64).clamp(0.0, 1.0)
@@ -214,8 +214,7 @@ impl SwapTestChain {
     /// See [`SwapTestChain::acceptance_operator`].
     pub fn optimal_acceptance(&self) -> f64 {
         if self.num_intermediate() == 0 {
-            let v = self.left_state.amplitudes();
-            return v.inner(&self.right_effect.apply(v)).re.clamp(0.0, 1.0);
+            return self.boundary_acceptance(&self.left_state);
         }
         // The acceptance operator is a product/average of projectors and is not
         // Hermitian in general (the per-pattern factors commute, but the
@@ -253,15 +252,9 @@ impl SwapTestChain {
         proof: &SeparableChainProof,
         rng: &mut R,
     ) -> bool {
-        assert_eq!(
-            proof.len(),
-            self.num_intermediate(),
-            "need one register pair per intermediate node"
-        );
+        self.validate_proof(proof);
         let mut sent: &PureState = &self.left_state;
         for (r0, r1) in proof {
-            assert_eq!(r0.dim(), self.dim, "proof register dimension mismatch");
-            assert_eq!(r1.dim(), self.dim, "proof register dimension mismatch");
             let swapped = rng.random::<f64>() < 0.5;
             let (kept, forwarded) = if swapped { (r1, r0) } else { (r0, r1) };
             let p = swap_test_acceptance_pure(sent, kept);
@@ -270,9 +263,34 @@ impl SwapTestChain {
             }
             sent = forwarded;
         }
-        let v = sent.amplitudes();
-        let p = v.inner(&self.right_effect.apply(v)).re.clamp(0.0, 1.0);
+        // Allocation-free boundary measurement (the round's one former
+        // per-round allocation, `effect.apply(v)`).
+        let p = self.boundary_acceptance(sent);
         rng.random::<f64>() < p
+    }
+
+    /// Validates a separable proof's shape once, before a sampling walk —
+    /// hoisted out of the per-node loop so the hot path carries no checks.
+    fn validate_proof(&self, proof: &SeparableChainProof) {
+        assert_eq!(
+            proof.len(),
+            self.num_intermediate(),
+            "need one register pair per intermediate node"
+        );
+        for (r0, r1) in proof {
+            assert_eq!(r0.dim(), self.dim, "proof register dimension mismatch");
+            assert_eq!(r1.dim(), self.dim, "proof register dimension mismatch");
+        }
+    }
+
+    /// Acceptance probability of the right extremity's measurement on the
+    /// final forwarded state, computed as an allocation-free quadratic form.
+    #[inline]
+    fn boundary_acceptance(&self, sent: &PureState) -> f64 {
+        self.right_effect
+            .quadratic_form(sent.amplitudes())
+            .re
+            .clamp(0.0, 1.0)
     }
 
     /// Samples one full round for per-node *mixed* proofs (one two-register
@@ -294,38 +312,17 @@ impl SwapTestChain {
         proof: &[DensityMatrix],
         rng: &mut R,
     ) -> bool {
-        assert_eq!(
-            proof.len(),
-            self.num_intermediate(),
-            "need one register pair per intermediate node"
-        );
-        let half = Complex::real(std::f64::consts::FRAC_1_SQRT_2);
-        let kraus = [
-            CMatrix::identity(self.dim * self.dim).scale(half),
-            gates::swap(self.dim).scale(half),
-        ];
-        let mut sent = DensityMatrix::from_pure(&self.left_state);
-        for pair in proof {
-            assert_eq!(
-                pair.dims(),
-                &[self.dim, self.dim],
-                "proof register dimension mismatch"
-            );
-            // Frontier: (sent, kept, forwarded) — everything already tested
-            // has been traced out.
-            let mut frontier = sent.tensor(pair);
-            frontier.apply_kraus(&[1, 2], &kraus);
-            if !swap_test_on(&mut frontier, 0, 1, rng) {
-                return false;
-            }
-            sent = frontier.partial_trace_keep(&[2]);
-        }
-        let p = sent.expectation(&self.right_effect).re.clamp(0.0, 1.0);
-        rng.random::<f64>() < p
+        let sampler = self.mixed_sampler(proof);
+        let mut scratch = sampler.scratch();
+        sampler.round(&mut scratch, rng)
     }
 
     /// Empirical acceptance frequency over `trials` sampled rounds — a Monte
     /// Carlo check against [`SwapTestChain::acceptance_separable`].
+    ///
+    /// Batch loops over a fixed proof should prefer
+    /// [`SwapTestChain::sample_rounds`], which prepares the round tables
+    /// once and returns interval statistics alongside the rate.
     pub fn estimate_acceptance<R: Rng + ?Sized>(
         &self,
         proof: &SeparableChainProof,
@@ -336,6 +333,108 @@ impl SwapTestChain {
             .filter(|_| self.simulate_round(proof, rng))
             .count();
         accepts as f64 / trials as f64
+    }
+
+    /// Compiles a separable proof into a [`ChainRoundPlan`]: the
+    /// per-instance preparation of the batched trial engine, done once
+    /// instead of per round. See the plan type for the table semantics.
+    ///
+    /// # Panics
+    ///
+    /// As [`SwapTestChain::simulate_round`].
+    pub fn round_plan(&self, proof: &SeparableChainProof) -> ChainRoundPlan {
+        self.validate_proof(proof);
+        let k = self.num_intermediate();
+        let mut tables = vec![0.0f64; 4 * (k + 1)];
+        // Node j = 0 tests the fixed left state against the kept register;
+        // independent of the (nonexistent) previous coin.
+        if k > 0 {
+            let (r0, r1) = &proof[0];
+            for prev in 0..2 {
+                tables[prev] = swap_test_acceptance_pure(&self.left_state, r0);
+                tables[2 + prev] = swap_test_acceptance_pure(&self.left_state, r1);
+            }
+        }
+        // Node j ≥ 1 tests the register forwarded by node j−1 (selected by
+        // the previous coin) against its own kept register (its own coin).
+        for j in 1..k {
+            let (p0, p1) = &proof[j - 1];
+            let (r0, r1) = &proof[j];
+            for (idx, (fwd, kept)) in [(p1, r0), (p0, r0), (p1, r1), (p0, r1)].iter().enumerate() {
+                tables[4 * j + idx] = swap_test_acceptance_pure(fwd, kept);
+            }
+        }
+        // The boundary measurement sees the register forwarded by the last
+        // node (previous coin); duplicated across the unused own-coin bit.
+        if k > 0 {
+            let (p0, p1) = &proof[k - 1];
+            for cur in 0..2 {
+                tables[4 * k + 2 * cur] = self.boundary_acceptance(p1);
+                tables[4 * k + 2 * cur + 1] = self.boundary_acceptance(p0);
+            }
+        } else {
+            tables[..4].fill(self.boundary_acceptance(&self.left_state));
+        }
+        ChainRoundPlan { tables, k }
+    }
+
+    /// Batched Monte-Carlo rounds on a fixed separable proof: prepares the
+    /// round tables once and runs `n` trials through the block engine of
+    /// [`crate::trials`] — accept counts are bit-identical at any worker
+    /// count for a fixed `(proof, n, seed)`.
+    pub fn sample_rounds(&self, proof: &SeparableChainProof, n: u64, seed: u64) -> TrialReport {
+        trials::run_trials(&self.round_plan(proof), n, seed)
+    }
+
+    /// As [`SwapTestChain::sample_rounds`] with an explicit worker-slot
+    /// count (used by the determinism tests and the bench worker sweeps).
+    pub fn sample_rounds_with_workers(
+        &self,
+        proof: &SeparableChainProof,
+        n: u64,
+        seed: u64,
+        workers: usize,
+    ) -> TrialReport {
+        trials::run_trials_with_workers(&self.round_plan(proof), n, seed, workers)
+    }
+
+    /// Prepares the batched sampler for per-node *mixed* proofs: the
+    /// density-frontier walk of [`SwapTestChain::simulate_round_mixed`] with
+    /// every per-round allocation hoisted into per-worker scratch
+    /// ([`MixedChainScratch`]) — the frontier, conjugation and traced-down
+    /// buffers are built once per worker and reused across all its trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proof does not have one two-register density matrix of
+    /// the chain's register dimension per intermediate node.
+    pub fn mixed_sampler<'a>(&'a self, proof: &'a [DensityMatrix]) -> MixedChainSampler<'a> {
+        assert_eq!(
+            proof.len(),
+            self.num_intermediate(),
+            "need one register pair per intermediate node"
+        );
+        for pair in proof {
+            assert_eq!(
+                pair.dims(),
+                &[self.dim, self.dim],
+                "proof register dimension mismatch"
+            );
+        }
+        MixedChainSampler {
+            chain: self,
+            proof,
+            left: DensityMatrix::from_pure(&self.left_state),
+            // Resolved once: the per-node symmetrisation must not pay the
+            // global memo lookup (a process-wide mutex) per trial.
+            swap: qsim::naive::cached_swap(self.dim),
+        }
+    }
+
+    /// Batched Monte-Carlo rounds on a fixed mixed proof; see
+    /// [`SwapTestChain::mixed_sampler`].
+    pub fn sample_rounds_mixed(&self, proof: &[DensityMatrix], n: u64, seed: u64) -> TrialReport {
+        trials::run_trials(&self.mixed_sampler(proof), n, seed)
     }
 
     /// Cost summary of one repetition of the chain protocol, given the size in
@@ -368,6 +467,186 @@ impl SwapTestChain {
     /// soundness error `single` of one repetition.
     pub fn repeated_soundness(single: f64, k: usize) -> f64 {
         single.powi(k as i32)
+    }
+}
+
+/// A chain instance compiled for batched round sampling.
+///
+/// Conditioned on the symmetrisation coins `c₀..c_{k−1}`, every SWAP test of
+/// the chain acts on disjoint product registers, and the test at node `j`
+/// involves only the registers selected by the coins `(c_{j−1}, c_j)` — a
+/// Markov structure. The plan therefore precomputes, once per instance, a
+/// 4-entry probability table per node (indexed by the adjacent coin pair;
+/// the boundary measurement is a fifth pseudo-node depending on `c_{k−1}`
+/// alone). A sampled round is then: draw the coin word (one `u64`),
+/// accumulate the pattern-conditional acceptance `Π_j t_j(c)` by table
+/// lookups, and draw one accept Bernoulli against the product — identical in
+/// distribution to the per-node Bernoulli walk of
+/// [`SwapTestChain::simulate_round`] (a product of independent accepts
+/// conditioned on the same coins), but with **zero** per-round state
+/// preparation, allocation or overlap arithmetic.
+#[derive(Clone, Debug)]
+pub struct ChainRoundPlan {
+    /// `4(k+1)` entries: node `j`'s acceptance at coin pair
+    /// `idx = c_{j−1} + 2·c_j` (with `c_{−1} = 0`), nodes `0..k` the SWAP
+    /// tests and node `k` the boundary measurement.
+    tables: Vec<f64>,
+    /// Number of intermediate nodes.
+    k: usize,
+}
+
+impl ChainRoundPlan {
+    /// Number of intermediate nodes the plan covers.
+    pub fn num_intermediate(&self) -> usize {
+        self.k
+    }
+
+    /// Draws one round's symmetrisation coins from `rng` and returns the
+    /// coin-conditional acceptance probability `Π_j t_j(c)` — the chain's
+    /// contribution to a round accept draw. Exposed so multi-segment
+    /// protocols (relay) can combine several chains into a single Bernoulli.
+    #[inline]
+    pub fn round_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.k <= 62 {
+            // All coins in one word, pre-shifted so bit j of `aug` is
+            // c_{j−1} and bit j+1 is c_j: node j's table index is
+            // `(aug >> j) & 3`.
+            let aug = rng.random::<u64>() << 1;
+            let mut w = 1.0;
+            for j in 0..=self.k {
+                w *= self.tables[4 * j + ((aug >> j) & 3) as usize];
+            }
+            w
+        } else {
+            let mut prev = 0usize;
+            let mut w = 1.0;
+            for j in 0..self.k {
+                let cur = usize::from(rng.random::<bool>());
+                w *= self.tables[4 * j + prev + 2 * cur];
+                prev = cur;
+            }
+            w * self.tables[4 * self.k + prev]
+        }
+    }
+
+    /// Samples one round: coins, conditional product, one accept draw.
+    #[inline]
+    pub fn round<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        let w = self.round_weight(rng);
+        rng.random::<f64>() < w
+    }
+}
+
+impl BatchSampler for ChainRoundPlan {
+    type Scratch = ();
+
+    fn scratch(&self) {}
+
+    fn sample_block(&self, trials: u64, _scratch: &mut (), rng: &mut StdRng) -> u64 {
+        let mut accepts = 0u64;
+        if self.k > 62 {
+            for _ in 0..trials {
+                accepts += u64::from(self.round(rng));
+            }
+            return accepts;
+        }
+        // Lane-parallel walk: LANES independent rounds advance through the
+        // node tables together, so the per-node multiplies pipeline across
+        // independent accumulator chains instead of serialising on one
+        // product's multiply latency.
+        const LANES: usize = 16;
+        let mut aug = [0u64; LANES];
+        let mut acc = [1.0f64; LANES];
+        let mut remaining = trials;
+        while remaining > 0 {
+            let lanes = remaining.min(LANES as u64) as usize;
+            for a in aug.iter_mut().take(lanes) {
+                *a = rng.random::<u64>() << 1;
+            }
+            for a in acc.iter_mut().take(lanes) {
+                *a = 1.0;
+            }
+            for j in 0..=self.k {
+                let tbl = &self.tables[4 * j..4 * j + 4];
+                for t in 0..lanes {
+                    acc[t] *= tbl[((aug[t] >> j) & 3) as usize];
+                }
+            }
+            for &a in acc.iter().take(lanes) {
+                accepts += u64::from(rng.random::<f64>() < a);
+            }
+            remaining -= lanes as u64;
+        }
+        accepts
+    }
+}
+
+/// Batched sampler for per-node mixed proofs; built by
+/// [`SwapTestChain::mixed_sampler`]. Carries the prepared left-state density
+/// matrix and the (once-resolved) SWAP operator of the register dimension;
+/// all per-round buffers live in [`MixedChainScratch`].
+pub struct MixedChainSampler<'a> {
+    chain: &'a SwapTestChain,
+    proof: &'a [DensityMatrix],
+    left: DensityMatrix,
+    swap: std::sync::Arc<CMatrix>,
+}
+
+/// Per-worker scratch of [`MixedChainSampler`]: the three-register frontier,
+/// its conjugation buffer and the traced-down forwarded state — allocated
+/// once per worker slot and reused across every trial it runs (previously
+/// three fresh matrices per node per round).
+pub struct MixedChainScratch {
+    frontier: DensityMatrix,
+    tmp: CMatrix,
+    sent: DensityMatrix,
+}
+
+impl MixedChainSampler<'_> {
+    /// Samples one round through the reusable-scratch frontier walk; the
+    /// same walk (and the same draw sequence) as
+    /// [`SwapTestChain::simulate_round_mixed`].
+    pub fn round<R: Rng + ?Sized>(&self, s: &mut MixedChainScratch, rng: &mut R) -> bool {
+        let mut first = true;
+        for pair in self.proof {
+            {
+                // Frontier: (sent, kept, forwarded) — everything already
+                // tested has been traced out.
+                let sent: &DensityMatrix = if first { &self.left } else { &s.sent };
+                sent.tensor_into(pair, &mut s.frontier);
+            }
+            first = false;
+            s.frontier
+                .symmetrize_pair_with(1, 2, &self.swap, &mut s.tmp);
+            if !swap_test_on(&mut s.frontier, 0, 1, rng) {
+                return false;
+            }
+            s.frontier.partial_trace_keep_into(&[2], &mut s.sent);
+        }
+        let sent: &DensityMatrix = if first { &self.left } else { &s.sent };
+        let p = sent
+            .expectation(&self.chain.right_effect)
+            .re
+            .clamp(0.0, 1.0);
+        rng.random::<f64>() < p
+    }
+}
+
+impl BatchSampler for MixedChainSampler<'_> {
+    type Scratch = MixedChainScratch;
+
+    fn scratch(&self) -> MixedChainScratch {
+        let d = self.chain.dim;
+        let d3 = d * d * d;
+        MixedChainScratch {
+            frontier: DensityMatrix::from_matrix(&[d, d, d], CMatrix::zeros(d3, d3)),
+            tmp: CMatrix::zeros(d3, d3),
+            sent: DensityMatrix::from_matrix(&[d], CMatrix::zeros(d, d)),
+        }
+    }
+
+    fn sample_block(&self, trials: u64, scratch: &mut MixedChainScratch, rng: &mut StdRng) -> u64 {
+        (0..trials).filter(|_| self.round(scratch, rng)).count() as u64
     }
 }
 
@@ -595,6 +874,111 @@ mod tests {
         for _ in 0..50 {
             assert!(chain.simulate_round(&proof, &mut rng));
         }
+    }
+
+    #[test]
+    fn round_plan_statistics_match_exact_acceptance() {
+        let (chain, right_state) = {
+            let (left, effect, right_state) = orthogonal_boundary(2);
+            (SwapTestChain::new(3, left, effect), right_state)
+        };
+        for strat in [
+            ChainCheat::AllLeft,
+            ChainCheat::AllRight,
+            ChainCheat::Interpolate,
+        ] {
+            let proof = cheating_proof(&chain, &right_state, strat);
+            let exact = chain.acceptance_separable(&proof);
+            let report = chain.sample_rounds(&proof, 40_000, 7);
+            let eps = report.hoeffding_radius(1e-9);
+            assert!(
+                (report.acceptance_rate() - exact).abs() < eps,
+                "{strat:?}: batched rate {} vs exact {exact} (margin {eps})",
+                report.acceptance_rate()
+            );
+            let (lo, hi) = report.wilson_interval(5.0);
+            assert!(lo <= exact && exact <= hi, "{strat:?}: wilson ({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn round_plan_honest_proof_accepts_every_trial() {
+        let (left, effect) = matching_boundary(2);
+        let chain = SwapTestChain::new(5, left, effect);
+        let report = chain.sample_rounds(&chain.honest_proof(), 10_000, 3);
+        assert_eq!(report.accepts, report.trials, "perfect completeness");
+    }
+
+    #[test]
+    fn round_plan_handles_the_degenerate_r1_chain() {
+        let (left, effect, _) = orthogonal_boundary(2);
+        let chain = SwapTestChain::new(1, left, effect);
+        let report = chain.sample_rounds(&Vec::new(), 1000, 5);
+        assert_eq!(report.accepts, 0, "orthogonal boundary never accepts");
+        let (left, effect) = matching_boundary(2);
+        let chain = SwapTestChain::new(1, left, effect);
+        let report = chain.sample_rounds(&Vec::new(), 1000, 5);
+        assert_eq!(report.accepts, 1000, "matching boundary always accepts");
+    }
+
+    #[test]
+    fn round_plan_accepts_are_identical_across_worker_counts() {
+        let (left, effect, right_state) = orthogonal_boundary(2);
+        let chain = SwapTestChain::new(4, left, effect);
+        let proof = cheating_proof(&chain, &right_state, ChainCheat::Interpolate);
+        let base = chain.sample_rounds_with_workers(&proof, 30_000, 11, 1);
+        for workers in [2usize, 4, 8] {
+            let r = chain.sample_rounds_with_workers(&proof, 30_000, 11, workers);
+            assert_eq!(r.accepts, base.accepts, "worker count {workers}");
+        }
+        // Different seeds explore different outcome sequences.
+        let other = chain.sample_rounds_with_workers(&proof, 30_000, 12, 1);
+        assert_ne!(other.accepts, base.accepts);
+    }
+
+    #[test]
+    fn batched_mixed_sampler_matches_the_pure_plan_statistics() {
+        let (left, effect, right_state) = orthogonal_boundary(2);
+        let chain = SwapTestChain::new(3, left, effect);
+        let proof = cheating_proof(&chain, &right_state, ChainCheat::Interpolate);
+        let exact = chain.acceptance_separable(&proof);
+        let mixed: Vec<DensityMatrix> = proof
+            .iter()
+            .map(|(a, b)| DensityMatrix::from_pure(&a.tensor(b)))
+            .collect();
+        let report = chain.sample_rounds_mixed(&mixed, 6000, 13);
+        let eps = report.hoeffding_radius(1e-9);
+        assert!(
+            (report.acceptance_rate() - exact).abs() < eps,
+            "mixed batched rate {} vs exact {exact}",
+            report.acceptance_rate()
+        );
+    }
+
+    #[test]
+    fn mixed_sampler_accepts_are_identical_across_worker_counts() {
+        // The one sampler with *mutable* per-worker scratch: pooled runs
+        // must reproduce the serial accept count exactly, which fails if
+        // scratch state leaks between blocks or depends on the executing
+        // slot. Needs ≥ 2 RNG blocks so the pooled run actually engages a
+        // second worker; a 1-node chain keeps the frontier walks cheap.
+        let (left, effect, right_state) = orthogonal_boundary(2);
+        let chain = SwapTestChain::new(2, left, effect);
+        let proof = cheating_proof(&chain, &right_state, ChainCheat::Interpolate);
+        let mixed: Vec<DensityMatrix> = proof
+            .iter()
+            .map(|(a, b)| DensityMatrix::from_pure(&a.tensor(b)))
+            .collect();
+        let sampler = chain.mixed_sampler(&mixed);
+        let n = 2 * trials::BLOCK_TRIALS;
+        let serial = trials::run_trials_with_workers(&sampler, n, 13, 1);
+        let pooled = trials::run_trials_with_workers(&sampler, n, 13, 4);
+        assert_eq!(pooled.workers, 2, "two blocks engage two slots");
+        assert_eq!(
+            (serial.trials, serial.accepts),
+            (pooled.trials, pooled.accepts),
+            "mixed-sampler accepts must not depend on worker count"
+        );
     }
 
     #[test]

@@ -119,11 +119,10 @@ impl EqPathProtocol {
     ///
     /// This convenience wrapper also prepares the round's instance data
     /// (Alice's fingerprint, Bob's effect, the cheating proof) on every call.
-    /// Monte-Carlo loops over a *fixed* instance should hoist that once —
-    /// build [`EqPathProtocol::chain`] plus
-    /// [`crate::chain::cheating_proof`] and call
-    /// [`SwapTestChain::simulate_round`] directly, which is `O(r·d)` per
-    /// round (what `bench_protocols` measures).
+    /// Monte-Carlo loops over a *fixed* instance should use
+    /// [`EqPathProtocol::sample_rounds`], which hoists all of that — plus
+    /// the per-node overlap arithmetic — into a one-time
+    /// [`crate::chain::ChainRoundPlan`] and runs the batched trial engine.
     pub fn simulate_round<R: rand::Rng + ?Sized>(
         &self,
         x: &BitString,
@@ -144,6 +143,53 @@ impl EqPathProtocol {
         let chain = self.chain(x, x);
         let proof = chain.honest_proof();
         chain.simulate_round(&proof, rng)
+    }
+
+    /// Batched Monte-Carlo rounds of a single repetition under a named
+    /// cheating strategy: the instance (Alice's fingerprint, Bob's effect,
+    /// the cheating proof) and the chain's round tables are prepared
+    /// **once**, then `n` sampled rounds run through the block engine of
+    /// [`crate::trials`] — `O(r)` table lookups per round, no per-round
+    /// state preparation, accept counts bit-identical at any worker count.
+    pub fn sample_rounds(
+        &self,
+        x: &BitString,
+        y: &BitString,
+        cheat: ChainCheat,
+        n: u64,
+        seed: u64,
+    ) -> crate::trials::TrialReport {
+        self.sample_rounds_with_workers(x, y, cheat, n, seed, crate::trials::default_workers())
+    }
+
+    /// As [`EqPathProtocol::sample_rounds`] with an explicit worker-slot
+    /// count (determinism tests, bench worker sweeps).
+    pub fn sample_rounds_with_workers(
+        &self,
+        x: &BitString,
+        y: &BitString,
+        cheat: ChainCheat,
+        n: u64,
+        seed: u64,
+        workers: usize,
+    ) -> crate::trials::TrialReport {
+        let chain = self.chain(x, y);
+        let right_state = self.protocol.alice_message(y);
+        let proof = cheating_proof(&chain, &right_state, cheat);
+        chain.sample_rounds_with_workers(&proof, n, seed, workers)
+    }
+
+    /// Batched honest rounds on a yes-instance; every round accepts (up to
+    /// floating-point error), so `accepts == trials` for a correct sampler.
+    pub fn sample_honest_rounds(
+        &self,
+        x: &BitString,
+        n: u64,
+        seed: u64,
+    ) -> crate::trials::TrialReport {
+        let chain = self.chain(x, x);
+        let proof = chain.honest_proof();
+        chain.sample_rounds(&proof, n, seed)
     }
 
     /// Exact soundness error of a single repetition against arbitrary

@@ -19,6 +19,9 @@ use qsim::PureState;
 
 use crate::chain::SwapTestChain;
 use crate::eq_path::scale_costs;
+use crate::trials::{self, BatchSampler, TrialReport};
+use rand::rngs::StdRng;
+use rand::Rng;
 
 /// The EQ protocol on a general network, running on the announced terminal
 /// tree.
@@ -296,6 +299,105 @@ impl EqTreeProtocol {
         true
     }
 
+    /// Compiles a fixed `(inputs, proof)` instance into a [`TreeRoundPlan`]
+    /// for batched round sampling.
+    ///
+    /// Conditioned on the symmetrisation coins, node `v`'s permutation test
+    /// involves only `v`'s own coin and the coins of its non-leaf children —
+    /// so the plan stores, per internal node, the relevant coin bit
+    /// positions and a `2^m` table of Gram-form acceptances over them
+    /// (`m ≤ 1 + fan-out`, tiny for the paper's trees). A sampled round is
+    /// one coin word, one table lookup per internal node and one accept
+    /// draw — no state cloning, no Gram matrices, no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/proof shape mismatches or more than 64 proof nodes
+    /// (the coin word).
+    pub fn round_plan(
+        &self,
+        inputs: &[BitString],
+        proof: &[(PureState, PureState)],
+    ) -> TreeRoundPlan {
+        let proof_nodes = self.proof_nodes();
+        assert_eq!(
+            inputs.len(),
+            self.tree.terminal_leaves().len(),
+            "one input per terminal required"
+        );
+        assert_eq!(
+            proof.len(),
+            proof_nodes.len(),
+            "one register pair per proof node required"
+        );
+        assert!(
+            proof_nodes.len() <= 64,
+            "too many proof nodes for the coin word"
+        );
+        let leaf_states = self.leaf_fingerprints(inputs);
+        let leaves = self.tree.terminal_leaves();
+        let proof_index = |idx: usize| {
+            proof_nodes
+                .iter()
+                .position(|&p| p == idx)
+                .expect("proof node")
+        };
+        let mut nodes = Vec::new();
+        for &v in &self.tree.post_order() {
+            if self.tree.children(v).is_empty() {
+                continue;
+            }
+            // The coins that influence node v's test: its own (which
+            // register it kept) and each non-leaf child's (which register
+            // that child forwarded).
+            let mut bits: Vec<u32> = vec![proof_index(v) as u32];
+            for &c in self.tree.children(v) {
+                if !leaves.contains(&c) {
+                    bits.push(proof_index(c) as u32);
+                }
+            }
+            let mut probs = vec![0.0f64; 1 << bits.len()];
+            let mut swapped = vec![false; proof_nodes.len()];
+            for (mask, slot) in probs.iter_mut().enumerate() {
+                for (i, &b) in bits.iter().enumerate() {
+                    swapped[b as usize] = (mask >> i) & 1 == 1;
+                }
+                let states = self.node_test_states(v, &leaf_states, proof, &proof_nodes, &swapped);
+                *slot = permutation_test_acceptance_gram(&states);
+            }
+            nodes.push(TreeNodePlan { bits, probs });
+        }
+        TreeRoundPlan { nodes }
+    }
+
+    /// Batched Monte-Carlo rounds on a fixed `(inputs, proof)` instance:
+    /// prepares the per-node acceptance tables once (see
+    /// [`EqTreeProtocol::round_plan`]) and runs `n` trials through the block
+    /// engine of [`crate::trials`] — accept counts bit-identical at any
+    /// worker count.
+    pub fn sample_rounds(
+        &self,
+        inputs: &[BitString],
+        proof: &[(PureState, PureState)],
+        n: u64,
+        seed: u64,
+    ) -> TrialReport {
+        trials::run_trials(&self.round_plan(inputs, proof), n, seed)
+    }
+
+    /// As [`EqTreeProtocol::sample_rounds`] with an explicit worker-slot
+    /// count.
+    pub fn sample_rounds_with_workers(
+        &self,
+        inputs: &[BitString],
+        proof: &[(PureState, PureState)],
+        n: u64,
+        seed: u64,
+        workers: usize,
+    ) -> TrialReport {
+        trials::run_trials_with_workers(&self.round_plan(inputs, proof), n, seed, workers)
+    }
+
     /// Completeness witness: acceptance of the honest proof when every terminal
     /// holds the same string.
     pub fn completeness(&self, common_input: &BitString) -> f64 {
@@ -343,6 +445,60 @@ impl EqTreeProtocol {
     /// This paper's local proof size bound `O(r²·log n)` (Theorem 19).
     pub fn paper_local_cost(n: usize, r: usize) -> f64 {
         (r * r) as f64 * (n as f64).log2().max(1.0)
+    }
+}
+
+/// A tree instance compiled for batched round sampling; built by
+/// [`EqTreeProtocol::round_plan`].
+#[derive(Clone, Debug)]
+pub struct TreeRoundPlan {
+    /// One entry per internal node, in post order.
+    nodes: Vec<TreeNodePlan>,
+}
+
+#[derive(Clone, Debug)]
+struct TreeNodePlan {
+    /// Coin-word bit positions that influence this node's test.
+    bits: Vec<u32>,
+    /// Gram-form acceptance per combination of those coins
+    /// (`probs[Σ_i c_{bits[i]} · 2^i]`).
+    probs: Vec<f64>,
+}
+
+impl TreeRoundPlan {
+    /// Draws one round's coins and returns the coin-conditional acceptance
+    /// `Π_v p_v(c)` over the internal nodes.
+    #[inline]
+    pub fn round_weight<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let coins = rng.random::<u64>();
+        let mut w = 1.0;
+        for node in &self.nodes {
+            let mut idx = 0usize;
+            for (i, &b) in node.bits.iter().enumerate() {
+                idx |= (((coins >> b) & 1) as usize) << i;
+            }
+            w *= node.probs[idx];
+        }
+        w
+    }
+
+    /// Samples one round: coins, conditional product, one accept draw —
+    /// identical in distribution to [`EqTreeProtocol::simulate_round`] on
+    /// the planned instance.
+    #[inline]
+    pub fn round<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        let w = self.round_weight(rng);
+        rng.random::<f64>() < w
+    }
+}
+
+impl BatchSampler for TreeRoundPlan {
+    type Scratch = ();
+
+    fn scratch(&self) {}
+
+    fn sample_block(&self, trials: u64, _scratch: &mut (), rng: &mut StdRng) -> u64 {
+        (0..trials).filter(|_| self.round(rng)).count() as u64
     }
 }
 
@@ -452,6 +608,33 @@ mod tests {
             assert!(proto.simulate_round(&honest_inputs, &proof, &mut rng));
             assert!(proto.simulate_round_via_density(&honest_inputs, &proof, &mut rng));
         }
+    }
+
+    #[test]
+    fn tree_round_plan_matches_exact_acceptance_and_is_worker_invariant() {
+        let (proto, terminals) = spider_protocol(3, 1, 4);
+        let x = BitString::from_u64(9, 4);
+        let y = BitString::from_u64(6, 4);
+        let mut inputs = vec![x.clone(); terminals.len()];
+        inputs[1] = y;
+        let proof = proto.uniform_proof(&x);
+        let exact = proto.acceptance_separable(&inputs, &proof);
+        let report = proto.sample_rounds(&inputs, &proof, 40_000, 17);
+        let eps = report.hoeffding_radius(1e-9);
+        assert!(
+            (report.acceptance_rate() - exact).abs() < eps,
+            "batched tree rate {} vs exact {exact}",
+            report.acceptance_rate()
+        );
+        let base = proto.sample_rounds_with_workers(&inputs, &proof, 20_000, 23, 1);
+        for workers in [2usize, 4] {
+            let r = proto.sample_rounds_with_workers(&inputs, &proof, 20_000, 23, workers);
+            assert_eq!(r.accepts, base.accepts, "worker count {workers}");
+        }
+        // Honest rounds: every trial accepts.
+        let honest_inputs = vec![x.clone(); terminals.len()];
+        let honest = proto.sample_rounds(&honest_inputs, &proof, 5000, 29);
+        assert_eq!(honest.accepts, honest.trials);
     }
 
     #[test]

@@ -30,7 +30,14 @@
 //! * [`lower_bounds`] — the paper's dQMA lower bounds (§8) as formulas plus
 //!   executable attacks;
 //! * [`costs`] — the closed-form bounds of Tables 1–3 used by the benchmark
-//!   harness.
+//!   harness;
+//! * [`trials`] — the batched zero-allocation Monte-Carlo trial engine: all
+//!   four protocol samplers grow `sample_rounds(n, seed)` batch variants
+//!   that prepare the instance once, dispatch fixed-size trial blocks over
+//!   the persistent [`qsim::pool`] workers with counter-derived per-block
+//!   RNG streams (accept counts bit-identical at any worker count), and
+//!   return a [`trials::TrialReport`] with Wilson/Hoeffding intervals and
+//!   rounds/sec.
 //!
 //! # Quickstart
 //!
@@ -68,6 +75,7 @@ pub mod gt;
 pub mod lower_bounds;
 pub mod ranking;
 pub mod relay;
+pub mod trials;
 
 pub use chain::{ChainCheat, SwapTestChain};
 pub use eq_path::EqPathProtocol;
@@ -77,3 +85,4 @@ pub use from_qmacc::QmaccPathProtocol;
 pub use gt::GtPathProtocol;
 pub use ranking::RankingProtocol;
 pub use relay::RelayEqProtocol;
+pub use trials::TrialReport;

@@ -11,10 +11,13 @@
 //! beating both the trivial classical `Θ(r·n)` (every node gets the whole
 //! string) and the classical lower bound `Ω(r·n)` of Section 4.2.
 
-use crate::chain::{cheating_proof, ChainCheat, SwapTestChain};
+use crate::chain::{cheating_proof, ChainCheat, ChainRoundPlan, SwapTestChain};
+use crate::trials::{self, BatchSampler, TrialReport};
 use commproto::bitstring::BitString;
 use commproto::fingerprint::FingerprintScheme;
 use netsim::{CostTracker, ProtocolCosts};
+use rand::rngs::StdRng;
+use rand::Rng;
 
 /// The relay-point EQ protocol on a path of length `r` with `n`-bit inputs.
 #[derive(Clone, Debug)]
@@ -81,6 +84,65 @@ impl RelayEqProtocol {
         b
     }
 
+    /// The path's segments as `(left string, right string, length)` triples:
+    /// the extremities hold `x` and `y`, relay points their announced
+    /// strings. The single source of the boundary-resolution logic shared by
+    /// the exact, sequential and batched evaluators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relay_strings` does not have one entry per relay point.
+    fn segments<'a>(
+        &self,
+        x: &'a BitString,
+        y: &'a BitString,
+        relay_strings: &'a [BitString],
+    ) -> Vec<(&'a BitString, &'a BitString, usize)> {
+        let relays = self.relay_points();
+        assert_eq!(
+            relay_strings.len(),
+            relays.len(),
+            "one classical string per relay point required"
+        );
+        // The string held at each boundary node.
+        let string_at = move |b: usize| -> &'a BitString {
+            if b == 0 {
+                x
+            } else if b == self.r {
+                y
+            } else {
+                let idx = relays.iter().position(|&p| p == b).expect("relay boundary");
+                &relay_strings[idx]
+            }
+        };
+        self.segment_boundaries()
+            .windows(2)
+            .map(|w| (string_at(w[0]), string_at(w[1]), w[1] - w[0]))
+            .collect()
+    }
+
+    /// The fingerprint chain of one segment, plus the proof the prover plays
+    /// on it: honest when the endpoint strings agree, `cheat` otherwise.
+    fn segment_chain(
+        &self,
+        left: &BitString,
+        right: &BitString,
+        seg_len: usize,
+        cheat: ChainCheat,
+    ) -> (SwapTestChain, crate::chain::SeparableChainProof) {
+        let chain = SwapTestChain::new(
+            seg_len,
+            self.scheme.fingerprint(left),
+            self.scheme.accept_effect(right),
+        );
+        let proof = if left == right {
+            chain.honest_proof()
+        } else {
+            cheating_proof(&chain, &self.scheme.fingerprint(right), cheat)
+        };
+        (chain, proof)
+    }
+
     /// Exact acceptance probability when the prover writes `relay_strings`
     /// (one `n`-bit string per relay point) into the relay registers and plays
     /// `cheat` on every segment whose endpoint strings differ.
@@ -94,38 +156,13 @@ impl RelayEqProtocol {
         relay_strings: &[BitString],
         cheat: ChainCheat,
     ) -> f64 {
-        let relays = self.relay_points();
-        assert_eq!(
-            relay_strings.len(),
-            relays.len(),
-            "one classical string per relay point required"
-        );
-        let boundaries = self.segment_boundaries();
-        // The string held at each boundary node.
-        let string_at = |b: usize| -> &BitString {
-            if b == 0 {
-                x
-            } else if b == self.r {
-                y
-            } else {
-                let idx = relays.iter().position(|&p| p == b).expect("relay boundary");
-                &relay_strings[idx]
-            }
-        };
         let mut prob = 1.0;
-        for w in boundaries.windows(2) {
-            let (left, right) = (string_at(w[0]), string_at(w[1]));
-            let seg_len = w[1] - w[0];
+        for (left, right, seg_len) in self.segments(x, y, relay_strings) {
             if left == right {
                 continue; // segment accepts with certainty
             }
-            let chain = SwapTestChain::new(
-                seg_len,
-                self.scheme.fingerprint(left),
-                self.scheme.accept_effect(right),
-            );
-            let right_state = self.scheme.fingerprint(right);
-            let single = chain.acceptance_separable(&cheating_proof(&chain, &right_state, cheat));
+            let (chain, proof) = self.segment_chain(left, right, seg_len, cheat);
+            let single = chain.acceptance_separable(&proof);
             prob *= SwapTestChain::repeated_soundness(single, self.segment_repetitions);
             if prob < 1e-300 {
                 return 0.0;
@@ -170,9 +207,9 @@ impl RelayEqProtocol {
     /// segment. As in the protocol, every sampled round re-prepares each
     /// segment's boundary states (fingerprints, Bob's effect) and proof, so
     /// the per-round cost is dominated by that preparation; Monte-Carlo
-    /// loops over a fixed instance can hoist the per-segment
-    /// `(SwapTestChain, proof)` pairs and drive
-    /// [`SwapTestChain::simulate_round`] directly for `O(r·d)` rounds.
+    /// loops over a fixed instance should use
+    /// [`RelayEqProtocol::sample_rounds`], which compiles every segment into
+    /// a [`ChainRoundPlan`] once and runs the batched trial engine.
     pub fn simulate_round<R: rand::Rng + ?Sized>(
         &self,
         x: &BitString,
@@ -181,41 +218,76 @@ impl RelayEqProtocol {
         cheat: ChainCheat,
         rng: &mut R,
     ) -> bool {
-        let relays = self.relay_points();
-        assert_eq!(
-            relay_strings.len(),
-            relays.len(),
-            "one classical string per relay point required"
-        );
-        let boundaries = self.segment_boundaries();
-        let string_at = |b: usize| -> &BitString {
-            if b == 0 {
-                x
-            } else if b == self.r {
-                y
-            } else {
-                let idx = relays.iter().position(|&p| p == b).expect("relay boundary");
-                &relay_strings[idx]
-            }
-        };
-        for w in boundaries.windows(2) {
-            let (left, right) = (string_at(w[0]), string_at(w[1]));
-            let seg_len = w[1] - w[0];
-            let chain = SwapTestChain::new(
-                seg_len,
-                self.scheme.fingerprint(left),
-                self.scheme.accept_effect(right),
-            );
-            let proof = if left == right {
-                chain.honest_proof()
-            } else {
-                cheating_proof(&chain, &self.scheme.fingerprint(right), cheat)
-            };
+        for (left, right, seg_len) in self.segments(x, y, relay_strings) {
+            let (chain, proof) = self.segment_chain(left, right, seg_len, cheat);
             if !chain.simulate_round(&proof, rng) {
                 return false;
             }
         }
         true
+    }
+
+    /// Compiles a fixed relay instance into a [`RelayRoundPlan`]: one
+    /// [`ChainRoundPlan`] per segment (fingerprints, Bob's effects and
+    /// proofs prepared once — the dominant cost of
+    /// [`RelayEqProtocol::simulate_round`] — instead of per round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relay_strings` does not have one entry per relay point.
+    pub fn round_plan(
+        &self,
+        x: &BitString,
+        y: &BitString,
+        relay_strings: &[BitString],
+        cheat: ChainCheat,
+    ) -> RelayRoundPlan {
+        let segments = self
+            .segments(x, y, relay_strings)
+            .into_iter()
+            .map(|(left, right, seg_len)| {
+                let (chain, proof) = self.segment_chain(left, right, seg_len, cheat);
+                chain.round_plan(&proof)
+            })
+            .collect();
+        RelayRoundPlan { segments }
+    }
+
+    /// Batched Monte-Carlo rounds (one repetition of every segment per
+    /// round) on a fixed relay instance: segments are compiled once, then
+    /// `n` trials run through the block engine of [`crate::trials`] —
+    /// accept counts bit-identical at any worker count.
+    pub fn sample_rounds(
+        &self,
+        x: &BitString,
+        y: &BitString,
+        relay_strings: &[BitString],
+        cheat: ChainCheat,
+        n: u64,
+        seed: u64,
+    ) -> TrialReport {
+        trials::run_trials(&self.round_plan(x, y, relay_strings, cheat), n, seed)
+    }
+
+    /// As [`RelayEqProtocol::sample_rounds`] with an explicit worker-slot
+    /// count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_rounds_with_workers(
+        &self,
+        x: &BitString,
+        y: &BitString,
+        relay_strings: &[BitString],
+        cheat: ChainCheat,
+        n: u64,
+        seed: u64,
+        workers: usize,
+    ) -> TrialReport {
+        trials::run_trials_with_workers(
+            &self.round_plan(x, y, relay_strings, cheat),
+            n,
+            seed,
+            workers,
+        )
     }
 
     /// Cost summary (Theorem 22): relay points receive `n` qubits, other
@@ -256,6 +328,44 @@ impl RelayEqProtocol {
     /// the whole `n`-bit string, `Θ(r·n)` bits.
     pub fn trivial_classical_total(n: usize, r: usize) -> f64 {
         ((r + 1) * n) as f64
+    }
+}
+
+/// A relay instance compiled for batched round sampling; built by
+/// [`RelayEqProtocol::round_plan`]. A sampled round draws each segment's
+/// symmetrisation coins, multiplies the segments' coin-conditional
+/// acceptances, and draws a single accept Bernoulli against the product —
+/// identical in distribution to running every segment's per-node walk (the
+/// segments are independent conditioned on their own coins).
+#[derive(Clone, Debug)]
+pub struct RelayRoundPlan {
+    segments: Vec<ChainRoundPlan>,
+}
+
+impl RelayRoundPlan {
+    /// Number of segments (one chain per consecutive boundary pair).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Samples one round of every segment.
+    #[inline]
+    pub fn round<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        let mut w = 1.0;
+        for seg in &self.segments {
+            w *= seg.round_weight(rng);
+        }
+        rng.random::<f64>() < w
+    }
+}
+
+impl BatchSampler for RelayRoundPlan {
+    type Scratch = ();
+
+    fn scratch(&self) {}
+
+    fn sample_block(&self, trials: u64, _scratch: &mut (), rng: &mut StdRng) -> u64 {
+        (0..trials).filter(|_| self.round(rng)).count() as u64
     }
 }
 
@@ -308,6 +418,62 @@ mod tests {
             .filter(|_| !proto.simulate_round(&x, &y, &honest, ChainCheat::Interpolate, &mut rng))
             .count();
         assert!(rejects > 0, "no-instance must be rejected sometimes");
+    }
+
+    #[test]
+    fn relay_round_plan_matches_the_sequential_sampler_statistics() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let proto = RelayEqProtocol::with_spacing(4, 6, 2, 3);
+        let x = BitString::from_u64(11, 4);
+        let y = BitString::from_u64(4, 4);
+        let honest = vec![x.clone(); proto.relay_points().len()];
+        // Yes-instance: every batched trial accepts.
+        let yes = proto.sample_rounds(&x, &x, &honest, ChainCheat::AllLeft, 5000, 31);
+        assert_eq!(yes.accepts, yes.trials);
+        // No-instance: the batched rate agrees with the sequential sampler
+        // within the combined Hoeffding margins.
+        let trials = 20_000u64;
+        let report = proto.sample_rounds(&x, &y, &honest, ChainCheat::Interpolate, trials, 37);
+        let mut rng = StdRng::seed_from_u64(41);
+        let seq = (0..trials)
+            .filter(|_| proto.simulate_round(&x, &y, &honest, ChainCheat::Interpolate, &mut rng))
+            .count() as f64
+            / trials as f64;
+        let eps = 2.0 * report.hoeffding_radius(1e-9);
+        assert!(
+            (report.acceptance_rate() - seq).abs() < eps,
+            "batched {} vs sequential {seq}",
+            report.acceptance_rate()
+        );
+        assert_eq!(report.trials, trials);
+        // Worker invariance.
+        let base = proto.sample_rounds_with_workers(
+            &x,
+            &y,
+            &honest,
+            ChainCheat::Interpolate,
+            trials,
+            37,
+            1,
+        );
+        let pooled = proto.sample_rounds_with_workers(
+            &x,
+            &y,
+            &honest,
+            ChainCheat::Interpolate,
+            trials,
+            37,
+            4,
+        );
+        assert_eq!(base.accepts, report.accepts);
+        assert_eq!(pooled.accepts, report.accepts);
+        assert_eq!(
+            proto
+                .round_plan(&x, &y, &honest, ChainCheat::Interpolate)
+                .num_segments(),
+            proto.segment_boundaries().len() - 1
+        );
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Batched, zero-allocation Monte-Carlo trial engine for the sampled
+//! protocol rounds.
+//!
+//! The paper's guarantees (completeness ≈ 1 on yes-instances, rejection
+//! ≥ `4/(81 r²)` per round on no-instances) are only *observable* through
+//! many sampled rounds, yet until this module every consumer of
+//! `simulate_round` ran trials serially, one round at a time, re-preparing
+//! proof states and reallocating scratch per round. Here the per-instance
+//! preparation is hoisted into a *round plan* (see
+//! [`crate::chain::ChainRoundPlan`] and friends), and a shared driver splits
+//! the trials into fixed-size blocks dispatched over the persistent
+//! [`qsim::pool`] workers.
+//!
+//! # Determinism across worker counts
+//!
+//! Every block of [`BLOCK_TRIALS`] trials owns a dedicated RNG stream
+//! derived *from the block index alone* (a SplitMix64-style counter stream:
+//! `StdRng::seed_from_u64(seed ⊕ (block+1)·φ)` with φ the 64-bit golden
+//! ratio). Blocks are claimed dynamically by workers, but a block's accept
+//! count depends only on `(seed, block index, plan)`, and the total is a
+//! commutative sum — so the [`TrialReport`] accept count is **bit-identical
+//! at any worker count** (1, 2, 4, 8, …), which the integration suite pins.
+//!
+//! # Scratch reuse
+//!
+//! A [`BatchSampler`] declares a `Scratch` type built once per worker slot
+//! and reused across every block (and every trial) that worker processes —
+//! per-worker arenas via [`qsim::pool::SlotScratch`]. The pure-state plans
+//! need none (their tables make a round a handful of lookups); the
+//! mixed-proof chain sampler reuses its density-matrix frontier buffers
+//! across all trials instead of reallocating three matrices per node per
+//! round.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Trials per RNG-stream block. Fixed — it is part of the determinism
+/// contract: changing it changes which trial consumes which random draw, so
+/// accept counts would differ (across versions, never across worker counts).
+pub const BLOCK_TRIALS: u64 = 8192;
+
+/// 64-bit golden-ratio increment (the SplitMix64 stream constant); spaces
+/// the per-block seeds so `SeedableRng::seed_from_u64`'s SplitMix64
+/// expansion yields decorrelated streams.
+const STREAM_PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The dedicated RNG stream of block `block` under master seed `seed`.
+pub fn stream_rng(seed: u64, block: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ block.wrapping_add(1).wrapping_mul(STREAM_PHI))
+}
+
+/// A prepared sampler that can run a block of protocol rounds.
+///
+/// Implementations must make a block's accept count a pure function of
+/// `(self, trials, rng stream)` — independent of the worker slot — to
+/// preserve the engine's determinism guarantee.
+pub trait BatchSampler: Sync {
+    /// Per-worker scratch, built once per slot and reused across blocks.
+    type Scratch: Send;
+
+    /// Builds one scratch arena.
+    fn scratch(&self) -> Self::Scratch;
+
+    /// Runs `trials` rounds drawing from `rng`, returning the accept count.
+    fn sample_block(&self, trials: u64, scratch: &mut Self::Scratch, rng: &mut StdRng) -> u64;
+}
+
+/// The outcome of a batched trial run.
+#[derive(Clone, Debug)]
+pub struct TrialReport {
+    /// Number of sampled rounds.
+    pub trials: u64,
+    /// Number of accepting rounds.
+    pub accepts: u64,
+    /// Worker slots the run was dispatched over — the *effective* width:
+    /// the requested worker count clamped to the number of RNG blocks
+    /// (`⌈trials / BLOCK_TRIALS⌉`), since a block is the dispatch unit.
+    pub workers: usize,
+    /// Wall-clock duration of the batch.
+    pub elapsed: Duration,
+}
+
+impl TrialReport {
+    /// Empirical acceptance rate `accepts / trials` (0 when empty).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.accepts as f64 / self.trials as f64
+        }
+    }
+
+    /// Empirical rejection rate `1 − acceptance`.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            1.0 - self.acceptance_rate()
+        }
+    }
+
+    /// Wilson score interval for the true acceptance probability at normal
+    /// quantile `z` (e.g. `z = 1.96` for 95%): the standard binomial
+    /// interval that stays inside `[0, 1]` and behaves at the boundary
+    /// rates the protocols actually produce (completeness ≈ 1).
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        let n = self.trials as f64;
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let p = self.acceptance_rate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = p + z2 / (2.0 * n);
+        let spread = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        (
+            ((centre - spread) / denom).clamp(0.0, 1.0),
+            ((centre + spread) / denom).clamp(0.0, 1.0),
+        )
+    }
+
+    /// Two-sided Hoeffding deviation ε such that
+    /// `Pr[|p̂ − p| ≥ ε] ≤ delta` for a correct Bernoulli sampler:
+    /// `ε = sqrt(ln(2/δ) / (2n))` — the margin the statistical test suite
+    /// asserts against.
+    pub fn hoeffding_radius(&self, delta: f64) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        (f64::ln(2.0 / delta) / (2.0 * self.trials as f64)).sqrt()
+    }
+
+    /// Nanoseconds of wall clock per sampled round.
+    pub fn ns_per_round(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.elapsed.as_nanos() as f64 / self.trials as f64
+        }
+    }
+
+    /// Sampled rounds per second of wall clock.
+    pub fn rounds_per_sec(&self) -> f64 {
+        let ns = self.ns_per_round();
+        if ns == 0.0 {
+            0.0
+        } else {
+            1e9 / ns
+        }
+    }
+}
+
+/// Default dispatch width: the pool's worker policy when the `parallel`
+/// feature is enabled, serial otherwise. Explicit widths are always
+/// available through [`run_trials_with_workers`].
+pub fn default_workers() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        qsim::pool::worker_count()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Runs `n` trials of `sampler` under master seed `seed` at the default
+/// width. See [`run_trials_with_workers`].
+pub fn run_trials<S: BatchSampler>(sampler: &S, n: u64, seed: u64) -> TrialReport {
+    run_trials_with_workers(sampler, n, seed, default_workers())
+}
+
+/// Runs `n` trials of `sampler` under master seed `seed`, dispatched over at
+/// most `workers` pool slots. The accept count is identical for every
+/// `workers` value (see the module docs); only the wall clock changes.
+pub fn run_trials_with_workers<S: BatchSampler>(
+    sampler: &S,
+    n: u64,
+    seed: u64,
+    workers: usize,
+) -> TrialReport {
+    let start = Instant::now();
+    let nblocks = n.div_ceil(BLOCK_TRIALS);
+    let block_len = |b: u64| -> u64 {
+        if b + 1 == nblocks && !n.is_multiple_of(BLOCK_TRIALS) {
+            n % BLOCK_TRIALS
+        } else {
+            BLOCK_TRIALS
+        }
+    };
+    // Effective width: a block is the dispatch unit, so more workers than
+    // blocks cannot engage (the report records the width actually used).
+    let workers = workers.max(1).min((nblocks as usize).max(1));
+    let accepts = if workers == 1 || nblocks <= 1 {
+        let mut scratch = sampler.scratch();
+        (0..nblocks)
+            .map(|b| sampler.sample_block(block_len(b), &mut scratch, &mut stream_rng(seed, b)))
+            .sum()
+    } else {
+        let total = AtomicU64::new(0);
+        let scratch = qsim::pool::SlotScratch::new(workers, || sampler.scratch());
+        qsim::pool::global().dispatch(workers, nblocks as usize, &|slot, chunk| {
+            let b = chunk as u64;
+            // Safety: `slot` is the pool-provided slot id of this job.
+            let s = unsafe { scratch.get(slot) };
+            let a = sampler.sample_block(block_len(b), s, &mut stream_rng(seed, b));
+            total.fetch_add(a, Ordering::Relaxed);
+        });
+        total.into_inner()
+    };
+    TrialReport {
+        trials: n,
+        accepts,
+        workers,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A Bernoulli(p) sampler whose scratch counts the blocks it served —
+    /// enough to pin the engine's plumbing without any protocol machinery.
+    struct Coin {
+        p: f64,
+    }
+
+    impl BatchSampler for Coin {
+        type Scratch = u64;
+        fn scratch(&self) -> u64 {
+            0
+        }
+        fn sample_block(&self, trials: u64, scratch: &mut u64, rng: &mut StdRng) -> u64 {
+            *scratch += 1;
+            (0..trials).filter(|_| rng.random::<f64>() < self.p).count() as u64
+        }
+    }
+
+    #[test]
+    fn accept_counts_are_identical_across_worker_counts() {
+        let coin = Coin { p: 0.37 };
+        let n = 3 * BLOCK_TRIALS + 1234;
+        let base = run_trials_with_workers(&coin, n, 99, 1);
+        for workers in [2usize, 4, 8] {
+            let r = run_trials_with_workers(&coin, n, 99, workers);
+            assert_eq!(
+                r.accepts, base.accepts,
+                "accept count must not depend on worker count ({workers})"
+            );
+            assert_eq!(r.trials, n);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let coin = Coin { p: 0.5 };
+        let a = run_trials(&coin, 2 * BLOCK_TRIALS, 1);
+        let b = run_trials(&coin, 2 * BLOCK_TRIALS, 2);
+        assert_ne!(a.accepts, b.accepts, "distinct seeds should diverge");
+    }
+
+    #[test]
+    fn rate_tracks_the_true_probability() {
+        let coin = Coin { p: 0.25 };
+        let r = run_trials(&coin, 100_000, 7);
+        let eps = r.hoeffding_radius(1e-9);
+        assert!(
+            (r.acceptance_rate() - 0.25).abs() < eps,
+            "rate {} vs 0.25 (margin {eps})",
+            r.acceptance_rate()
+        );
+        let (lo, hi) = r.wilson_interval(5.0);
+        assert!(lo <= 0.25 && 0.25 <= hi, "wilson ({lo}, {hi}) misses 0.25");
+    }
+
+    #[test]
+    fn partial_last_block_and_empty_runs_are_handled() {
+        let coin = Coin { p: 1.0 };
+        let r = run_trials(&coin, BLOCK_TRIALS + 17, 3);
+        assert_eq!(r.accepts, BLOCK_TRIALS + 17);
+        let zero = run_trials(&coin, 0, 3);
+        assert_eq!(zero.trials, 0);
+        assert_eq!(zero.accepts, 0);
+        assert_eq!(zero.acceptance_rate(), 0.0);
+        let small = run_trials(&coin, 5, 3);
+        assert_eq!(small.accepts, 5);
+    }
+
+    #[test]
+    fn wilson_interval_stays_in_bounds_at_the_boundary() {
+        let always = run_trials(&Coin { p: 1.0 }, 1000, 11);
+        let (lo, hi) = always.wilson_interval(1.96);
+        assert!(hi <= 1.0 && lo > 0.9, "interval ({lo}, {hi})");
+        let never = run_trials(&Coin { p: 0.0 }, 1000, 11);
+        let (lo, hi) = never.wilson_interval(1.96);
+        assert!(lo >= 0.0 && hi < 0.1, "interval ({lo}, {hi})");
+    }
+}

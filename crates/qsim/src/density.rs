@@ -178,6 +178,41 @@ impl DensityMatrix {
         }
     }
 
+    /// Tensor product written into an existing buffer: `out ← self ⊗ other`,
+    /// reusing `out`'s allocation. This is the per-trial frontier assembly of
+    /// the batched mixed-proof samplers, which would otherwise allocate a
+    /// fresh `D² × D²` matrix every round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out`'s total dimension differs from the product of the
+    /// operands' dimensions.
+    pub fn tensor_into(&self, other: &DensityMatrix, out: &mut DensityMatrix) {
+        let (d1, d2) = (self.dim(), other.dim());
+        assert_eq!(out.dim(), d1 * d2, "tensor_into output dimension mismatch");
+        out.dims.clear();
+        out.dims.extend_from_slice(&self.dims);
+        out.dims.extend_from_slice(&other.dims);
+        let a = self.mat.split();
+        let b = other.mat.split();
+        let o = out.mat.split_mut();
+        let d = d1 * d2;
+        for i1 in 0..d1 {
+            for j1 in 0..d1 {
+                let (ar, ai) = (a.re[i1 * d1 + j1], a.im[i1 * d1 + j1]);
+                for i2 in 0..d2 {
+                    let row = (i1 * d2 + i2) * d + j1 * d2;
+                    let brow = i2 * d2;
+                    for j2 in 0..d2 {
+                        let (br, bi) = (b.re[brow + j2], b.im[brow + j2]);
+                        o.re[row + j2] = ar * br - ai * bi;
+                        o.im[row + j2] = ar * bi + ai * br;
+                    }
+                }
+            }
+        }
+    }
+
     /// Tensor product of many density matrices.
     ///
     /// # Panics
@@ -215,47 +250,61 @@ impl DensityMatrix {
     ///
     /// Panics if `keep` contains repeated or out-of-range subsystems.
     pub fn partial_trace_keep(&self, keep: &[usize]) -> DensityMatrix {
-        for (i, &k) in keep.iter().enumerate() {
-            assert!(k < self.dims.len(), "subsystem {k} out of range");
-            assert!(!keep[(i + 1)..].contains(&k), "duplicate subsystem {k}");
-        }
-        let keep_dims: Vec<usize> = keep.iter().map(|&k| self.dims[k]).collect();
-        let others: Vec<usize> = (0..self.dims.len()).filter(|i| !keep.contains(i)).collect();
-        let other_dims: Vec<usize> = others.iter().map(|&i| self.dims[i]).collect();
-
+        let keep_dims: Vec<usize> = keep
+            .iter()
+            .map(|&k| {
+                assert!(k < self.dims.len(), "subsystem {k} out of range");
+                self.dims[k]
+            })
+            .collect();
         let kd = total_dim(&keep_dims);
-        let od = total_dim(&other_dims);
-        let mut out = CMatrix::zeros(kd, kd);
-
-        let mut row_multi = vec![0usize; self.dims.len()];
-        let mut col_multi = vec![0usize; self.dims.len()];
-        for kr in 0..kd {
-            let kr_multi = unflatten_index(&keep_dims, kr);
-            for kc in 0..kd {
-                let kc_multi = unflatten_index(&keep_dims, kc);
-                let mut acc = Complex::ZERO;
-                for o in 0..od {
-                    let o_multi = unflatten_index(&other_dims, o);
-                    for (pos, &s) in keep.iter().enumerate() {
-                        row_multi[s] = kr_multi[pos];
-                        col_multi[s] = kc_multi[pos];
-                    }
-                    for (pos, &s) in others.iter().enumerate() {
-                        row_multi[s] = o_multi[pos];
-                        col_multi[s] = o_multi[pos];
-                    }
-                    acc += self.mat.at(
-                        flat_index(&self.dims, &row_multi),
-                        flat_index(&self.dims, &col_multi),
-                    );
-                }
-                out.set(kr, kc, acc);
-            }
-        }
-        DensityMatrix {
+        let mut out = DensityMatrix {
             dims: keep_dims,
-            mat: out,
-        }
+            mat: CMatrix::zeros(kd, kd),
+        };
+        self.partial_trace_keep_into(keep, &mut out);
+        out
+    }
+
+    /// Partial trace written into an existing buffer: `out ← tr_others(ρ)`,
+    /// keeping the listed subsystems in the listed order and reusing `out`'s
+    /// allocation. Stride-based (`O(kd² · od)` with no per-element
+    /// multi-index allocation) — the per-trial frontier contraction of the
+    /// batched mixed-proof samplers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` contains repeated or out-of-range subsystems, or if
+    /// `out`'s total dimension differs from the product of the kept
+    /// dimensions.
+    pub fn partial_trace_keep_into(&self, keep: &[usize], out: &mut DensityMatrix) {
+        // `layout` validates distinctness/range with the standard messages.
+        let lay = kernels::layout(&self.dims, keep);
+        let kd = lay.block;
+        assert_eq!(
+            out.dim(),
+            kd,
+            "partial_trace_keep_into output dimension mismatch"
+        );
+        out.dims.clear();
+        out.dims.extend(keep.iter().map(|&k| self.dims[k]));
+        let d = self.dim();
+        let (mre, mim) = (self.mat.re(), self.mat.im());
+        let o = out.mat.split_mut();
+        o.re.fill(0.0);
+        o.im.fill(0.0);
+        let offsets = &lay.offsets;
+        lay.for_each_base(|base| {
+            for (kr, &offr) in offsets.iter().enumerate() {
+                let row = (offr + base) * d + base;
+                let orow = kr * kd;
+                for (kc, &offc) in offsets.iter().enumerate() {
+                    let idx = row + offc;
+                    o.re[orow + kc] += mre[idx];
+                    o.im[orow + kc] += mim[idx];
+                }
+            }
+        });
     }
 
     /// Partial trace discarding the listed subsystems; the kept subsystems stay
@@ -309,6 +358,39 @@ impl DensityMatrix {
     /// selective measurement update).
     pub fn rescale(&mut self, factor: f64) {
         self.mat.scale_real_in_place(factor);
+    }
+
+    /// Applies the two-register symmetrisation channel
+    /// `ρ → ½ρ + ½ SρS†` (the nodes' swap-with-probability-½ step, the
+    /// paper's simplification of FGNP21) to registers `r1` and `r2`,
+    /// reusing `tmp` as the conjugation scratch — fully allocation-free.
+    ///
+    /// `swap` must be the `d² × d²` SWAP operator of the registers'
+    /// dimension (e.g. [`crate::gates::swap`] or the memoised
+    /// [`crate::naive::cached_swap`]); callers in batch loops resolve it
+    /// once instead of paying a memo lookup per call. SWAP is monomial, so
+    /// the conjugation runs through the `O(D²)` scatter fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registers have different dimensions, or if `swap` or
+    /// `tmp` have the wrong shape.
+    pub fn symmetrize_pair_with(
+        &mut self,
+        r1: usize,
+        r2: usize,
+        swap: &CMatrix,
+        tmp: &mut CMatrix,
+    ) {
+        let d = self.dims[r1];
+        assert_eq!(
+            d, self.dims[r2],
+            "symmetrisation registers must have equal dimension"
+        );
+        assert_eq!(swap.rows(), d * d, "SWAP operator dimension mismatch");
+        tmp.copy_from(&self.mat);
+        kernels::conjugate_matrix(tmp, &self.dims, &[r1, r2], swap);
+        self.mat.mix_in_place(0.5, 0.5, tmp);
     }
 
     /// Applies a quantum channel given by Kraus operators acting on the listed

@@ -30,8 +30,12 @@
 //! Single-qubit (block = 2) dense operators use an unrolled 2×2 path.
 //!
 //! With the `parallel` crate feature the outer odometer loop of the two large
-//! kernels is split across `std::thread::scope` threads (rayon cannot be
-//! vendored in this offline build environment).
+//! kernels is split across the persistent worker threads of [`crate::pool`]
+//! (rayon cannot be vendored in this offline build environment). The pool's
+//! parked threads replace the per-call `std::thread::scope` spawn this module
+//! used through PR 3, so the dispatch cost is a park/unpark handshake instead
+//! of thread creation — which is what lets the threshold below stay at the
+//! same value while the break-even shape shrinks.
 
 use crate::complex::Complex;
 use crate::linalg::split::{Split, SplitMut};
@@ -554,12 +558,15 @@ fn dense_block(
 #[cfg(feature = "parallel")]
 mod par {
     /// Raw plane pointers that may cross thread boundaries. Safety rests on
-    /// the caller handing each thread a disjoint set of indices. The pointers
-    /// are only reachable through [`SendPlanes::re`]/[`SendPlanes::im`], so
-    /// edition-2021 disjoint closure capture grabs the (Send) wrapper, not
-    /// the raw fields.
+    /// the caller handing each pool job a disjoint set of indices. The
+    /// pointers are only reachable through [`SendPlanes::re`]/
+    /// [`SendPlanes::im`], so edition-2021 disjoint closure capture grabs the
+    /// (Send + Sync) wrapper, not the raw fields.
     pub(super) struct SendPlanes(*mut f64, *mut f64);
     unsafe impl Send for SendPlanes {}
+    // Safety: shared by reference into pool jobs whose chunks write disjoint
+    // flat indices of both planes (see the dispatch sites for the argument).
+    unsafe impl Sync for SendPlanes {}
     impl SendPlanes {
         pub(super) fn new(re: *mut f64, im: *mut f64) -> Self {
             SendPlanes(re, im)
@@ -571,41 +578,31 @@ mod par {
             self.1
         }
     }
-    impl Clone for SendPlanes {
-        fn clone(&self) -> Self {
-            SendPlanes(self.0, self.1)
-        }
-    }
 }
 
-/// Worker count for the `parallel` feature: `QSIM_PARALLEL_THREADS` when set
-/// (a testability/tuning override — results are identical for any value
-/// because threads write disjoint index sets), otherwise the host parallelism.
+/// Worker count for the `parallel` feature — delegates to
+/// [`crate::pool::worker_count`] (the `QSIM_PARALLEL_THREADS`-or-host
+/// policy, read once and memoised; results are identical for any value
+/// because pool jobs write disjoint index sets).
 ///
 /// Public so benchmark harnesses can label their reports with the exact
 /// worker count the kernels will use, rather than re-deriving the policy.
 #[cfg(feature = "parallel")]
 pub fn parallel_threads() -> usize {
-    std::env::var("QSIM_PARALLEL_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    crate::pool::worker_count()
 }
 
-/// Parallel dense path: splits the non-target odometer across threads.
-/// Returns `false` when only one thread is available (caller falls back).
-/// The per-base body is a raw-pointer twin of [`dense_block`] — keep the two
-/// in sync when changing either.
+/// Parallel dense path: splits the non-target odometer across the persistent
+/// pool workers ([`crate::pool`]) in chunked index ranges — no per-call
+/// thread spawn. Returns `false` when only one worker is available (caller
+/// falls back). The per-base body is a raw-pointer twin of [`dense_block`] —
+/// keep the two in sync when changing either.
 ///
 /// Safety: the flat indices `base + offset` visited by distinct non-target
 /// bases are disjoint (the target offsets and the non-target bases decompose
-/// every flat index uniquely), so threads write disjoint elements of both
-/// planes.
+/// every flat index uniquely), chunks partition the base range, and gather
+/// scratch is per worker slot — so concurrent jobs write disjoint elements
+/// of both planes.
 #[cfg(feature = "parallel")]
 fn apply_vec_dense_parallel(
     re: &mut [f64],
@@ -622,58 +619,55 @@ fn apply_vec_dense_parallel(
     let (ure, uim) = (op.re(), op.im());
     let planes = par::SendPlanes::new(re.as_mut_ptr(), im.as_mut_ptr());
     let chunk = lay.other_total.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(lay.other_total);
-            if lo >= hi {
-                break;
+    let nchunks = lay.other_total.div_ceil(chunk);
+    let scratch = crate::pool::SlotScratch::new(threads, Scratch::default);
+    let offsets = &lay.offsets;
+    let (other_dims, other_strides) = (&lay.other_dims, &lay.other_strides);
+    let other_total = lay.other_total;
+    crate::pool::global().dispatch(threads, nchunks, &|slot, c| {
+        let lo = c * chunk;
+        let hi = ((c + 1) * chunk).min(other_total);
+        // Safety: `slot` is the pool-provided slot id of this job.
+        let s = unsafe { scratch.get(slot) };
+        s.resize(block);
+        let (sre, sim) = (&mut s.re[..block], &mut s.im[..block]);
+        let (pre, pim) = (planes.re(), planes.im());
+        for_each_base_range(other_dims, other_strides, lo, hi, |base| {
+            for (b, &off) in offsets.iter().enumerate() {
+                sre[b] = unsafe { *pre.add(base + off) };
+                sim[b] = unsafe { *pim.add(base + off) };
             }
-            let planes = planes.clone();
-            let offsets = &lay.offsets;
-            let (other_dims, other_strides) = (&lay.other_dims, &lay.other_strides);
-            scope.spawn(move || {
-                let (pre, pim) = (planes.re(), planes.im());
-                let mut sre = vec![0.0f64; block];
-                let mut sim = vec![0.0f64; block];
-                for_each_base_range(other_dims, other_strides, lo, hi, |base| {
-                    for (b, &off) in offsets.iter().enumerate() {
-                        sre[b] = unsafe { *pre.add(base + off) };
-                        sim[b] = unsafe { *pim.add(base + off) };
+            if transposed {
+                for (j, &off) in offsets.iter().enumerate() {
+                    let mut acc_re = 0.0;
+                    let mut acc_im = 0.0;
+                    for r in 0..block {
+                        let (ur, ui) = (ure[r * block + j], uim[r * block + j]);
+                        acc_re += sre[r] * ur - sim[r] * ui;
+                        acc_im += sre[r] * ui + sim[r] * ur;
                     }
-                    if transposed {
-                        for (j, &off) in offsets.iter().enumerate() {
-                            let mut acc_re = 0.0;
-                            let mut acc_im = 0.0;
-                            for r in 0..block {
-                                let (ur, ui) = (ure[r * block + j], uim[r * block + j]);
-                                acc_re += sre[r] * ur - sim[r] * ui;
-                                acc_im += sre[r] * ui + sim[r] * ur;
-                            }
-                            unsafe {
-                                *pre.add(base + off) = acc_re;
-                                *pim.add(base + off) = acc_im;
-                            }
-                        }
-                    } else {
-                        for (r, &off) in offsets.iter().enumerate() {
-                            let urow_re = &ure[r * block..(r + 1) * block];
-                            let urow_im = &uim[r * block..(r + 1) * block];
-                            let mut acc_re = 0.0;
-                            let mut acc_im = 0.0;
-                            for c in 0..block {
-                                acc_re += urow_re[c] * sre[c] - urow_im[c] * sim[c];
-                                acc_im += urow_re[c] * sim[c] + urow_im[c] * sre[c];
-                            }
-                            unsafe {
-                                *pre.add(base + off) = acc_re;
-                                *pim.add(base + off) = acc_im;
-                            }
-                        }
+                    unsafe {
+                        *pre.add(base + off) = acc_re;
+                        *pim.add(base + off) = acc_im;
                     }
-                });
-            });
-        }
+                }
+            } else {
+                for (r, &off) in offsets.iter().enumerate() {
+                    let urow_re = &ure[r * block..(r + 1) * block];
+                    let urow_im = &uim[r * block..(r + 1) * block];
+                    let mut acc_re = 0.0;
+                    let mut acc_im = 0.0;
+                    for c in 0..block {
+                        acc_re += urow_re[c] * sre[c] - urow_im[c] * sim[c];
+                        acc_im += urow_re[c] * sim[c] + urow_im[c] * sre[c];
+                    }
+                    unsafe {
+                        *pre.add(base + off) = acc_re;
+                        *pim.add(base + off) = acc_im;
+                    }
+                }
+            }
+        });
     });
     true
 }
@@ -830,34 +824,34 @@ pub fn right_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize
     let kind = classify(op);
     // Row i of the product is (row i of M) · embed(op): the transposed vector
     // kernel applied to each (contiguous, in both planes) row. Per-row
-    // parallelism inside `apply_vec` is disabled — a thread scope per row
-    // would dwarf the row's work — and the `parallel` feature splits across
-    // rows instead (rows are disjoint `chunks_mut` slices of each plane, so
-    // this is safe code).
+    // parallelism inside `apply_vec` is disabled — a pool dispatch per row
+    // would dwarf the row's work — and the `parallel` feature splits row
+    // ranges across the persistent pool workers instead. Safety: chunks
+    // cover disjoint row ranges, rows are contiguous in both planes, and the
+    // gather scratch is per worker slot.
     #[cfg(feature = "parallel")]
     {
         let threads = parallel_threads().min(nrows);
         if threads > 1 && nrows * ctotal * lay.block >= PARALLEL_THRESHOLD {
-            let rows_per_thread = nrows.div_ceil(threads);
+            let rows_per_chunk = nrows.div_ceil(threads);
+            let nchunks = nrows.div_ceil(rows_per_chunk);
             let data = mat.split_mut();
-            std::thread::scope(|scope| {
-                let mut rest_re: &mut [f64] = data.re;
-                let mut rest_im: &mut [f64] = data.im;
-                while !rest_re.is_empty() {
-                    let take = (rows_per_thread * ctotal).min(rest_re.len());
-                    let (chunk_re, tail_re) = rest_re.split_at_mut(take);
-                    let (chunk_im, tail_im) = rest_im.split_at_mut(take);
-                    rest_re = tail_re;
-                    rest_im = tail_im;
-                    let (lay, kind) = (&lay, &kind);
-                    scope.spawn(move || {
-                        let mut scratch = Scratch::default();
-                        for (row_re, row_im) in
-                            chunk_re.chunks_mut(ctotal).zip(chunk_im.chunks_mut(ctotal))
-                        {
-                            apply_vec(row_re, row_im, lay, op, kind, true, false, &mut scratch);
-                        }
-                    });
+            let planes = par::SendPlanes::new(data.re.as_mut_ptr(), data.im.as_mut_ptr());
+            let scratch = crate::pool::SlotScratch::new(threads, Scratch::default);
+            let (lay, kind) = (&lay, &kind);
+            crate::pool::global().dispatch(threads, nchunks, &|slot, c| {
+                let lo = c * rows_per_chunk;
+                let hi = ((c + 1) * rows_per_chunk).min(nrows);
+                // Safety: `slot` is the pool-provided slot id of this job.
+                let s = unsafe { scratch.get(slot) };
+                let (pre, pim) = (planes.re(), planes.im());
+                for row in lo..hi {
+                    // Safety: row ranges of distinct chunks are disjoint.
+                    let row_re =
+                        unsafe { std::slice::from_raw_parts_mut(pre.add(row * ctotal), ctotal) };
+                    let row_im =
+                        unsafe { std::slice::from_raw_parts_mut(pim.add(row * ctotal), ctotal) };
+                    apply_vec(row_re, row_im, lay, op, kind, true, false, s);
                 }
             });
             return;

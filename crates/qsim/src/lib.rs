@@ -85,10 +85,18 @@
 //!   inner and column dimensions with a contiguous vectorisable axpy core),
 //!   which feeds the remaining genuinely-dense work in [`linalg::eigen`] and
 //!   [`distance`].
-//! * **`parallel` feature** — enables `std::thread::scope` parallelism over
-//!   the outer odometer loop of the large kernels (rayon is deliberately not
-//!   a dependency: this workspace builds offline). Off by default; exact
-//!   results are identical either way.
+//! * **Persistent worker pool** — [`pool`] keeps long-lived parked worker
+//!   threads (std only; rayon is deliberately not a dependency: this
+//!   workspace builds offline) with chunked index-range dispatch, slot-scoped
+//!   reusable scratch arenas ([`pool::SlotScratch`]) and a memoised
+//!   `QSIM_PARALLEL_THREADS`-or-host worker-count policy
+//!   ([`pool::worker_count`]). The `parallel` feature routes the outer
+//!   odometer loop of the large kernels through it — amortising what used to
+//!   be a per-call `std::thread::scope` spawn — and the batched Monte-Carlo
+//!   trial engines of the `dqma` crate drive it directly for
+//!   millions-of-rounds sweeps. Off by default for the kernels; exact
+//!   results are identical either way, and the pool itself is always
+//!   available.
 //!
 //! The pre-kernel implementations survive in [`naive`] as reference oracles:
 //! randomized property tests pin the kernels to them within `1e-12`, and the
@@ -123,6 +131,7 @@ pub mod linalg;
 pub mod measure;
 pub mod naive;
 pub mod permutation;
+pub mod pool;
 pub mod random;
 pub mod state;
 pub mod swap_test;

@@ -359,6 +359,86 @@ impl CMatrix {
         out
     }
 
+    /// Quadratic form `⟨v| self |v⟩`, computed without materialising
+    /// `self · v` — the per-round boundary measurement of the sampled
+    /// protocol rounds, which previously paid one `CVector` allocation per
+    /// round through `v.inner(&m.apply(v))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square of dimension `v.dim()`.
+    pub fn quadratic_form(&self, v: &CVector) -> Complex {
+        assert!(
+            self.rows == self.cols && self.cols == v.dim(),
+            "quadratic form dimension mismatch"
+        );
+        let (vr, vi) = (v.re(), v.im());
+        let (are, aim) = (self.buf.re(), self.buf.im());
+        let n = self.cols;
+        if n == 2 {
+            // Unrolled qubit path: dimension-2 fingerprint registers.
+            let (m00, m01, m10, m11) = (self.at(0, 0), self.at(0, 1), self.at(1, 0), self.at(1, 1));
+            let (v0, v1) = (v.at(0), v.at(1));
+            let (o0, o1) = (m00 * v0 + m01 * v1, m10 * v0 + m11 * v1);
+            return v0.conj() * o0 + v1.conj() * o1;
+        }
+        let mut acc_re = 0.0;
+        let mut acc_im = 0.0;
+        for i in 0..n {
+            let row_re = &are[i * n..(i + 1) * n];
+            let row_im = &aim[i * n..(i + 1) * n];
+            let mut mv_re = 0.0;
+            let mut mv_im = 0.0;
+            for j in 0..n {
+                mv_re += row_re[j] * vr[j] - row_im[j] * vi[j];
+                mv_im += row_re[j] * vi[j] + row_im[j] * vr[j];
+            }
+            // conj(v_i) · (Mv)_i
+            acc_re += vr[i] * mv_re + vi[i] * mv_im;
+            acc_im += vr[i] * mv_im - vi[i] * mv_re;
+        }
+        Complex::new(acc_re, acc_im)
+    }
+
+    /// Overwrites `self` with the entries of `other`, reusing the existing
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, other: &CMatrix) {
+        assert!(
+            self.rows == other.rows && self.cols == other.cols,
+            "copy_from shape mismatch"
+        );
+        let dst = self.buf.split_mut();
+        let src = other.buf.split();
+        dst.re.copy_from_slice(src.re);
+        dst.im.copy_from_slice(src.im);
+    }
+
+    /// In-place affine combination `self ← a·self + b·other` with real
+    /// coefficients — the allocation-free form of the symmetrisation channel
+    /// mix `ρ → ½ρ + ½SρS†` used by the batched samplers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mix_in_place(&mut self, a: f64, b: f64, other: &CMatrix) {
+        assert!(
+            self.rows == other.rows && self.cols == other.cols,
+            "mix_in_place shape mismatch"
+        );
+        let dst = self.buf.split_mut();
+        let src = other.buf.split();
+        for (d, &s) in dst.re.iter_mut().zip(src.re.iter()) {
+            *d = a * *d + b * s;
+        }
+        for (d, &s) in dst.im.iter_mut().zip(src.im.iter()) {
+            *d = a * *d + b * s;
+        }
+    }
+
     /// Kronecker (tensor) product `self ⊗ rhs`.
     pub fn kron(&self, rhs: &CMatrix) -> CMatrix {
         let rows = self.rows * rhs.rows;

@@ -27,6 +27,7 @@ use dqma::chain::{cheating_proof, ChainCheat, SwapTestChain};
 use dqma::eq_path::EqPathProtocol;
 use dqma::eq_tree::EqTreeProtocol;
 use dqma::relay::RelayEqProtocol;
+use dqma::trials::TrialReport;
 use netsim::topology;
 use qsim::{CMatrix, PureState};
 use rand::rngs::StdRng;
@@ -288,6 +289,164 @@ fn relay_rounds_accept_yes_instances_and_reject_no_instances_at_the_segment_gap(
         1.0 - est > seg_gap + eps,
         "relay no-instance rejection {} does not certify per-segment gap {seg_gap}",
         1.0 - est
+    );
+}
+
+/// Worker counts the determinism contract is pinned at (the PR-4 issue's
+/// 1/2/4 plus 8 for the bench sweep width).
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Asserts that re-running `run` at every sweep width reproduces the exact
+/// accept count of the width-1 report, and returns that baseline.
+fn assert_worker_invariant(label: &str, run: impl Fn(usize) -> TrialReport) -> TrialReport {
+    let base = run(1);
+    for &workers in &WORKER_SWEEP[1..] {
+        let r = run(workers);
+        assert_eq!(
+            (r.trials, r.accepts),
+            (base.trials, base.accepts),
+            "{label}: TrialReport must be identical at {workers} workers"
+        );
+    }
+    base
+}
+
+#[test]
+fn batched_trial_reports_are_identical_across_worker_counts() {
+    // The engine's determinism contract: for a fixed (protocol, seed, n),
+    // the accept count is a pure function of the per-block RNG streams —
+    // blocks are keyed by index, not by the worker that happens to run
+    // them — so 1, 2, 4 and 8 workers must produce the same TrialReport
+    // counts. All four protocol samplers are pinned.
+    // ≥ 8 blocks of BLOCK_TRIALS = 8192 trials, so the 8-worker leg of the
+    // sweep actually dispatches 8 slots instead of being clamped to the
+    // block count.
+    let n = 9 * dqma::trials::BLOCK_TRIALS;
+
+    let (chain, right_state) = orthogonal_chain(4);
+    let proof = cheating_proof(&chain, &right_state, ChainCheat::Interpolate);
+    let chain_base = assert_worker_invariant("chain", |w| {
+        chain.sample_rounds_with_workers(&proof, n, 0xA11CE, w)
+    });
+    // And a different seed must explore a different outcome sequence.
+    let other = chain.sample_rounds_with_workers(&proof, n, 0xB0B, 1);
+    assert_ne!(chain_base.accepts, other.accepts);
+
+    let proto = EqPathProtocol::with_scheme(3, FingerprintScheme::small(4, 7), 4);
+    let x = BitString::from_u64(3, 4);
+    let y = BitString::from_u64(12, 4);
+    assert_worker_invariant("eq_path", |w| {
+        proto.sample_rounds_with_workers(&x, &y, ChainCheat::Interpolate, n, 0xC0DE, w)
+    });
+
+    let g = topology::spider(3, 1);
+    let terminals: Vec<usize> = (0..3).map(|k| topology::spider_leaf(k, 1)).collect();
+    let tree = EqTreeProtocol::with_scheme(
+        &g,
+        &terminals,
+        FingerprintScheme::with_parameters(4, 1, 1, 5),
+        4,
+    );
+    let tx = BitString::from_u64(9, 4);
+    let mut inputs = vec![tx.clone(); terminals.len()];
+    inputs[1] = BitString::from_u64(6, 4);
+    let tree_proof = tree.uniform_proof(&tx);
+    assert_worker_invariant("eq_tree", |w| {
+        tree.sample_rounds_with_workers(&inputs, &tree_proof, n, 0xDEED, w)
+    });
+
+    let relay = RelayEqProtocol::with_spacing(4, 6, 2, 3);
+    let rx = BitString::from_u64(11, 4);
+    let ry = BitString::from_u64(4, 4);
+    let relays = vec![rx.clone(); relay.relay_points().len()];
+    assert_worker_invariant("relay", |w| {
+        relay.sample_rounds_with_workers(&rx, &ry, &relays, ChainCheat::Interpolate, n, 0xFEED, w)
+    });
+}
+
+#[test]
+fn batched_rates_match_the_exact_acceptances_and_the_paper_gap() {
+    // The batched engine must reproduce the statistics this suite already
+    // pins for the serial samplers: rates within the Hoeffding margin of
+    // the exact closed forms, perfect completeness, and the 4/(81 r²)
+    // rejection gap — at a fraction of the serial loop's wall clock.
+    let trials = 40_000u64;
+
+    // Chain no-instances, every cheat.
+    for r in [2usize, 4] {
+        let (chain, right_state) = orthogonal_chain(r);
+        let gap = 4.0 / (81.0 * (r * r) as f64);
+        for cheat in [
+            ChainCheat::AllLeft,
+            ChainCheat::AllRight,
+            ChainCheat::Interpolate,
+        ] {
+            let proof = cheating_proof(&chain, &right_state, cheat);
+            let exact = chain.acceptance_separable(&proof);
+            let report = chain.sample_rounds(&proof, trials, 9000 + r as u64);
+            let eps = report.hoeffding_radius(1e-9);
+            assert!(
+                (report.acceptance_rate() - exact).abs() < eps,
+                "r={r} {cheat:?}: batched rate {} vs exact {exact} (margin {eps})",
+                report.acceptance_rate()
+            );
+            assert!(
+                report.rejection_rate() > gap + eps,
+                "r={r} {cheat:?}: batched rejection {} does not certify the gap {gap}",
+                report.rejection_rate()
+            );
+            let (lo, hi) = report.wilson_interval(5.0);
+            assert!(
+                lo <= exact && exact <= hi,
+                "r={r} {cheat:?}: wilson ({lo},{hi}) misses {exact}"
+            );
+        }
+    }
+
+    // EQ-path completeness: every batched honest trial accepts.
+    let proto = EqPathProtocol::with_scheme(3, FingerprintScheme::small(4, 7), 4);
+    let x = BitString::from_u64(3, 4);
+    let honest = proto.sample_honest_rounds(&x, 10_000, 31);
+    assert_eq!(
+        honest.accepts, honest.trials,
+        "honest batched EQ-path rounds must all accept"
+    );
+
+    // EQ-tree no-instance pinned to the exact symmetrisation average.
+    let g = topology::spider(3, 1);
+    let terminals: Vec<usize> = (0..3).map(|k| topology::spider_leaf(k, 1)).collect();
+    let tree = EqTreeProtocol::with_scheme(
+        &g,
+        &terminals,
+        FingerprintScheme::with_parameters(4, 1, 1, 5),
+        4,
+    );
+    let tx = BitString::from_u64(9, 4);
+    let mut inputs = vec![tx.clone(); terminals.len()];
+    inputs[1] = BitString::from_u64(6, 4);
+    let tree_proof = tree.uniform_proof(&tx);
+    let exact = tree.acceptance_separable(&inputs, &tree_proof);
+    let report = tree.sample_rounds(&inputs, &tree_proof, trials, 33);
+    let eps = report.hoeffding_radius(1e-9);
+    assert!(
+        (report.acceptance_rate() - exact).abs() < eps,
+        "batched EQ-tree rate {} vs exact {exact}",
+        report.acceptance_rate()
+    );
+
+    // Relay: yes-instances all accept; no-instances certify the segment gap.
+    let relay = RelayEqProtocol::with_spacing(4, 6, 2, 3);
+    let rx = BitString::from_u64(11, 4);
+    let ry = BitString::from_u64(4, 4);
+    let relays = vec![rx.clone(); relay.relay_points().len()];
+    let yes = relay.sample_rounds(&rx, &rx, &relays, ChainCheat::AllLeft, 10_000, 35);
+    assert_eq!(yes.accepts, yes.trials);
+    let no = relay.sample_rounds(&rx, &ry, &relays, ChainCheat::Interpolate, trials, 37);
+    let seg_gap = 4.0 / (81.0 * (relay.spacing() * relay.spacing()) as f64);
+    assert!(
+        no.rejection_rate() > seg_gap + no.hoeffding_radius(1e-9),
+        "batched relay rejection {} does not certify per-segment gap {seg_gap}",
+        no.rejection_rate()
     );
 }
 
