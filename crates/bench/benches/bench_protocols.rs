@@ -60,6 +60,14 @@ impl Entry {
             .as_ref()
             .map(|d| d.ns_per_op / self.fast.ns_per_op)
     }
+
+    /// Speedup against the *memoised* dense oracle — the column that makes
+    /// the dense-cached baseline directly comparable across PRs.
+    fn speedup_cached(&self) -> Option<f64> {
+        self.dense_cached
+            .as_ref()
+            .map(|d| d.ns_per_op / self.fast.ns_per_op)
+    }
 }
 
 /// The benchmark register shape: `k` test registers of dimension `d` plus a
@@ -475,6 +483,12 @@ fn main() {
         // ≥ 8 RNG blocks (BLOCK_TRIALS = 8192) so the w8 column really
         // dispatches 8 slots instead of being clamped by the block count.
         let n = 10 * trials::BLOCK_TRIALS;
+        // Steady-state guard: the sampler embedded every kernel plan its
+        // frontier walk touches at construction, so the timed sweep below
+        // must perform ZERO plan compilations — if the plan layer silently
+        // regressed to rebuild-per-call, this trips before a bogus row is
+        // written.
+        let compiles_before = qsim::plan::compile_count();
         let reports = workers_sweep
             .iter()
             .map(|&w| {
@@ -484,6 +498,13 @@ fn main() {
                 )
             })
             .collect();
+        let compiled = qsim::plan::compile_count() - compiles_before;
+        assert_eq!(
+            compiled, 0,
+            "steady-state mixed-proof rounds compiled {compiled} kernel plans \
+             (must be zero: every plan is embedded in the round plan)"
+        );
+        println!("steady-state mixed-proof plan compilations: {compiled} (gate: 0)");
         trial_rows.push(TrialRow {
             name: "eq_path_trials_mixed_r8".to_string(),
             serial_loop_ns: serial_ns(&entries, "eq_path_round_mixed_r8"),
@@ -613,6 +634,10 @@ fn main() {
                 "dense_cached_ns_per_op",
                 JsonValue::Num(e.dense_cached.as_ref().map_or(f64::NAN, |t| t.ns_per_op)),
             ),
+            (
+                "speedup_vs_dense_cached",
+                JsonValue::Num(e.speedup_cached().unwrap_or(f64::NAN)),
+            ),
         ];
         if par_enabled {
             fields.push(("parallel", JsonValue::Str("true".to_string())));
@@ -710,6 +735,21 @@ fn main() {
         if trial_meets { "OK" } else { "MISS" }
     );
 
+    // PR-5 acceptance gate: ≥ 5× rounds/sec on the mixed-proof r = 8 shape
+    // at 8 workers vs the rebuild-per-call serial loop — the row the
+    // compiled kernel-plan layer exists for (it sat at ~0.9–1.1× through
+    // PR 4, dominated by per-call kernel metadata).
+    let mixed_gate = trial_rows
+        .iter()
+        .find(|r| r.name == "eq_path_trials_mixed_r8")
+        .expect("mixed trial gate row present");
+    let mixed_gate_speedup = mixed_gate.speedup_vs_loop(8);
+    let mixed_meets = mixed_gate_speedup >= 5.0;
+    println!(
+        "acceptance: eq_path_trials_mixed_r8 batched w8 speedup {mixed_gate_speedup:.1}x (target >= 5x) — {}",
+        if mixed_meets { "OK" } else { "MISS" }
+    );
+
     let json = report.render(&[
         ("suite", JsonValue::Str("bench_protocols".to_string())),
         ("layout", JsonValue::Str("soa".to_string())),
@@ -721,6 +761,14 @@ fn main() {
         (
             "batched_eq_path_r32_w8_speedup",
             JsonValue::Num(trial_gate_speedup),
+        ),
+        (
+            "batched_mixed_r8_w8_speedup",
+            JsonValue::Num(mixed_gate_speedup),
+        ),
+        (
+            "mixed_meets_5x_target",
+            JsonValue::Str(mixed_meets.to_string()),
         ),
         (
             "batched_meets_10x_target",

@@ -26,7 +26,7 @@
 use crate::trials::{self, BatchSampler, TrialReport};
 use netsim::{CostTracker, ProtocolCosts};
 use qsim::linalg::max_eigenvalue;
-use qsim::permutation::right_project_symmetric;
+use qsim::plan::{KernelPlan, PlanScratch};
 use qsim::swap_test::{swap_test_acceptance_pure, swap_test_on};
 use qsim::{kernels, CMatrix, Complex, DensityMatrix, PureState};
 use rand::rngs::StdRng;
@@ -177,27 +177,49 @@ impl SwapTestChain {
         let a_proj = CMatrix::projector(self.left_state.amplitudes());
         let left_effect = (&CMatrix::identity(self.dim) + &a_proj).scale(Complex::real(0.5));
 
+        // Every kernel plan the 2^k pattern loop touches, compiled once and
+        // embedded (the loop body re-derived layouts and operator structure
+        // per pattern through PR 4): boundary-effect operator plans for both
+        // coin values of the first/last node, and the four
+        // (forwarded, kept) symmetric-class plans per interior node.
+        let left_plans: Vec<KernelPlan> = (0..2)
+            .map(|b| KernelPlan::for_operator(&dims, &[b], &left_effect))
+            .collect();
+        let right_plans: Vec<KernelPlan> = (0..2)
+            .map(|b| KernelPlan::for_operator(&dims, &[2 * k - 2 + b], &self.right_effect))
+            .collect();
+        let sym_plans: Vec<[KernelPlan; 4]> = (1..k)
+            .map(|j| {
+                // Index `prev + 2·cur`: forwarded(j−1) = 2(j−1) + (1−prev),
+                // kept(j) = 2j + cur.
+                [0usize, 1, 2, 3].map(|idx| {
+                    let (prev, cur) = (idx & 1, idx >> 1);
+                    KernelPlan::for_symmetric(&dims, &[2 * (j - 1) + (1 - prev), 2 * j + cur])
+                })
+            })
+            .collect();
+        let mut scratch = PlanScratch::default();
+
         let mut accumulated = CMatrix::zeros(total, total);
         let patterns = 1usize << k;
         for pattern in 0..patterns {
             // Register index of R_{j,0} is 2j, of R_{j,1} is 2j+1 (j = 0..k-1).
-            let kept = |j: usize| 2 * j + usize::from((pattern >> j) & 1 == 1);
-            let forwarded = |j: usize| 2 * j + usize::from((pattern >> j) & 1 == 0);
+            let bit = |j: usize| (pattern >> j) & 1;
             // Build the pattern's effect by strided right multiplication. The
             // SWAP-test factors are symmetric-subspace projectors, applied
             // matrix-free as column class averages (`O(rows·D)` each, no
             // d²×d² projector); the boundary effects are genuinely dense
             // one-register operators and go through the dense stride kernel.
             let mut effect = CMatrix::identity(total);
-            kernels::right_multiply_matrix(&mut effect, &dims, &[kept(0)], &left_effect);
+            kernels::right_multiply_matrix_with(&mut effect, &left_plans[bit(0)], &mut scratch);
             for j in 1..k {
-                right_project_symmetric(&mut effect, &dims, &[forwarded(j - 1), kept(j)]);
+                let plan = &sym_plans[j - 1][bit(j - 1) + 2 * bit(j)];
+                kernels::project_classes_cols_with(&mut effect, plan, false, &mut scratch);
             }
-            kernels::right_multiply_matrix(
+            kernels::right_multiply_matrix_with(
                 &mut effect,
-                &dims,
-                &[forwarded(k - 1)],
-                &self.right_effect,
+                &right_plans[1 - bit(k - 1)],
+                &mut scratch,
             );
             accumulated = &accumulated + &effect;
         }
@@ -307,14 +329,61 @@ impl SwapTestChain {
     ///
     /// Panics if the proof does not have one two-register density matrix of
     /// the chain's register dimension per intermediate node.
+    /// This is the **rebuild-per-call consumer path**: every kernel it
+    /// touches goes through the compile-then-execute shims, so each round
+    /// re-derives layouts, operator classifications and class tables. Batch
+    /// loops should use [`SwapTestChain::sample_rounds_mixed`] /
+    /// [`SwapTestChain::mixed_sampler`], whose round plan compiles every
+    /// kernel plan the frontier walk touches exactly once (the
+    /// `eq_path_trials_mixed_*` rows of `BENCH_protocols.json` track the
+    /// gap).
     pub fn simulate_round_mixed<R: Rng + ?Sized>(
         &self,
         proof: &[DensityMatrix],
         rng: &mut R,
     ) -> bool {
-        let sampler = self.mixed_sampler(proof);
-        let mut scratch = sampler.scratch();
-        sampler.round(&mut scratch, rng)
+        self.validate_mixed_proof(proof);
+        let d = self.dim;
+        let d3 = d * d * d;
+        let left = DensityMatrix::from_pure(&self.left_state);
+        let swap = qsim::naive::cached_swap(d);
+        let mut frontier = DensityMatrix::from_matrix(&[d, d, d], CMatrix::zeros(d3, d3));
+        let mut tmp = CMatrix::zeros(d3, d3);
+        let mut sent = DensityMatrix::from_matrix(&[d], CMatrix::zeros(d, d));
+        let mut first = true;
+        for pair in proof {
+            {
+                // Frontier: (sent, kept, forwarded) — everything already
+                // tested has been traced out.
+                let cur: &DensityMatrix = if first { &left } else { &sent };
+                cur.tensor_into(pair, &mut frontier);
+            }
+            first = false;
+            frontier.symmetrize_pair_with(1, 2, &swap, &mut tmp);
+            if !swap_test_on(&mut frontier, 0, 1, rng) {
+                return false;
+            }
+            frontier.partial_trace_keep_into(&[2], &mut sent);
+        }
+        let cur: &DensityMatrix = if first { &left } else { &sent };
+        let p = cur.expectation(&self.right_effect).re.clamp(0.0, 1.0);
+        rng.random::<f64>() < p
+    }
+
+    /// Validates a mixed proof's shape once, before a sampling walk.
+    fn validate_mixed_proof(&self, proof: &[DensityMatrix]) {
+        assert_eq!(
+            proof.len(),
+            self.num_intermediate(),
+            "need one register pair per intermediate node"
+        );
+        for pair in proof {
+            assert_eq!(
+                pair.dims(),
+                &[self.dim, self.dim],
+                "proof register dimension mismatch"
+            );
+        }
     }
 
     /// Empirical acceptance frequency over `trials` sampled rounds — a Monte
@@ -408,26 +477,39 @@ impl SwapTestChain {
     ///
     /// Panics if the proof does not have one two-register density matrix of
     /// the chain's register dimension per intermediate node.
-    pub fn mixed_sampler<'a>(&'a self, proof: &'a [DensityMatrix]) -> MixedChainSampler<'a> {
-        assert_eq!(
-            proof.len(),
-            self.num_intermediate(),
-            "need one register pair per intermediate node"
-        );
-        for pair in proof {
-            assert_eq!(
-                pair.dims(),
-                &[self.dim, self.dim],
-                "proof register dimension mismatch"
-            );
-        }
+    pub fn mixed_sampler<'a>(&'a self, proof: &[DensityMatrix]) -> MixedChainSampler<'a> {
+        self.validate_mixed_proof(proof);
+        let d = self.dim;
+        let fdims = [d, d, d];
+        // The node's symmetrisation channel ρ → ½ρ + ½S₁₂ρS₁₂† acts only on
+        // the pair's own registers, so it commutes with tensoring the sent
+        // register in front: channel(sent ⊗ pair) = sent ⊗ channel(pair).
+        // The channel is deterministic, so it is applied to each proof pair
+        // exactly once here — per-node preprocessing the per-round walk of
+        // `simulate_round_mixed` pays every time.
+        let sym_plan = KernelPlan::for_conjugation(&[d, d], &[0, 1], &qsim::gates::swap(d));
+        let mut tmp = CMatrix::zeros(d * d, d * d);
+        let mut scratch = PlanScratch::default();
+        let sym_pairs: Vec<DensityMatrix> = proof
+            .iter()
+            .map(|pair| {
+                let mut p = pair.clone();
+                p.symmetrize_pair_planned(&sym_plan, &mut tmp, &mut scratch);
+                p
+            })
+            .collect();
         MixedChainSampler {
             chain: self,
-            proof,
+            sym_pairs,
             left: DensityMatrix::from_pure(&self.left_state),
-            // Resolved once: the per-node symmetrisation must not pay the
-            // global memo lookup (a process-wide mutex) per trial.
-            swap: qsim::naive::cached_swap(self.dim),
+            // Every kernel plan the frontier walk touches, compiled once and
+            // embedded directly (bypassing the plan cache): the S_2 class
+            // plan of the SWAP test on (sent, kept) and the trace-down
+            // layout keeping the forwarded register. Steady-state rounds
+            // therefore perform zero plan compilations — asserted by
+            // `bench_protocols` via `qsim::plan::compile_count`.
+            test_plan: KernelPlan::for_symmetric(&fdims, &[0, 1]),
+            trace_plan: KernelPlan::for_layout(&fdims, &[2]),
         }
     }
 
@@ -583,45 +665,79 @@ impl BatchSampler for ChainRoundPlan {
 
 /// Batched sampler for per-node mixed proofs; built by
 /// [`SwapTestChain::mixed_sampler`]. Carries the prepared left-state density
-/// matrix and the (once-resolved) SWAP operator of the register dimension;
-/// all per-round buffers live in [`MixedChainScratch`].
+/// matrix, the per-node **pre-symmetrised** proof pairs (the deterministic
+/// ½ρ+½SρS† channel commutes with the frontier assembly, so it is applied
+/// once at compile time), and **every compiled kernel plan** the frontier
+/// walk touches — the `S_2` class plan of the SWAP test and the trace-down
+/// layout plan — so a round executes pure plan executors: zero metadata
+/// derivation, zero allocation, zero lock traffic. All per-round buffers
+/// live in [`MixedChainScratch`].
 pub struct MixedChainSampler<'a> {
     chain: &'a SwapTestChain,
-    proof: &'a [DensityMatrix],
+    sym_pairs: Vec<DensityMatrix>,
     left: DensityMatrix,
-    swap: std::sync::Arc<CMatrix>,
+    test_plan: KernelPlan,
+    trace_plan: KernelPlan,
 }
 
-/// Per-worker scratch of [`MixedChainSampler`]: the three-register frontier,
-/// its conjugation buffer and the traced-down forwarded state — allocated
-/// once per worker slot and reused across every trial it runs (previously
-/// three fresh matrices per node per round).
+/// Per-worker scratch of [`MixedChainSampler`]: the three-register frontier
+/// and the traced-down forwarded state — allocated once per worker slot and
+/// reused across every trial it runs (previously three fresh matrices per
+/// node per round; the fused plan executors the round runs need no gather
+/// scratch at all).
 pub struct MixedChainScratch {
     frontier: DensityMatrix,
-    tmp: CMatrix,
     sent: DensityMatrix,
 }
 
 impl MixedChainSampler<'_> {
-    /// Samples one round through the reusable-scratch frontier walk; the
-    /// same walk (and the same draw sequence) as
-    /// [`SwapTestChain::simulate_round_mixed`].
+    /// Samples one round through the compiled-plan frontier walk;
+    /// distribution-identical (same draw sequence) to
+    /// [`SwapTestChain::simulate_round_mixed`], with all of that path's
+    /// per-call kernel metadata hoisted into the embedded plans. Two further
+    /// round-plan hoists relative to the per-call walk: the symmetrisation
+    /// channel is baked into the stored pairs (see
+    /// [`SwapTestChain::mixed_sampler`]), and the post-measurement effect of
+    /// a *rejecting* node is skipped — the round aborts and the scratch
+    /// state is never read again, so the update is dead work (the rejection
+    /// *probability* is of course still honoured by the accept draw).
     pub fn round<R: Rng + ?Sized>(&self, s: &mut MixedChainScratch, rng: &mut R) -> bool {
         let mut first = true;
-        for pair in self.proof {
+        for pair in &self.sym_pairs {
             {
                 // Frontier: (sent, kept, forwarded) — everything already
-                // tested has been traced out.
+                // tested has been traced out; the pair arrives
+                // pre-symmetrised.
                 let sent: &DensityMatrix = if first { &self.left } else { &s.sent };
                 sent.tensor_into(pair, &mut s.frontier);
             }
             first = false;
-            s.frontier
-                .symmetrize_pair_with(1, 2, &self.swap, &mut s.tmp);
-            if !swap_test_on(&mut s.frontier, 0, 1, rng) {
+            // The SWAP test on (sent, kept), inlined over the embedded class
+            // plan: acceptance trace, one Bernoulli, accept effect — exactly
+            // `swap_test_on`'s draws and branches.
+            let p_accept =
+                kernels::class_projection_trace_with(s.frontier.matrix(), &self.test_plan)
+                    .re
+                    .clamp(0.0, 1.0);
+            if rng.random::<f64>() >= p_accept {
                 return false;
             }
-            s.frontier.partial_trace_keep_into(&[2], &mut s.sent);
+            if p_accept > 1e-12 {
+                // Fused accept effect + trace-down: one pass computes
+                // sent ← (1/p)·tr_{01}(Π ρ Π) straight off the class
+                // member lists — the post-measurement frontier is never
+                // materialised.
+                s.frontier.apply_class_projector_traced(
+                    &self.test_plan,
+                    1.0 / p_accept,
+                    &mut s.sent,
+                );
+            } else {
+                // Degenerate accept at (numerically) zero probability: keep
+                // the unnormalised-frontier semantics of `swap_test_on`.
+                s.frontier
+                    .partial_trace_keep_with(&self.trace_plan, &mut s.sent);
+            }
         }
         let sent: &DensityMatrix = if first { &self.left } else { &s.sent };
         let p = sent
@@ -640,7 +756,6 @@ impl BatchSampler for MixedChainSampler<'_> {
         let d3 = d * d * d;
         MixedChainScratch {
             frontier: DensityMatrix::from_matrix(&[d, d, d], CMatrix::zeros(d3, d3)),
-            tmp: CMatrix::zeros(d3, d3),
             sent: DensityMatrix::from_matrix(&[d], CMatrix::zeros(d, d)),
         }
     }

@@ -9,6 +9,7 @@
 use crate::complex::Complex;
 use crate::kernels;
 use crate::linalg::{eigh, CMatrix};
+use crate::plan::{KernelPlan, PlanScratch};
 use crate::state::{flat_index, total_dim, unflatten_index, PureState};
 use rand::Rng;
 
@@ -203,10 +204,16 @@ impl DensityMatrix {
                 for i2 in 0..d2 {
                     let row = (i1 * d2 + i2) * d + j1 * d2;
                     let brow = i2 * d2;
+                    // Contiguous row slices: the compiler drops the inner
+                    // bounds checks and vectorises the blend.
+                    let bre = &b.re[brow..brow + d2];
+                    let bim = &b.im[brow..brow + d2];
+                    let ore = &mut o.re[row..row + d2];
+                    let oim = &mut o.im[row..row + d2];
                     for j2 in 0..d2 {
-                        let (br, bi) = (b.re[brow + j2], b.im[brow + j2]);
-                        o.re[row + j2] = ar * br - ai * bi;
-                        o.im[row + j2] = ar * bi + ai * br;
+                        let (br, bi) = (bre[j2], bim[j2]);
+                        ore[j2] = ar * br - ai * bi;
+                        oim[j2] = ar * bi + ai * br;
                     }
                 }
             }
@@ -278,8 +285,29 @@ impl DensityMatrix {
     /// `out`'s total dimension differs from the product of the kept
     /// dimensions.
     pub fn partial_trace_keep_into(&self, keep: &[usize], out: &mut DensityMatrix) {
-        // `layout` validates distinctness/range with the standard messages.
-        let lay = kernels::layout(&self.dims, keep);
+        // `for_layout` validates distinctness/range with the standard
+        // messages (compile-then-execute shim over the plan executor).
+        let plan = KernelPlan::for_layout(&self.dims, keep);
+        self.partial_trace_keep_with(&plan, out);
+    }
+
+    /// Plan executor of [`DensityMatrix::partial_trace_keep_into`]: the kept
+    /// subsystems and all stride metadata come from a layout plan compiled
+    /// once (any plan kind over this register and the kept targets works).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled for a different register shape or if
+    /// `out`'s total dimension differs from the product of the kept
+    /// dimensions.
+    pub fn partial_trace_keep_with(&self, plan: &KernelPlan, out: &mut DensityMatrix) {
+        assert_eq!(
+            plan.dims(),
+            self.dims.as_slice(),
+            "plan register shape mismatch"
+        );
+        let lay = plan.lay();
+        let keep = plan.targets();
         let kd = lay.block;
         assert_eq!(
             out.dim(),
@@ -335,6 +363,24 @@ impl DensityMatrix {
         kernels::conjugate_matrix(&mut self.mat, &self.dims, targets, a);
     }
 
+    /// Plan executor of [`DensityMatrix::apply_local_operator`] /
+    /// [`DensityMatrix::apply_unitary`]: conjugates by the operator compiled
+    /// into a [`KernelPlan::for_conjugation`] plan — zero per-call metadata
+    /// derivation or allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled for a different register shape or
+    /// carries no adjoint classification.
+    pub fn apply_operator_with(&mut self, plan: &KernelPlan, scratch: &mut PlanScratch) {
+        assert_eq!(
+            plan.dims(),
+            self.dims.as_slice(),
+            "plan register shape mismatch"
+        );
+        kernels::conjugate_matrix_with(&mut self.mat, plan, scratch);
+    }
+
     /// Conjugates by the embedded class-averaging projector `P` of the listed
     /// target subsystems, in place and without renormalising:
     /// `ρ → P ρ P` (or `(I−P) ρ (I−P)` with `complement`).
@@ -350,8 +396,31 @@ impl DensityMatrix {
         classes: &kernels::BlockClasses,
         complement: bool,
     ) {
-        kernels::project_classes_rows(&mut self.mat, &self.dims, targets, classes, complement);
-        kernels::project_classes_cols(&mut self.mat, &self.dims, targets, classes, complement);
+        let plan = KernelPlan::for_classes(&self.dims, targets, classes);
+        self.apply_class_projector_with(&plan, complement, &mut PlanScratch::default());
+    }
+
+    /// Plan executor of [`DensityMatrix::apply_class_projector`] over a
+    /// class plan ([`KernelPlan::for_classes`] /
+    /// [`KernelPlan::for_symmetric`] / [`crate::plan::cached_symmetric`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled for a different register shape or
+    /// carries no class tables.
+    pub fn apply_class_projector_with(
+        &mut self,
+        plan: &KernelPlan,
+        complement: bool,
+        scratch: &mut PlanScratch,
+    ) {
+        assert_eq!(
+            plan.dims(),
+            self.dims.as_slice(),
+            "plan register shape mismatch"
+        );
+        kernels::project_classes_rows_with(&mut self.mat, plan, complement, scratch);
+        kernels::project_classes_cols_with(&mut self.mat, plan, complement, scratch);
     }
 
     /// Multiplies the matrix by a real scalar in place (e.g. `1/p` after a
@@ -393,17 +462,108 @@ impl DensityMatrix {
         self.mat.mix_in_place(0.5, 0.5, tmp);
     }
 
+    /// Plan executor of [`DensityMatrix::symmetrize_pair_with`]: the SWAP
+    /// conjugation runs through a [`KernelPlan::for_conjugation`] plan
+    /// compiled once for the register pair (the batched mixed-proof
+    /// samplers' per-node symmetrisation — no per-call layout or
+    /// classification work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled for a different register shape or if
+    /// `tmp` has the wrong shape.
+    pub fn symmetrize_pair_planned(
+        &mut self,
+        plan: &KernelPlan,
+        tmp: &mut CMatrix,
+        scratch: &mut PlanScratch,
+    ) {
+        assert_eq!(
+            plan.dims(),
+            self.dims.as_slice(),
+            "plan register shape mismatch"
+        );
+        // SWAP is monomial, so the whole channel runs as one fused
+        // gather-and-blend pass (no copy, no two-pass multiply).
+        kernels::symmetrize_with(&mut self.mat, plan, tmp, scratch);
+    }
+
+    /// Fused accept-branch effect of the SWAP/permutation test over a class
+    /// plan: `ρ → scale · P ρ P` in one pass
+    /// ([`kernels::project_classes_conjugate_with`]), with the
+    /// post-measurement renormalisation `scale = 1/p` folded into the class
+    /// averaging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled for a different register shape or
+    /// carries no class tables.
+    pub fn apply_class_projector_scaled(
+        &mut self,
+        plan: &KernelPlan,
+        scale: f64,
+        scratch: &mut PlanScratch,
+    ) {
+        assert_eq!(
+            plan.dims(),
+            self.dims.as_slice(),
+            "plan register shape mismatch"
+        );
+        kernels::project_classes_conjugate_with(&mut self.mat, plan, scale, scratch);
+    }
+
+    /// Fused accept effect **and** trace-down of the SWAP/permutation test
+    /// over a class plan: `out ← scale · tr_T(P ρ P)` in one pass
+    /// ([`kernels::project_classes_trace_complement_with`]), where `T` is
+    /// the plan's target set and `out` receives the state of the remaining
+    /// registers — the post-measurement frontier contraction of the batched
+    /// mixed-proof samplers, without materialising the projected matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled for a different register shape, if
+    /// `out` has the wrong dimension, or if the plan carries no class
+    /// tables.
+    pub fn apply_class_projector_traced(
+        &self,
+        plan: &KernelPlan,
+        scale: f64,
+        out: &mut DensityMatrix,
+    ) {
+        assert_eq!(
+            plan.dims(),
+            self.dims.as_slice(),
+            "plan register shape mismatch"
+        );
+        kernels::project_classes_trace_complement_with(&self.mat, plan, scale, &mut out.mat);
+        out.dims.clear();
+        out.dims.extend(
+            self.dims
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !plan.targets().contains(i))
+                .map(|(_, &d)| d),
+        );
+    }
+
     /// Applies a quantum channel given by Kraus operators acting on the listed
     /// target subsystems: `ρ → Σ_k K_k ρ K_k†`.
+    ///
+    /// Compile-then-execute shim over [`kernels::apply_kraus_with`] (one
+    /// plan, two full-dimension temporaries — the pre-plan path allocated a
+    /// fresh matrix per Kraus operator).
     pub fn apply_kraus(&mut self, targets: &[usize], kraus: &[CMatrix]) {
+        let plan = KernelPlan::for_kraus(&self.dims, targets, kraus);
         let d = self.dim();
-        let mut out = CMatrix::zeros(d, d);
-        for k in kraus {
-            let mut term = self.mat.clone();
-            kernels::conjugate_matrix(&mut term, &self.dims, targets, k);
-            out = &out + &term;
-        }
-        self.mat = out;
+        let mut term = CMatrix::zeros(d, d);
+        let mut acc = CMatrix::zeros(d, d);
+        kernels::apply_kraus_with(
+            &mut self.mat,
+            &plan,
+            &mut PlanScratch::default(),
+            &mut term,
+            &mut acc,
+        );
     }
 
     /// Expectation value `tr(op · ρ)` of an operator on the full register.

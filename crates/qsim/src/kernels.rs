@@ -7,8 +7,8 @@
 //! storage) re-derives a heap-allocated multi-index per amplitude and clones
 //! the full state per gate; the kernels here instead
 //!
-//! * precompute, once per call, the flat-index **offset** of every element of
-//!   the target block (`offsets[b] = Σ_k b_k · stride(targets[k])`);
+//! * precompute the flat-index **offset** of every element of the target
+//!   block (`offsets[b] = Σ_k b_k · stride(targets[k])`);
 //! * enumerate the non-target subsystems with an incremental **odometer**
 //!   (one add/subtract per step, no allocation per amplitude);
 //! * gather/scatter each target block through those offsets and apply the
@@ -29,6 +29,21 @@
 //! [`crate::swap_test`] produce — scatter in `O(D)` instead of `O(D · block)`.
 //! Single-qubit (block = 2) dense operators use an unrolled 2×2 path.
 //!
+//! # Plans and shims (PR 5)
+//!
+//! All of the per-call metadata above — the [`TargetLayout`], the structural
+//! classification of the operator ([`OpData`]: dense / diagonal / monomial /
+//! unit-phase-permutation / block-2 dispatch), class-projection gather maps
+//! and monomial trace index lists — is compiled once into a
+//! [`crate::plan::KernelPlan`] and the kernels proper are the `*_with`
+//! **plan executors** taking `&KernelPlan`: they derive nothing, allocate
+//! nothing (scratch is caller-owned [`crate::plan::PlanScratch`]), and only
+//! walk. The historical signatures survive as **compile-then-execute
+//! shims** (compile a fresh plan, run the executor), so one-shot callers and
+//! the oracle tests are unchanged; batch loops compile the plan once — or
+//! fetch it from the lock-free-read [`crate::plan`] cache — and call the
+//! executors directly.
+//!
 //! With the `parallel` crate feature the outer odometer loop of the two large
 //! kernels is split across the persistent worker threads of [`crate::pool`]
 //! (rayon cannot be vendored in this offline build environment). The pool's
@@ -40,6 +55,7 @@
 use crate::complex::Complex;
 use crate::linalg::split::{Split, SplitMut};
 use crate::linalg::CMatrix;
+use crate::plan::{ClassData, KernelPlan, PlanScratch};
 use crate::state::total_dim;
 
 /// Minimum number of scalar operations before the `parallel` feature spawns
@@ -65,11 +81,12 @@ pub(crate) struct TargetLayout {
     /// `offsets[b]` is the flat-index offset of target-block element `b`
     /// (row-major over the target dimensions, `offsets[0] == 0`).
     pub offsets: Vec<usize>,
-    /// Dimensions of the non-target subsystems.
-    pub other_dims: Vec<usize>,
-    /// Strides of the non-target subsystems.
-    pub other_strides: Vec<usize>,
-    /// Number of non-target index combinations.
+    /// Every non-target base index, materialised in row-major order of the
+    /// non-target multi-index: executors iterate this flat slice instead of
+    /// running (and allocating) an incremental odometer per call — the
+    /// odometer now runs exactly once, at layout-compile time.
+    pub bases: Vec<usize>,
+    /// Number of non-target index combinations (`bases.len()`).
     pub other_total: usize,
 }
 
@@ -115,11 +132,43 @@ pub(crate) fn layout(dims: &[usize], targets: &[usize]) -> TargetLayout {
         }
     }
     let other_total = total_dim(&other_dims);
+    // Materialise the non-target base walk once, at compile time, with the
+    // incremental odometer (one add/subtract per step). Executors then just
+    // iterate the flat slice.
+    let mut bases = Vec::with_capacity(other_total);
+    {
+        let n = other_dims.len();
+        if n == 0 {
+            bases.push(0);
+        } else {
+            let mut counters = vec![0usize; n];
+            let mut base = 0usize;
+            let mut remaining = other_total;
+            loop {
+                bases.push(base);
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+                let mut i = n;
+                loop {
+                    debug_assert!(i > 0, "odometer overflow before visiting every base");
+                    i -= 1;
+                    counters[i] += 1;
+                    base += other_strides[i];
+                    if counters[i] < other_dims[i] {
+                        break;
+                    }
+                    base -= other_dims[i] * other_strides[i];
+                    counters[i] = 0;
+                }
+            }
+        }
+    }
     TargetLayout {
         block,
         offsets,
-        other_dims,
-        other_strides,
+        bases,
         other_total,
     }
 }
@@ -128,62 +177,22 @@ impl TargetLayout {
     /// Calls `f(base)` for every combination of the non-target subsystem
     /// indices, where `base` is the flat index with all targets at 0.
     #[inline]
-    pub(crate) fn for_each_base(&self, f: impl FnMut(usize)) {
-        for_each_base_range(
-            &self.other_dims,
-            &self.other_strides,
-            0,
-            self.other_total,
-            f,
-        );
+    pub(crate) fn for_each_base(&self, mut f: impl FnMut(usize)) {
+        for &base in &self.bases {
+            f(base);
+        }
     }
 }
 
-/// Odometer over the non-target subsystems, visiting base indices `lo..hi`
-/// (in row-major order of the non-target multi-index). One add per step.
-fn for_each_base_range(
-    other_dims: &[usize],
-    other_strides: &[usize],
-    lo: usize,
-    hi: usize,
-    mut f: impl FnMut(usize),
-) {
-    if lo >= hi {
-        return;
-    }
-    let n = other_dims.len();
-    if n == 0 {
-        f(0);
-        return;
-    }
-    // Seed the odometer at position `lo`.
-    let mut counters = vec![0usize; n];
-    let mut rest = lo;
-    let mut base = 0usize;
-    for i in (0..n).rev() {
-        counters[i] = rest % other_dims[i];
-        rest /= other_dims[i];
-        base += counters[i] * other_strides[i];
-    }
-    let mut remaining = hi - lo;
-    loop {
-        f(base);
-        remaining -= 1;
-        if remaining == 0 {
-            return;
-        }
-        let mut i = n;
-        loop {
-            debug_assert!(i > 0, "odometer overflow before visiting `remaining` bases");
-            i -= 1;
-            counters[i] += 1;
-            base += other_strides[i];
-            if counters[i] < other_dims[i] {
-                break;
-            }
-            base -= other_dims[i] * other_strides[i];
-            counters[i] = 0;
-        }
+/// The layout of an empty register — a placeholder for plan bodies that
+/// never read their layout (subsystem permutations), avoiding the `O(D)`
+/// base-walk materialisation a real layout would pay.
+pub(crate) fn trivial_layout() -> TargetLayout {
+    TargetLayout {
+        block: 1,
+        offsets: vec![0],
+        bases: vec![0],
+        other_total: 1,
     }
 }
 
@@ -234,29 +243,47 @@ pub(crate) fn targets_distinct(targets: &[usize]) -> bool {
             .all(|(i, t)| !targets[(i + 1)..].contains(t))
 }
 
-/// Structural classification of a block operator, used to pick fast paths.
-/// Structured operators are stored split (re/im vectors) so the fast paths
-/// run as paired real loops like the dense kernel.
-enum OpKind {
+/// Structural classification of a block operator — the dispatch half of a
+/// compiled plan. Self-contained (structured operators are stored split, and
+/// dense operators carry their own plane copies) so a
+/// [`crate::plan::KernelPlan`] embedding it never has to re-borrow the
+/// source matrix at execution time.
+pub(crate) enum OpData {
     /// The identity: nothing to do.
     Identity,
     /// Diagonal: entrywise multiplication.
-    Diagonal { re: Vec<f64>, im: Vec<f64> },
+    Diagonal {
+        /// Real parts of the diagonal.
+        re: Vec<f64>,
+        /// Imaginary parts of the diagonal.
+        im: Vec<f64>,
+    },
     /// One nonzero per row: `out[r] = phase[r] · in[src[r]]`. Covers
     /// permutation operators (SWAP, register cycles) and phased variants.
     /// `unit_phase` marks plain permutations (every phase exactly 1), whose
     /// scatter degenerates to a copy with no multiplies.
     Monomial {
+        /// Column of the single nonzero in each row.
         src: Vec<usize>,
+        /// Real parts of the per-row phases.
         phase_re: Vec<f64>,
+        /// Imaginary parts of the per-row phases.
         phase_im: Vec<f64>,
+        /// Every phase is exactly `1` (plain permutation).
         unit_phase: bool,
     },
-    /// General dense operator.
-    Dense,
+    /// General dense operator: row-major plane copies (`block × block`).
+    /// `block == 2` dispatches to the unrolled register path at execution.
+    Dense {
+        /// Real plane, row-major.
+        re: Vec<f64>,
+        /// Imaginary plane, row-major.
+        im: Vec<f64>,
+    },
 }
 
-fn classify(u: &CMatrix) -> OpKind {
+/// Classifies an operator's structure, copying what the executors need.
+pub(crate) fn classify(u: &CMatrix) -> OpData {
     let n = u.rows();
     let mut diagonal = true;
     'diag: for r in 0..n {
@@ -269,9 +296,9 @@ fn classify(u: &CMatrix) -> OpKind {
     }
     if diagonal {
         if (0..n).all(|i| u.at(i, i) == Complex::ONE) {
-            return OpKind::Identity;
+            return OpData::Identity;
         }
-        return OpKind::Diagonal {
+        return OpData::Diagonal {
             re: (0..n).map(|i| u.at(i, i).re).collect(),
             im: (0..n).map(|i| u.at(i, i).im).collect(),
         };
@@ -279,12 +306,14 @@ fn classify(u: &CMatrix) -> OpKind {
     let mut src = Vec::with_capacity(n);
     let mut phase_re = Vec::with_capacity(n);
     let mut phase_im = Vec::with_capacity(n);
-    for r in 0..n {
+    let mut monomial = true;
+    'mono: for r in 0..n {
         let mut nonzero = None;
         for c in 0..n {
             if u.at(r, c).norm_sqr() != 0.0 {
                 if nonzero.is_some() {
-                    return OpKind::Dense;
+                    monomial = false;
+                    break 'mono;
                 }
                 nonzero = Some(c);
             }
@@ -295,23 +324,32 @@ fn classify(u: &CMatrix) -> OpKind {
                 phase_re.push(u.at(r, c).re);
                 phase_im.push(u.at(r, c).im);
             }
-            None => return OpKind::Dense,
+            None => {
+                monomial = false;
+                break 'mono;
+            }
         }
     }
-    let unit_phase = phase_re.iter().all(|&x| x == 1.0) && phase_im.iter().all(|&x| x == 0.0);
-    OpKind::Monomial {
-        src,
-        phase_re,
-        phase_im,
-        unit_phase,
+    if monomial {
+        let unit_phase = phase_re.iter().all(|&x| x == 1.0) && phase_im.iter().all(|&x| x == 0.0);
+        return OpData::Monomial {
+            src,
+            phase_re,
+            phase_im,
+            unit_phase,
+        };
+    }
+    OpData::Dense {
+        re: u.re().to_vec(),
+        im: u.im().to_vec(),
     }
 }
 
 /// Reusable pair of gather buffers (one per plane) for the block kernels.
 #[derive(Default)]
-struct Scratch {
-    re: Vec<f64>,
-    im: Vec<f64>,
+pub(crate) struct Scratch {
+    pub(crate) re: Vec<f64>,
+    pub(crate) im: Vec<f64>,
 }
 
 impl Scratch {
@@ -328,37 +366,43 @@ impl Scratch {
 /// dimensions `dims`; `targets` lists the subsystems the operator acts on,
 /// in the order matching the operator's tensor-factor ordering.
 ///
+/// Compile-then-execute shim over [`apply_to_state_vector_with`]: callers
+/// applying the same `(dims, targets, op)` many times should compile a
+/// [`KernelPlan`] once and use the executor directly.
+///
 /// # Panics
 ///
 /// Panics if targets repeat or are out of range, if `op` is not square of the
 /// product of target dimensions, or if `amps.len()` differs from the product
 /// of `dims`.
 pub fn apply_to_state_vector(amps: SplitMut<'_>, dims: &[usize], targets: &[usize], op: &CMatrix) {
-    let lay = prepared(amps.len(), dims, targets, op);
+    let plan = KernelPlan::for_operator(dims, targets, op);
+    apply_to_state_vector_with(amps, &plan, &mut PlanScratch::default());
+}
+
+/// Plan executor of [`apply_to_state_vector`]: applies the operator compiled
+/// into `plan` ([`KernelPlan::for_operator`] or stronger) with zero metadata
+/// derivation — dispatch, strides and gather maps all come from the plan.
+///
+/// # Panics
+///
+/// Panics if `amps.len()` differs from the plan's register dimension or if
+/// the plan carries no operator.
+pub fn apply_to_state_vector_with(
+    amps: SplitMut<'_>,
+    plan: &KernelPlan,
+    scratch: &mut PlanScratch,
+) {
+    assert_eq!(amps.len(), plan.total_dim(), "state dimension mismatch");
     apply_vec(
         amps.re,
         amps.im,
-        &lay,
-        op,
-        &classify(op),
+        plan.lay(),
+        plan.op_fwd(),
         false,
         true,
-        &mut Scratch::default(),
+        &mut scratch.gather,
     );
-}
-
-/// Shared validation: checks the operator shape and the data length.
-fn prepared(len: usize, dims: &[usize], targets: &[usize], op: &CMatrix) -> TargetLayout {
-    let lay = layout(dims, targets);
-    assert!(
-        op.rows() == lay.block && op.cols() == lay.block,
-        "operator dimension mismatch: got {}x{}, expected {block}x{block}",
-        op.rows(),
-        op.cols(),
-        block = lay.block
-    );
-    assert_eq!(len, total_dim(dims), "state dimension mismatch");
-    lay
 }
 
 /// Core vector kernel. With `transposed == false` computes
@@ -375,8 +419,7 @@ fn apply_vec(
     re: &mut [f64],
     im: &mut [f64],
     lay: &TargetLayout,
-    op: &CMatrix,
-    kind: &OpKind,
+    data: &OpData,
     transposed: bool,
     parallel_ok: bool,
     scratch: &mut Scratch,
@@ -387,9 +430,9 @@ fn apply_vec(
     let im = &mut im[..re.len()];
     let block = lay.block;
     let offsets = &lay.offsets;
-    match kind {
-        OpKind::Identity => {}
-        OpKind::Diagonal { re: dre, im: dim } => {
+    match data {
+        OpData::Identity => {}
+        OpData::Diagonal { re: dre, im: dim } => {
             // Diagonal operators are symmetric under transposition. Zipping
             // the offset and diagonal slices keeps the per-element work at
             // exactly two checked plane accesses.
@@ -402,7 +445,7 @@ fn apply_vec(
                 }
             });
         }
-        OpKind::Monomial {
+        OpData::Monomial {
             src,
             phase_re,
             phase_im,
@@ -460,7 +503,7 @@ fn apply_vec(
                 }
             });
         }
-        OpKind::Dense => {
+        OpData::Dense { re: ure, im: uim } => {
             #[cfg(feature = "parallel")]
             {
                 // `parallel_ok` is false when the caller invokes this kernel
@@ -469,7 +512,7 @@ fn apply_vec(
                 // across rows instead).
                 if parallel_ok
                     && lay.other_total * block * block >= PARALLEL_THRESHOLD
-                    && apply_vec_dense_parallel(re, im, lay, op, transposed)
+                    && apply_vec_dense_parallel(re, im, lay, ure, uim, transposed)
                 {
                     return;
                 }
@@ -477,11 +520,12 @@ fn apply_vec(
             if block == 2 {
                 // Unrolled 2×2 path, in registers, no scratch. The transposed
                 // action is the same update with the operator transposed.
-                let (u00, u11) = (op.at(0, 0), op.at(1, 1));
+                let at = |r: usize, c: usize| Complex::new(ure[r * 2 + c], uim[r * 2 + c]);
+                let (u00, u11) = (at(0, 0), at(1, 1));
                 let (u01, u10) = if transposed {
-                    (op.at(1, 0), op.at(0, 1))
+                    (at(1, 0), at(0, 1))
                 } else {
-                    (op.at(0, 1), op.at(1, 0))
+                    (at(0, 1), at(1, 0))
                 };
                 let off1 = offsets[1];
                 lay.for_each_base(|base| {
@@ -496,7 +540,6 @@ fn apply_vec(
             }
             scratch.resize(block);
             let (sre, sim) = (&mut scratch.re[..block], &mut scratch.im[..block]);
-            let (ure, uim) = (op.re(), op.im());
             lay.for_each_base(|base| {
                 dense_block(re, im, base, offsets, ure, uim, block, sre, sim, transposed);
             });
@@ -608,7 +651,8 @@ fn apply_vec_dense_parallel(
     re: &mut [f64],
     im: &mut [f64],
     lay: &TargetLayout,
-    op: &CMatrix,
+    ure: &[f64],
+    uim: &[f64],
     transposed: bool,
 ) -> bool {
     let threads = parallel_threads().min(lay.other_total);
@@ -616,13 +660,11 @@ fn apply_vec_dense_parallel(
         return false;
     }
     let block = lay.block;
-    let (ure, uim) = (op.re(), op.im());
     let planes = par::SendPlanes::new(re.as_mut_ptr(), im.as_mut_ptr());
     let chunk = lay.other_total.div_ceil(threads);
     let nchunks = lay.other_total.div_ceil(chunk);
     let scratch = crate::pool::SlotScratch::new(threads, Scratch::default);
     let offsets = &lay.offsets;
-    let (other_dims, other_strides) = (&lay.other_dims, &lay.other_strides);
     let other_total = lay.other_total;
     crate::pool::global().dispatch(threads, nchunks, &|slot, c| {
         let lo = c * chunk;
@@ -632,7 +674,7 @@ fn apply_vec_dense_parallel(
         s.resize(block);
         let (sre, sim) = (&mut s.re[..block], &mut s.im[..block]);
         let (pre, pim) = (planes.re(), planes.im());
-        for_each_base_range(other_dims, other_strides, lo, hi, |base| {
+        lay.bases[lo..hi].iter().for_each(|&base| {
             for (b, &off) in offsets.iter().enumerate() {
                 sre[b] = unsafe { *pre.add(base + off) };
                 sim[b] = unsafe { *pim.add(base + off) };
@@ -672,26 +714,15 @@ fn apply_vec_dense_parallel(
     true
 }
 
-/// Left-multiplies a matrix by an embedded local operator in place:
-/// `M → embed(op) · M`, without materialising `embed(op)`.
-///
-/// `M` has `total_dim(dims)` rows (its row index ranges over the composite
-/// register) and any number of columns. Cost `O(rows · cols · block)`.
-///
-/// # Panics
-///
-/// Panics on target/operator shape mismatches, or if `mat.rows()` differs
-/// from the product of `dims`.
-pub fn left_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize], op: &CMatrix) {
-    let lay = prepared(mat.rows(), dims, targets, op);
+/// Left-multiply core: `M → embed(data) · M` over a compiled layout.
+fn left_multiply_core(mat: &mut CMatrix, lay: &TargetLayout, data: &OpData, scratch: &mut Scratch) {
     let ncols = mat.cols();
     let block = lay.block;
-    let kind = classify(op);
-    let data = mat.split_mut();
-    let (dre, dim) = (data.re, data.im);
-    match kind {
-        OpKind::Identity => {}
-        OpKind::Diagonal { re: cre, im: cim } => {
+    let split = mat.split_mut();
+    let (dre, dim) = (split.re, split.im);
+    match data {
+        OpData::Identity => {}
+        OpData::Diagonal { re: cre, im: cim } => {
             lay.for_each_base(|base| {
                 for (b, &off) in lay.offsets.iter().enumerate() {
                     let row_re = &mut dre[(base + off) * ncols..][..ncols];
@@ -705,14 +736,17 @@ pub fn left_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize]
                 }
             });
         }
-        OpKind::Monomial {
+        OpData::Monomial {
             src,
             phase_re,
             phase_im,
             unit_phase,
         } => {
-            let mut sre = vec![0.0f64; block * ncols];
-            let mut sim = vec![0.0f64; block * ncols];
+            scratch.resize(block * ncols);
+            let (sre, sim) = (
+                &mut scratch.re[..block * ncols],
+                &mut scratch.im[..block * ncols],
+            );
             lay.for_each_base(|base| {
                 for (b, &off) in lay.offsets.iter().enumerate() {
                     sre[b * ncols..(b + 1) * ncols]
@@ -725,7 +759,7 @@ pub fn left_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize]
                     let out_im = &mut dim[(base + lay.offsets[r]) * ncols..][..ncols];
                     let in_re = &sre[s * ncols..(s + 1) * ncols];
                     let in_im = &sim[s * ncols..(s + 1) * ncols];
-                    if unit_phase {
+                    if *unit_phase {
                         // Plain permutation of rows: straight copies.
                         out_re.copy_from_slice(in_re);
                         out_im.copy_from_slice(in_im);
@@ -739,14 +773,15 @@ pub fn left_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize]
                 }
             });
         }
-        OpKind::Dense => {
+        OpData::Dense { re: ure, im: uim } => {
             if block == 2 {
                 // Two-row streaming path: both rows of the 2×2 block update
                 // are computed in registers per column, written back in
                 // place — no scratch copy of the rows. The second block row
                 // always sits strictly after the first (`offsets[1] > 0`),
                 // so `split_at_mut` hands out the two disjoint row slices.
-                let (u00, u01, u10, u11) = (op.at(0, 0), op.at(0, 1), op.at(1, 0), op.at(1, 1));
+                let at = |r: usize, c: usize| Complex::new(ure[r * 2 + c], uim[r * 2 + c]);
+                let (u00, u01, u10, u11) = (at(0, 0), at(0, 1), at(1, 0), at(1, 1));
                 let gap = lay.offsets[1] * ncols;
                 lay.for_each_base(|base| {
                     let start = base * ncols;
@@ -767,9 +802,11 @@ pub fn left_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize]
                 });
                 return;
             }
-            let mut sre = vec![0.0f64; block * ncols];
-            let mut sim = vec![0.0f64; block * ncols];
-            let (ure, uim) = (op.re(), op.im());
+            scratch.resize(block * ncols);
+            let (sre, sim) = (
+                &mut scratch.re[..block * ncols],
+                &mut scratch.im[..block * ncols],
+            );
             lay.for_each_base(|base| {
                 for (b, &off) in lay.offsets.iter().enumerate() {
                     sre[b * ncols..(b + 1) * ncols]
@@ -807,43 +844,35 @@ pub fn left_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize]
     }
 }
 
-/// Right-multiplies a matrix by an embedded local operator in place:
-/// `M → M · embed(op)`, without materialising `embed(op)`.
-///
-/// `M` has `total_dim(dims)` columns (its column index ranges over the
-/// composite register) and any number of rows. Cost `O(rows · cols · block)`.
-///
-/// # Panics
-///
-/// Panics on target/operator shape mismatches, or if `mat.cols()` differs
-/// from the product of `dims`.
-pub fn right_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize], op: &CMatrix) {
-    let lay = prepared(mat.cols(), dims, targets, op);
+/// Right-multiply core: `M → M · embed(data)` — the transposed vector kernel
+/// applied to each (contiguous, in both planes) row. Per-row parallelism
+/// inside `apply_vec` is disabled — a pool dispatch per row would dwarf the
+/// row's work — and the `parallel` feature splits row ranges across the
+/// persistent pool workers instead. Safety: chunks cover disjoint row
+/// ranges, rows are contiguous in both planes, and the gather scratch is per
+/// worker slot.
+fn right_multiply_core(
+    mat: &mut CMatrix,
+    lay: &TargetLayout,
+    data: &OpData,
+    scratch: &mut Scratch,
+) {
     let nrows = mat.rows();
     let ctotal = mat.cols();
-    let kind = classify(op);
-    // Row i of the product is (row i of M) · embed(op): the transposed vector
-    // kernel applied to each (contiguous, in both planes) row. Per-row
-    // parallelism inside `apply_vec` is disabled — a pool dispatch per row
-    // would dwarf the row's work — and the `parallel` feature splits row
-    // ranges across the persistent pool workers instead. Safety: chunks
-    // cover disjoint row ranges, rows are contiguous in both planes, and the
-    // gather scratch is per worker slot.
     #[cfg(feature = "parallel")]
     {
         let threads = parallel_threads().min(nrows);
         if threads > 1 && nrows * ctotal * lay.block >= PARALLEL_THRESHOLD {
             let rows_per_chunk = nrows.div_ceil(threads);
             let nchunks = nrows.div_ceil(rows_per_chunk);
-            let data = mat.split_mut();
-            let planes = par::SendPlanes::new(data.re.as_mut_ptr(), data.im.as_mut_ptr());
-            let scratch = crate::pool::SlotScratch::new(threads, Scratch::default);
-            let (lay, kind) = (&lay, &kind);
+            let split = mat.split_mut();
+            let planes = par::SendPlanes::new(split.re.as_mut_ptr(), split.im.as_mut_ptr());
+            let slot_scratch = crate::pool::SlotScratch::new(threads, Scratch::default);
             crate::pool::global().dispatch(threads, nchunks, &|slot, c| {
                 let lo = c * rows_per_chunk;
                 let hi = ((c + 1) * rows_per_chunk).min(nrows);
                 // Safety: `slot` is the pool-provided slot id of this job.
-                let s = unsafe { scratch.get(slot) };
+                let s = unsafe { slot_scratch.get(slot) };
                 let (pre, pim) = (planes.re(), planes.im());
                 for row in lo..hi {
                     // Safety: row ranges of distinct chunks are disjoint.
@@ -851,18 +880,222 @@ pub fn right_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize
                         unsafe { std::slice::from_raw_parts_mut(pre.add(row * ctotal), ctotal) };
                     let row_im =
                         unsafe { std::slice::from_raw_parts_mut(pim.add(row * ctotal), ctotal) };
-                    apply_vec(row_re, row_im, lay, op, kind, true, false, s);
+                    apply_vec(row_re, row_im, lay, data, true, false, s);
                 }
             });
             return;
         }
     }
     let _ = nrows;
-    let mut scratch = Scratch::default();
-    let data = mat.split_mut();
-    for (row_re, row_im) in data.re.chunks_mut(ctotal).zip(data.im.chunks_mut(ctotal)) {
-        apply_vec(row_re, row_im, &lay, op, &kind, true, false, &mut scratch);
+    let split = mat.split_mut();
+    for (row_re, row_im) in split.re.chunks_mut(ctotal).zip(split.im.chunks_mut(ctotal)) {
+        apply_vec(row_re, row_im, lay, data, true, false, scratch);
     }
+}
+
+/// Left-multiplies a matrix by an embedded local operator in place:
+/// `M → embed(op) · M`, without materialising `embed(op)`.
+///
+/// `M` has `total_dim(dims)` rows (its row index ranges over the composite
+/// register) and any number of columns. Cost `O(rows · cols · block)`.
+///
+/// Compile-then-execute shim over [`left_multiply_matrix_with`].
+///
+/// # Panics
+///
+/// Panics on target/operator shape mismatches, or if `mat.rows()` differs
+/// from the product of `dims`.
+pub fn left_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize], op: &CMatrix) {
+    let plan = KernelPlan::for_operator(dims, targets, op);
+    left_multiply_matrix_with(mat, &plan, &mut PlanScratch::default());
+}
+
+/// Plan executor of [`left_multiply_matrix`].
+///
+/// # Panics
+///
+/// Panics if `mat.rows()` differs from the plan's register dimension or if
+/// the plan carries no operator.
+pub fn left_multiply_matrix_with(mat: &mut CMatrix, plan: &KernelPlan, scratch: &mut PlanScratch) {
+    assert_eq!(mat.rows(), plan.total_dim(), "state dimension mismatch");
+    left_multiply_core(mat, plan.lay(), plan.op_fwd(), &mut scratch.gather);
+}
+
+/// Right-multiplies a matrix by an embedded local operator in place:
+/// `M → M · embed(op)`, without materialising `embed(op)`.
+///
+/// `M` has `total_dim(dims)` columns (its column index ranges over the
+/// composite register) and any number of rows. Cost `O(rows · cols · block)`.
+///
+/// Compile-then-execute shim over [`right_multiply_matrix_with`].
+///
+/// # Panics
+///
+/// Panics on target/operator shape mismatches, or if `mat.cols()` differs
+/// from the product of `dims`.
+pub fn right_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize], op: &CMatrix) {
+    let plan = KernelPlan::for_operator(dims, targets, op);
+    right_multiply_matrix_with(mat, &plan, &mut PlanScratch::default());
+}
+
+/// Plan executor of [`right_multiply_matrix`].
+///
+/// # Panics
+///
+/// Panics if `mat.cols()` differs from the plan's register dimension or if
+/// the plan carries no operator.
+pub fn right_multiply_matrix_with(mat: &mut CMatrix, plan: &KernelPlan, scratch: &mut PlanScratch) {
+    assert_eq!(mat.cols(), plan.total_dim(), "state dimension mismatch");
+    right_multiply_core(mat, plan.lay(), plan.op_fwd(), &mut scratch.gather);
+}
+
+/// Conjugates a square matrix by an embedded local operator in place:
+/// `M → embed(op) · M · embed(op)†`, without materialising `embed(op)`.
+///
+/// This is the density-matrix update `ρ → U ρ U†` for a local unitary, and
+/// works for arbitrary (non-unitary) local operators such as measurement
+/// effects. Cost `O(D² · block)` versus `O(D³)` for embed-then-matmul.
+///
+/// Compile-then-execute shim over [`conjugate_matrix_with`] (the plan also
+/// pre-classifies the adjoint, so no `op.adjoint()` matrix is built per
+/// call).
+///
+/// # Panics
+///
+/// Panics on target/operator shape mismatches, or if `mat` is not square of
+/// dimension `total_dim(dims)`.
+pub fn conjugate_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize], op: &CMatrix) {
+    let plan = KernelPlan::for_conjugation(dims, targets, op);
+    conjugate_matrix_with(mat, &plan, &mut PlanScratch::default());
+}
+
+/// Plan executor of [`conjugate_matrix`]: requires a plan compiled with
+/// [`KernelPlan::for_conjugation`] (which classifies both the operator and
+/// its adjoint).
+///
+/// # Panics
+///
+/// Panics if `mat` is not square of the plan's register dimension or if the
+/// plan carries no adjoint classification.
+pub fn conjugate_matrix_with(mat: &mut CMatrix, plan: &KernelPlan, scratch: &mut PlanScratch) {
+    assert_eq!(
+        mat.rows(),
+        mat.cols(),
+        "conjugation requires a square matrix"
+    );
+    assert_eq!(mat.rows(), plan.total_dim(), "state dimension mismatch");
+    left_multiply_core(mat, plan.lay(), plan.op_fwd(), &mut scratch.gather);
+    right_multiply_core(mat, plan.lay(), plan.op_adj(), &mut scratch.gather);
+}
+
+/// Out-of-place plan conjugation: `dst ← embed(op) · src · embed(op)†`.
+///
+/// For a **monomial** operator (SWAP, register permutations — the
+/// symmetrisation channel of every chain protocol) the conjugation is a pure
+/// index gather: `dst[bᵣ+off_r, b_c+off_c] = φ_r φ̄_c · src[bᵣ+off_{s(r)},
+/// b_c+off_{s(c)}]`, executed here as one fused pass over the plan's
+/// materialised bases — no row scratch, no two-pass left/right multiply, no
+/// multiplies at all in the unit-phase case. Other operator structures fall
+/// back to copy + [`conjugate_matrix_with`] (which requires the plan to
+/// carry the adjoint, i.e. [`KernelPlan::for_conjugation`]).
+///
+/// # Panics
+///
+/// Panics if `src`/`dst` are not square of the plan's register dimension or
+/// if the plan carries no operator (monomial case) / no adjoint (fallback).
+pub fn conjugate_into_with(
+    dst: &mut CMatrix,
+    src: &CMatrix,
+    plan: &KernelPlan,
+    scratch: &mut PlanScratch,
+) {
+    let d = plan.total_dim();
+    assert!(
+        src.rows() == d && src.cols() == d && dst.rows() == d && dst.cols() == d,
+        "state dimension mismatch"
+    );
+    if let OpData::Monomial {
+        src: smap,
+        phase_re,
+        phase_im,
+        unit_phase,
+    } = plan.op_fwd()
+    {
+        let lay = plan.lay();
+        let offsets = &lay.offsets;
+        let bases = &lay.bases;
+        let (sre, sim) = (src.re(), src.im());
+        let split = dst.split_mut();
+        let (dre, dim) = (split.re, split.im);
+        for &br in bases {
+            for (r, &off_r) in offsets.iter().enumerate() {
+                let in_row = (br + offsets[smap[r]]) * d;
+                let out_row = (br + off_r) * d;
+                if *unit_phase {
+                    for &bc in bases {
+                        for (c, &off_c) in offsets.iter().enumerate() {
+                            let from = in_row + bc + offsets[smap[c]];
+                            let to = out_row + bc + off_c;
+                            dre[to] = sre[from];
+                            dim[to] = sim[from];
+                        }
+                    }
+                } else {
+                    let (pr_r, pi_r) = (phase_re[r], phase_im[r]);
+                    for &bc in bases {
+                        for (c, &off_c) in offsets.iter().enumerate() {
+                            // φ_r · conj(φ_c)
+                            let (pr_c, pi_c) = (phase_re[c], -phase_im[c]);
+                            let fr = pr_r * pr_c - pi_r * pi_c;
+                            let fi = pr_r * pi_c + pi_r * pr_c;
+                            let from = in_row + bc + offsets[smap[c]];
+                            let to = out_row + bc + off_c;
+                            let (xr, xi) = (sre[from], sim[from]);
+                            dre[to] = xr * fr - xi * fi;
+                            dim[to] = xr * fi + xi * fr;
+                        }
+                    }
+                }
+            }
+        }
+        return;
+    }
+    dst.copy_from(src);
+    conjugate_matrix_with(dst, plan, scratch);
+}
+
+/// Plan executor for a Kraus channel `M → Σ_k K_k M K_k†` over a plan
+/// compiled with [`KernelPlan::for_kraus`]. `term` and `acc` are caller-owned
+/// full-dimension buffers (reused across calls); `mat` receives the result.
+///
+/// # Panics
+///
+/// Panics if `mat`, `term` or `acc` are not square of the plan's register
+/// dimension or if the plan carries no Kraus operators.
+pub fn apply_kraus_with(
+    mat: &mut CMatrix,
+    plan: &KernelPlan,
+    scratch: &mut PlanScratch,
+    term: &mut CMatrix,
+    acc: &mut CMatrix,
+) {
+    let d = plan.total_dim();
+    assert!(
+        mat.rows() == d && mat.cols() == d,
+        "state dimension mismatch"
+    );
+    assert!(
+        term.rows() == d && term.cols() == d && acc.rows() == d && acc.cols() == d,
+        "Kraus scratch dimension mismatch"
+    );
+    acc.scale_real_in_place(0.0);
+    for (fwd, adj) in plan.kraus_ops() {
+        term.copy_from(mat);
+        left_multiply_core(term, plan.lay(), fwd, &mut scratch.gather);
+        right_multiply_core(term, plan.lay(), adj, &mut scratch.gather);
+        acc.mix_in_place(1.0, 1.0, term);
+    }
+    mat.copy_from(acc);
 }
 
 /// Trace of an embedded monomial operator against a square matrix:
@@ -875,6 +1108,8 @@ pub fn right_multiply_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize
 /// visits each of the `D = total_dim(dims)` per-base block entries once —
 /// no operator, embedded or block-local, is ever materialised.
 ///
+/// Compile-then-execute shim over [`monomial_embedded_trace_with`].
+///
 /// # Panics
 ///
 /// Panics if `M` is not square of dimension `total_dim(dims)`, or if
@@ -886,27 +1121,46 @@ pub fn monomial_embedded_trace(
     src: &[usize],
     phase: &[Complex],
 ) -> Complex {
-    let lay = layout(dims, targets);
-    assert_eq!(src.len(), lay.block, "monomial source map length mismatch");
-    assert_eq!(
-        phase.len(),
-        lay.block,
-        "monomial phase vector length mismatch"
-    );
+    let plan = KernelPlan::for_monomial_trace(dims, targets, src, phase);
+    monomial_embedded_trace_with(mat, &plan)
+}
+
+/// Plan executor of [`monomial_embedded_trace`] over a plan carrying a
+/// monomial operator (e.g. [`KernelPlan::for_monomial_trace`]).
+///
+/// # Panics
+///
+/// Panics if `M` is not square of the plan's register dimension or if the
+/// plan's operator is not monomial.
+pub fn monomial_embedded_trace_with(mat: &CMatrix, plan: &KernelPlan) -> Complex {
     assert!(
-        mat.rows() == total_dim(dims) && mat.cols() == mat.rows(),
+        mat.rows() == plan.total_dim() && mat.cols() == mat.rows(),
         "matrix dimension mismatch"
     );
+    let lay = plan.lay();
+    let (src, phase_re, phase_im) = match plan.op_fwd() {
+        OpData::Monomial {
+            src,
+            phase_re,
+            phase_im,
+            ..
+        } => (src, phase_re, phase_im),
+        _ => panic!("plan does not carry a monomial operator"),
+    };
     let d = mat.rows();
     let (mre, mim) = (mat.re(), mat.im());
     let offsets = &lay.offsets;
     let mut acc_re = 0.0;
     let mut acc_im = 0.0;
     lay.for_each_base(|base| {
-        for (r, (&s, &ph)) in src.iter().zip(phase.iter()).enumerate() {
+        for (r, (&s, (&pr, &pi))) in src
+            .iter()
+            .zip(phase_re.iter().zip(phase_im.iter()))
+            .enumerate()
+        {
             let idx = (base + offsets[s]) * d + (base + offsets[r]);
-            acc_re += ph.re * mre[idx] - ph.im * mim[idx];
-            acc_im += ph.re * mim[idx] + ph.im * mre[idx];
+            acc_re += pr * mre[idx] - pi * mim[idx];
+            acc_im += pr * mim[idx] + pi * mre[idx];
         }
     });
     Complex::new(acc_re, acc_im)
@@ -918,8 +1172,9 @@ pub fn monomial_embedded_trace(
 ///
 /// The associated orthogonal projector `P[r, c] = [r ~ c] / |class(r)|`
 /// averages each class. When the classes are the orbits of the register
-/// digits under `S_k` (see [`crate::permutation::symmetric_classes`]), `P`
-/// is exactly the symmetric-subspace projector `Π_sym = (1/k!) Σ_π U_π`, so
+/// digits under `S_k` (see [`crate::permutation::symmetric_classes`], whose
+/// single memoised home is [`crate::plan::symmetric_classes`]), `P` is
+/// exactly the symmetric-subspace projector `Π_sym = (1/k!) Σ_π U_π`, so
 /// the [`project_classes_rows`]/[`project_classes_cols`] pair implements the
 /// post-measurement effect `Π_sym ρ Π_sym` of the permutation test as an
 /// in-place register symmetrisation — `O(D²)` with no `k!` factor and no
@@ -933,7 +1188,7 @@ pub struct BlockClasses {
 }
 
 impl BlockClasses {
-    fn validate(&self, block: usize) {
+    pub(crate) fn validate(&self, block: usize) {
         assert_eq!(self.class_of.len(), block, "class map length mismatch");
         assert!(
             self.class_of.iter().all(|&c| c < self.class_size.len()),
@@ -945,6 +1200,8 @@ impl BlockClasses {
 /// Applies the class-averaging projector of `classes` to a single vector over
 /// the composite register, in place: `v → embed(P) v` (or `(I − P) v` with
 /// `complement`). Each amplitude is visited a constant number of times: `O(D)`.
+///
+/// Compile-then-execute shim over [`project_classes_vector_with`].
 pub fn project_classes_vector(
     amps: SplitMut<'_>,
     dims: &[usize],
@@ -952,30 +1209,39 @@ pub fn project_classes_vector(
     classes: &BlockClasses,
     complement: bool,
 ) {
-    let lay = layout(dims, targets);
-    classes.validate(lay.block);
-    assert_eq!(amps.len(), total_dim(dims), "state dimension mismatch");
-    let nclasses = classes.class_size.len();
-    let mut sums_re = vec![0.0f64; nclasses];
-    let mut sums_im = vec![0.0f64; nclasses];
-    project_vector_impl(
+    let plan = KernelPlan::for_classes(dims, targets, classes);
+    project_classes_vector_with(amps, &plan, complement, &mut PlanScratch::default());
+}
+
+/// Plan executor of [`project_classes_vector`] over a class plan
+/// ([`KernelPlan::for_classes`] / [`KernelPlan::for_symmetric`]).
+pub fn project_classes_vector_with(
+    amps: SplitMut<'_>,
+    plan: &KernelPlan,
+    complement: bool,
+    scratch: &mut PlanScratch,
+) {
+    assert_eq!(amps.len(), plan.total_dim(), "state dimension mismatch");
+    let cd = plan.class_data();
+    scratch.sums.resize(cd.nclasses());
+    project_vector_core(
         amps.re,
         amps.im,
-        &lay,
-        classes,
+        plan.lay(),
+        cd,
         complement,
-        &mut sums_re,
-        &mut sums_im,
+        &mut scratch.sums.re,
+        &mut scratch.sums.im,
     );
 }
 
 /// Shared per-base class-averaging body for vectors and matrix rows.
 #[allow(clippy::too_many_arguments)]
-fn project_vector_impl(
+fn project_vector_core(
     re: &mut [f64],
     im: &mut [f64],
     lay: &TargetLayout,
-    classes: &BlockClasses,
+    cd: &ClassData,
     complement: bool,
     sums_re: &mut [f64],
     sums_im: &mut [f64],
@@ -989,13 +1255,13 @@ fn project_vector_impl(
             *s = 0.0;
         }
         for (b, &off) in offsets.iter().enumerate() {
-            let c = classes.class_of[b];
+            let c = cd.class_of[b];
             sums_re[c] += re[base + off];
             sums_im[c] += im[base + off];
         }
         for (b, &off) in offsets.iter().enumerate() {
-            let c = classes.class_of[b];
-            let inv = 1.0 / classes.class_size[c] as f64;
+            let c = cd.class_of[b];
+            let inv = cd.inv_size[c];
             let (avg_re, avg_im) = (sums_re[c] * inv, sums_im[c] * inv);
             if complement {
                 re[base + off] -= avg_re;
@@ -1012,20 +1278,31 @@ fn project_vector_impl(
 /// materialising the projected vector: `‖embed(P) v‖² = Σ_class |Σ v|²/|class|`
 /// summed per base. This is the acceptance probability of the permutation
 /// test on a pure state when `classes` are the `S_k` digit orbits.
+///
+/// Compile-then-execute shim over [`class_projection_weight_with`].
 pub fn class_projection_weight(
     amps: Split<'_>,
     dims: &[usize],
     targets: &[usize],
     classes: &BlockClasses,
 ) -> f64 {
-    let lay = layout(dims, targets);
-    classes.validate(lay.block);
-    assert_eq!(amps.len(), total_dim(dims), "state dimension mismatch");
+    let plan = KernelPlan::for_classes(dims, targets, classes);
+    class_projection_weight_with(amps, &plan, &mut PlanScratch::default())
+}
+
+/// Plan executor of [`class_projection_weight`] over a class plan.
+pub fn class_projection_weight_with(
+    amps: Split<'_>,
+    plan: &KernelPlan,
+    scratch: &mut PlanScratch,
+) -> f64 {
+    assert_eq!(amps.len(), plan.total_dim(), "state dimension mismatch");
+    let cd = plan.class_data();
+    let lay = plan.lay();
     let (re, im) = (amps.re, amps.im);
     let offsets = &lay.offsets;
-    let nclasses = classes.class_size.len();
-    let mut sums_re = vec![0.0f64; nclasses];
-    let mut sums_im = vec![0.0f64; nclasses];
+    scratch.sums.resize(cd.nclasses());
+    let (sums_re, sums_im) = (&mut scratch.sums.re, &mut scratch.sums.im);
     let mut weight = 0.0;
     lay.for_each_base(|base| {
         for s in sums_re.iter_mut() {
@@ -1035,12 +1312,12 @@ pub fn class_projection_weight(
             *s = 0.0;
         }
         for (b, &off) in offsets.iter().enumerate() {
-            let c = classes.class_of[b];
+            let c = cd.class_of[b];
             sums_re[c] += re[base + off];
             sums_im[c] += im[base + off];
         }
         for (c, (&sr, &si)) in sums_re.iter().zip(sums_im.iter()).enumerate() {
-            weight += (sr * sr + si * si) / classes.class_size[c] as f64;
+            weight += (sr * sr + si * si) * cd.inv_size[c];
         }
     });
     weight
@@ -1054,30 +1331,35 @@ pub fn class_projection_weight(
 /// `k!` monomial gathers regrouped by orbit, so the cost per base drops from
 /// `k!·block` to `Σ_orbit |orbit|² ≤ k!·block` and the permutations are never
 /// enumerated.
+///
+/// Compile-then-execute shim over [`class_projection_trace_with`]; the plan
+/// carries the per-class offset gather lists pre-grouped (flat, one
+/// allocation), where this shim used to rebuild a vector-of-vectors per call.
 pub fn class_projection_trace(
     mat: &CMatrix,
     dims: &[usize],
     targets: &[usize],
     classes: &BlockClasses,
 ) -> Complex {
-    let lay = layout(dims, targets);
-    classes.validate(lay.block);
+    let plan = KernelPlan::for_classes(dims, targets, classes);
+    class_projection_trace_with(mat, &plan)
+}
+
+/// Plan executor of [`class_projection_trace`] over a class plan.
+pub fn class_projection_trace_with(mat: &CMatrix, plan: &KernelPlan) -> Complex {
     assert!(
-        mat.rows() == total_dim(dims) && mat.cols() == mat.rows(),
+        mat.rows() == plan.total_dim() && mat.cols() == mat.rows(),
         "matrix dimension mismatch"
     );
-    // Group the block offsets by class once per call.
-    let nclasses = classes.class_size.len();
-    let mut members: Vec<Vec<usize>> = vec![Vec::new(); nclasses];
-    for (b, &c) in classes.class_of.iter().enumerate() {
-        members[c].push(lay.offsets[b]);
-    }
+    let cd = plan.class_data();
+    let lay = plan.lay();
     let d = mat.rows();
     let (mre, mim) = (mat.re(), mat.im());
     let mut acc_re = 0.0;
     let mut acc_im = 0.0;
     lay.for_each_base(|base| {
-        for (c, offs) in members.iter().enumerate() {
+        for c in 0..cd.nclasses() {
+            let offs = &cd.member_offsets[cd.class_start[c]..cd.class_start[c + 1]];
             let mut class_re = 0.0;
             let mut class_im = 0.0;
             for &or in offs {
@@ -1087,7 +1369,7 @@ pub fn class_projection_trace(
                     class_im += mim[row + oc];
                 }
             }
-            let inv = 1.0 / classes.class_size[c] as f64;
+            let inv = cd.inv_size[c];
             acc_re += class_re * inv;
             acc_im += class_im * inv;
         }
@@ -1098,6 +1380,8 @@ pub fn class_projection_trace(
 /// Left-multiplies a matrix by the embedded class-averaging projector in
 /// place: `M → embed(P) · M` (or `(I − P) · M` with `complement`), where `M`
 /// has `total_dim(dims)` rows. Cost `O(rows · cols)` — no `block` factor.
+///
+/// Compile-then-execute shim over [`project_classes_rows_with`].
 pub fn project_classes_rows(
     mat: &mut CMatrix,
     dims: &[usize],
@@ -1105,16 +1389,31 @@ pub fn project_classes_rows(
     classes: &BlockClasses,
     complement: bool,
 ) {
-    let lay = layout(dims, targets);
-    classes.validate(lay.block);
-    assert_eq!(mat.rows(), total_dim(dims), "matrix row dimension mismatch");
+    let plan = KernelPlan::for_classes(dims, targets, classes);
+    project_classes_rows_with(mat, &plan, complement, &mut PlanScratch::default());
+}
+
+/// Plan executor of [`project_classes_rows`] over a class plan.
+pub fn project_classes_rows_with(
+    mat: &mut CMatrix,
+    plan: &KernelPlan,
+    complement: bool,
+    scratch: &mut PlanScratch,
+) {
+    assert_eq!(
+        mat.rows(),
+        plan.total_dim(),
+        "matrix row dimension mismatch"
+    );
+    let cd = plan.class_data();
+    let lay = plan.lay();
     let ncols = mat.cols();
-    let nclasses = classes.class_size.len();
+    let nclasses = cd.nclasses();
     let offsets = &lay.offsets;
-    let data = mat.split_mut();
-    let (dre, dim) = (data.re, data.im);
-    let mut sums_re = vec![0.0f64; nclasses * ncols];
-    let mut sums_im = vec![0.0f64; nclasses * ncols];
+    let split = mat.split_mut();
+    let (dre, dim) = (split.re, split.im);
+    scratch.sums.resize(nclasses * ncols);
+    let (sums_re, sums_im) = (&mut scratch.sums.re, &mut scratch.sums.im);
     lay.for_each_base(|base| {
         for s in sums_re.iter_mut() {
             *s = 0.0;
@@ -1123,7 +1422,7 @@ pub fn project_classes_rows(
             *s = 0.0;
         }
         for (b, &off) in offsets.iter().enumerate() {
-            let c = classes.class_of[b];
+            let c = cd.class_of[b];
             let row_re = &dre[(base + off) * ncols..][..ncols];
             let row_im = &dim[(base + off) * ncols..][..ncols];
             let acc_re = &mut sums_re[c * ncols..(c + 1) * ncols];
@@ -1134,8 +1433,8 @@ pub fn project_classes_rows(
             }
         }
         for (b, &off) in offsets.iter().enumerate() {
-            let c = classes.class_of[b];
-            let inv = 1.0 / classes.class_size[c] as f64;
+            let c = cd.class_of[b];
+            let inv = cd.inv_size[c];
             let row_re = &mut dre[(base + off) * ncols..][..ncols];
             let row_im = &mut dim[(base + off) * ncols..][..ncols];
             let acc_re = &sums_re[c * ncols..(c + 1) * ncols];
@@ -1155,10 +1454,203 @@ pub fn project_classes_rows(
     });
 }
 
+/// Fused scaled class conjugation over a class plan:
+/// `M → scale · embed(P) · M · embed(P)` in **one pass** — per non-target
+/// base pair, the `nclasses²` class-pair sums are accumulated and written
+/// back with the combined factor `scale / (|C_r| · |C_c|)`, instead of the
+/// separate row and column averaging passes of
+/// [`project_classes_rows_with`] / [`project_classes_cols_with`]. This is
+/// the accept branch of the SWAP/permutation-test effect with the
+/// post-measurement renormalisation folded in (`scale = 1/p`).
+///
+/// # Panics
+///
+/// Panics if `M` is not square of the plan's register dimension or if the
+/// plan carries no class tables.
+pub fn project_classes_conjugate_with(
+    mat: &mut CMatrix,
+    plan: &KernelPlan,
+    scale: f64,
+    scratch: &mut PlanScratch,
+) {
+    let d = plan.total_dim();
+    assert!(
+        mat.rows() == d && mat.cols() == d,
+        "matrix dimension mismatch"
+    );
+    let cd = plan.class_data();
+    // Flat block² tables (class-pair id, combined 1/(|C_r|·|C_c|) factor),
+    // built lazily on the plan's first fused conjugation.
+    let (pair_class, pair_inv) = cd.pair_tables();
+    let lay = plan.lay();
+    let offsets = &lay.offsets;
+    let bases = &lay.bases;
+    let nc = cd.nclasses();
+    let block = lay.block;
+    debug_assert_eq!(pair_class.len(), block * block);
+    scratch.sums.resize(nc * nc);
+    let (sums_re, sums_im) = (
+        &mut scratch.sums.re[..nc * nc],
+        &mut scratch.sums.im[..nc * nc],
+    );
+    let split = mat.split_mut();
+    let (mre, mim) = (split.re, split.im);
+    for &br in bases {
+        for &bc in bases {
+            for s in sums_re.iter_mut() {
+                *s = 0.0;
+            }
+            for s in sums_im.iter_mut() {
+                *s = 0.0;
+            }
+            let mut idx = 0usize;
+            for &off_r in offsets.iter() {
+                let row = (br + off_r) * d + bc;
+                for &off_c in offsets.iter() {
+                    let s = pair_class[idx];
+                    sums_re[s] += mre[row + off_c];
+                    sums_im[s] += mim[row + off_c];
+                    idx += 1;
+                }
+            }
+            idx = 0;
+            for &off_r in offsets.iter() {
+                let row = (br + off_r) * d + bc;
+                for &off_c in offsets.iter() {
+                    let s = pair_class[idx];
+                    let f = pair_inv[idx] * scale;
+                    mre[row + off_c] = sums_re[s] * f;
+                    mim[row + off_c] = sums_im[s] * f;
+                    idx += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Fused class conjugation + partial trace over a class plan:
+/// `out ← scale · tr_T( embed(P) · src · embed(P) )`, where `T` is the
+/// plan's target set and `out` lives on the complementary (non-target)
+/// registers — indexed exactly by the plan's materialised base walk.
+///
+/// By linearity the double class average collapses under the trace:
+/// `out[a, b] = scale · Σ_class (1/|class|) Σ_{o₁,o₂ ∈ class}
+/// src[bases[a]+o₁, bases[b]+o₂]` — `Σ_class |class|²` gathers per `(a, b)`
+/// pair, never materialising the post-measurement matrix. This is the
+/// accept-effect + trace-down step of the mixed-proof frontier walk in one
+/// pass (`scale = 1/p` folds the renormalisation in).
+///
+/// # Panics
+///
+/// Panics if `src` is not square of the plan's register dimension, if `out`
+/// is not square of the non-target dimension, or if the plan carries no
+/// class tables.
+pub fn project_classes_trace_complement_with(
+    src: &CMatrix,
+    plan: &KernelPlan,
+    scale: f64,
+    out: &mut CMatrix,
+) {
+    let d = plan.total_dim();
+    assert!(
+        src.rows() == d && src.cols() == d,
+        "matrix dimension mismatch"
+    );
+    let cd = plan.class_data();
+    let lay = plan.lay();
+    let nb = lay.other_total;
+    assert!(
+        out.rows() == nb && out.cols() == nb,
+        "traced output dimension mismatch"
+    );
+    let bases = &lay.bases;
+    let (sre, sim) = (src.re(), src.im());
+    let split = out.split_mut();
+    let (ore, oim) = (split.re, split.im);
+    ore.fill(0.0);
+    oim.fill(0.0);
+    for c in 0..cd.nclasses() {
+        let offs = &cd.member_offsets[cd.class_start[c]..cd.class_start[c + 1]];
+        let w = cd.inv_size[c] * scale;
+        for &o1 in offs {
+            for &o2 in offs {
+                for (a, &ba) in bases.iter().enumerate() {
+                    let row = (o1 + ba) * d + o2;
+                    let orow = a * nb;
+                    for (b, &bb) in bases.iter().enumerate() {
+                        ore[orow + b] += w * sre[row + bb];
+                        oim[orow + b] += w * sim[row + bb];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fused symmetrisation channel over an operator plan:
+/// `M → ½·M + ½·embed(op)·M·embed(op)†`, using `tmp` as the result buffer
+/// and swapping it in. For a monomial operator the whole update is one pass
+/// over the matrix (gather + blend per entry); other structures fall back to
+/// [`conjugate_into_with`] plus a blend pass.
+///
+/// # Panics
+///
+/// Panics if `M`/`tmp` are not square of the plan's register dimension, or
+/// (non-monomial fallback) if the plan carries no adjoint.
+pub fn symmetrize_with(
+    mat: &mut CMatrix,
+    plan: &KernelPlan,
+    tmp: &mut CMatrix,
+    scratch: &mut PlanScratch,
+) {
+    let d = plan.total_dim();
+    assert!(
+        mat.rows() == d && mat.cols() == d && tmp.rows() == d && tmp.cols() == d,
+        "state dimension mismatch"
+    );
+    let unit_monomial = matches!(
+        plan.op_fwd(),
+        OpData::Monomial {
+            unit_phase: true,
+            ..
+        }
+    );
+    if unit_monomial {
+        // full[i] is the plan's precomputed full-register gather map:
+        // (SρS†)[i, j] = ρ[full(i), full(j)].
+        let full = plan
+            .monomial_full_src()
+            .expect("monomial plan carries its full gather map");
+        let (sre, sim) = (mat.re(), mat.im());
+        let split = tmp.split_mut();
+        let (dre, dim) = (split.re, split.im);
+        for i in 0..d {
+            let pi = full[i] * d;
+            let row = i * d;
+            let src_i_re = &sre[row..row + d];
+            let src_i_im = &sim[row..row + d];
+            let src_p_re = &sre[pi..pi + d];
+            let src_p_im = &sim[pi..pi + d];
+            let out_re = &mut dre[row..row + d];
+            let out_im = &mut dim[row..row + d];
+            for (j, &fj) in full.iter().enumerate() {
+                out_re[j] = 0.5 * (src_i_re[j] + src_p_re[fj]);
+                out_im[j] = 0.5 * (src_i_im[j] + src_p_im[fj]);
+            }
+        }
+        std::mem::swap(mat, tmp);
+        return;
+    }
+    conjugate_into_with(tmp, mat, plan, scratch);
+    mat.mix_in_place(0.5, 0.5, tmp);
+}
+
 /// Right-multiplies a matrix by the embedded class-averaging projector in
 /// place: `M → M · embed(P)` (or `M · (I − P)` with `complement`), where `M`
 /// has `total_dim(dims)` columns. `P` is symmetric, so this is the row-wise
 /// application of [`project_classes_vector`]. Cost `O(rows · cols)`.
+///
+/// Compile-then-execute shim over [`project_classes_cols_with`].
 pub fn project_classes_cols(
     mat: &mut CMatrix,
     dims: &[usize],
@@ -1166,46 +1658,34 @@ pub fn project_classes_cols(
     classes: &BlockClasses,
     complement: bool,
 ) {
-    let lay = layout(dims, targets);
-    classes.validate(lay.block);
-    let ctotal = total_dim(dims);
-    assert_eq!(mat.cols(), ctotal, "matrix column dimension mismatch");
-    let nclasses = classes.class_size.len();
-    let mut sums_re = vec![0.0f64; nclasses];
-    let mut sums_im = vec![0.0f64; nclasses];
-    let data = mat.split_mut();
-    for (row_re, row_im) in data.re.chunks_mut(ctotal).zip(data.im.chunks_mut(ctotal)) {
-        project_vector_impl(
-            row_re,
-            row_im,
-            &lay,
-            classes,
-            complement,
-            &mut sums_re,
-            &mut sums_im,
-        );
-    }
+    let plan = KernelPlan::for_classes(dims, targets, classes);
+    project_classes_cols_with(mat, &plan, complement, &mut PlanScratch::default());
 }
 
-/// Conjugates a square matrix by an embedded local operator in place:
-/// `M → embed(op) · M · embed(op)†`, without materialising `embed(op)`.
-///
-/// This is the density-matrix update `ρ → U ρ U†` for a local unitary, and
-/// works for arbitrary (non-unitary) local operators such as measurement
-/// effects. Cost `O(D² · block)` versus `O(D³)` for embed-then-matmul.
-///
-/// # Panics
-///
-/// Panics on target/operator shape mismatches, or if `mat` is not square of
-/// dimension `total_dim(dims)`.
-pub fn conjugate_matrix(mat: &mut CMatrix, dims: &[usize], targets: &[usize], op: &CMatrix) {
-    assert_eq!(
-        mat.rows(),
-        mat.cols(),
-        "conjugation requires a square matrix"
-    );
-    left_multiply_matrix(mat, dims, targets, op);
-    right_multiply_matrix(mat, dims, targets, &op.adjoint());
+/// Plan executor of [`project_classes_cols`] over a class plan.
+pub fn project_classes_cols_with(
+    mat: &mut CMatrix,
+    plan: &KernelPlan,
+    complement: bool,
+    scratch: &mut PlanScratch,
+) {
+    let ctotal = plan.total_dim();
+    assert_eq!(mat.cols(), ctotal, "matrix column dimension mismatch");
+    let cd = plan.class_data();
+    let lay = plan.lay();
+    scratch.sums.resize(cd.nclasses());
+    let split = mat.split_mut();
+    for (row_re, row_im) in split.re.chunks_mut(ctotal).zip(split.im.chunks_mut(ctotal)) {
+        project_vector_core(
+            row_re,
+            row_im,
+            lay,
+            cd,
+            complement,
+            &mut scratch.sums.re,
+            &mut scratch.sums.im,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -1259,33 +1739,35 @@ mod tests {
     }
 
     #[test]
-    fn odometer_range_splits_cleanly() {
+    fn materialised_bases_split_cleanly() {
+        // The parallel kernels chunk `bases` by range: any split must
+        // reconstitute the full walk, and the walk must cover every base of
+        // a register with no targets exactly once.
         let dims = [3usize, 2, 2];
-        let strides = subsystem_strides(&dims);
-        let mut all = Vec::new();
-        for_each_base_range(&dims, &strides, 0, 12, |b| all.push(b));
+        let lay = layout(&dims, &[]);
+        assert_eq!(lay.bases.len(), 12);
+        let mut sorted = lay.bases.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).collect::<Vec<_>>());
         for split in [1, 5, 7, 11] {
-            let mut lo_part = Vec::new();
-            let mut hi_part = Vec::new();
-            for_each_base_range(&dims, &strides, 0, split, |b| lo_part.push(b));
-            for_each_base_range(&dims, &strides, split, 12, |b| hi_part.push(b));
-            lo_part.extend(hi_part);
-            assert_eq!(lo_part, all, "split at {split}");
+            let mut parts = lay.bases[..split].to_vec();
+            parts.extend_from_slice(&lay.bases[split..]);
+            assert_eq!(parts, lay.bases, "split at {split}");
         }
     }
 
     #[test]
     fn swap_gate_classified_as_monomial() {
         match classify(&gates::swap(3)) {
-            OpKind::Monomial { .. } => {}
+            OpData::Monomial { unit_phase, .. } => assert!(unit_phase),
             _ => panic!("swap should classify as monomial"),
         }
         match classify(&CMatrix::identity(4)) {
-            OpKind::Identity => {}
+            OpData::Identity => {}
             _ => panic!("identity should classify as identity"),
         }
         match classify(&gates::hadamard()) {
-            OpKind::Dense => {}
+            OpData::Dense { .. } => {}
             _ => panic!("hadamard should classify as dense"),
         }
     }

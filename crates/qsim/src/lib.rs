@@ -85,6 +85,24 @@
 //!   inner and column dimensions with a contiguous vectorisable axpy core),
 //!   which feeds the remaining genuinely-dense work in [`linalg::eigen`] and
 //!   [`distance`].
+//! * **Compiled kernel plans** — every piece of metadata the kernels above
+//!   derive per call (strided target layouts, the structural classification
+//!   of the operator, `S_k` digit-orbit class tables with their projection
+//!   gather maps, monomial trace index lists) is compiled once into a
+//!   [`plan::KernelPlan`] keyed by `(dims, targets, operator structure)`.
+//!   The kernels proper are the `kernels::*_with` executors taking
+//!   `&KernelPlan` plus a caller-owned [`plan::PlanScratch`]: zero
+//!   derivation, zero allocation per call. Plans are compiled explicitly and
+//!   **embedded in protocol round plans** (the batched samplers in `dqma` do
+//!   this, so their steady-state rounds perform zero compilations —
+//!   [`plan::compile_count`] lets benchmarks assert it), or fetched from the
+//!   **lock-free-read plan cache** ([`plan::cached_symmetric`],
+//!   [`plan::cached_layout`]) used by the per-call measurement entry points
+//!   in [`swap_test`] and [`permutation`]. Every pre-plan signature survives
+//!   as a compile-then-execute shim, and the `S_k` orbit/permutation
+//!   metadata previously derived independently by `swap_test`, `permutation`
+//!   and the kernels is memoised once in [`plan`]
+//!   ([`plan::symmetric_classes`], [`plan::permutation_src`]).
 //! * **Persistent worker pool** — [`pool`] keeps long-lived parked worker
 //!   threads (std only; rayon is deliberately not a dependency: this
 //!   workspace builds offline) with chunked index-range dispatch, slot-scoped
@@ -131,6 +149,7 @@ pub mod linalg;
 pub mod measure;
 pub mod naive;
 pub mod permutation;
+pub mod plan;
 pub mod pool;
 pub mod random;
 pub mod state;

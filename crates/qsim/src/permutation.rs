@@ -11,6 +11,7 @@ use crate::complex::Complex;
 use crate::density::DensityMatrix;
 use crate::kernels::{self, BlockClasses};
 use crate::linalg::CMatrix;
+use crate::plan::{self, PlanScratch};
 use crate::state::{flat_index, unflatten_index, PureState};
 use rand::Rng;
 
@@ -102,69 +103,13 @@ pub fn symmetric_subspace_dim(d: usize, k: usize) -> usize {
 /// average. This is what lets the post-measurement effects run in `O(D²)`
 /// with no `k!` factor.
 ///
-/// The partition is `O(d^k)` metadata (not an operator); it is memoised
-/// process-wide so the hot measurement paths pay the construction once per
-/// `(d, k)`.
+/// The partition is `O(d^k)` metadata (not an operator); its single
+/// process-wide memo lives in the plan layer ([`plan::symmetric_classes`]),
+/// which this function delegates to — the hot measurement paths pay the
+/// construction once per `(d, k)` and then fetch full compiled class plans
+/// from [`plan::cached_symmetric`].
 pub fn symmetric_classes(d: usize, k: usize) -> std::sync::Arc<BlockClasses> {
-    use std::collections::HashMap;
-    use std::sync::{Arc, Mutex, OnceLock};
-    type ClassesCache = Mutex<HashMap<(usize, usize), Arc<BlockClasses>>>;
-    static CACHE: OnceLock<ClassesCache> = OnceLock::new();
-    let mut cache = CACHE
-        .get_or_init(|| Mutex::new(HashMap::new()))
-        .lock()
-        .expect("symmetric-classes cache poisoned");
-    cache
-        .entry((d, k))
-        .or_insert_with(|| Arc::new(build_symmetric_classes(d, k)))
-        .clone()
-}
-
-fn build_symmetric_classes(d: usize, k: usize) -> BlockClasses {
-    let dims = vec![d; k];
-    let total: usize = d.pow(k as u32);
-    let mut key_to_class: std::collections::HashMap<Vec<usize>, usize> =
-        std::collections::HashMap::new();
-    let mut class_of = Vec::with_capacity(total);
-    let mut class_size: Vec<usize> = Vec::new();
-    for b in 0..total {
-        let mut digits = unflatten_index(&dims, b);
-        digits.sort_unstable();
-        let next = class_size.len();
-        let c = *key_to_class.entry(digits).or_insert(next);
-        if c == class_size.len() {
-            class_size.push(0);
-        }
-        class_size[c] += 1;
-        class_of.push(c);
-    }
-    BlockClasses {
-        class_of,
-        class_size,
-    }
-}
-
-/// The block-monomial source map of `U_π` on `k` registers of dimension `d`:
-/// `src[row] = col` where `U_π[row, col] = 1`.
-fn permutation_block_src(d: usize, perm: &[usize]) -> Vec<usize> {
-    let k = perm.len();
-    let dims = vec![d; k];
-    let total: usize = d.pow(k as u32);
-    let mut inv = vec![0usize; k];
-    for (i, &p) in perm.iter().enumerate() {
-        inv[p] = i;
-    }
-    let mut src = vec![0usize; total];
-    let mut permuted = vec![0usize; k];
-    for col in 0..total {
-        let multi = unflatten_index(&dims, col);
-        for slot in 0..k {
-            permuted[slot] = multi[inv[slot]];
-        }
-        let row = flat_index(&dims, &permuted);
-        src[row] = col;
-    }
-    src
+    plan::symmetric_classes(d, k)
 }
 
 fn assert_equal_target_dims(rho: &DensityMatrix, targets: &[usize]) -> usize {
@@ -247,7 +192,7 @@ pub fn permutation_unitary_expectation(
 ) -> Complex {
     let d = assert_equal_target_dims(rho, targets);
     assert_eq!(perm.len(), targets.len(), "permutation length mismatch");
-    let src = permutation_block_src(d, perm);
+    let src = plan::permutation_src(d, perm);
     let phase = vec![Complex::ONE; src.len()];
     kernels::monomial_embedded_trace(rho.matrix(), rho.dims(), targets, &src, &phase)
 }
@@ -263,9 +208,8 @@ pub fn permutation_unitary_expectation(
 /// dense-projector path survives as
 /// [`crate::naive::permutation_test_acceptance_on`].
 pub fn permutation_test_acceptance_on(rho: &DensityMatrix, targets: &[usize]) -> f64 {
-    let d = assert_equal_target_dims(rho, targets);
-    let classes = symmetric_classes(d, targets.len());
-    kernels::class_projection_trace(rho.matrix(), rho.dims(), targets, &classes)
+    let plan = plan::cached_symmetric(rho.dims(), targets);
+    kernels::class_projection_trace_with(rho.matrix(), &plan)
         .re
         .clamp(0.0, 1.0)
 }
@@ -277,17 +221,15 @@ pub fn permutation_test_acceptance_on(rho: &DensityMatrix, targets: &[usize]) ->
 /// the `S_k` digit orbits through the [`kernels`] stride machinery: `O(D²)`,
 /// no `k!` factor, no projector allocation.
 pub fn project_symmetric_on(rho: &mut DensityMatrix, targets: &[usize]) {
-    let d = assert_equal_target_dims(rho, targets);
-    let classes = symmetric_classes(d, targets.len());
-    rho.apply_class_projector(targets, &classes, false);
+    let plan = plan::cached_symmetric(rho.dims(), targets);
+    rho.apply_class_projector_with(&plan, false, &mut PlanScratch::default());
 }
 
 /// Applies the reject effect of the permutation test in place, without
 /// renormalising: `ρ → (I − Π_sym) ρ (I − Π_sym)`.
 pub fn project_complement_on(rho: &mut DensityMatrix, targets: &[usize]) {
-    let d = assert_equal_target_dims(rho, targets);
-    let classes = symmetric_classes(d, targets.len());
-    rho.apply_class_projector(targets, &classes, true);
+    let plan = plan::cached_symmetric(rho.dims(), targets);
+    rho.apply_class_projector_with(&plan, true, &mut PlanScratch::default());
 }
 
 /// Performs the permutation test on the listed registers of a larger state,
@@ -301,13 +243,14 @@ pub fn permutation_test_on<R: Rng + ?Sized>(
     targets: &[usize],
     rng: &mut R,
 ) -> bool {
-    let d = assert_equal_target_dims(rho, targets);
-    let p_accept = permutation_test_acceptance_on(rho, targets);
+    let plan = plan::cached_symmetric(rho.dims(), targets);
+    let p_accept = kernels::class_projection_trace_with(rho.matrix(), &plan)
+        .re
+        .clamp(0.0, 1.0);
     let accept = rng.random::<f64>() < p_accept;
     let p = if accept { p_accept } else { 1.0 - p_accept };
     if p > 1e-12 {
-        let classes = symmetric_classes(d, targets.len());
-        rho.apply_class_projector(targets, &classes, !accept);
+        rho.apply_class_projector_with(&plan, !accept, &mut PlanScratch::default());
         rho.rescale(1.0 / p);
     }
     accept
@@ -324,19 +267,15 @@ pub fn permutation_test_on_pure<R: Rng + ?Sized>(
     targets: &[usize],
     rng: &mut R,
 ) -> bool {
-    let d = psi.dims()[targets[0]];
-    assert!(
-        targets.iter().all(|&t| psi.dims()[t] == d),
-        "permutation test registers must have equal dimension"
-    );
-    let classes = symmetric_classes(d, targets.len());
+    let plan = plan::cached_symmetric(psi.dims(), targets);
+    let mut scratch = PlanScratch::default();
     let p_accept =
-        kernels::class_projection_weight(psi.amplitudes().split(), psi.dims(), targets, &classes)
+        kernels::class_projection_weight_with(psi.amplitudes().split(), &plan, &mut scratch)
             .clamp(0.0, 1.0);
     let accept = rng.random::<f64>() < p_accept;
     let p = if accept { p_accept } else { 1.0 - p_accept };
     if p > 1e-12 {
-        psi.apply_class_projector(targets, &classes, !accept);
+        psi.apply_class_projector_with(&plan, !accept, &mut scratch);
         psi.rescale(1.0 / p.sqrt());
     }
     accept
@@ -349,13 +288,8 @@ pub fn permutation_test_on_pure<R: Rng + ?Sized>(
 /// This is how the chain acceptance-operator construction applies its SWAP
 /// effects without ever building the `d²×d²` projector.
 pub fn right_project_symmetric(mat: &mut CMatrix, dims: &[usize], targets: &[usize]) {
-    let d = dims[targets[0]];
-    assert!(
-        targets.iter().all(|&t| dims[t] == d),
-        "permutation test registers must have equal dimension"
-    );
-    let classes = symmetric_classes(d, targets.len());
-    kernels::project_classes_cols(mat, dims, targets, &classes, false);
+    let plan = plan::cached_symmetric(dims, targets);
+    kernels::project_classes_cols_with(mat, &plan, false, &mut PlanScratch::default());
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 use crate::complex::Complex;
 use crate::kernels;
 use crate::linalg::{CMatrix, CVector};
+use crate::plan::{KernelPlan, PlanScratch};
 use rand::Rng;
 
 /// Returns the product of subsystem dimensions.
@@ -227,6 +228,23 @@ impl PureState {
         kernels::apply_to_state_vector(self.amps.split_mut(), &self.dims, targets, u);
     }
 
+    /// Plan executor of [`PureState::apply_unitary`]: applies the operator
+    /// compiled into `plan` ([`KernelPlan::for_operator`] or stronger) with
+    /// zero per-call metadata derivation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled for a different register shape or
+    /// carries no operator.
+    pub fn apply_unitary_with(&mut self, plan: &KernelPlan, scratch: &mut PlanScratch) {
+        assert_eq!(
+            plan.dims(),
+            self.dims.as_slice(),
+            "plan register shape mismatch"
+        );
+        kernels::apply_to_state_vector_with(self.amps.split_mut(), plan, scratch);
+    }
+
     /// Applies the embedded class-averaging projector `P` of the listed target
     /// subsystems in place, without renormalising: `|ψ> → P |ψ>` (or
     /// `(I−P)|ψ>` with `complement`). With the `S_k` digit-orbit classes of
@@ -247,6 +265,28 @@ impl PureState {
         );
     }
 
+    /// Plan executor of [`PureState::apply_class_projector`] over a class
+    /// plan ([`KernelPlan::for_classes`] / [`KernelPlan::for_symmetric`] /
+    /// [`crate::plan::cached_symmetric`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled for a different register shape or
+    /// carries no class tables.
+    pub fn apply_class_projector_with(
+        &mut self,
+        plan: &KernelPlan,
+        complement: bool,
+        scratch: &mut PlanScratch,
+    ) {
+        assert_eq!(
+            plan.dims(),
+            self.dims.as_slice(),
+            "plan register shape mismatch"
+        );
+        kernels::project_classes_vector_with(self.amps.split_mut(), plan, complement, scratch);
+    }
+
     /// Multiplies every amplitude by a real scalar in place (e.g. `1/√p` after
     /// a selective measurement update).
     pub fn rescale(&mut self, factor: f64) {
@@ -256,18 +296,32 @@ impl PureState {
     /// Returns a new state with the subsystems reordered so that subsystem `perm[k]`
     /// of the original becomes subsystem `k` of the result.
     ///
+    /// Compile-then-execute shim over [`PureState::permute_subsystems_with`].
+    ///
     /// # Panics
     ///
     /// Panics if `perm` is not a permutation of `0..num_subsystems()`.
     pub fn permute_subsystems(&self, perm: &[usize]) -> PureState {
+        let plan = KernelPlan::for_subsystem_permutation(&self.dims, perm);
+        self.permute_subsystems_with(&plan)
+    }
+
+    /// Plan executor of [`PureState::permute_subsystems`]: the inverse
+    /// permutation, permuted dimensions and per-subsystem index weights all
+    /// come from a [`KernelPlan::for_subsystem_permutation`] plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled for a different register shape.
+    pub fn permute_subsystems_with(&self, plan: &KernelPlan) -> PureState {
+        assert_eq!(
+            plan.dims(),
+            self.dims.as_slice(),
+            "plan register shape mismatch"
+        );
+        let (weights, new_dims) = plan.permute_data();
+        let new_dims = new_dims.to_vec();
         let n = self.dims.len();
-        assert_eq!(perm.len(), n, "permutation length mismatch");
-        let mut seen = vec![false; n];
-        for &p in perm {
-            assert!(p < n && !seen[p], "invalid subsystem permutation");
-            seen[p] = true;
-        }
-        let new_dims: Vec<usize> = perm.iter().map(|&p| self.dims[p]).collect();
         let total = self.dim();
         let mut new_amps = CVector::zeros(total);
         if n == 0 {
@@ -280,13 +334,7 @@ impl PureState {
         // Old subsystem p lands at new position inv[p]; walking the old flat
         // index with an odometer, each old digit p contributes with weight
         // new_strides[inv[p]] to the new flat index — no per-amplitude
-        // multi-index materialisation.
-        let mut inv = vec![0usize; n];
-        for (k, &p) in perm.iter().enumerate() {
-            inv[p] = k;
-        }
-        let new_strides = kernels::subsystem_strides(&new_dims);
-        let weights: Vec<usize> = (0..n).map(|p| new_strides[inv[p]]).collect();
+        // multi-index materialisation (the weights are plan metadata).
         let mut counters = vec![0usize; n];
         let mut new_flat = 0usize;
         let (sre, sim) = (self.amps.re(), self.amps.im());
