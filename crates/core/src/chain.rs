@@ -447,6 +447,18 @@ impl SwapTestChain {
         ChainRoundPlan { tables, k }
     }
 
+    /// Compiles a separable proof into a per-node message-passing program
+    /// for the transport executors of [`crate::net`]: the chain's round
+    /// tables walked one network node at a time over a
+    /// [`netsim::Transport`].
+    ///
+    /// # Panics
+    ///
+    /// As [`SwapTestChain::round_plan`].
+    pub fn net_program(&self, proof: &SeparableChainProof) -> crate::net::ChainNetProgram {
+        crate::net::ChainNetProgram::new(self.round_plan(proof))
+    }
+
     /// Batched Monte-Carlo rounds on a fixed separable proof: prepares the
     /// round tables once and runs `n` trials through the block engine of
     /// [`crate::trials`] — accept counts are bit-identical at any worker
@@ -581,6 +593,15 @@ impl ChainRoundPlan {
     /// Number of intermediate nodes the plan covers.
     pub fn num_intermediate(&self) -> usize {
         self.k
+    }
+
+    /// Node `j`'s acceptance table entry at coin-pair index
+    /// `idx = c_{j−1} + 2·c_j` (`j = k` is the boundary pseudo-node, indexed
+    /// by `c_{k−1}` alone) — read by the per-node transport executors of
+    /// [`crate::net`], which walk the same tables one node at a time.
+    #[inline]
+    pub(crate) fn table(&self, j: usize, idx: usize) -> f64 {
+        self.tables[4 * j + idx]
     }
 
     /// Draws one round's symmetrisation coins from `rng` and returns the

@@ -179,6 +179,25 @@ impl EqPathProtocol {
         chain.sample_rounds_with_workers(&proof, n, seed, workers)
     }
 
+    /// Compiles `(x, y, cheat)` into a per-node message-passing program for
+    /// the transport executors of [`crate::net`]: the same round tables as
+    /// [`EqPathProtocol::sample_rounds`], but walked one network node at a
+    /// time over a [`netsim::Transport`]. With `x == y` every cheat strategy
+    /// degenerates to the honest proof, so the same constructor covers
+    /// completeness runs.
+    pub fn net_program(
+        &self,
+        x: &BitString,
+        y: &BitString,
+        cheat: ChainCheat,
+    ) -> crate::net::ChainNetProgram {
+        let chain = self.chain(x, y);
+        let right_state = self.protocol.alice_message(y);
+        let proof = cheating_proof(&chain, &right_state, cheat);
+        crate::net::ChainNetProgram::new(chain.round_plan(&proof))
+            .with_message_qubits(self.protocol.scheme().qubits() as u64)
+    }
+
     /// Batched honest rounds on a yes-instance; every round accepts (up to
     /// floating-point error), so `accepts == trials` for a correct sampler.
     pub fn sample_honest_rounds(

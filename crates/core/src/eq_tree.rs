@@ -398,6 +398,60 @@ impl EqTreeProtocol {
         trials::run_trials_with_workers(&self.round_plan(inputs, proof), n, seed, workers)
     }
 
+    /// Compiles a fixed `(inputs, proof)` instance into a per-node
+    /// message-passing program for the transport executors of
+    /// [`crate::net`]: leaves send their fingerprint token towards the root,
+    /// internal nodes gather their children's messages (attributed by
+    /// source, so reordering is harmless), run the permutation test from the
+    /// same acceptance tables as [`EqTreeProtocol::round_plan`], and forward
+    /// their own coin. The executor schedule is the tree's post order.
+    ///
+    /// # Panics
+    ///
+    /// As [`EqTreeProtocol::round_plan`].
+    pub fn net_program(
+        &self,
+        inputs: &[BitString],
+        proof: &[(PureState, PureState)],
+    ) -> crate::net::TreeNetProgram {
+        use crate::net::TreeRole;
+        let plan = self.round_plan(inputs, proof);
+        let leaves = self.tree.terminal_leaves();
+        let order = self.tree.post_order();
+        let mut roles = vec![TreeRole::Unused; self.tree.num_nodes()];
+        let mut plan_nodes = plan.nodes.into_iter();
+        for &v in &order {
+            let children = self.tree.children(v);
+            if children.is_empty() {
+                roles[v] = TreeRole::Leaf {
+                    parent: self.tree.parent(v).expect("a leaf has a parent"),
+                };
+                continue;
+            }
+            let node_plan = plan_nodes.next().expect("one plan entry per internal node");
+            // The plan's table index layout: bit 0 is v's own coin, bit
+            // 1 + p the p-th non-leaf child's coin in children order.
+            let mut shift = 0u32;
+            let kids: Vec<(usize, Option<u32>)> = children
+                .iter()
+                .map(|&c| {
+                    if leaves.contains(&c) {
+                        (c, None)
+                    } else {
+                        shift += 1;
+                        (c, Some(shift))
+                    }
+                })
+                .collect();
+            roles[v] = TreeRole::Internal {
+                parent: self.tree.parent(v),
+                children: kids,
+                probs: node_plan.probs,
+            };
+        }
+        crate::net::TreeNetProgram::new(roles, order, self.scheme.qubits() as u64)
+    }
+
     /// Completeness witness: acceptance of the honest proof when every terminal
     /// holds the same string.
     pub fn completeness(&self, common_input: &BitString) -> f64 {

@@ -31,6 +31,11 @@
 //!   executable attacks;
 //! * [`costs`] — the closed-form bounds of Tables 1–3 used by the benchmark
 //!   harness;
+//! * [`net`] — per-node round executors over the fault-injecting
+//!   message-passing transport of [`netsim::transport`]: the four protocol
+//!   round paths re-expressed as per-node programs with retry/timeout/
+//!   backoff, graceful degradation to [`netsim::RoundOutcome::Aborted`], and
+//!   block-deterministic fault-sweep sampling;
 //! * [`trials`] — the batched zero-allocation Monte-Carlo trial engine: all
 //!   four protocol samplers grow `sample_rounds(n, seed)` batch variants
 //!   that prepare the instance once, dispatch fixed-size trial blocks over
@@ -73,6 +78,7 @@ pub mod forall;
 pub mod from_qmacc;
 pub mod gt;
 pub mod lower_bounds;
+pub mod net;
 pub mod ranking;
 pub mod relay;
 pub mod trials;

@@ -253,6 +253,29 @@ impl RelayEqProtocol {
         RelayRoundPlan { segments }
     }
 
+    /// Compiles a fixed relay instance into a per-node message-passing
+    /// program for the transport executors of [`crate::net`]: relay points
+    /// close their incoming segment with the boundary measurement and open
+    /// the next one, exactly as in [`RelayEqProtocol::simulate_round`], but
+    /// one network node at a time over a [`netsim::Transport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relay_strings` does not have one entry per relay point.
+    pub fn net_program(
+        &self,
+        x: &BitString,
+        y: &BitString,
+        relay_strings: &[BitString],
+        cheat: ChainCheat,
+    ) -> crate::net::RelayNetProgram {
+        crate::net::RelayNetProgram::new(
+            &self.round_plan(x, y, relay_strings, cheat),
+            &self.segment_boundaries(),
+        )
+        .with_message_qubits(self.scheme.qubits() as u64)
+    }
+
     /// Batched Monte-Carlo rounds (one repetition of every segment per
     /// round) on a fixed relay instance: segments are compiled once, then
     /// `n` trials run through the block engine of [`crate::trials`] —
@@ -346,6 +369,14 @@ impl RelayRoundPlan {
     /// Number of segments (one chain per consecutive boundary pair).
     pub fn num_segments(&self) -> usize {
         self.segments.len()
+    }
+
+    /// The per-segment chain plans, in boundary order — read by the
+    /// transport executors of [`crate::net`], which walk each segment's
+    /// tables one network node at a time.
+    #[inline]
+    pub(crate) fn segment_plans(&self) -> &[ChainRoundPlan] {
+        &self.segments
     }
 
     /// Samples one round of every segment.

@@ -218,6 +218,185 @@ pub fn run_trials_with_workers<S: BatchSampler>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Three-way outcome engine (transport-backed rounds)
+// ---------------------------------------------------------------------------
+
+/// Tallies of one block of transport-backed rounds. Unlike the boolean
+/// accept count of [`BatchSampler`], fault-injected rounds terminate in one
+/// of *three* states (accept / reject / abort-with-cause), and the engine
+/// additionally folds a transcript digest for the reproducibility tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockOutcomes {
+    /// Rounds where every verifier completed and all accepted.
+    pub accepts: u64,
+    /// Rounds where every verifier completed and at least one rejected.
+    pub rejects: u64,
+    /// Rounds that aborted on a fault (`RoundOutcome::Aborted`).
+    pub aborts: u64,
+    /// Envelope transmissions (including retransmissions).
+    pub messages: u64,
+    /// Retransmissions alone.
+    pub retries: u64,
+    /// XOR-fold of per-delivery transcript hashes. XOR is commutative, so
+    /// the digest — like the counts — is bit-identical at any worker count.
+    pub digest: u64,
+}
+
+impl BlockOutcomes {
+    /// Accumulates `other` (commutative, so block merge order is free).
+    pub fn merge(&mut self, other: &BlockOutcomes) {
+        self.accepts += other.accepts;
+        self.rejects += other.rejects;
+        self.aborts += other.aborts;
+        self.messages += other.messages;
+        self.retries += other.retries;
+        self.digest ^= other.digest;
+    }
+}
+
+/// A prepared sampler producing three-way [`BlockOutcomes`] per block; the
+/// same purity requirement as [`BatchSampler`] applies (a block's outcome
+/// depends only on `(self, trials, rng stream)`).
+pub trait OutcomeSampler: Sync {
+    /// Per-worker scratch (typically a transport instance), built once per
+    /// slot and reused across blocks.
+    type Scratch: Send;
+
+    /// Builds one scratch arena.
+    fn scratch(&self) -> Self::Scratch;
+
+    /// Runs `trials` rounds drawing from `rng`, tallying their outcomes.
+    fn sample_block(
+        &self,
+        trials: u64,
+        scratch: &mut Self::Scratch,
+        rng: &mut StdRng,
+    ) -> BlockOutcomes;
+}
+
+/// The outcome of a batched three-way trial run.
+#[derive(Clone, Debug)]
+pub struct OutcomeReport {
+    /// Number of sampled rounds.
+    pub trials: u64,
+    /// Merged per-block tallies.
+    pub outcomes: BlockOutcomes,
+    /// Effective dispatch width (see [`TrialReport::workers`]).
+    pub workers: usize,
+    /// Wall-clock duration of the batch.
+    pub elapsed: Duration,
+}
+
+impl OutcomeReport {
+    /// Empirical accept rate `accepts / trials` (0 when empty). Aborted
+    /// rounds count against acceptance — graceful degradation shows up as a
+    /// completeness loss, exactly what the fault sweeps chart.
+    pub fn accept_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.outcomes.accepts as f64 / self.trials as f64
+        }
+    }
+
+    /// Empirical abort rate `aborts / trials` (0 when empty).
+    pub fn abort_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.outcomes.aborts as f64 / self.trials as f64
+        }
+    }
+
+    /// Two-sided Hoeffding deviation for the accept rate; see
+    /// [`TrialReport::hoeffding_radius`].
+    pub fn hoeffding_radius(&self, delta: f64) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        (f64::ln(2.0 / delta) / (2.0 * self.trials as f64)).sqrt()
+    }
+
+    /// Nanoseconds of wall clock per sampled round.
+    pub fn ns_per_round(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.elapsed.as_nanos() as f64 / self.trials as f64
+        }
+    }
+
+    /// Sampled rounds per second of wall clock.
+    pub fn rounds_per_sec(&self) -> f64 {
+        let ns = self.ns_per_round();
+        if ns == 0.0 {
+            0.0
+        } else {
+            1e9 / ns
+        }
+    }
+}
+
+/// Runs `n` three-way trials of `sampler` under master seed `seed` at the
+/// default width. See [`run_outcome_trials_with_workers`].
+pub fn run_outcome_trials<S: OutcomeSampler>(sampler: &S, n: u64, seed: u64) -> OutcomeReport {
+    run_outcome_trials_with_workers(sampler, n, seed, default_workers())
+}
+
+/// Runs `n` three-way trials of `sampler` under master seed `seed`,
+/// dispatched over at most `workers` pool slots. Identical block-index
+/// determinism contract as [`run_trials_with_workers`]: counts *and* the
+/// transcript digest are bit-identical at every worker count.
+pub fn run_outcome_trials_with_workers<S: OutcomeSampler>(
+    sampler: &S,
+    n: u64,
+    seed: u64,
+    workers: usize,
+) -> OutcomeReport {
+    let start = Instant::now();
+    let nblocks = n.div_ceil(BLOCK_TRIALS);
+    let block_len = |b: u64| -> u64 {
+        if b + 1 == nblocks && !n.is_multiple_of(BLOCK_TRIALS) {
+            n % BLOCK_TRIALS
+        } else {
+            BLOCK_TRIALS
+        }
+    };
+    let workers = workers.max(1).min((nblocks as usize).max(1));
+    let outcomes = if workers == 1 || nblocks <= 1 {
+        let mut scratch = sampler.scratch();
+        let mut total = BlockOutcomes::default();
+        for b in 0..nblocks {
+            let o = sampler.sample_block(block_len(b), &mut scratch, &mut stream_rng(seed, b));
+            total.merge(&o);
+        }
+        total
+    } else {
+        let total = std::sync::Mutex::new(BlockOutcomes::default());
+        let scratch = qsim::pool::SlotScratch::new(workers, || sampler.scratch());
+        qsim::pool::global().dispatch(workers, nblocks as usize, &|slot, chunk| {
+            let b = chunk as u64;
+            // Safety: `slot` is the pool-provided slot id of this job.
+            let s = unsafe { scratch.get(slot) };
+            let o = sampler.sample_block(block_len(b), s, &mut stream_rng(seed, b));
+            total
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .merge(&o);
+        });
+        total
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    };
+    OutcomeReport {
+        trials: n,
+        outcomes,
+        workers,
+        elapsed: start.elapsed(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +467,55 @@ mod tests {
         assert_eq!(zero.acceptance_rate(), 0.0);
         let small = run_trials(&coin, 5, 3);
         assert_eq!(small.accepts, 5);
+    }
+
+    /// A three-way sampler splitting trials accept/reject/abort by two
+    /// thresholds, with a toy digest — pins the outcome engine's plumbing.
+    struct ThreeWay {
+        accept: f64,
+        abort: f64,
+    }
+
+    impl OutcomeSampler for ThreeWay {
+        type Scratch = ();
+        fn scratch(&self) {}
+        fn sample_block(&self, trials: u64, _s: &mut (), rng: &mut StdRng) -> BlockOutcomes {
+            let mut out = BlockOutcomes::default();
+            for _ in 0..trials {
+                let x: f64 = rng.random();
+                if x < self.abort {
+                    out.aborts += 1;
+                } else if x < self.abort + self.accept {
+                    out.accepts += 1;
+                } else {
+                    out.rejects += 1;
+                }
+                out.messages += 2;
+                out.digest ^= x.to_bits().rotate_left(out.accepts as u32);
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn outcome_engine_is_worker_invariant_including_digest() {
+        let s = ThreeWay {
+            accept: 0.5,
+            abort: 0.2,
+        };
+        let n = 3 * BLOCK_TRIALS + 77;
+        let base = run_outcome_trials_with_workers(&s, n, 13, 1);
+        assert_eq!(
+            base.outcomes.accepts + base.outcomes.rejects + base.outcomes.aborts,
+            n,
+            "every trial must terminate in exactly one outcome"
+        );
+        for workers in [2usize, 4, 8] {
+            let r = run_outcome_trials_with_workers(&s, n, 13, workers);
+            assert_eq!(r.outcomes, base.outcomes, "workers = {workers}");
+        }
+        let other = run_outcome_trials_with_workers(&s, n, 14, 1);
+        assert_ne!(other.outcomes.digest, base.outcomes.digest);
     }
 
     #[test]

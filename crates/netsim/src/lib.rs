@@ -13,7 +13,27 @@
 //!   Lemma 18 proof-labelling scheme that lets nodes verify an announced
 //!   tree — [`tree`];
 //! * cost accounting for proofs and messages matching Definitions 5–8 —
-//!   [`transcript`].
+//!   [`transcript`];
+//! * a message-passing transport layer with deterministic fault injection —
+//!   [`transport`].
+//!
+//! # Transport and fault model
+//!
+//! The [`transport`] module replaces the synchronous in-process transcript
+//! model with genuine per-node message passing: protocols exchange
+//! sequence-numbered [`transport::Envelope`]s (`src`, `dst`, `seq`,
+//! `attempt`, 64-bit payload) over a [`transport::Transport`] — either plain
+//! in-memory mailboxes ([`transport::ChannelTransport`]) or the same
+//! mailboxes wrapped in a seeded [`transport::FaultyTransport`] that injects
+//! drops, acknowledgement loss, latency/reordering, duplication, partitions
+//! and node crash/restart from a [`transport::FaultPlan`]. Delivery is
+//! idempotent (receivers deduplicate on `(src, seq)`), timeouts and
+//! exponential-backoff retries run on a *virtual* clock, and every fault
+//! decision is a pure hash of the trial salt and the message identity — so a
+//! trial is bit-reproducible at any worker count. Rounds that exhaust their
+//! retry budget degrade gracefully to
+//! [`transport::RoundOutcome::Aborted`] with a [`transport::FaultReport`]
+//! carrying the partial [`CostTracker`] state of the affected verifier.
 //!
 //! # Example
 //!
@@ -34,8 +54,13 @@
 pub mod graph;
 pub mod topology;
 pub mod transcript;
+pub mod transport;
 pub mod tree;
 
 pub use graph::Graph;
 pub use transcript::{CostTracker, ProtocolCosts};
+pub use transport::{
+    ChannelTransport, CrashWindow, Envelope, FaultCause, FaultPlan, FaultReport, FaultyTransport,
+    LocalChannelTransport, NodeId, PartitionWindow, RetryPolicy, RoundOutcome, Transport, VTime,
+};
 pub use tree::{SpanningTree, TerminalTree, TreeLabel};

@@ -115,6 +115,20 @@ struct State {
     shutdown: bool,
 }
 
+/// Locks the pool state, recovering from poisoning. The critical sections
+/// touching `State` are panic-free by construction (plain field stores and
+/// integer arithmetic), and job panics are caught *before* the lock is taken
+/// — so a poisoned state mutex carries no torn invariants. Recovering, rather
+/// than letting an `.expect` cascade a panic into every parked worker (which
+/// would leave `active` undecremented and hang the dispatcher in `done.wait`),
+/// is what keeps the pool usable after a contained panic.
+fn lock_state(shared: &Shared) -> std::sync::MutexGuard<'_, State> {
+    shared
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 struct Shared {
     state: Mutex<State>,
     /// Signalled when a new job is published.
@@ -187,11 +201,20 @@ impl WorkerPool {
         }
         // A held submission lock means a dispatch is in flight (possibly our
         // own caller, i.e. a nested dispatch): run inline rather than block.
-        let Ok(mut handles) = self.submission.try_lock() else {
-            for chunk in 0..nchunks {
-                job(0, chunk);
+        // A *poisoned* lock is different: a previous dispatcher panicked
+        // while holding it (e.g. thread spawn failure), but the checkout
+        // protocol below never leaves the pool in an inconsistent state at a
+        // panic point — so recover the guard instead of silently degrading
+        // every future dispatch of a long-lived pool to inline execution.
+        let mut handles = match self.submission.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                for chunk in 0..nchunks {
+                    job(0, chunk);
+                }
+                return;
             }
-            return;
         };
         // Grow the pool to `want - 1` parked threads (slot 0 is us).
         while handles.len() < want - 1 {
@@ -211,7 +234,7 @@ impl WorkerPool {
             )
         });
         {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = lock_state(&self.shared);
             self.shared.next.store(0, Ordering::Relaxed);
             st.job = Some(ptr);
             st.nchunks = nchunks;
@@ -230,9 +253,13 @@ impl WorkerPool {
             job(0, chunk);
         }));
         let worker_panic = {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = lock_state(&self.shared);
             while st.active > 0 {
-                st = self.shared.done.wait(st).expect("pool state poisoned");
+                st = self
+                    .shared
+                    .done
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             st.job = None;
             st.panic_payload.take()
@@ -280,7 +307,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
         // Park until a job with a fresh epoch is published (or the pool is
         // dropped, which is the thread's exit signal).
         let (job, nchunks, engaged, epoch) = {
-            let mut st = shared.state.lock().expect("pool state poisoned");
+            let mut st = lock_state(shared);
             loop {
                 if st.shutdown {
                     return;
@@ -293,7 +320,10 @@ fn worker_loop(shared: &Shared, slot: usize) {
                     // next dispatch is seen as fresh.
                     seen_epoch = st.epoch;
                 }
-                st = shared.work.wait(st).expect("pool state poisoned");
+                st = shared
+                    .work
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         seen_epoch = epoch;
@@ -307,7 +337,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
             }
             unsafe { (*job.0)(slot, chunk) };
         }));
-        let mut st = shared.state.lock().expect("pool state poisoned");
+        let mut st = lock_state(shared);
         if let Err(payload) = result {
             // Keep the first payload so the dispatcher can re-raise the
             // panic with its original message and location info.
@@ -441,6 +471,64 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    /// Runs a dispatch wide enough to observe worker participation: the
+    /// chunk-0 runner spins (bounded) until some slot ≥ 1 has claimed a
+    /// chunk, so the assertion cannot race a slow worker wakeup.
+    fn assert_workers_engage(pool: &WorkerPool) {
+        let max_slot = AtomicUsize::new(0);
+        let count = AtomicU64::new(0);
+        pool.dispatch(4, 64, &|slot, chunk| {
+            max_slot.fetch_max(slot, Ordering::Relaxed);
+            count.fetch_add(1, Ordering::Relaxed);
+            if chunk == 0 {
+                let start = std::time::Instant::now();
+                while max_slot.load(Ordering::Relaxed) == 0
+                    && start.elapsed() < std::time::Duration::from_secs(2)
+                {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+        assert!(
+            max_slot.load(Ordering::Relaxed) >= 1,
+            "pool degraded to inline-only execution"
+        );
+    }
+
+    #[test]
+    fn dispatch_recovers_a_poisoned_submission_lock() {
+        let pool = WorkerPool::new();
+        // Poison the submission lock the way a mid-dispatch panic (e.g. a
+        // failed worker-thread spawn) would.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = pool.submission.lock().unwrap();
+            panic!("poison the submission lock");
+        }));
+        assert!(pool.submission.is_poisoned());
+        // Regression: a poisoned submission lock used to be indistinguishable
+        // from a *held* one, permanently degrading every later dispatch on a
+        // long-lived pool to inline execution. It must be recovered instead.
+        assert_workers_engage(&pool);
+    }
+
+    #[test]
+    fn dispatch_recovers_a_poisoned_state_lock() {
+        let pool = WorkerPool::new();
+        // Spawn and park the workers first so they are waiting on the state
+        // condvar when the poisoning happens.
+        pool.dispatch(4, 16, &|_slot, _chunk| {});
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = pool.shared.state.lock().unwrap();
+            panic!("poison the state lock");
+        }));
+        assert!(pool.shared.state.is_poisoned());
+        // Regression: `.expect("pool state poisoned")` here used to panic in
+        // the dispatcher *and* cascade into every parked worker on wakeup,
+        // leaving `active` undecremented — a permanently wedged pool.
+        assert_workers_engage(&pool);
     }
 
     #[test]

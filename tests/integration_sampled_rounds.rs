@@ -451,6 +451,54 @@ fn batched_rates_match_the_exact_acceptances_and_the_paper_gap() {
 }
 
 #[test]
+fn transport_fault_outcomes_are_identical_across_worker_counts() {
+    // PR 6 extends the determinism contract to the fault-injecting
+    // transport runtime: for a fixed (program, FaultPlan, seed, n), every
+    // field of the merged BlockOutcomes — accepts, rejects, aborts, message
+    // and retry counts, and the XOR transcript digest — is a pure function
+    // of the per-block RNG streams, so the whole worker sweep must agree
+    // bit for bit even while drops, duplication and latency jitter are all
+    // active.
+    let n = 9 * dqma::trials::BLOCK_TRIALS;
+    let proto = EqPathProtocol::with_scheme(3, FingerprintScheme::small(4, 7), 4);
+    let x = BitString::from_u64(3, 4);
+    let y = BitString::from_u64(12, 4);
+    let program = proto.net_program(&x, &y, ChainCheat::Interpolate);
+    let plan = netsim::FaultPlan {
+        drop_rate: 0.15,
+        ack_drop_rate: 0.05,
+        duplicate_rate: 0.05,
+        latency_base: 64,
+        latency_jitter: 512,
+        ..netsim::FaultPlan::none()
+    };
+    let policy = netsim::RetryPolicy::default();
+    let base = dqma::net::sample_transport_rounds(&program, &plan, &policy, n, 0xFA017, 1);
+    assert_eq!(
+        base.outcomes.accepts + base.outcomes.rejects + base.outcomes.aborts,
+        n,
+        "every trial must terminate in exactly one outcome"
+    );
+    assert!(
+        base.outcomes.retries > 0,
+        "faults must force retransmissions"
+    );
+    for &workers in &WORKER_SWEEP[1..] {
+        let r = dqma::net::sample_transport_rounds(&program, &plan, &policy, n, 0xFA017, workers);
+        assert_eq!(
+            r.outcomes, base.outcomes,
+            "fault-schedule outcomes must be bit-identical at {workers} workers"
+        );
+    }
+    // A different seed must explore a different transcript.
+    let other = dqma::net::sample_transport_rounds(&program, &plan, &policy, n, 0xB0B, 1);
+    assert_ne!(
+        other.outcomes.digest, base.outcomes.digest,
+        "different seeds must produce different transcript digests"
+    );
+}
+
+#[test]
 fn sampled_rounds_are_deterministic_for_a_fixed_seed() {
     // The samplers consume randomness only through the caller's RNG, so a
     // fixed seed reproduces the exact accept/reject sequence — this is what
