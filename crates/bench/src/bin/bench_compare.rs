@@ -116,6 +116,10 @@ fn main() -> ExitCode {
     );
 
     let mut failures: Vec<String> = Vec::new();
+    // Worst regressed gated (row, column, ratio) — the headline of the
+    // failure summary, so a red CI run names the offender without anyone
+    // diffing the JSONs by hand.
+    let mut worst: Option<(String, String, f64)> = None;
     let mut gated_seen: Vec<&String> = Vec::new();
     for (name, new_row) in &new_rows {
         let Some((_, old_row)) = old_rows.iter().find(|(n, _)| n == name) else {
@@ -177,6 +181,9 @@ fn main() -> ExitCode {
                     ratio * 100.0,
                     (1.0 - args.threshold) * 100.0
                 ));
+                if worst.as_ref().is_none_or(|(_, _, r)| ratio < *r) {
+                    worst = Some((name.clone(), col, ratio));
+                }
             }
         }
     }
@@ -195,6 +202,22 @@ fn main() -> ExitCode {
     } else {
         for f in &failures {
             eprintln!("bench_compare: FAIL — {f}");
+        }
+        // Aggregate summary last, so it is the first thing visible at the
+        // bottom of a CI log: how many checks failed and which gated row
+        // regressed hardest.
+        match &worst {
+            Some((name, col, ratio)) => eprintln!(
+                "bench_compare: {} gate failure(s); worst regression: {name} {col} at {:.0}% \
+                 of baseline",
+                failures.len(),
+                ratio * 100.0
+            ),
+            None => eprintln!(
+                "bench_compare: {} gate failure(s) (missing rows/columns, no measured \
+                 regression)",
+                failures.len()
+            ),
         }
         ExitCode::FAILURE
     }

@@ -23,13 +23,14 @@
 //!   arbitrary *entangled* proofs — the quantity the paper can only bound
 //!   analytically.
 
-use crate::trials::{self, BatchSampler, TrialReport};
+use crate::trials::{
+    self, default_lane_width, BatchSampler, BlockRng, LaneBatched, TrialReport, MAX_LANES,
+};
 use netsim::{CostTracker, ProtocolCosts};
 use qsim::linalg::max_eigenvalue;
 use qsim::plan::{KernelPlan, PlanScratch};
 use qsim::swap_test::{swap_test_acceptance_pure, swap_test_on};
 use qsim::{kernels, CMatrix, Complex, DensityMatrix, PureState};
-use rand::rngs::StdRng;
 use rand::Rng;
 
 /// A proof for the chain: one pair of register states per intermediate node
@@ -444,7 +445,7 @@ impl SwapTestChain {
         } else {
             tables[..4].fill(self.boundary_acceptance(&self.left_state));
         }
-        ChainRoundPlan { tables, k }
+        ChainRoundPlan::from_tables(tables, k)
     }
 
     /// Compiles a separable proof into a per-node message-passing program
@@ -481,9 +482,24 @@ impl SwapTestChain {
 
     /// Prepares the batched sampler for per-node *mixed* proofs: the
     /// density-frontier walk of [`SwapTestChain::simulate_round_mixed`] with
-    /// every per-round allocation hoisted into per-worker scratch
-    /// ([`MixedChainScratch`]) — the frontier, conjugation and traced-down
-    /// buffers are built once per worker and reused across all its trials.
+    /// every node's linear algebra **compiled to register-sized real
+    /// operators**.
+    ///
+    /// For a fixed proof pair `σ_j`, everything the per-round walk does with
+    /// the `d³ × d³` frontier `sent ⊗ σ_j` is linear in the `d × d` `sent`
+    /// register: the SWAP-test acceptance probability is a linear functional
+    /// `p = ⟨F_j, sent⟩`, and the accepted-and-traced-down update is a
+    /// superoperator `sent' = (1/p)·S_j·sent`. Because `sent` is Hermitian
+    /// and the walk maps Hermitian to Hermitian, both compile to **real**
+    /// operators over the Hermitian operator basis (`d²` real coordinates
+    /// instead of `2d²` plane entries — half the state, a quarter of the
+    /// mat-vec flops). They are compiled here, once per node, by pushing
+    /// the basis elements through the frontier kernels — after which a
+    /// round never materialises a frontier at all: it walks `d²`-real
+    /// vectors through `d² × d²` compiled superoperators (2 KB per node at
+    /// `d = 4`, L1-resident), executed by [`qsim::simd::dot4`] and
+    /// [`qsim::simd::matvec_cols`] identically on the scalar and AVX2
+    /// paths.
     ///
     /// # Panics
     ///
@@ -492,36 +508,70 @@ impl SwapTestChain {
     pub fn mixed_sampler<'a>(&'a self, proof: &[DensityMatrix]) -> MixedChainSampler<'a> {
         self.validate_mixed_proof(proof);
         let d = self.dim;
+        let d2 = d * d;
         let fdims = [d, d, d];
         // The node's symmetrisation channel ρ → ½ρ + ½S₁₂ρS₁₂† acts only on
         // the pair's own registers, so it commutes with tensoring the sent
         // register in front: channel(sent ⊗ pair) = sent ⊗ channel(pair).
         // The channel is deterministic, so it is applied to each proof pair
-        // exactly once here — per-node preprocessing the per-round walk of
-        // `simulate_round_mixed` pays every time.
+        // exactly once here.
         let sym_plan = KernelPlan::for_conjugation(&[d, d], &[0, 1], &qsim::gates::swap(d));
-        let mut tmp = CMatrix::zeros(d * d, d * d);
+        let mut tmp = CMatrix::zeros(d2, d2);
         let mut scratch = PlanScratch::default();
-        let sym_pairs: Vec<DensityMatrix> = proof
+        // The frontier plan exists only during this compilation (compiled
+        // once, bypassing the plan cache): the S_2 class plan of the SWAP
+        // test on (sent, kept). Steady-state rounds perform zero plan
+        // compilations — asserted by `bench_protocols` via
+        // `qsim::plan::compile_count`.
+        let test_plan = KernelPlan::for_symmetric(&fdims, &[0, 1]);
+        let mut frontier = DensityMatrix::from_matrix(&fdims, CMatrix::zeros(d2 * d, d2 * d));
+        let mut traced = DensityMatrix::from_matrix(&[d], CMatrix::zeros(d, d));
+        let nodes: Vec<MixedNodeOps> = proof
             .iter()
             .map(|pair| {
                 let mut p = pair.clone();
                 p.symmetrize_pair_planned(&sym_plan, &mut tmp, &mut scratch);
-                p
+                // Compile the node by evaluating the frontier kernels on
+                // the Hermitian basis elements B_c of the sent register:
+                // column c of the superoperator holds the basis
+                // coefficients of the unnormalised traced-down image of
+                // B_c ⊗ pair, and F[c] is its class-projection trace.
+                let mut ops = MixedNodeOps {
+                    f: vec![0.0; d2],
+                    s: vec![0.0; d2 * d2],
+                    t: vec![0.0; d2],
+                };
+                for c in 0..d2 {
+                    let basis = DensityMatrix::from_matrix(&[d], hermitian_basis_element(d, c));
+                    basis.tensor_into(&p, &mut frontier);
+                    ops.f[c] =
+                        kernels::class_projection_trace_with(frontier.matrix(), &test_plan).re;
+                    frontier.apply_class_projector_traced(&test_plan, 1.0, &mut traced);
+                    hermitian_coeffs(traced.matrix(), d, &mut ops.s[c * d2..(c + 1) * d2]);
+                }
+                // Degenerate branch constant: tr_{01}(sent ⊗ pair) keeping
+                // the forwarded register factorises as
+                // tr(sent)·tr_kept(pair).
+                hermitian_coeffs(p.partial_trace_keep(&[1]).matrix(), d, &mut ops.t);
+                ops
             })
             .collect();
+        // The walk's initial state and the final measurement, in the same
+        // coordinates: tr(M·ρ) = ⟨M, ρ⟩ is a real dot of basis coefficient
+        // vectors when both operators are Hermitian.
+        let mut left_h = vec![0.0; d2];
+        hermitian_coeffs(
+            DensityMatrix::from_pure(&self.left_state).matrix(),
+            d,
+            &mut left_h,
+        );
+        let mut eff_h = vec![0.0; d2];
+        hermitian_coeffs(&self.right_effect, d, &mut eff_h);
         MixedChainSampler {
             chain: self,
-            sym_pairs,
-            left: DensityMatrix::from_pure(&self.left_state),
-            // Every kernel plan the frontier walk touches, compiled once and
-            // embedded directly (bypassing the plan cache): the S_2 class
-            // plan of the SWAP test on (sent, kept) and the trace-down
-            // layout keeping the forwarded register. Steady-state rounds
-            // therefore perform zero plan compilations — asserted by
-            // `bench_protocols` via `qsim::plan::compile_count`.
-            test_plan: KernelPlan::for_symmetric(&fdims, &[0, 1]),
-            trace_plan: KernelPlan::for_layout(&fdims, &[2]),
+            nodes,
+            left_h,
+            eff_h,
         }
     }
 
@@ -587,9 +637,50 @@ pub struct ChainRoundPlan {
     tables: Vec<f64>,
     /// Number of intermediate nodes.
     k: usize,
+    /// Chunk-fused node tables for the lane walk (PR 7): chunk `c` covers
+    /// nodes `[qsim::simd::CHUNK_NODES·c, …)` and stores the pre-multiplied
+    /// product of its nodes' acceptances for every value of the
+    /// `m_c + 1`-bit selector window. Empty when `k > 62` (no single coin
+    /// word — the lane path falls back to the per-trial walk).
+    fused: Vec<f64>,
+    /// Per-chunk selector masks, `2^(m_c + 1) − 1`.
+    chunk_masks: Vec<u64>,
 }
 
 impl ChainRoundPlan {
+    /// Builds a plan from its per-node tables, pre-fusing the chunked lane
+    /// tables when one coin word covers every node. Fusing multiplies each
+    /// chunk's node entries at compile time (ascending node order), so the
+    /// runtime walk does one table read per chunk instead of one per node.
+    fn from_tables(tables: Vec<f64>, k: usize) -> ChainRoundPlan {
+        use qsim::simd::{CHUNK_NODES, CHUNK_STRIDE};
+        let (mut fused, mut chunk_masks) = (Vec::new(), Vec::new());
+        if k <= 62 {
+            let nodes = k + 1;
+            let nchunks = nodes.div_ceil(CHUNK_NODES);
+            fused = vec![0.0f64; nchunks * CHUNK_STRIDE];
+            chunk_masks = vec![0u64; nchunks];
+            for c in 0..nchunks {
+                let m = CHUNK_NODES.min(nodes - c * CHUNK_NODES);
+                chunk_masks[c] = (1u64 << (m + 1)) - 1;
+                for sel in 0..=chunk_masks[c] {
+                    let mut p = 1.0f64;
+                    for i in 0..m {
+                        let j = c * CHUNK_NODES + i;
+                        p *= tables[4 * j + ((sel >> i) & 3) as usize];
+                    }
+                    fused[c * CHUNK_STRIDE + sel as usize] = p;
+                }
+            }
+        }
+        ChainRoundPlan {
+            tables,
+            k,
+            fused,
+            chunk_masks,
+        }
+    }
+
     /// Number of intermediate nodes the plan covers.
     pub fn num_intermediate(&self) -> usize {
         self.k
@@ -638,6 +729,66 @@ impl ChainRoundPlan {
         let w = self.round_weight(rng);
         rng.random::<f64>() < w
     }
+
+    /// Whether one pre-shifted coin word covers every node (`k ≤ 62`) — the
+    /// precondition of [`ChainRoundPlan::lane_walk`].
+    #[inline]
+    pub(crate) fn single_coin_word(&self) -> bool {
+        self.k <= 62
+    }
+
+    /// Lane walk over the chunk-fused tables: `acc[i] = Π_j t_j(aug[i])` for
+    /// a lane batch of pre-shifted coin words — the vectorisable core shared
+    /// with the relay plan, which multiplies one walk per segment into a
+    /// round. The fused product groups nodes in chunks (same grouping on the
+    /// scalar and AVX2 paths, so accept draws stay bit-identical across
+    /// them), which rounds differently in the last ulp than the per-node
+    /// walk of [`ChainRoundPlan::round_weight`] — the engine's accept counts
+    /// are pinned across lane widths, workers and SIMD paths, not against
+    /// the serial sampler.
+    #[inline]
+    pub(crate) fn lane_walk(&self, aug: &[u64], acc: &mut [f64]) {
+        qsim::simd::fused_lane_walk(&self.fused, &self.chunk_masks, aug, acc);
+    }
+}
+
+impl LaneBatched for ChainRoundPlan {
+    fn sample_lane_block(&self, trials: u64, stream: &BlockRng, lanes: usize) -> u64 {
+        assert!(
+            (1..=MAX_LANES).contains(&lanes),
+            "lane width {lanes} outside 1..={MAX_LANES}"
+        );
+        if self.k > 62 {
+            // Coins exceed one word: per-trial scalar walk. Each trial still
+            // owns its counter stream, so the fallback is lane-width- and
+            // worker-invariant by the same argument as the lane path.
+            return (0..trials)
+                .filter(|&t| self.round(&mut stream.trial_rng(t)))
+                .count() as u64;
+        }
+        // SoA-across-trials lane walk: each lane holds one trial's coin word
+        // (pre-shifted; see `round_weight`), accept draw and acceptance
+        // accumulator. Trial t's draws come from its own counter stream —
+        // coin word first, accept draw second — so the planes are identical
+        // however trials are grouped, and `qsim::simd` executes the table
+        // walk four lanes per instruction when the AVX2 path is selected.
+        let mut aug = [0u64; MAX_LANES];
+        let mut draw = [0.0f64; MAX_LANES];
+        let mut acc = [0.0f64; MAX_LANES];
+        let mut accepts = 0u64;
+        let mut t = 0u64;
+        while t < trials {
+            let l = (lanes as u64).min(trials - t) as usize;
+            stream.fill_lane_streams(t, &mut aug[..l], &mut draw[..l]);
+            for a in &mut aug[..l] {
+                *a <<= 1;
+            }
+            self.lane_walk(&aug[..l], &mut acc[..l]);
+            accepts += qsim::simd::count_accepts(&draw[..l], &acc[..l]);
+            t += l as u64;
+        }
+        accepts
+    }
 }
 
 impl BatchSampler for ChainRoundPlan {
@@ -645,70 +796,102 @@ impl BatchSampler for ChainRoundPlan {
 
     fn scratch(&self) {}
 
-    fn sample_block(&self, trials: u64, _scratch: &mut (), rng: &mut StdRng) -> u64 {
-        let mut accepts = 0u64;
-        if self.k > 62 {
-            for _ in 0..trials {
-                accepts += u64::from(self.round(rng));
+    fn sample_block(&self, trials: u64, _scratch: &mut (), stream: &BlockRng) -> u64 {
+        self.sample_lane_block(trials, stream, default_lane_width())
+    }
+}
+
+/// Element `b` of the orthonormal Hermitian operator basis of `d × d`
+/// matrices under the Frobenius inner product: the `d` diagonal units
+/// `E_ii` first, then for each pair `i < k` (row-major pair order) the
+/// symmetric `(E_ik + E_ki)/√2` followed by the antisymmetric
+/// `i(E_ik − E_ki)/√2`. Every Hermitian matrix has *real* coefficients in
+/// this basis, which is what lets the mixed sampler walk real vectors.
+fn hermitian_basis_element(d: usize, b: usize) -> CMatrix {
+    let mut m = CMatrix::zeros(d, d);
+    if b < d {
+        m.set(b, b, Complex::new(1.0, 0.0));
+        return m;
+    }
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let mut idx = d;
+    for i in 0..d {
+        for k in i + 1..d {
+            if idx == b {
+                m.set(i, k, Complex::new(s, 0.0));
+                m.set(k, i, Complex::new(s, 0.0));
+                return m;
             }
-            return accepts;
+            if idx + 1 == b {
+                m.set(i, k, Complex::new(0.0, s));
+                m.set(k, i, Complex::new(0.0, -s));
+                return m;
+            }
+            idx += 2;
         }
-        // Lane-parallel walk: LANES independent rounds advance through the
-        // node tables together, so the per-node multiplies pipeline across
-        // independent accumulator chains instead of serialising on one
-        // product's multiply latency.
-        const LANES: usize = 16;
-        let mut aug = [0u64; LANES];
-        let mut acc = [1.0f64; LANES];
-        let mut remaining = trials;
-        while remaining > 0 {
-            let lanes = remaining.min(LANES as u64) as usize;
-            for a in aug.iter_mut().take(lanes) {
-                *a = rng.random::<u64>() << 1;
-            }
-            for a in acc.iter_mut().take(lanes) {
-                *a = 1.0;
-            }
-            for j in 0..=self.k {
-                let tbl = &self.tables[4 * j..4 * j + 4];
-                for t in 0..lanes {
-                    acc[t] *= tbl[((aug[t] >> j) & 3) as usize];
-                }
-            }
-            for &a in acc.iter().take(lanes) {
-                accepts += u64::from(rng.random::<f64>() < a);
-            }
-            remaining -= lanes as u64;
+    }
+    unreachable!("Hermitian basis index {b} out of range for dimension {d}");
+}
+
+/// Real coefficients of `m` in the [`hermitian_basis_element`] basis:
+/// `out[b] = Re ⟨B_b, m⟩`. For Hermitian `m` this is an exact
+/// decomposition; taking the real part projects away any numerical
+/// anti-Hermitian residue.
+fn hermitian_coeffs(m: &CMatrix, d: usize, out: &mut [f64]) {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let sp = m.split();
+    for (i, o) in out.iter_mut().enumerate().take(d) {
+        *o = sp.re[i * d + i];
+    }
+    let mut idx = d;
+    for i in 0..d {
+        for k in i + 1..d {
+            out[idx] = (sp.re[i * d + k] + sp.re[k * d + i]) * s;
+            out[idx + 1] = (sp.im[i * d + k] - sp.im[k * d + i]) * s;
+            idx += 2;
         }
-        accepts
     }
 }
 
 /// Batched sampler for per-node mixed proofs; built by
-/// [`SwapTestChain::mixed_sampler`]. Carries the prepared left-state density
-/// matrix, the per-node **pre-symmetrised** proof pairs (the deterministic
-/// ½ρ+½SρS† channel commutes with the frontier assembly, so it is applied
-/// once at compile time), and **every compiled kernel plan** the frontier
-/// walk touches — the `S_2` class plan of the SWAP test and the trace-down
-/// layout plan — so a round executes pure plan executors: zero metadata
-/// derivation, zero allocation, zero lock traffic. All per-round buffers
-/// live in [`MixedChainScratch`].
+/// [`SwapTestChain::mixed_sampler`]. Carries one compiled
+/// [`MixedNodeOps`] per node — the frontier walk's per-node linear algebra
+/// collapsed onto the Hermitian-basis coordinates of the `d × d` sent
+/// register, with the pre-symmetrised pair (the deterministic ½ρ+½SρS†
+/// channel commutes with the frontier assembly) baked into the operators —
+/// so a round executes real `d²` dots and `d² × d²` real mat-vecs: zero
+/// metadata derivation, zero allocation, zero lock traffic, and no
+/// `d³ × d³` frontier materialisation. All per-round buffers live in
+/// [`MixedChainScratch`].
 pub struct MixedChainSampler<'a> {
     chain: &'a SwapTestChain,
-    sym_pairs: Vec<DensityMatrix>,
-    left: DensityMatrix,
-    test_plan: KernelPlan,
-    trace_plan: KernelPlan,
+    nodes: Vec<MixedNodeOps>,
+    /// Basis coefficients of `|left⟩⟨left|` — the walk's initial state.
+    left_h: Vec<f64>,
+    /// Basis coefficients of the right effect: `tr(M·ρ) = ⟨eff_h, v⟩`.
+    eff_h: Vec<f64>,
 }
 
-/// Per-worker scratch of [`MixedChainSampler`]: the three-register frontier
-/// and the traced-down forwarded state — allocated once per worker slot and
-/// reused across every trial it runs (previously three fresh matrices per
-/// node per round; the fused plan executors the round runs need no gather
-/// scratch at all).
+/// One node's compiled frontier step (see [`SwapTestChain::mixed_sampler`]):
+/// the SWAP-test acceptance functional `f` over the sent register's basis
+/// coefficients, the unnormalised accepted-and-traced-down superoperator
+/// `s` in column-major order (the layout [`qsim::simd::matvec_cols`]
+/// consumes), and the degenerate-branch constant `tr_kept(pair)` — all
+/// real, in the Hermitian operator basis.
+struct MixedNodeOps {
+    f: Vec<f64>,
+    s: Vec<f64>,
+    t: Vec<f64>,
+}
+
+/// Per-worker scratch of [`MixedChainSampler`]: the sent register's walk
+/// state and one mat-vec output buffer, as real Hermitian-basis
+/// coefficient vectors — `2·d²` doubles total, allocated once per worker
+/// slot and reused across every trial it runs (the compiled superoperator
+/// walk needs no frontier buffer at all).
 pub struct MixedChainScratch {
-    frontier: DensityMatrix,
-    sent: DensityMatrix,
+    v: Vec<f64>,
+    o: Vec<f64>,
 }
 
 impl MixedChainSampler<'_> {
@@ -723,48 +906,38 @@ impl MixedChainSampler<'_> {
     /// state is never read again, so the update is dead work (the rejection
     /// *probability* is of course still honoured by the accept draw).
     pub fn round<R: Rng + ?Sized>(&self, s: &mut MixedChainScratch, rng: &mut R) -> bool {
-        let mut first = true;
-        for pair in &self.sym_pairs {
-            {
-                // Frontier: (sent, kept, forwarded) — everything already
-                // tested has been traced out; the pair arrives
-                // pre-symmetrised.
-                let sent: &DensityMatrix = if first { &self.left } else { &s.sent };
-                sent.tensor_into(pair, &mut s.frontier);
-            }
-            first = false;
-            // The SWAP test on (sent, kept), inlined over the embedded class
-            // plan: acceptance trace, one Bernoulli, accept effect — exactly
+        let d = self.chain.dim;
+        s.v.copy_from_slice(&self.left_h);
+        for node in &self.nodes {
+            // The SWAP test on (sent, kept) over the compiled functional:
+            // acceptance trace, one Bernoulli, accept effect — exactly
             // `swap_test_on`'s draws and branches.
-            let p_accept =
-                kernels::class_projection_trace_with(s.frontier.matrix(), &self.test_plan)
-                    .re
-                    .clamp(0.0, 1.0);
+            let p_accept = qsim::simd::dot4(&node.f, &s.v).clamp(0.0, 1.0);
             if rng.random::<f64>() >= p_accept {
                 return false;
             }
             if p_accept > 1e-12 {
-                // Fused accept effect + trace-down: one pass computes
-                // sent ← (1/p)·tr_{01}(Π ρ Π) straight off the class
-                // member lists — the post-measurement frontier is never
-                // materialised.
-                s.frontier.apply_class_projector_traced(
-                    &self.test_plan,
-                    1.0 / p_accept,
-                    &mut s.sent,
-                );
+                // Accept effect + trace-down in one compiled mat-vec:
+                // sent ← (1/p)·S·sent. The 1/p rescale rides the copy back
+                // into the walk state.
+                qsim::simd::matvec_cols(&node.s, &s.v, &mut s.o);
+                let inv = 1.0 / p_accept;
+                for (v, &o) in s.v.iter_mut().zip(&s.o) {
+                    *v = o * inv;
+                }
             } else {
                 // Degenerate accept at (numerically) zero probability: keep
-                // the unnormalised-frontier semantics of `swap_test_on`.
-                s.frontier
-                    .partial_trace_keep_with(&self.trace_plan, &mut s.sent);
+                // the unnormalised-frontier semantics of `swap_test_on` —
+                // tr_{01}(sent ⊗ pair) = tr(sent)·tr_kept(pair). The first
+                // `d` basis coefficients are the diagonal, so the trace is
+                // their plain sum.
+                let tr: f64 = s.v[..d].iter().sum();
+                for (v, &t) in s.v.iter_mut().zip(&node.t) {
+                    *v = tr * t;
+                }
             }
         }
-        let sent: &DensityMatrix = if first { &self.left } else { &s.sent };
-        let p = sent
-            .expectation(&self.chain.right_effect)
-            .re
-            .clamp(0.0, 1.0);
+        let p = qsim::simd::dot4(&self.eff_h, &s.v).clamp(0.0, 1.0);
         rng.random::<f64>() < p
     }
 }
@@ -773,16 +946,22 @@ impl BatchSampler for MixedChainSampler<'_> {
     type Scratch = MixedChainScratch;
 
     fn scratch(&self) -> MixedChainScratch {
-        let d = self.chain.dim;
-        let d3 = d * d * d;
+        let d2 = self.chain.dim * self.chain.dim;
         MixedChainScratch {
-            frontier: DensityMatrix::from_matrix(&[d, d, d], CMatrix::zeros(d3, d3)),
-            sent: DensityMatrix::from_matrix(&[d], CMatrix::zeros(d, d)),
+            v: vec![0.0; d2],
+            o: vec![0.0; d2],
         }
     }
 
-    fn sample_block(&self, trials: u64, scratch: &mut MixedChainScratch, rng: &mut StdRng) -> u64 {
-        (0..trials).filter(|_| self.round(scratch, rng)).count() as u64
+    fn sample_block(&self, trials: u64, scratch: &mut MixedChainScratch, stream: &BlockRng) -> u64 {
+        // Sequential per-block stream: the frontier walk is inherently
+        // trial-at-a-time (a variable number of draws per round), and the
+        // legacy stream keeps mixed accept counts bit-stable across the
+        // engine's lane-batching restructure.
+        let mut rng = stream.block_rng();
+        (0..trials)
+            .filter(|_| self.round(scratch, &mut rng))
+            .count() as u64
     }
 }
 

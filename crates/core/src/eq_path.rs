@@ -179,6 +179,23 @@ impl EqPathProtocol {
         chain.sample_rounds_with_workers(&proof, n, seed, workers)
     }
 
+    /// Compiles `(x, y, cheat)` into the same [`crate::chain::ChainRoundPlan`]
+    /// that [`EqPathProtocol::sample_rounds_with_workers`] drives internally.
+    /// Exposed so determinism tests and benches can run the plan through
+    /// [`crate::trials::with_lane_width`] (or toggle the SIMD executors) and
+    /// pin the results against the default engine bit-for-bit.
+    pub fn round_plan(
+        &self,
+        x: &BitString,
+        y: &BitString,
+        cheat: ChainCheat,
+    ) -> crate::chain::ChainRoundPlan {
+        let chain = self.chain(x, y);
+        let right_state = self.protocol.alice_message(y);
+        let proof = cheating_proof(&chain, &right_state, cheat);
+        chain.round_plan(&proof)
+    }
+
     /// Compiles `(x, y, cheat)` into a per-node message-passing program for
     /// the transport executors of [`crate::net`]: the same round tables as
     /// [`EqPathProtocol::sample_rounds`], but walked one network node at a

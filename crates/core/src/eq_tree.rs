@@ -19,8 +19,9 @@ use qsim::PureState;
 
 use crate::chain::SwapTestChain;
 use crate::eq_path::scale_costs;
-use crate::trials::{self, BatchSampler, TrialReport};
-use rand::rngs::StdRng;
+use crate::trials::{
+    self, default_lane_width, BatchSampler, BlockRng, LaneBatched, TrialReport, MAX_LANES,
+};
 use rand::Rng;
 
 /// The EQ protocol on a general network, running on the announced terminal
@@ -546,13 +547,48 @@ impl TreeRoundPlan {
     }
 }
 
+impl LaneBatched for TreeRoundPlan {
+    fn sample_lane_block(&self, trials: u64, stream: &BlockRng, lanes: usize) -> u64 {
+        assert!(
+            (1..=MAX_LANES).contains(&lanes),
+            "lane width {lanes} outside 1..={MAX_LANES}"
+        );
+        // SoA lane walk mirroring `round`: per lane one coin word and one
+        // accumulator, per node one gather-multiply across the lane batch
+        // (`round_plan` guarantees at most 64 coins, so a single word always
+        // suffices). Per-trial counter streams — coin word first, accept
+        // draw second — make the planes independent of lane grouping.
+        let mut coins = [0u64; MAX_LANES];
+        let mut draw = [0.0f64; MAX_LANES];
+        let mut acc = [0.0f64; MAX_LANES];
+        let mut accepts = 0u64;
+        let mut t = 0u64;
+        while t < trials {
+            let l = (lanes as u64).min(trials - t) as usize;
+            stream.fill_lane_streams(t, &mut coins[..l], &mut draw[..l]);
+            acc[..l].fill(1.0);
+            for node in &self.nodes {
+                qsim::simd::tree_lane_accumulate(
+                    &node.probs,
+                    &node.bits,
+                    &coins[..l],
+                    &mut acc[..l],
+                );
+            }
+            accepts += qsim::simd::count_accepts(&draw[..l], &acc[..l]);
+            t += l as u64;
+        }
+        accepts
+    }
+}
+
 impl BatchSampler for TreeRoundPlan {
     type Scratch = ();
 
     fn scratch(&self) {}
 
-    fn sample_block(&self, trials: u64, _scratch: &mut (), rng: &mut StdRng) -> u64 {
-        (0..trials).filter(|_| self.round(rng)).count() as u64
+    fn sample_block(&self, trials: u64, _scratch: &mut (), stream: &BlockRng) -> u64 {
+        self.sample_lane_block(trials, stream, default_lane_width())
     }
 }
 

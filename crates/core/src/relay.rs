@@ -12,11 +12,12 @@
 //! string) and the classical lower bound `Ω(r·n)` of Section 4.2.
 
 use crate::chain::{cheating_proof, ChainCheat, ChainRoundPlan, SwapTestChain};
-use crate::trials::{self, BatchSampler, TrialReport};
+use crate::trials::{
+    self, default_lane_width, BatchSampler, BlockRng, LaneBatched, TrialReport, MAX_LANES,
+};
 use commproto::bitstring::BitString;
 use commproto::fingerprint::FingerprintScheme;
 use netsim::{CostTracker, ProtocolCosts};
-use rand::rngs::StdRng;
 use rand::Rng;
 
 /// The relay-point EQ protocol on a path of length `r` with `n`-bit inputs.
@@ -390,13 +391,62 @@ impl RelayRoundPlan {
     }
 }
 
+impl LaneBatched for RelayRoundPlan {
+    fn sample_lane_block(&self, trials: u64, stream: &BlockRng, lanes: usize) -> u64 {
+        assert!(
+            (1..=MAX_LANES).contains(&lanes),
+            "lane width {lanes} outside 1..={MAX_LANES}"
+        );
+        if self.segments.iter().any(|s| !s.single_coin_word()) {
+            // Some segment's coins exceed one word: per-trial scalar walk on
+            // per-trial counter streams — grouping-invariant by construction.
+            return (0..trials)
+                .filter(|&t| self.round(&mut stream.trial_rng(t)))
+                .count() as u64;
+        }
+        // SoA lane walk: one pre-shifted coin-word plane per segment (drawn
+        // in segment order per trial, then the accept draw, matching
+        // `round`'s stream layout), one lane walk per segment multiplied
+        // into the round accumulator. The per-segment planes live in one
+        // heap strip sized `segments × lanes` — allocated once per
+        // 8192-trial block, amortised to nothing.
+        let nseg = self.segments.len();
+        let mut aug = vec![0u64; nseg * lanes];
+        let mut draw = [0.0f64; MAX_LANES];
+        let mut acc = [0.0f64; MAX_LANES];
+        let mut seg_acc = [0.0f64; MAX_LANES];
+        let mut accepts = 0u64;
+        let mut t = 0u64;
+        while t < trials {
+            let l = (lanes as u64).min(trials - t) as usize;
+            // One fused fill per batch: `nseg` plane-major coin-word planes
+            // (stride `l`, segment order) then the accept plane — exactly
+            // `round`'s per-trial stream layout.
+            stream.fill_lane_streams(t, &mut aug[..nseg * l], &mut draw[..l]);
+            for a in &mut aug[..nseg * l] {
+                *a <<= 1;
+            }
+            acc[..l].fill(1.0);
+            for (s, seg) in self.segments.iter().enumerate() {
+                seg.lane_walk(&aug[s * l..(s + 1) * l], &mut seg_acc[..l]);
+                for (a, &w) in acc[..l].iter_mut().zip(&seg_acc[..l]) {
+                    *a *= w;
+                }
+            }
+            accepts += qsim::simd::count_accepts(&draw[..l], &acc[..l]);
+            t += l as u64;
+        }
+        accepts
+    }
+}
+
 impl BatchSampler for RelayRoundPlan {
     type Scratch = ();
 
     fn scratch(&self) {}
 
-    fn sample_block(&self, trials: u64, _scratch: &mut (), rng: &mut StdRng) -> u64 {
-        (0..trials).filter(|_| self.round(rng)).count() as u64
+    fn sample_block(&self, trials: u64, _scratch: &mut (), stream: &BlockRng) -> u64 {
+        self.sample_lane_block(trials, stream, default_lane_width())
     }
 }
 

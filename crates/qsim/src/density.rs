@@ -197,27 +197,10 @@ impl DensityMatrix {
         let a = self.mat.split();
         let b = other.mat.split();
         let o = out.mat.split_mut();
-        let d = d1 * d2;
-        for i1 in 0..d1 {
-            for j1 in 0..d1 {
-                let (ar, ai) = (a.re[i1 * d1 + j1], a.im[i1 * d1 + j1]);
-                for i2 in 0..d2 {
-                    let row = (i1 * d2 + i2) * d + j1 * d2;
-                    let brow = i2 * d2;
-                    // Contiguous row slices: the compiler drops the inner
-                    // bounds checks and vectorises the blend.
-                    let bre = &b.re[brow..brow + d2];
-                    let bim = &b.im[brow..brow + d2];
-                    let ore = &mut o.re[row..row + d2];
-                    let oim = &mut o.im[row..row + d2];
-                    for j2 in 0..d2 {
-                        let (br, bi) = (bre[j2], bim[j2]);
-                        ore[j2] = ar * br - ai * bi;
-                        oim[j2] = ar * bi + ai * br;
-                    }
-                }
-            }
-        }
+        // One fused-kernel call for the whole product: the per-(i1, j1, i2)
+        // row blends are only `d2` long, so the dispatch must sit outside
+        // the loop nest.
+        crate::simd::kron_planes(a.re, a.im, b.re, b.im, o.re, o.im, d1, d2);
     }
 
     /// Tensor product of many density matrices.

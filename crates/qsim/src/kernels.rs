@@ -1569,6 +1569,10 @@ pub fn project_classes_trace_complement_with(
     let (ore, oim) = (split.re, split.im);
     ore.fill(0.0);
     oim.fill(0.0);
+    // When the non-target registers trail the targets (the mixed-proof
+    // frontier layout), the base walk is the identity and every gather row
+    // is contiguous in both planes — a plane axpy per (class, o₁, o₂, a).
+    let contiguous = bases.iter().enumerate().all(|(i, &b)| b == i);
     for c in 0..cd.nclasses() {
         let offs = &cd.member_offsets[cd.class_start[c]..cd.class_start[c + 1]];
         let w = cd.inv_size[c] * scale;
@@ -1577,9 +1581,14 @@ pub fn project_classes_trace_complement_with(
                 for (a, &ba) in bases.iter().enumerate() {
                     let row = (o1 + ba) * d + o2;
                     let orow = a * nb;
-                    for (b, &bb) in bases.iter().enumerate() {
-                        ore[orow + b] += w * sre[row + bb];
-                        oim[orow + b] += w * sim[row + bb];
+                    if contiguous {
+                        crate::simd::axpy(w, &sre[row..row + nb], &mut ore[orow..orow + nb]);
+                        crate::simd::axpy(w, &sim[row..row + nb], &mut oim[orow..orow + nb]);
+                    } else {
+                        for (b, &bb) in bases.iter().enumerate() {
+                            ore[orow + b] += w * sre[row + bb];
+                            oim[orow + b] += w * sim[row + bb];
+                        }
                     }
                 }
             }
@@ -1627,16 +1636,18 @@ pub fn symmetrize_with(
         for i in 0..d {
             let pi = full[i] * d;
             let row = i * d;
-            let src_i_re = &sre[row..row + d];
-            let src_i_im = &sim[row..row + d];
-            let src_p_re = &sre[pi..pi + d];
-            let src_p_im = &sim[pi..pi + d];
-            let out_re = &mut dre[row..row + d];
-            let out_im = &mut dim[row..row + d];
-            for (j, &fj) in full.iter().enumerate() {
-                out_re[j] = 0.5 * (src_i_re[j] + src_p_re[fj]);
-                out_im[j] = 0.5 * (src_i_im[j] + src_p_im[fj]);
-            }
+            crate::simd::gather_avg(
+                &sre[row..row + d],
+                &sre[pi..pi + d],
+                full,
+                &mut dre[row..row + d],
+            );
+            crate::simd::gather_avg(
+                &sim[row..row + d],
+                &sim[pi..pi + d],
+                full,
+                &mut dim[row..row + d],
+            );
         }
         std::mem::swap(mat, tmp);
         return;

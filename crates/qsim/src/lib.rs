@@ -103,6 +103,26 @@
 //!   metadata previously derived independently by `swap_test`, `permutation`
 //!   and the kernels is memoised once in [`plan`]
 //!   ([`plan::symmetric_classes`], [`plan::permutation_src`]).
+//! * **Vectorisation (`simd` feature)** — [`simd`] holds explicit
+//!   `std::arch` AVX2 (f64×4) executors for the two hot shapes left after
+//!   plan compilation: the *trial lane walks* of the `dqma` batched engine
+//!   (per-node chain-table selects, tree-node gathers and acceptance
+//!   comparisons over a lane batch of trials in lockstep) and the *split
+//!   re/im plane kernels* of the mixed-proof executors (complex scalar ×
+//!   row for frontier tensoring, plane axpy for traced class projection,
+//!   gather-blend symmetrisation, and the quadratic-form row dot). Every
+//!   entry point carries an always-compiled **scalar oracle** defining the
+//!   reference semantics; the AVX2 twins are runtime-dispatched via
+//!   `is_x86_feature_detected!` and constructed to be **bit-identical**, not
+//!   approximately equal (lane-wise IEEE operations in oracle order, exact
+//!   gathers, no FMA contraction, and a fixed four-partial reduction
+//!   contract for the one genuine dot product — see the [`simd`] module
+//!   docs). Monte-Carlo randomness comes from counter-based per-trial
+//!   streams ([`random::CounterRng`]): each trial's draws are a pure
+//!   function of `(seed, block, trial)`, so accept counts are invariant
+//!   across lane widths, worker counts and the scalar/SIMD switch, and
+//!   [`simd::set_enabled`] lets one process time both paths for same-run
+//!   `speedup_simd_vs_scalar` bench columns.
 //! * **Persistent worker pool** — [`pool`] keeps long-lived parked worker
 //!   threads (std only; rayon is deliberately not a dependency: this
 //!   workspace builds offline) with chunked index-range dispatch, slot-scoped
@@ -152,6 +172,7 @@ pub mod permutation;
 pub mod plan;
 pub mod pool;
 pub mod random;
+pub mod simd;
 pub mod state;
 pub mod swap_test;
 

@@ -364,6 +364,111 @@ fn batched_trial_reports_are_identical_across_worker_counts() {
     });
 }
 
+/// Lane widths the PR-7 vectorisation contract is pinned at: serial (1), one
+/// AVX2 register (4) and two registers (8).
+const LANE_SWEEP: [usize; 3] = [1, 4, 8];
+
+/// Asserts that running `plan` through the lane-batched engine reproduces the
+/// default engine's `TrialReport` bit for bit at every lane width in
+/// [`LANE_SWEEP`], every worker count in [`WORKER_SWEEP`], and with the SIMD
+/// executors both disabled and enabled (the latter clamps to the scalar path
+/// on hosts without AVX2 or in non-`simd` builds — the contract is precisely
+/// that this must not be observable).
+fn assert_lane_invariant<S: dqma::trials::LaneBatched>(
+    label: &str,
+    plan: &S,
+    n: u64,
+    seed: u64,
+    base: &TrialReport,
+) {
+    let saved = qsim::simd::enabled();
+    for simd_on in [false, true] {
+        let effective = qsim::simd::set_enabled(simd_on);
+        for &lanes in &LANE_SWEEP {
+            for &workers in &WORKER_SWEEP {
+                let pinned = dqma::trials::with_lane_width(plan, lanes);
+                let r = dqma::trials::run_trials_with_workers(&pinned, n, seed, workers);
+                assert_eq!(
+                    (r.trials, r.accepts),
+                    (base.trials, base.accepts),
+                    "{label}: lanes={lanes} workers={workers} simd={effective} \
+                     must match the default engine bit for bit"
+                );
+                assert_eq!(
+                    r.wilson_interval(5.0),
+                    base.wilson_interval(5.0),
+                    "{label}: lanes={lanes} workers={workers} simd={effective} \
+                     Wilson interval drifted"
+                );
+            }
+        }
+    }
+    qsim::simd::set_enabled(saved);
+}
+
+#[test]
+fn lane_batched_reports_are_identical_across_lane_widths_workers_and_simd() {
+    // PR 7's vectorisation contract: the accept count is a pure function of
+    // (protocol, seed, n) — per-trial RNG streams are keyed by (block,
+    // trial), not by the lane or worker that happens to execute the trial,
+    // and the AVX2 executors are lane-wise IEEE-identical to the scalar
+    // oracle — so every cell of the lane × worker × simd grid must reproduce
+    // the default engine's TrialReport exactly, for all four protocols.
+    let n = 9 * dqma::trials::BLOCK_TRIALS;
+
+    let (chain, right_state) = orthogonal_chain(4);
+    let proof = cheating_proof(&chain, &right_state, ChainCheat::Interpolate);
+    let chain_base = chain.sample_rounds_with_workers(&proof, n, 0xA11CE, 1);
+    assert_lane_invariant("chain", &chain.round_plan(&proof), n, 0xA11CE, &chain_base);
+
+    let proto = EqPathProtocol::with_scheme(3, FingerprintScheme::small(4, 7), 4);
+    let x = BitString::from_u64(3, 4);
+    let y = BitString::from_u64(12, 4);
+    let path_base = proto.sample_rounds_with_workers(&x, &y, ChainCheat::Interpolate, n, 0xC0DE, 1);
+    assert_lane_invariant(
+        "eq_path",
+        &proto.round_plan(&x, &y, ChainCheat::Interpolate),
+        n,
+        0xC0DE,
+        &path_base,
+    );
+
+    let g = topology::spider(3, 1);
+    let terminals: Vec<usize> = (0..3).map(|k| topology::spider_leaf(k, 1)).collect();
+    let tree = EqTreeProtocol::with_scheme(
+        &g,
+        &terminals,
+        FingerprintScheme::with_parameters(4, 1, 1, 5),
+        4,
+    );
+    let tx = BitString::from_u64(9, 4);
+    let mut inputs = vec![tx.clone(); terminals.len()];
+    inputs[1] = BitString::from_u64(6, 4);
+    let tree_proof = tree.uniform_proof(&tx);
+    let tree_base = tree.sample_rounds_with_workers(&inputs, &tree_proof, n, 0xDEED, 1);
+    assert_lane_invariant(
+        "eq_tree",
+        &tree.round_plan(&inputs, &tree_proof),
+        n,
+        0xDEED,
+        &tree_base,
+    );
+
+    let relay = RelayEqProtocol::with_spacing(4, 6, 2, 3);
+    let rx = BitString::from_u64(11, 4);
+    let ry = BitString::from_u64(4, 4);
+    let relays = vec![rx.clone(); relay.relay_points().len()];
+    let relay_base =
+        relay.sample_rounds_with_workers(&rx, &ry, &relays, ChainCheat::Interpolate, n, 0xFEED, 1);
+    assert_lane_invariant(
+        "relay",
+        &relay.round_plan(&rx, &ry, &relays, ChainCheat::Interpolate),
+        n,
+        0xFEED,
+        &relay_base,
+    );
+}
+
 #[test]
 fn batched_rates_match_the_exact_acceptances_and_the_paper_gap() {
     // The batched engine must reproduce the statistics this suite already

@@ -3,6 +3,7 @@
 use crate::{RngCore, SeedableRng};
 
 /// SplitMix64 — used to expand small seeds into full generator state.
+#[derive(Clone, Debug)]
 pub struct SplitMix64 {
     state: u64,
 }
