@@ -69,6 +69,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adversary;
 pub mod chain;
 pub mod costs;
 pub mod dma;
@@ -79,6 +80,7 @@ pub mod from_qmacc;
 pub mod gt;
 pub mod lower_bounds;
 pub mod net;
+pub mod noise;
 pub mod ranking;
 pub mod relay;
 pub mod trials;

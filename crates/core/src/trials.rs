@@ -78,6 +78,57 @@ pub fn stream_rng(seed: u64, block: u64) -> StdRng {
     StdRng::seed_from_u64(seed ^ block.wrapping_add(1).wrapping_mul(STREAM_PHI))
 }
 
+/// Shared statistical bounds for the Monte-Carlo test batteries.
+///
+/// The integration suites (`integration_sampled_rounds`,
+/// `integration_transport_rounds`, `integration_adversarial`) all assert
+/// measured rates against exact probabilities through the same two
+/// instruments; they live here — next to the engine whose outputs they
+/// bound — instead of being copy-pasted per test file.
+pub mod stats {
+    /// Confidence parameter of the suite-wide default margin: a correct
+    /// sampler violates a [`hoeffding_margin`] assertion with probability
+    /// ≤ 1e-9 per check, so a battery of thousands of checks still fails
+    /// spuriously less than once in a million runs.
+    pub const SUITE_DELTA: f64 = 1e-9;
+
+    /// Two-sided Hoeffding deviation `ε` such that
+    /// `Pr[|p̂ − p| ≥ ε] ≤ delta` for a correct Bernoulli sampler over
+    /// `trials` draws: `ε = sqrt(ln(2/δ) / (2n))`.
+    pub fn hoeffding_radius(trials: u64, delta: f64) -> f64 {
+        if trials == 0 {
+            return 1.0;
+        }
+        (f64::ln(2.0 / delta) / (2.0 * trials as f64)).sqrt()
+    }
+
+    /// [`hoeffding_radius`] at the suite-wide [`SUITE_DELTA`].
+    pub fn hoeffding_margin(trials: u64) -> f64 {
+        hoeffding_radius(trials, SUITE_DELTA)
+    }
+
+    /// Wilson score interval for a true Bernoulli probability given
+    /// `successes` out of `trials` at normal quantile `z` (e.g. `z = 1.96`
+    /// for 95%): the binomial interval that stays inside `[0, 1]` and
+    /// behaves at the boundary rates the protocols actually produce
+    /// (completeness ≈ 1).
+    pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+        if trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = trials as f64;
+        let p = successes as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = p + z2 / (2.0 * n);
+        let spread = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        (
+            ((centre - spread) / denom).clamp(0.0, 1.0),
+            ((centre + spread) / denom).clamp(0.0, 1.0),
+        )
+    }
+}
+
 /// Length of block `b` when `n` trials split into `nblocks` fixed-size
 /// blocks: [`BLOCK_TRIALS`] everywhere except a shorter final remainder
 /// block when `n` is not a multiple (a full final block when it is).
@@ -96,15 +147,23 @@ pub struct BlockRng {
     seed: u64,
     block: u64,
     trial_key: u64,
+    noise_key: u64,
 }
+
+/// Salt separating the noise-draw stream family from the coin/accept family.
+/// An arbitrary odd 64-bit constant; it is finalised through a SplitMix64
+/// round in [`BlockRng::new`], so the two families share no linear structure.
+const NOISE_STREAM_SALT: u64 = 0xB5AD_4ECE_DA1C_E2A9;
 
 impl BlockRng {
     /// The coordinate of block `block` under master seed `seed`.
     pub fn new(seed: u64, block: u64) -> Self {
+        let trial_key = CounterRng::block_key(seed, block);
         BlockRng {
             seed,
             block,
-            trial_key: CounterRng::block_key(seed, block),
+            trial_key,
+            noise_key: CounterRng::block_key(trial_key, NOISE_STREAM_SALT),
         }
     }
 
@@ -125,6 +184,18 @@ impl BlockRng {
     #[inline]
     pub fn trial_rng(&self, trial: u64) -> CounterRng {
         CounterRng::for_trial_key(self.trial_key, trial)
+    }
+
+    /// The counter-based **noise-draw** stream of trial `trial`: the same
+    /// `(block key, trial index)` derivation as [`BlockRng::trial_rng`], but
+    /// keyed through [`NOISE_STREAM_SALT`], so noise-branch selections are a
+    /// pure per-trial function that never consumes from — and therefore never
+    /// perturbs — the coin/accept draw schedule. Toggling a noise model off
+    /// reproduces the noise-free accept counts bit-exactly (pinned by the
+    /// adversarial integration suite).
+    #[inline]
+    pub fn noise_rng(&self, trial: u64) -> CounterRng {
+        CounterRng::for_trial_key(self.noise_key, trial)
     }
 
     /// Fills one lane batch of per-trial draws starting at trial `t0`:
@@ -255,34 +326,16 @@ impl TrialReport {
     }
 
     /// Wilson score interval for the true acceptance probability at normal
-    /// quantile `z` (e.g. `z = 1.96` for 95%): the standard binomial
-    /// interval that stays inside `[0, 1]` and behaves at the boundary
-    /// rates the protocols actually produce (completeness ≈ 1).
+    /// quantile `z` — see [`stats::wilson_interval`].
     pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
-        let n = self.trials as f64;
-        if self.trials == 0 {
-            return (0.0, 1.0);
-        }
-        let p = self.acceptance_rate();
-        let z2 = z * z;
-        let denom = 1.0 + z2 / n;
-        let centre = p + z2 / (2.0 * n);
-        let spread = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
-        (
-            ((centre - spread) / denom).clamp(0.0, 1.0),
-            ((centre + spread) / denom).clamp(0.0, 1.0),
-        )
+        stats::wilson_interval(self.accepts, self.trials, z)
     }
 
     /// Two-sided Hoeffding deviation ε such that
-    /// `Pr[|p̂ − p| ≥ ε] ≤ delta` for a correct Bernoulli sampler:
-    /// `ε = sqrt(ln(2/δ) / (2n))` — the margin the statistical test suite
-    /// asserts against.
+    /// `Pr[|p̂ − p| ≥ ε] ≤ delta` for a correct Bernoulli sampler — see
+    /// [`stats::hoeffding_radius`].
     pub fn hoeffding_radius(&self, delta: f64) -> f64 {
-        if self.trials == 0 {
-            return 1.0;
-        }
-        (f64::ln(2.0 / delta) / (2.0 * self.trials as f64)).sqrt()
+        stats::hoeffding_radius(self.trials, delta)
     }
 
     /// Nanoseconds of wall clock per sampled round.
@@ -462,12 +515,9 @@ impl OutcomeReport {
     }
 
     /// Two-sided Hoeffding deviation for the accept rate; see
-    /// [`TrialReport::hoeffding_radius`].
+    /// [`stats::hoeffding_radius`].
     pub fn hoeffding_radius(&self, delta: f64) -> f64 {
-        if self.trials == 0 {
-            return 1.0;
-        }
-        (f64::ln(2.0 / delta) / (2.0 * self.trials as f64)).sqrt()
+        stats::hoeffding_radius(self.trials, delta)
     }
 
     /// Nanoseconds of wall clock per sampled round.
@@ -743,6 +793,37 @@ mod tests {
     fn lane_width_zero_is_rejected() {
         let coin = LaneCoin { p: 0.5 };
         let _ = with_lane_width(&coin, 0);
+    }
+
+    #[test]
+    fn noise_stream_is_a_distinct_deterministic_family() {
+        use rand::RngCore;
+        let b = BlockRng::new(42, 3);
+        // Same (seed, block, trial) coordinate, different stream family.
+        assert_ne!(b.trial_rng(7).next_u64(), b.noise_rng(7).next_u64());
+        // Pure function of the coordinate: reopening reproduces the draws.
+        assert_eq!(
+            b.noise_rng(7).next_u64(),
+            BlockRng::new(42, 3).noise_rng(7).next_u64()
+        );
+        // Distinct trials and blocks give distinct noise streams.
+        assert_ne!(b.noise_rng(7).next_u64(), b.noise_rng(8).next_u64());
+        assert_ne!(
+            b.noise_rng(7).next_u64(),
+            BlockRng::new(42, 4).noise_rng(7).next_u64()
+        );
+    }
+
+    #[test]
+    fn stats_module_matches_report_methods() {
+        let r = run_trials(&Coin { p: 0.5 }, 10_000, 5);
+        assert_eq!(r.hoeffding_radius(1e-9), stats::hoeffding_margin(r.trials));
+        assert_eq!(
+            r.wilson_interval(1.96),
+            stats::wilson_interval(r.accepts, r.trials, 1.96)
+        );
+        assert_eq!(stats::wilson_interval(0, 0, 1.96), (0.0, 1.0));
+        assert_eq!(stats::hoeffding_radius(0, 1e-9), 1.0);
     }
 
     #[test]

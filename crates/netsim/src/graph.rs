@@ -199,6 +199,32 @@ impl Graph {
             .expect("non-empty candidates")
     }
 
+    /// A shortest path between two mutually eccentric nodes, found with the
+    /// double-BFS sweep: start from node 0, take a farthest node `u`, then a
+    /// node `v` farthest from `u`, and return the `u`–`v` path (inclusive).
+    /// On trees this realises the diameter exactly; on general connected
+    /// graphs it is the standard 2-approximation. Used by the adversarial
+    /// sweeps to extract the longest relay line a random topology embeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or disconnected.
+    pub fn peripheral_path(&self) -> Vec<usize> {
+        assert!(self.n > 0, "peripheral_path of an empty graph");
+        let far_from = |s: usize| -> usize {
+            self.bfs_distances(s)
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, d)| d.expect("peripheral_path requires a connected graph"))
+                .map(|(v, _)| v)
+                .expect("non-empty")
+        };
+        let u = far_from(0);
+        let v = far_from(u);
+        self.shortest_path(u, v)
+            .expect("connected graph has a path between any two nodes")
+    }
+
     /// One shortest path from `u` to `v` (inclusive of both endpoints).
     ///
     /// Returns `None` when `v` is unreachable from `u`.
@@ -242,6 +268,26 @@ impl fmt::Display for Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peripheral_path_on_path_graph_is_the_whole_path() {
+        let g = path_graph(6);
+        let p = g.peripheral_path();
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.len() - 1, g.diameter());
+    }
+
+    #[test]
+    fn peripheral_path_on_star_spans_two_leaves() {
+        let mut g = Graph::new(5);
+        for leaf in 1..5 {
+            g.add_edge(0, leaf);
+        }
+        let p = g.peripheral_path();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[1], 0);
+        assert_ne!(p[0], p[2]);
+    }
 
     fn path_graph(len: usize) -> Graph {
         let mut g = Graph::new(len + 1);

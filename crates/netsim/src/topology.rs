@@ -115,9 +115,55 @@ pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
     g
 }
 
+/// A deterministic family of `count` connected random graphs for sweep-style
+/// tests and the adversarial soundness charts: instance `i` has a node count
+/// drawn uniformly from `[min_nodes, max_nodes]` and extra-edge probability
+/// `edge_p`, all derived from `seed` (same seed → same family).
+///
+/// # Panics
+///
+/// Panics if `min_nodes` is 0 or exceeds `max_nodes`.
+pub fn random_connected_sweep(
+    count: usize,
+    min_nodes: usize,
+    max_nodes: usize,
+    edge_p: f64,
+    seed: u64,
+) -> Vec<Graph> {
+    assert!(
+        (1..=max_nodes).contains(&min_nodes),
+        "need 1 <= min_nodes <= max_nodes"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let n = rng.random_range(min_nodes..=max_nodes);
+            random_connected(n, edge_p, seed.wrapping_add(1).wrapping_mul(i as u64 + 1))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn random_connected_sweep_is_deterministic_and_connected() {
+        let a = random_connected_sweep(20, 4, 12, 0.15, 99);
+        let b = random_connected_sweep(20, 4, 12, 0.15, 99);
+        assert_eq!(a.len(), 20);
+        for (ga, gb) in a.iter().zip(b.iter()) {
+            assert!(ga.is_connected());
+            assert!((4..=12).contains(&ga.num_nodes()));
+            assert_eq!(ga.edges(), gb.edges());
+        }
+        // Different seeds give a different family.
+        let c = random_connected_sweep(20, 4, 12, 0.15, 100);
+        assert!(a
+            .iter()
+            .zip(c.iter())
+            .any(|(ga, gc)| ga.edges() != gc.edges()));
+    }
 
     #[test]
     fn path_shape() {

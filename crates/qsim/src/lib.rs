@@ -168,6 +168,7 @@ pub mod kernels;
 pub mod linalg;
 pub mod measure;
 pub mod naive;
+pub mod noise;
 pub mod permutation;
 pub mod plan;
 pub mod pool;

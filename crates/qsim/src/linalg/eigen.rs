@@ -182,6 +182,84 @@ pub fn max_eigenvalue(a: &CMatrix) -> f64 {
     eigh(a).max_eigenvalue()
 }
 
+/// Largest eigenvalue and a corresponding unit eigenvector of a Hermitian
+/// matrix, via shifted power iteration with a dense-Jacobi fallback.
+///
+/// The cheating-prover optimiser (`dqma::adversary`) needs only the top
+/// eigenpair of acceptance operators whose dimension grows like `d^{2k}`; a
+/// full cyclic-Jacobi sweep there costs `O(n³)` per sweep, while each power
+/// step is a single `O(n²)` mat-vec. The iteration runs on the shifted matrix
+/// `B = A + s·I`, with `s` chosen from the Gershgorin lower bound of the
+/// spectrum so every eigenvalue of `B` is nonnegative — making the
+/// algebraically largest eigenvalue of `A` the dominant (largest-modulus)
+/// eigenvalue of `B`. Convergence is declared when the residual satisfies
+/// `‖A·v − λ·v‖ ≤ tol · (1 + ‖A‖_F)` with `λ = ⟨v, A·v⟩` the Rayleigh
+/// quotient; if `max_iters` steps do not reach the target (e.g. a
+/// near-degenerate top eigenspace), the routine falls back to [`eigh`], so
+/// the returned pair always meets the residual bound Jacobi provides.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or not (numerically) Hermitian.
+pub fn top_eigenpair(a: &CMatrix, tol: f64, max_iters: usize) -> (f64, CVector) {
+    assert!(a.is_square(), "top_eigenpair requires a square matrix");
+    let scale = 1.0 + a.frobenius_norm();
+    assert!(
+        a.is_hermitian(1e-8 * scale),
+        "top_eigenpair requires a Hermitian matrix"
+    );
+    let n = a.rows();
+    if n == 1 {
+        return (a.at(0, 0).re, CVector::basis(1, 0));
+    }
+
+    // Gershgorin lower bound on the spectrum.
+    let mut lo = f64::INFINITY;
+    for i in 0..n {
+        let mut radius = 0.0;
+        for j in 0..n {
+            if i != j {
+                radius += a.at(i, j).abs();
+            }
+        }
+        lo = lo.min(a.at(i, i).re - radius);
+    }
+    let shift = (-lo).max(0.0);
+
+    // Deterministic pseudo-random start vector: a fixed basis start could be
+    // exactly orthogonal to the top eigenspace of structured operators.
+    let mut state = 0x9e3779b97f4a7c15u64 ^ (n as u64);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as f64 / u64::MAX as f64) - 0.5
+    };
+    let mut v = CVector::from_fn(n, |_| Complex::new(next(), next())).normalized();
+
+    for _ in 0..max_iters {
+        let av = a.apply(&v);
+        let lambda = v.inner(&av).re;
+        let mut residual = av.clone();
+        residual.add_scaled(&v, Complex::real(-lambda));
+        if residual.norm() <= tol * scale {
+            return (lambda, v);
+        }
+        // Next iterate: B·v = A·v + s·v.
+        let mut bv = av;
+        bv.add_scaled(&v, Complex::real(shift));
+        let nrm = bv.norm();
+        if nrm <= f64::MIN_POSITIVE {
+            // v is (numerically) in the kernel of B; restart from Jacobi.
+            break;
+        }
+        v = bv.scale(Complex::real(1.0 / nrm));
+    }
+
+    let e = eigh(a);
+    (e.max_eigenvalue(), e.max_eigenvector())
+}
+
 /// Positive-semidefinite square root of a Hermitian PSD matrix.
 ///
 /// Small negative eigenvalues caused by round-off are clamped to zero.
@@ -330,6 +408,57 @@ mod tests {
         let v = CVector::from_reals(&[1.0, 1.0, 0.0]).normalized();
         let p = CMatrix::projector(&v);
         assert!((max_eigenvalue(&p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_eigenpair_matches_jacobi_on_random_hermitian() {
+        for seed in 1..8u64 {
+            let a = random_hermitian(7, seed);
+            let (lam, v) = top_eigenpair(&a, 1e-12, 10_000);
+            let e = eigh(&a);
+            assert!(
+                (lam - e.max_eigenvalue()).abs() < 1e-9,
+                "seed {seed}: {lam} vs {}",
+                e.max_eigenvalue()
+            );
+            let av = a.apply(&v);
+            let lv = v.scale(Complex::real(lam));
+            assert!(av.approx_eq(&lv, 1e-8), "residual too large (seed {seed})");
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_eigenpair_handles_negative_dominant_modulus() {
+        // |λ_min| > λ_max: unshifted power iteration would converge to the
+        // *bottom* of the spectrum; the Gershgorin shift must prevent that.
+        let a = CMatrix::diag_reals(&[-5.0, 1.0, 2.0]);
+        let (lam, v) = top_eigenpair(&a, 1e-12, 10_000);
+        assert!((lam - 2.0).abs() < 1e-10);
+        assert!((v.at(2).abs() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn top_eigenpair_degenerate_top_eigenspace() {
+        // Projector onto a 2-dimensional subspace: top eigenvalue 1 with
+        // multiplicity 2. Any unit vector in the eigenspace is acceptable.
+        let u = CVector::from_reals(&[1.0, 0.0, 1.0, 0.0]).normalized();
+        let w = CVector::from_reals(&[0.0, 1.0, 0.0, -1.0]).normalized();
+        let p = &CMatrix::projector(&u) + &CMatrix::projector(&w);
+        let (lam, v) = top_eigenpair(&p, 1e-11, 10_000);
+        assert!((lam - 1.0).abs() < 1e-9);
+        let pv = p.apply(&v);
+        assert!(pv.approx_eq(&v, 1e-8));
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn top_eigenpair_rejects_non_hermitian() {
+        let m = CMatrix::from_rows(&[
+            vec![Complex::ZERO, Complex::ONE],
+            vec![Complex::ZERO, Complex::ZERO],
+        ]);
+        let _ = top_eigenpair(&m, 1e-10, 10);
     }
 
     #[test]

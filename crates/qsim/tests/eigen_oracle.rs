@@ -1,0 +1,134 @@
+//! Randomized oracle suite for `linalg::eigen`.
+//!
+//! The cheating-prover optimiser of the `dqma` crate rides directly on this
+//! module (top eigenpair of acceptance operators = the optimal cheat), so —
+//! like `kernels` and `plan` — it gets its own property suite pinning it
+//! against the naive dense path: Hermitian operators with a *known* spectrum
+//! are synthesised as `U diag(λ) U†` from Haar-random unitaries, and the
+//! decomposition must recover eigenvalues and residuals to 1e-10 for
+//! d ∈ {2, 3, 5} (the register dimensions the protocols sweep) and a few
+//! larger composite dimensions.
+
+use qsim::linalg::eigen::{eigh, max_eigenvalue, top_eigenpair};
+use qsim::random::RandomStateGenerator;
+use qsim::{CMatrix, Complex};
+
+const TOL: f64 = 1e-10;
+
+/// Hermitian matrix with the prescribed spectrum, plus the spectrum sorted
+/// ascending: `A = U diag(λ) U†` for a Haar-random `U`.
+fn known_spectrum(dim: usize, seed: u64, spectrum: &[f64]) -> (CMatrix, Vec<f64>) {
+    assert_eq!(spectrum.len(), dim);
+    let mut gen = RandomStateGenerator::new(seed);
+    let u = gen.random_unitary(dim);
+    let a = u
+        .matmul(&CMatrix::diag_reals(spectrum))
+        .matmul(&u.adjoint());
+    let mut sorted = spectrum.to_vec();
+    sorted.sort_by(|x, y| x.partial_cmp(y).expect("non-finite eigenvalue"));
+    (a, sorted)
+}
+
+/// Deterministic pseudo-random spectrum in [-1, 1], with optional clustering
+/// to stress near-degenerate cases.
+fn random_spectrum(dim: usize, seed: u64, cluster: bool) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    let mut spec: Vec<f64> = (0..dim).map(|_| next()).collect();
+    if cluster && dim >= 2 {
+        // Two eigenvalues 1e-6 apart: still resolvable at 1e-10 residuals,
+        // but close enough to stress the rotation ordering.
+        spec[1] = spec[0] + 1e-6;
+    }
+    spec
+}
+
+#[test]
+fn eigh_recovers_known_spectra() {
+    for &d in &[2usize, 3, 5] {
+        for seed in 0..12u64 {
+            let spec = random_spectrum(d, 1000 * d as u64 + seed, seed % 3 == 0);
+            let (a, sorted) = known_spectrum(d, 77 * d as u64 + seed, &spec);
+            let e = eigh(&a);
+            for (got, want) in e.eigenvalues.iter().zip(sorted.iter()) {
+                assert!(
+                    (got - want).abs() < TOL,
+                    "d = {d}, seed = {seed}: eigenvalue {got} vs {want}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn eigh_residuals_and_orthonormality() {
+    for &d in &[2usize, 3, 5, 8] {
+        for seed in 0..6u64 {
+            let spec = random_spectrum(d, 31 * d as u64 + seed, false);
+            let (a, _) = known_spectrum(d, 13 * d as u64 + seed, &spec);
+            let e = eigh(&a);
+            assert!(e.eigenvectors.is_unitary(TOL), "d = {d}, seed = {seed}");
+            for k in 0..d {
+                let v = e.eigenvector(k);
+                let mut residual = a.apply(&v);
+                residual.add_scaled(&v, Complex::real(-e.eigenvalues[k]));
+                assert!(
+                    residual.norm() < TOL * (1.0 + a.frobenius_norm()),
+                    "d = {d}, seed = {seed}, k = {k}: residual {}",
+                    residual.norm()
+                );
+            }
+            assert!(e.reconstruct().approx_eq(&a, TOL * 10.0));
+        }
+    }
+}
+
+#[test]
+fn top_eigenpair_agrees_with_dense_path() {
+    for &d in &[2usize, 3, 5, 8, 13] {
+        for seed in 0..6u64 {
+            let spec = random_spectrum(d, 17 * d as u64 + seed, false);
+            let (a, sorted) = known_spectrum(d, 29 * d as u64 + seed, &spec);
+            let (lam, v) = top_eigenpair(&a, 1e-12, 20_000);
+            let top = *sorted.last().expect("empty spectrum");
+            assert!(
+                (lam - top).abs() < TOL,
+                "d = {d}, seed = {seed}: {lam} vs {top}"
+            );
+            assert!((lam - max_eigenvalue(&a)).abs() < TOL);
+            let mut residual = a.apply(&v);
+            residual.add_scaled(&v, Complex::real(-lam));
+            assert!(residual.norm() < TOL * (1.0 + a.frobenius_norm()));
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn top_eigenpair_on_psd_acceptance_like_operators() {
+    // Acceptance operators are averages of products of projector-like
+    // factors: PSD, spectrum inside [0, 1], often with clustered tops.
+    // Build PSD operators as G† G normalised to spectral radius <= 1.
+    for &d in &[2usize, 3, 5] {
+        for seed in 0..8u64 {
+            let mut gen = RandomStateGenerator::new(500 + 10 * d as u64 + seed);
+            let g = gen.random_unitary(d);
+            let spec: Vec<f64> = (0..d)
+                .map(|i| (i as f64 + 1.0) / (d as f64 + seed as f64 % 3.0 + 1.0))
+                .collect();
+            let (a, sorted) = known_spectrum(d, 900 + seed, &spec);
+            // Conjugate by one more unitary to shuffle the basis.
+            let a = g.matmul(&a).matmul(&g.adjoint());
+            let (lam, v) = top_eigenpair(&a, 1e-12, 20_000);
+            assert!((lam - sorted.last().unwrap()).abs() < TOL);
+            let mut residual = a.apply(&v);
+            residual.add_scaled(&v, Complex::real(-lam));
+            assert!(residual.norm() < TOL * (1.0 + a.frobenius_norm()));
+        }
+    }
+}

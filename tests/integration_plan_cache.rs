@@ -1,0 +1,110 @@
+//! Plan-cache scaling: compilations grow with the number of *distinct
+//! register shapes*, not with the number of protocol instances.
+//!
+//! A 100-instance sweep of EQ tree protocols over random connected
+//! topologies drives `simulate_round_via_density`, whose permutation tests
+//! fetch their kernel plans from the process-wide cache keyed by
+//! `(dims, targets)`. Every internal tree node of arity `c` tests `1 + c`
+//! registers of the same dimension, so the only shapes that can ever miss
+//! are the distinct arities seen across the whole sweep — a handful, while
+//! the sweep runs a hundred instances. The second pass must compile
+//! nothing at all.
+//!
+//! One test function on purpose: [`qsim::plan::compile_count`] is a
+//! process-wide counter, and this file being its own test binary keeps the
+//! ledger free of other suites' compilations.
+
+use commproto::bitstring::BitString;
+use commproto::fingerprint::FingerprintScheme;
+use dqma::eq_tree::EqTreeProtocol;
+use netsim::topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+#[test]
+fn plan_compilations_scale_with_shapes_not_instances() {
+    const INSTANCES: usize = 100;
+    let graphs = topology::random_connected_sweep(INSTANCES, 4, 9, 0.3, 0x9E1D);
+    assert_eq!(graphs.len(), INSTANCES);
+
+    // Codeword length 1, one copy: register dimension 2, so even arity-8
+    // joints stay dense-simulable.
+    let scheme = FingerprintScheme::with_parameters(4, 1, 1, 5);
+    let x = BitString::from_u64(9, 4);
+
+    let protocols: Vec<EqTreeProtocol> = graphs
+        .iter()
+        .map(|g| {
+            // Terminals: the two peripheral-path endpoints, plus the path
+            // midpoint when it is a distinct third node — trees of varied
+            // depth and fan-out without hand-picking per graph.
+            let path = g.peripheral_path();
+            let mut terminals = vec![path[0], path[path.len() - 1]];
+            let mid = path[path.len() / 2];
+            if !terminals.contains(&mid) {
+                terminals.push(mid);
+            }
+            EqTreeProtocol::with_scheme(g, &terminals, scheme.clone(), 1)
+        })
+        .collect();
+
+    // The only cacheable shapes the sweep can touch: one per distinct
+    // internal-node arity (the permutation test at node `v` spans
+    // `1 + #children(v)` registers of dimension 2).
+    let mut shapes: BTreeSet<usize> = BTreeSet::new();
+    for proto in &protocols {
+        let tree = proto.tree();
+        for v in 0..tree.num_nodes() {
+            let c = tree.children(v).len();
+            if c > 0 {
+                shapes.insert(1 + c);
+            }
+        }
+    }
+    assert!(
+        shapes.len() >= 2,
+        "the sweep must exercise more than one arity, got {shapes:?}"
+    );
+
+    let run_sweep = |salt: u64| {
+        for (i, proto) in protocols.iter().enumerate() {
+            let inputs = vec![x.clone(); proto.num_terminals()];
+            let proof = proto.uniform_proof(&x);
+            let mut rng = StdRng::seed_from_u64(salt + i as u64);
+            assert!(
+                proto.simulate_round_via_density(&inputs, &proof, &mut rng),
+                "honest instance {i} must accept"
+            );
+        }
+    };
+
+    let before = qsim::plan::compile_count();
+    run_sweep(0x100);
+    let cold = qsim::plan::compile_count() - before;
+
+    // O(#shapes), with slack for the cache compiling a couple of plan
+    // variants per shape — and emphatically not O(#instances).
+    let budget = 4 * shapes.len() as u64 + 2;
+    assert!(
+        cold <= budget,
+        "cold sweep compiled {cold} plans for {} distinct shapes \
+         (budget {budget}): the cache is not deduplicating",
+        shapes.len()
+    );
+    assert!(
+        cold < INSTANCES as u64,
+        "cold sweep compiled {cold} plans over {INSTANCES} instances: \
+         compilation is scaling per instance"
+    );
+
+    // Steady state: a second full sweep (fresh RNG salts, same shapes)
+    // must be served entirely from the cache.
+    let warm_before = qsim::plan::compile_count();
+    run_sweep(0x200);
+    let warm = qsim::plan::compile_count() - warm_before;
+    assert_eq!(
+        warm, 0,
+        "warm sweep still compiled {warm} plans: the cache is leaking misses"
+    );
+}

@@ -34,9 +34,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Two-sided Hoeffding deviation `ε` such that a correct Bernoulli sampler
-/// violates `|p̂ − p| < ε` over `trials` draws with probability ≤ 1e-9.
+/// violates `|p̂ − p| < ε` over `trials` draws with probability ≤ 1e-9
+/// (the shared `δ = 1e-9` helper of [`dqma::trials::stats`]).
 fn hoeffding_margin(trials: usize) -> f64 {
-    (f64::ln(2.0 / 1e-9) / (2.0 * trials as f64)).sqrt()
+    dqma::trials::stats::hoeffding_margin(trials as u64)
 }
 
 /// Empirical acceptance rate of `trials` sampled rounds.

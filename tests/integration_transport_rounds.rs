@@ -33,10 +33,9 @@ use qsim::{CMatrix, PureState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Two-sided Hoeffding deviation at failure probability 1e-9.
-fn hoeffding_margin(trials: u64) -> f64 {
-    (f64::ln(2.0 / 1e-9) / (2.0 * trials as f64)).sqrt()
-}
+// Two-sided Hoeffding deviation at failure probability 1e-9: the shared
+// helper of `dqma::trials::stats`.
+use dqma::trials::stats::hoeffding_margin;
 
 fn no_faults() -> FaultPlan {
     FaultPlan::none()
