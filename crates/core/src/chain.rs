@@ -652,7 +652,7 @@ impl ChainRoundPlan {
     /// tables when one coin word covers every node. Fusing multiplies each
     /// chunk's node entries at compile time (ascending node order), so the
     /// runtime walk does one table read per chunk instead of one per node.
-    fn from_tables(tables: Vec<f64>, k: usize) -> ChainRoundPlan {
+    pub(crate) fn from_tables(tables: Vec<f64>, k: usize) -> ChainRoundPlan {
         use qsim::simd::{CHUNK_NODES, CHUNK_STRIDE};
         let (mut fused, mut chunk_masks) = (Vec::new(), Vec::new());
         if k <= 62 {
@@ -684,6 +684,13 @@ impl ChainRoundPlan {
     /// Number of intermediate nodes the plan covers.
     pub fn num_intermediate(&self) -> usize {
         self.k
+    }
+
+    /// The raw `4(k+1)` per-node tables — the serialisable identity of a
+    /// compiled plan. [`crate::cluster::ProgramSpec`] ships these bit-exact
+    /// (`f64::to_bits` hex) so a node process rebuilds the identical plan.
+    pub(crate) fn tables(&self) -> &[f64] {
+        &self.tables
     }
 
     /// Node `j`'s acceptance table entry at coin-pair index

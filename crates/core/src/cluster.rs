@@ -1,0 +1,1804 @@
+//! Multi-process cluster runtime: one protocol node per OS process over
+//! real TCP sockets, driven by a crash-recovery supervisor.
+//!
+//! This module closes the loop between the in-process samplers of
+//! [`crate::trials`] / [`crate::net`] and a genuinely distributed
+//! deployment. The pieces:
+//!
+//! - [`ProgramSpec`] — a wire-encodable description of any
+//!   [`RoundProgram`] the suite compiles (chain, relay, tree), with `f64`
+//!   tables shipped as `to_bits` hex so a decoded program is **bit-exact**;
+//! - [`node_main`] — the per-process entry point (the `dqma-node` binary):
+//!   binds a [`TcpTransport`], reports in over a control connection, and
+//!   replays only its own node's slice of each trial;
+//! - [`Cluster`] — the supervisor: spawns the fleet, drives batches of
+//!   trials, detects dead peers, restarts their processes, replays the
+//!   reconnect handshake and resumes — degraded trials surface as aborts,
+//!   never as silent rejections;
+//! - [`ChurnSchedule`] — seeded kill/leave/join/reprogram events at trial
+//!   offsets of the virtual timeline, so peer churn is reproducible.
+//!
+//! # RNG stream alignment
+//!
+//! The sequential driver threads a single block stream through all nodes:
+//! per trial, word 0 is the fault salt, then each scheduled node consumes
+//! exactly [`RoundProgram::fault_free_draws`] words in schedule order. A
+//! node process reconstructs the same stream with [`stream_rng`] and
+//! *skips* every other node's words, so on the fault-free path the fleet's
+//! decisions, message counts and transcript digest are bit-identical to
+//! [`crate::net::sample_transport_rounds`] with a quiet fault plan. A
+//! faulted trial leaves a node's consumption unknown; the node then
+//! re-derives the stream from scratch at the next trial boundary
+//! (`words-per-trial × trial-index` is an absolute position, so a single
+//! faulted trial never desynchronises the rest of the block).
+//!
+//! # Epochs
+//!
+//! Trial `g` (global index `block × BLOCK_TRIALS + t`) runs under TCP
+//! epoch `g + 1`: every process pins its transport's epoch before running
+//! the trial, so frames from lagging peers are acknowledged (their sender
+//! completes) but never delivered into a later trial.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::str::SplitWhitespace;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use netsim::tcp::{TcpConfig, TcpTransport};
+use netsim::transport::{FaultCause, NodeId, Transport};
+use netsim::RetryPolicy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::chain::ChainRoundPlan;
+use crate::net::{
+    mix, run_single_node, ChainNetProgram, RelayNetProgram, RoundProgram, TreeNetProgram, TreeRole,
+};
+use crate::trials::{block_len, stream_rng, BlockOutcomes, BLOCK_TRIALS};
+
+// ---------------------------------------------------------------------------
+// Program specs: wire-encodable round programs
+// ---------------------------------------------------------------------------
+
+/// Internal representation of a [`ProgramSpec`]; kept private so the
+/// `pub(crate)` plan/role types never leak through the public enum.
+#[derive(Clone, Debug)]
+enum Repr {
+    Chain {
+        k: usize,
+        mq: u64,
+        tables: Vec<f64>,
+    },
+    Relay {
+        boundaries: Vec<usize>,
+        mq: u64,
+        segments: Vec<Vec<f64>>,
+    },
+    Tree {
+        mq: u64,
+        schedule: Vec<NodeId>,
+        roles: Vec<TreeRole>,
+    },
+}
+
+/// A wire-encodable description of a compiled round program.
+///
+/// The encoding is a single whitespace-tokenised line; every `f64` table
+/// entry ships as its [`f64::to_bits`] value in hex, so
+/// `decode(encode(spec))` instantiates a **bit-exact** copy of the
+/// original program in another process. This is what the supervisor sends
+/// over the control channel (`program <tokens…>`) at launch, after a
+/// restart, and on a [`ChurnEvent::Reprogram`].
+#[derive(Clone, Debug)]
+pub struct ProgramSpec {
+    repr: Repr,
+}
+
+/// Any of the suite's three per-node program shapes, decoded from a
+/// [`ProgramSpec`]. Delegates [`RoundProgram`] to the inner program.
+#[derive(Clone, Debug)]
+pub enum AnyProgram {
+    /// A single chain walk on the path (EQ-path, orthogonality chains).
+    Chain(ChainNetProgram),
+    /// The relay-point protocol: chained per-segment walks.
+    Relay(RelayNetProgram),
+    /// The EQ-tree permutation test on an announced spanning tree.
+    Tree(TreeNetProgram),
+}
+
+impl RoundProgram for AnyProgram {
+    fn num_nodes(&self) -> usize {
+        match self {
+            AnyProgram::Chain(p) => p.num_nodes(),
+            AnyProgram::Relay(p) => p.num_nodes(),
+            AnyProgram::Tree(p) => p.num_nodes(),
+        }
+    }
+
+    fn schedule(&self) -> &[NodeId] {
+        match self {
+            AnyProgram::Chain(p) => p.schedule(),
+            AnyProgram::Relay(p) => p.schedule(),
+            AnyProgram::Tree(p) => p.schedule(),
+        }
+    }
+
+    fn message_qubits(&self) -> u64 {
+        match self {
+            AnyProgram::Chain(p) => p.message_qubits(),
+            AnyProgram::Relay(p) => p.message_qubits(),
+            AnyProgram::Tree(p) => p.message_qubits(),
+        }
+    }
+
+    fn run_node<T: Transport + ?Sized>(
+        &self,
+        node: NodeId,
+        io: &mut crate::net::NodeIo<'_, T>,
+    ) -> Result<bool, FaultCause> {
+        match self {
+            AnyProgram::Chain(p) => p.run_node(node, io),
+            AnyProgram::Relay(p) => p.run_node(node, io),
+            AnyProgram::Tree(p) => p.run_node(node, io),
+        }
+    }
+
+    fn fault_free_draws(&self, node: NodeId) -> u64 {
+        match self {
+            AnyProgram::Chain(p) => p.fault_free_draws(node),
+            AnyProgram::Relay(p) => p.fault_free_draws(node),
+            AnyProgram::Tree(p) => p.fault_free_draws(node),
+        }
+    }
+}
+
+/// Thin error-reporting wrapper around [`SplitWhitespace`].
+struct Tokens<'a> {
+    it: SplitWhitespace<'a>,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(line: &'a str) -> Self {
+        Tokens {
+            it: line.split_whitespace(),
+        }
+    }
+
+    fn next_str(&mut self) -> Option<&'a str> {
+        self.it.next()
+    }
+
+    fn expect(&mut self) -> Result<&'a str, String> {
+        self.it.next().ok_or_else(|| "truncated spec".to_string())
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let t = self.expect()?;
+        t.parse().map_err(|_| format!("bad integer token {t:?}"))
+    }
+
+    fn usize(&mut self) -> Result<usize, String> {
+        let t = self.expect()?;
+        t.parse().map_err(|_| format!("bad integer token {t:?}"))
+    }
+
+    fn f64_bits(&mut self) -> Result<f64, String> {
+        let t = self.expect()?;
+        u64::from_str_radix(t, 16)
+            .map(f64::from_bits)
+            .map_err(|_| format!("bad f64-bits token {t:?}"))
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    out.push_str(&format!(" {:016x}", v.to_bits()));
+}
+
+impl ProgramSpec {
+    /// Captures a chain program (EQ-path, orthogonality chain, …).
+    pub fn from_chain(p: &ChainNetProgram) -> Self {
+        ProgramSpec {
+            repr: Repr::Chain {
+                k: p.plan.num_intermediate(),
+                mq: p.message_qubits,
+                tables: p.plan.tables().to_vec(),
+            },
+        }
+    }
+
+    /// Captures a relay-point program with its segment boundaries.
+    pub fn from_relay(p: &RelayNetProgram) -> Self {
+        ProgramSpec {
+            repr: Repr::Relay {
+                boundaries: p.boundaries(),
+                mq: p.message_qubits,
+                segments: p.segments.iter().map(|s| s.tables().to_vec()).collect(),
+            },
+        }
+    }
+
+    /// Captures an EQ-tree program (roles + post-order schedule).
+    pub fn from_tree(p: &TreeNetProgram) -> Self {
+        ProgramSpec {
+            repr: Repr::Tree {
+                mq: p.message_qubits,
+                schedule: p.schedule().to_vec(),
+                roles: p.roles.clone(),
+            },
+        }
+    }
+
+    /// Serialises the spec to its single-line token form.
+    pub fn encode(&self) -> String {
+        match &self.repr {
+            Repr::Chain { k, mq, tables } => {
+                let mut out = format!("chain {k} {mq}");
+                for &v in tables {
+                    push_f64(&mut out, v);
+                }
+                out
+            }
+            Repr::Relay {
+                boundaries,
+                mq,
+                segments,
+            } => {
+                let mut out = format!("relay {} {mq}", segments.len());
+                for b in boundaries {
+                    out.push_str(&format!(" {b}"));
+                }
+                for seg in segments {
+                    for &v in seg {
+                        push_f64(&mut out, v);
+                    }
+                }
+                out
+            }
+            Repr::Tree {
+                mq,
+                schedule,
+                roles,
+            } => {
+                let mut out = format!("tree {} {mq} {}", roles.len(), schedule.len());
+                for s in schedule {
+                    out.push_str(&format!(" {s}"));
+                }
+                for role in roles {
+                    match role {
+                        TreeRole::Unused => out.push_str(" u"),
+                        TreeRole::Leaf { parent } => out.push_str(&format!(" l {parent}")),
+                        TreeRole::Internal {
+                            parent,
+                            children,
+                            probs,
+                        } => {
+                            match parent {
+                                Some(p) => out.push_str(&format!(" i {p}")),
+                                None => out.push_str(" i x"),
+                            }
+                            out.push_str(&format!(" {}", children.len()));
+                            for (c, shift) in children {
+                                match shift {
+                                    Some(s) => out.push_str(&format!(" {c}:{s}")),
+                                    None => out.push_str(&format!(" {c}:x")),
+                                }
+                            }
+                            out.push_str(&format!(" {}", probs.len()));
+                            for &v in probs {
+                                push_f64(&mut out, v);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Parses a spec from its token form (the tail of a `program` control
+    /// line). Inverse of [`ProgramSpec::encode`].
+    pub fn decode(line: &str) -> Result<ProgramSpec, String> {
+        Self::decode_tokens(&mut Tokens::new(line))
+    }
+
+    fn decode_tokens(tok: &mut Tokens<'_>) -> Result<ProgramSpec, String> {
+        let repr = match tok.expect()? {
+            "chain" => {
+                let k = tok.usize()?;
+                let mq = tok.u64()?;
+                let tables = (0..4 * (k + 1))
+                    .map(|_| tok.f64_bits())
+                    .collect::<Result<Vec<_>, _>>()?;
+                Repr::Chain { k, mq, tables }
+            }
+            "relay" => {
+                let nseg = tok.usize()?;
+                let mq = tok.u64()?;
+                let boundaries = (0..=nseg)
+                    .map(|_| tok.usize())
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mut segments = Vec::with_capacity(nseg);
+                for i in 0..nseg {
+                    let ki = boundaries[i + 1]
+                        .checked_sub(boundaries[i] + 1)
+                        .ok_or_else(|| "non-monotone relay boundaries".to_string())?;
+                    segments.push(
+                        (0..4 * (ki + 1))
+                            .map(|_| tok.f64_bits())
+                            .collect::<Result<Vec<_>, _>>()?,
+                    );
+                }
+                Repr::Relay {
+                    boundaries,
+                    mq,
+                    segments,
+                }
+            }
+            "tree" => {
+                let n = tok.usize()?;
+                let mq = tok.u64()?;
+                let slen = tok.usize()?;
+                let schedule = (0..slen)
+                    .map(|_| tok.usize())
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mut roles = Vec::with_capacity(n);
+                for _ in 0..n {
+                    roles.push(match tok.expect()? {
+                        "u" => TreeRole::Unused,
+                        "l" => TreeRole::Leaf {
+                            parent: tok.usize()?,
+                        },
+                        "i" => {
+                            let parent = match tok.expect()? {
+                                "x" => None,
+                                p => {
+                                    Some(p.parse().map_err(|_| format!("bad parent token {p:?}"))?)
+                                }
+                            };
+                            let nch = tok.usize()?;
+                            let mut children = Vec::with_capacity(nch);
+                            for _ in 0..nch {
+                                let t = tok.expect()?;
+                                let (c, s) = t
+                                    .split_once(':')
+                                    .ok_or_else(|| format!("bad child token {t:?}"))?;
+                                let c = c.parse().map_err(|_| format!("bad child id {c:?}"))?;
+                                let shift = match s {
+                                    "x" => None,
+                                    s => Some(
+                                        s.parse().map_err(|_| format!("bad child shift {s:?}"))?,
+                                    ),
+                                };
+                                children.push((c, shift));
+                            }
+                            let np = tok.usize()?;
+                            let probs = (0..np)
+                                .map(|_| tok.f64_bits())
+                                .collect::<Result<Vec<_>, _>>()?;
+                            TreeRole::Internal {
+                                parent,
+                                children,
+                                probs,
+                            }
+                        }
+                        t => return Err(format!("bad role token {t:?}")),
+                    });
+                }
+                Repr::Tree {
+                    mq,
+                    schedule,
+                    roles,
+                }
+            }
+            t => return Err(format!("unknown program kind {t:?}")),
+        };
+        Ok(ProgramSpec { repr })
+    }
+
+    /// Compiles the spec back into a runnable program.
+    pub fn instantiate(&self) -> AnyProgram {
+        match &self.repr {
+            Repr::Chain { k, mq, tables } => AnyProgram::Chain(
+                ChainNetProgram::new(ChainRoundPlan::from_tables(tables.clone(), *k))
+                    .with_message_qubits(*mq),
+            ),
+            Repr::Relay {
+                boundaries,
+                mq,
+                segments,
+            } => {
+                let segs = segments
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        ChainRoundPlan::from_tables(
+                            t.clone(),
+                            boundaries[i + 1] - boundaries[i] - 1,
+                        )
+                    })
+                    .collect();
+                AnyProgram::Relay(
+                    RelayNetProgram::from_segments(segs, boundaries).with_message_qubits(*mq),
+                )
+            }
+            Repr::Tree {
+                mq,
+                schedule,
+                roles,
+            } => AnyProgram::Tree(TreeNetProgram::new(roles.clone(), schedule.clone(), *mq)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RNG stream cursor
+// ---------------------------------------------------------------------------
+
+/// A position-tracking view of one block's RNG stream
+/// ([`stream_rng`]`(seed, block)`).
+///
+/// `seek` replays the generator forward to an absolute word index,
+/// rebuilding from the seed when the target lies behind the current
+/// position (or after [`StreamCursor::poison`], which marks the position
+/// unknown following a faulted trial).
+struct StreamCursor {
+    seed: u64,
+    block: u64,
+    rng: StdRng,
+    pos: u64,
+}
+
+impl StreamCursor {
+    fn new(seed: u64, block: u64) -> Self {
+        StreamCursor {
+            seed,
+            block,
+            rng: stream_rng(seed, block),
+            pos: 0,
+        }
+    }
+
+    fn seek(&mut self, target: u64) {
+        if self.pos > target {
+            self.rng = stream_rng(self.seed, self.block);
+            self.pos = 0;
+        }
+        while self.pos < target {
+            let _ = self.rng.random::<u64>();
+            self.pos += 1;
+        }
+    }
+
+    fn word(&mut self) -> u64 {
+        self.pos += 1;
+        self.rng.random::<u64>()
+    }
+
+    fn skip(&mut self, n: u64) {
+        for _ in 0..n {
+            let _ = self.rng.random::<u64>();
+        }
+        self.pos += n;
+    }
+
+    /// The underlying generator, for handing to an executor that consumes
+    /// words directly; pair with [`StreamCursor::advance`] (known
+    /// consumption) or [`StreamCursor::poison`] (unknown).
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn advance(&mut self, n: u64) {
+        self.pos += n;
+    }
+
+    fn poison(&mut self) {
+        self.pos = u64::MAX;
+    }
+}
+
+/// Words one trial occupies in the block stream: the fault salt plus every
+/// scheduled node's fault-free draws. All processes derive this from the
+/// same [`ProgramSpec`], so absolute positions agree fleet-wide.
+fn words_per_trial<P: RoundProgram + ?Sized>(program: &P) -> u64 {
+    1 + program
+        .schedule()
+        .iter()
+        .map(|&v| program.fault_free_draws(v))
+        .sum::<u64>()
+}
+
+/// Stream words consumed by the nodes scheduled strictly before `me`.
+fn prefix_draws<P: RoundProgram + ?Sized>(program: &P, me: NodeId) -> u64 {
+    let mut sum = 0;
+    for &v in program.schedule() {
+        if v == me {
+            break;
+        }
+        sum += program.fault_free_draws(v);
+    }
+    sum
+}
+
+// ---------------------------------------------------------------------------
+// Node process
+// ---------------------------------------------------------------------------
+
+/// Maps a fault to its single-digit wire code (`f<code>` result token).
+fn fault_code(cause: &FaultCause) -> u32 {
+    match cause {
+        FaultCause::RetriesExhausted { .. } => 1,
+        FaultCause::RecvTimeout { .. } => 2,
+        FaultCause::NodeCrashed { .. } => 3,
+        FaultCause::NodePanicked => 4,
+    }
+}
+
+/// Configuration of one `dqma-node` process, reconstructed from its argv.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// The supervisor's control listener, `host:port`.
+    pub ctl_addr: String,
+    /// This process's node id.
+    pub node: NodeId,
+    /// Fleet size (ids `0..num_nodes`).
+    pub num_nodes: usize,
+    /// Wall nanoseconds per virtual nanosecond for the data transport.
+    pub nanos_per_vns: u64,
+    /// Retry policy shared by the whole fleet.
+    pub policy: RetryPolicy,
+}
+
+impl NodeConfig {
+    /// Parses the seven-argument `dqma-node` argv:
+    /// `ctl_addr node num_nodes nanos_per_vns base_timeout max_attempts
+    /// jitter_bits_hex`.
+    pub fn from_args(args: &[String]) -> Result<NodeConfig, String> {
+        if args.len() != 7 {
+            return Err(format!("expected 7 node arguments, got {}", args.len()));
+        }
+        let parse_u64 = |s: &String| s.parse::<u64>().map_err(|_| format!("bad integer {s:?}"));
+        let jitter = u64::from_str_radix(&args[6], 16)
+            .map(f64::from_bits)
+            .map_err(|_| format!("bad jitter bits {:?}", args[6]))?;
+        Ok(NodeConfig {
+            ctl_addr: args[0].clone(),
+            node: parse_u64(&args[1])? as NodeId,
+            num_nodes: parse_u64(&args[2])? as usize,
+            nanos_per_vns: parse_u64(&args[3])?,
+            policy: RetryPolicy {
+                base_timeout: parse_u64(&args[4])?,
+                max_attempts: parse_u64(&args[5])? as u32,
+                jitter,
+            },
+        })
+    }
+
+    /// Renders the argv [`NodeConfig::from_args`] parses.
+    fn to_args(&self) -> Vec<String> {
+        vec![
+            self.ctl_addr.clone(),
+            self.node.to_string(),
+            self.num_nodes.to_string(),
+            self.nanos_per_vns.to_string(),
+            self.policy.base_timeout.to_string(),
+            self.policy.max_attempts.to_string(),
+            format!("{:016x}", self.policy.jitter.to_bits()),
+        ]
+    }
+}
+
+fn other(msg: impl Into<String>) -> io::Error {
+    io::Error::other(msg.into())
+}
+
+/// Runs one protocol node to completion: the body of the `dqma-node`
+/// binary.
+///
+/// Connects to the supervisor's control address, binds a
+/// [`TcpTransport`] for protocol data, announces `hello <node> <addr>`,
+/// then serves control lines: `peers` installs the fleet's data
+/// addresses, `program` installs a decoded [`ProgramSpec`], `run` replays
+/// a batch of trials (reporting per-trial decisions back), `abandon`
+/// cancels the batch in flight at the next trial boundary, and `quit`
+/// (or control-channel EOF) exits.
+pub fn node_main(cfg: &NodeConfig) -> io::Result<()> {
+    let ctl = TcpStream::connect(&cfg.ctl_addr)?;
+    ctl.set_nodelay(true).ok();
+    let transport = TcpTransport::with_config(
+        cfg.node,
+        TcpConfig {
+            nanos_per_vns: cfg.nanos_per_vns,
+            ..TcpConfig::default()
+        },
+    )?;
+    let mut ctl_w = ctl.try_clone()?;
+    writeln!(ctl_w, "hello {} {}", cfg.node, transport.local_addr())?;
+    ctl_w.flush()?;
+
+    let (tx, rx) = mpsc::channel::<String>();
+    let reader = BufReader::new(ctl);
+    thread::spawn(move || {
+        for line in reader.lines() {
+            match line {
+                Ok(l) => {
+                    if tx.send(l).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+    });
+
+    let mut program: Option<AnyProgram> = None;
+    // Control lines read (but not consumed) while a batch was running.
+    let mut pending: VecDeque<String> = VecDeque::new();
+    loop {
+        let line = match pending.pop_front() {
+            Some(l) => l,
+            None => match rx.recv() {
+                Ok(l) => l,
+                // Supervisor hung up: exit quietly.
+                Err(_) => return Ok(()),
+            },
+        };
+        let mut tok = Tokens::new(&line);
+        match tok.next_str() {
+            Some("peers") => {
+                apply_peers(&transport, cfg, &mut tok).map_err(other)?;
+            }
+            Some("program") => {
+                program = Some(
+                    ProgramSpec::decode_tokens(&mut tok)
+                        .map_err(other)?
+                        .instantiate(),
+                );
+            }
+            Some("run") => {
+                let seed = tok.u64().map_err(other)?;
+                let block = tok.u64().map_err(other)?;
+                let first = tok.u64().map_err(other)?;
+                let count = tok.u64().map_err(other)?;
+                let base = tok.u64().map_err(other)?;
+                let p = program
+                    .as_ref()
+                    .ok_or_else(|| other("run before program"))?;
+                run_batch(
+                    p,
+                    &transport,
+                    cfg,
+                    &mut ctl_w,
+                    &rx,
+                    &mut pending,
+                    seed,
+                    block,
+                    first,
+                    count,
+                    base,
+                )?;
+            }
+            // A stale abandon for a batch that already completed.
+            Some("abandon") => {}
+            Some("quit") | None => return Ok(()),
+            Some(_) => {}
+        }
+    }
+}
+
+fn apply_peers(
+    transport: &TcpTransport,
+    cfg: &NodeConfig,
+    tok: &mut Tokens<'_>,
+) -> Result<(), String> {
+    let n = tok.usize()?;
+    for v in 0..n {
+        let t = tok.expect()?;
+        if v == cfg.node {
+            continue;
+        }
+        if t == "-" {
+            transport.clear_peer(v);
+        } else {
+            let addr: SocketAddr = t.parse().map_err(|_| format!("bad peer address {t:?}"))?;
+            transport.set_peer(v, addr);
+        }
+    }
+    Ok(())
+}
+
+/// Replays trials `first..first + count` of `block`, reporting
+/// `o <trial> <decision> <digest> <sent> <retries>` lines under a
+/// `res <block> <first> <done>` header (then `end`). Control lines
+/// arriving mid-batch are deferred to the caller, except `abandon` /
+/// `quit`, which stop the batch at the next trial boundary — the partial
+/// report still goes out so the supervisor can account for every trial.
+///
+/// `base` is the supervisor's epoch base for this `run` invocation:
+/// trial `g` uses TCP epoch `base + g + 1`, and the base strictly
+/// increases across [`Cluster::run`] calls so the fleet's epochs never
+/// move backwards (which would let a previous run's dedup state swallow
+/// fresh frames).
+#[allow(clippy::too_many_arguments)]
+fn run_batch(
+    program: &AnyProgram,
+    transport: &TcpTransport,
+    cfg: &NodeConfig,
+    ctl_w: &mut TcpStream,
+    rx: &Receiver<String>,
+    pending: &mut VecDeque<String>,
+    seed: u64,
+    block: u64,
+    first: u64,
+    count: u64,
+    base: u64,
+) -> io::Result<()> {
+    let me = cfg.node;
+    let wpt = words_per_trial(program);
+    let prefix = prefix_draws(program, me);
+    let own = program.fault_free_draws(me);
+    let mut cursor = StreamCursor::new(seed, block);
+    let mut out = String::new();
+    let mut done = 0u64;
+    let mut stop = false;
+    for i in 0..count {
+        while let Ok(l) = rx.try_recv() {
+            if l.starts_with("abandon") {
+                stop = true;
+            } else {
+                if l.starts_with("quit") {
+                    stop = true;
+                }
+                pending.push_back(l);
+            }
+        }
+        if stop {
+            break;
+        }
+        let t = first + i;
+        cursor.seek(t * wpt);
+        let salt = cursor.word();
+        cursor.skip(prefix);
+        let g = block * BLOCK_TRIALS + t;
+        transport.set_epoch(base + g + 1);
+        let (decision, _vtime, stats) =
+            run_single_node(program, me, transport, &cfg.policy, salt, cursor.rng());
+        match &decision {
+            Ok(_) => cursor.advance(own),
+            Err(_) => cursor.poison(),
+        }
+        let code = match &decision {
+            Ok(true) => "a".to_string(),
+            Ok(false) => "r".to_string(),
+            Err(cause) => format!("f{}", fault_code(cause)),
+        };
+        out.push_str(&format!(
+            "o {t} {code} {:016x} {} {}\n",
+            stats.digest, stats.sent, stats.retries
+        ));
+        done += 1;
+    }
+    write!(ctl_w, "res {block} {first} {done}\n{out}end\n")?;
+    ctl_w.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Churn schedule
+// ---------------------------------------------------------------------------
+
+/// One peer-churn event, anchored at a global trial index of the virtual
+/// timeline (trial `g` spans virtual time `g × trial budget`, so trial
+/// offsets are the reproducible unit of "when").
+#[derive(Clone, Debug)]
+pub enum ChurnEvent {
+    /// Kill `node`'s process right after the batch starting at `at_trial`
+    /// goes out (so the crash lands mid-workload), then restart it
+    /// `restart_delay` after the death is detected.
+    Kill {
+        /// Global trial index the kill batch starts at.
+        at_trial: u64,
+        /// Victim node.
+        node: NodeId,
+        /// Pause between detected death and respawn.
+        restart_delay: Duration,
+    },
+    /// Like `Kill`, but the node stays gone (its trials abort) until a
+    /// matching [`ChurnEvent::Join`].
+    Leave {
+        /// Global trial index the departure batch starts at.
+        at_trial: u64,
+        /// Departing node.
+        node: NodeId,
+    },
+    /// Respawns a departed node before the batch starting at `at_trial`.
+    Join {
+        /// Global trial index the node rejoins at.
+        at_trial: u64,
+        /// Rejoining node.
+        node: NodeId,
+    },
+    /// Installs a new program fleet-wide before the batch starting at
+    /// `at_trial` — e.g. a re-randomised §3.3 spanning tree. The new
+    /// program must keep the fleet size.
+    Reprogram {
+        /// Global trial index the new program takes effect at.
+        at_trial: u64,
+        /// The replacement program.
+        spec: ProgramSpec,
+    },
+}
+
+impl ChurnEvent {
+    fn at_trial(&self) -> u64 {
+        match self {
+            ChurnEvent::Kill { at_trial, .. }
+            | ChurnEvent::Leave { at_trial, .. }
+            | ChurnEvent::Join { at_trial, .. }
+            | ChurnEvent::Reprogram { at_trial, .. } => *at_trial,
+        }
+    }
+}
+
+/// A reproducible churn schedule: events sorted by trial offset.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// The empty schedule (fault-free run).
+    pub fn none() -> Self {
+        ChurnSchedule::default()
+    }
+
+    /// Builds a schedule from `events`, sorting by trial offset (stable,
+    /// so same-trial events keep their given order).
+    pub fn new(mut events: Vec<ChurnEvent>) -> Self {
+        events.sort_by_key(ChurnEvent::at_trial);
+        ChurnSchedule { events }
+    }
+
+    /// The sorted events.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// A deterministic kill-restart schedule: `count` kills at
+    /// mix-derived trial offsets in `[1, trials)`, victims drawn from
+    /// `nodes`, restart delays uniform in `[0, max_delay]`. Same
+    /// arguments, same schedule — the churn analogue of the block-stream
+    /// seeding discipline.
+    pub fn seeded_kills(
+        seed: u64,
+        trials: u64,
+        nodes: &[NodeId],
+        count: usize,
+        max_delay: Duration,
+    ) -> Self {
+        assert!(!nodes.is_empty(), "need at least one victim candidate");
+        assert!(trials > 1, "need at least two trials to land a kill");
+        let mut events = Vec::with_capacity(count);
+        for i in 0..count {
+            let h = mix(seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let at_trial = 1 + h % (trials - 1);
+            let node = nodes[(mix(h) % nodes.len() as u64) as usize];
+            let delay_ns = if max_delay.is_zero() {
+                0
+            } else {
+                mix(mix(h)) % (max_delay.as_nanos() as u64 + 1)
+            };
+            events.push(ChurnEvent::Kill {
+                at_trial,
+                node,
+                restart_delay: Duration::from_nanos(delay_ns),
+            });
+        }
+        Self::new(events)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------------
+
+/// The fleet-wide retry policy used by [`ClusterConfig::default`]:
+/// attempt 0 waits 32 µs of virtual time (32 ms of wall at the default
+/// 1000 ns/vns scale), doubling per attempt for six attempts — roughly a
+/// two-second wall budget per operation, enough to ride out a peer's
+/// kill-restart cycle.
+pub fn cluster_policy() -> RetryPolicy {
+    RetryPolicy {
+        base_timeout: 1 << 15,
+        max_attempts: 6,
+        jitter: 0.25,
+    }
+}
+
+/// Supervisor knobs.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Path of the `dqma-node` binary (see [`locate_node_bin`]).
+    pub node_bin: PathBuf,
+    /// Retry policy installed fleet-wide.
+    pub policy: RetryPolicy,
+    /// Wall nanoseconds per virtual nanosecond on the data transports.
+    pub nanos_per_vns: u64,
+    /// Max trials per `run` batch (smaller batches = finer churn grain).
+    pub batch: u64,
+    /// How long the supervisor waits for a batch's reports before
+    /// declaring the silent nodes dead.
+    pub collect_timeout: Duration,
+    /// How long a spawned process gets to report `hello`.
+    pub hello_timeout: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            node_bin: locate_node_bin().unwrap_or_else(|| PathBuf::from("dqma-node")),
+            policy: cluster_policy(),
+            nanos_per_vns: 1_000,
+            batch: 2_048,
+            collect_timeout: Duration::from_secs(60),
+            hello_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+/// Locates the `dqma-node` binary: the `DQMA_NODE_BIN` environment
+/// variable if set, else a sibling of the current executable (walking up
+/// through cargo's `target/<profile>/deps` layout).
+pub fn locate_node_bin() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("DQMA_NODE_BIN") {
+        return Some(PathBuf::from(p));
+    }
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("dqma-node{}", std::env::consts::EXE_SUFFIX);
+    for dir in exe.ancestors().skip(1) {
+        let cand = dir.join(&name);
+        if cand.is_file() {
+            return Some(cand);
+        }
+    }
+    None
+}
+
+/// A per-trial report line from one node.
+#[derive(Clone, Debug)]
+struct TrialLine {
+    trial: u64,
+    code: TrialCode,
+    digest: u64,
+    sent: u64,
+    retries: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TrialCode {
+    Accept,
+    Reject,
+    Fault,
+}
+
+enum NodeMsg {
+    Hello {
+        addr: SocketAddr,
+        ctl: TcpStream,
+    },
+    Batch {
+        block: u64,
+        first: u64,
+        lines: Vec<TrialLine>,
+    },
+    Dead,
+}
+
+/// Serves one node's control connection: forwards its hello and batch
+/// reports to the supervisor loop, then a final `Dead` on disconnect.
+fn serve_conn(stream: TcpStream, tx: Sender<(NodeId, NodeMsg)>) {
+    stream.set_nodelay(true).ok();
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut lines = BufReader::new(stream).lines();
+    let hello = match lines.next() {
+        Some(Ok(l)) => l,
+        _ => return,
+    };
+    let mut tok = Tokens::new(&hello);
+    let node = match (tok.next_str(), tok.u64(), tok.expect()) {
+        (Some("hello"), Ok(node), Ok(addr)) => match addr.parse::<SocketAddr>() {
+            Ok(addr) => {
+                let node = node as NodeId;
+                if tx
+                    .send((node, NodeMsg::Hello { addr, ctl: writer }))
+                    .is_err()
+                {
+                    return;
+                }
+                node
+            }
+            Err(_) => return,
+        },
+        _ => return,
+    };
+    loop {
+        let Some(Ok(header)) = lines.next() else {
+            let _ = tx.send((node, NodeMsg::Dead));
+            return;
+        };
+        let mut tok = Tokens::new(&header);
+        if tok.next_str() != Some("res") {
+            continue;
+        }
+        let (Ok(block), Ok(first), Ok(done)) = (tok.u64(), tok.u64(), tok.u64()) else {
+            let _ = tx.send((node, NodeMsg::Dead));
+            return;
+        };
+        let mut batch = Vec::with_capacity(done as usize);
+        loop {
+            let Some(Ok(line)) = lines.next() else {
+                let _ = tx.send((node, NodeMsg::Dead));
+                return;
+            };
+            if line == "end" {
+                break;
+            }
+            let mut tok = Tokens::new(&line);
+            if tok.next_str() != Some("o") {
+                continue;
+            }
+            let parsed = (|| -> Result<TrialLine, String> {
+                let trial = tok.u64()?;
+                let code = match tok.expect()? {
+                    "a" => TrialCode::Accept,
+                    "r" => TrialCode::Reject,
+                    t if t.starts_with('f') => TrialCode::Fault,
+                    t => return Err(format!("bad decision token {t:?}")),
+                };
+                let digest = u64::from_str_radix(tok.expect()?, 16).map_err(|e| e.to_string())?;
+                let sent = tok.u64()?;
+                let retries = tok.u64()?;
+                Ok(TrialLine {
+                    trial,
+                    code,
+                    digest,
+                    sent,
+                    retries,
+                })
+            })();
+            match parsed {
+                Ok(l) => batch.push(l),
+                Err(_) => {
+                    let _ = tx.send((node, NodeMsg::Dead));
+                    return;
+                }
+            }
+        }
+        if tx
+            .send((
+                node,
+                NodeMsg::Batch {
+                    block,
+                    first,
+                    lines: batch,
+                },
+            ))
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+#[derive(Default)]
+struct Slot {
+    child: Option<Child>,
+    ctl: Option<TcpStream>,
+    addr: Option<SocketAddr>,
+    alive: bool,
+}
+
+/// Aggregate result of a supervised run.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Trials driven.
+    pub trials: u64,
+    /// Fleet-wide outcome tallies; on the fault-free path bit-identical
+    /// to [`crate::net::sample_transport_rounds`] with a quiet plan.
+    pub outcomes: BlockOutcomes,
+    /// Processes restarted (kill-restart churn plus unexpected deaths).
+    pub restarts: u64,
+    /// Fleet-wide program swaps ([`ChurnEvent::Reprogram`]).
+    pub reprograms: u64,
+    /// Wall time spent between detecting a death and the replacement's
+    /// `hello` (recovery cost, summed over restarts).
+    pub restart_wall: Duration,
+    /// Wall time of the whole run.
+    pub elapsed: Duration,
+}
+
+/// A supervised fleet of `dqma-node` processes.
+///
+/// `launch` spawns one process per protocol node and completes the
+/// hello/peers/program handshake; [`Cluster::run`] then drives trials in
+/// batches, applying a [`ChurnSchedule`] at batch boundaries. Nodes that
+/// die mid-batch (detected by control-connection EOF) cost their batch's
+/// unreported trials — folded as **aborts**, never rejections — and are
+/// respawned, re-handshaken and resumed before the next batch.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    spec: ProgramSpec,
+    program: AnyProgram,
+    num_nodes: usize,
+    ctl_addr: SocketAddr,
+    rx: Receiver<(NodeId, NodeMsg)>,
+    slots: Vec<Slot>,
+    departed: HashSet<NodeId>,
+    /// First TCP epoch the next [`Cluster::run`] may use; strictly grows
+    /// so epochs never repeat across runs (a reused epoch would collide
+    /// with a previous run's dedup and reorder buffers).
+    next_epoch_base: u64,
+    restarts: u64,
+    reprograms: u64,
+    restart_wall: Duration,
+}
+
+impl Cluster {
+    /// Spawns and handshakes the fleet. Returns an error when the control
+    /// listener cannot bind (callers treat that as a graceful skip on
+    /// loopback-less machines) or any process fails to report in.
+    pub fn launch(spec: ProgramSpec, cfg: ClusterConfig) -> io::Result<Cluster> {
+        let program = spec.instantiate();
+        let num_nodes = program.num_nodes();
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let ctl_addr = listener.local_addr()?;
+        let (tx, rx) = mpsc::channel();
+        thread::spawn(move || {
+            for conn in listener.incoming() {
+                match conn {
+                    Ok(stream) => {
+                        let tx = tx.clone();
+                        thread::spawn(move || serve_conn(stream, tx));
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+        let mut cluster = Cluster {
+            cfg,
+            spec,
+            program,
+            num_nodes,
+            ctl_addr,
+            rx,
+            slots: (0..num_nodes).map(|_| Slot::default()).collect(),
+            departed: HashSet::new(),
+            next_epoch_base: 0,
+            restarts: 0,
+            reprograms: 0,
+            restart_wall: Duration::ZERO,
+        };
+        for v in 0..num_nodes {
+            cluster.spawn_process(v)?;
+        }
+        cluster.await_hellos(&(0..num_nodes).collect::<HashSet<_>>())?;
+        cluster.broadcast_peers();
+        cluster.broadcast_program();
+        Ok(cluster)
+    }
+
+    /// Restart / reprogram tallies so far (exposed for benches that call
+    /// [`Cluster::run`] several times).
+    pub fn churn_totals(&self) -> (u64, u64, Duration) {
+        (self.restarts, self.reprograms, self.restart_wall)
+    }
+
+    fn spawn_process(&mut self, node: NodeId) -> io::Result<()> {
+        let node_cfg = NodeConfig {
+            ctl_addr: self.ctl_addr.to_string(),
+            node,
+            num_nodes: self.num_nodes,
+            nanos_per_vns: self.cfg.nanos_per_vns,
+            policy: self.cfg.policy.clone(),
+        };
+        let child = Command::new(&self.cfg.node_bin)
+            .args(node_cfg.to_args())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let slot = &mut self.slots[node];
+        slot.child = Some(child);
+        slot.alive = false;
+        Ok(())
+    }
+
+    fn await_hellos(&mut self, wanted: &HashSet<NodeId>) -> io::Result<()> {
+        let mut missing = wanted.clone();
+        let deadline = Instant::now() + self.cfg.hello_timeout;
+        while !missing.is_empty() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            let (node, msg) = self
+                .rx
+                .recv_timeout(left)
+                .map_err(|_| other(format!("nodes {missing:?} failed to report hello in time")))?;
+            match msg {
+                NodeMsg::Hello { addr, ctl } if node < self.num_nodes => {
+                    let slot = &mut self.slots[node];
+                    slot.addr = Some(addr);
+                    slot.ctl = Some(ctl);
+                    slot.alive = true;
+                    missing.remove(&node);
+                }
+                NodeMsg::Dead if missing.contains(&node) => {
+                    return Err(other(format!("node {node} died before hello")));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn send_line(&mut self, node: NodeId, line: &str) {
+        let ok = match self.slots[node].ctl.as_mut() {
+            Some(w) => writeln!(w, "{line}").and_then(|()| w.flush()).is_ok(),
+            None => false,
+        };
+        if !ok {
+            // The death will also surface via the reader thread; dropping
+            // the writer here just stops further sends.
+            self.slots[node].ctl = None;
+        }
+    }
+
+    fn broadcast(&mut self, line: &str) {
+        for v in 0..self.num_nodes {
+            if self.slots[v].alive {
+                self.send_line(v, line);
+            }
+        }
+    }
+
+    fn peers_line(&self) -> String {
+        let mut line = format!("peers {}", self.num_nodes);
+        for slot in &self.slots {
+            match (slot.alive, slot.addr) {
+                (true, Some(addr)) => line.push_str(&format!(" {addr}")),
+                _ => line.push_str(" -"),
+            }
+        }
+        line
+    }
+
+    fn broadcast_peers(&mut self) {
+        let line = self.peers_line();
+        self.broadcast(&line);
+    }
+
+    fn broadcast_program(&mut self) {
+        let line = format!("program {}", self.spec.encode());
+        self.broadcast(&line);
+    }
+
+    /// Kills `node`'s process (churn or shutdown). The reader thread
+    /// reports the death like any other crash.
+    fn kill_process(&mut self, node: NodeId) {
+        let slot = &mut self.slots[node];
+        if let Some(child) = slot.child.as_mut() {
+            let _ = child.kill();
+        }
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.wait();
+        }
+    }
+
+    /// Respawns `node` and reintegrates it: hello, program, fresh peer
+    /// table fleet-wide.
+    fn restart_process(&mut self, node: NodeId) -> io::Result<()> {
+        let began = Instant::now();
+        self.spawn_process(node)?;
+        self.await_hellos(&HashSet::from([node]))?;
+        let line = format!("program {}", self.spec.encode());
+        self.send_line(node, &line);
+        self.broadcast_peers();
+        self.restarts += 1;
+        self.restart_wall += began.elapsed();
+        Ok(())
+    }
+
+    fn reprogram(&mut self, spec: ProgramSpec) {
+        let program = spec.instantiate();
+        assert_eq!(
+            program.num_nodes(),
+            self.num_nodes,
+            "reprogram must keep the fleet size"
+        );
+        self.program = program;
+        self.spec = spec;
+        self.broadcast_program();
+        self.reprograms += 1;
+    }
+
+    /// Drives `n` trials from `seed` under `churn`, batching per
+    /// [`ClusterConfig::batch`] and slicing batches at churn boundaries.
+    ///
+    /// Every trial terminates with an outcome: trials a dead or departed
+    /// node should have served fold as aborts (the honest-case contract —
+    /// infrastructure faults must never masquerade as rejections).
+    pub fn run(&mut self, n: u64, seed: u64, churn: &ChurnSchedule) -> io::Result<ClusterReport> {
+        let start = Instant::now();
+        let restarts0 = self.restarts;
+        let reprograms0 = self.reprograms;
+        let restart_wall0 = self.restart_wall;
+        let mut outcomes = BlockOutcomes::default();
+        let mut events: VecDeque<ChurnEvent> = churn.events().iter().cloned().collect();
+        let nblocks = n.div_ceil(BLOCK_TRIALS);
+        let base = self.next_epoch_base;
+        self.next_epoch_base = base + nblocks * BLOCK_TRIALS + 1;
+        for b in 0..nblocks {
+            let len = block_len(n, nblocks, b);
+            let mut salt_cursor = StreamCursor::new(seed, b);
+            let mut first = 0u64;
+            while first < len {
+                let g0 = b * BLOCK_TRIALS + first;
+                // Apply events due at this boundary; collect kills so the
+                // victims die *after* the batch goes out.
+                let mut kills: Vec<(NodeId, Duration)> = Vec::new();
+                while events.front().is_some_and(|e| e.at_trial() <= g0) {
+                    match events.pop_front().expect("front checked") {
+                        ChurnEvent::Kill {
+                            node,
+                            restart_delay,
+                            ..
+                        } => kills.push((node, restart_delay)),
+                        ChurnEvent::Leave { node, .. } => {
+                            self.departed.insert(node);
+                            kills.push((node, Duration::ZERO));
+                        }
+                        ChurnEvent::Join { node, .. } => {
+                            if self.departed.remove(&node) && !self.slots[node].alive {
+                                self.restart_process(node)?;
+                            }
+                        }
+                        ChurnEvent::Reprogram { spec, .. } => self.reprogram(spec),
+                    }
+                }
+                let mut count = (len - first).min(self.cfg.batch);
+                if let Some(next_at) = events.front().map(ChurnEvent::at_trial) {
+                    count = count.min(next_at - g0);
+                }
+                let wpt = words_per_trial(&self.program);
+                let line = format!("run {seed} {b} {first} {count} {base}");
+                let targets: Vec<NodeId> = (0..self.num_nodes)
+                    .filter(|&v| self.slots[v].alive)
+                    .collect();
+                for &v in &targets {
+                    self.send_line(v, &line);
+                }
+                // Mid-workload churn: the batch is in flight, now pull the
+                // plug on the victims.
+                for &(v, _) in &kills {
+                    self.kill_process(v);
+                }
+                let got = self.collect_batch(&targets, b, first)?;
+                self.fold_batch(&mut outcomes, &mut salt_cursor, wpt, first, count, &got);
+                // Recover the dead (except deliberate departures) before
+                // the next batch.
+                let dead: Vec<NodeId> = (0..self.num_nodes)
+                    .filter(|&v| !self.slots[v].alive && !self.departed.contains(&v))
+                    .collect();
+                for v in dead {
+                    let delay = kills
+                        .iter()
+                        .find(|&&(k, _)| k == v)
+                        .map(|&(_, d)| d)
+                        .unwrap_or(Duration::ZERO);
+                    thread::sleep(delay);
+                    self.restart_process(v)?;
+                }
+                first += count;
+            }
+        }
+        Ok(ClusterReport {
+            trials: n,
+            outcomes,
+            restarts: self.restarts - restarts0,
+            reprograms: self.reprograms - reprograms0,
+            restart_wall: self.restart_wall - restart_wall0,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Gathers one batch's reports from `targets`. A node that dies
+    /// mid-batch is removed from the wait set and the survivors get an
+    /// immediate `abandon`, so they stop burning retry budget on a peer
+    /// that cannot answer; their partial reports still count.
+    fn collect_batch(
+        &mut self,
+        targets: &[NodeId],
+        block: u64,
+        first: u64,
+    ) -> io::Result<HashMap<NodeId, HashMap<u64, TrialLine>>> {
+        let mut got: HashMap<NodeId, HashMap<u64, TrialLine>> = HashMap::new();
+        let mut waiting: HashSet<NodeId> = targets.iter().copied().collect();
+        let deadline = Instant::now() + self.cfg.collect_timeout;
+        while !waiting.is_empty() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(left) {
+                Ok((
+                    node,
+                    NodeMsg::Batch {
+                        block: rb,
+                        first: rf,
+                        lines,
+                    },
+                )) if rb == block && rf == first => {
+                    let per_trial = got.entry(node).or_default();
+                    for l in lines {
+                        per_trial.insert(l.trial, l);
+                    }
+                    waiting.remove(&node);
+                }
+                // A stale partial report from an abandoned earlier batch.
+                Ok((_, NodeMsg::Batch { .. })) => {}
+                Ok((node, NodeMsg::Dead)) => {
+                    if self.slots[node].alive {
+                        self.slots[node].alive = false;
+                        self.slots[node].ctl = None;
+                        if let Some(mut child) = self.slots[node].child.take() {
+                            let _ = child.wait();
+                        }
+                    }
+                    if waiting.remove(&node) {
+                        for &v in targets {
+                            if waiting.contains(&v) {
+                                self.send_line(v, "abandon");
+                            }
+                        }
+                    }
+                }
+                Ok((_, NodeMsg::Hello { .. })) => {}
+                Err(RecvTimeoutError::Timeout) => {
+                    // Non-reporters are stuck or dead: treat as dead so
+                    // the run degrades instead of hanging.
+                    for v in waiting.drain() {
+                        self.slots[v].alive = false;
+                        self.slots[v].ctl = None;
+                        self.kill_process(v);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(other("control listener thread died"));
+                }
+            }
+        }
+        Ok(got)
+    }
+
+    /// Folds one batch into the tallies, mirroring the sequential
+    /// sampler's fold exactly: per trial, XOR the per-node digests, add
+    /// the salt, `mix`, XOR into the running digest; any fault or missing
+    /// report aborts the trial, otherwise unanimity accepts.
+    fn fold_batch(
+        &self,
+        outcomes: &mut BlockOutcomes,
+        salt_cursor: &mut StreamCursor,
+        wpt: u64,
+        first: u64,
+        count: u64,
+        got: &HashMap<NodeId, HashMap<u64, TrialLine>>,
+    ) {
+        for t in first..first + count {
+            salt_cursor.seek(t * wpt);
+            let salt = salt_cursor.word();
+            let mut digest = 0u64;
+            let mut fault = false;
+            let mut reject = false;
+            let mut missing = false;
+            for v in 0..self.num_nodes {
+                match got.get(&v).and_then(|m| m.get(&t)) {
+                    Some(line) => {
+                        digest ^= line.digest;
+                        outcomes.messages += line.sent;
+                        outcomes.retries += line.retries;
+                        match line.code {
+                            TrialCode::Accept => {}
+                            TrialCode::Reject => reject = true,
+                            TrialCode::Fault => fault = true,
+                        }
+                    }
+                    None => missing = true,
+                }
+            }
+            if fault || missing {
+                if std::env::var_os("DQMA_CLUSTER_DEBUG").is_some() {
+                    eprintln!("[cluster] trial {t}: abort (fault={fault} missing={missing})");
+                }
+                outcomes.aborts += 1;
+            } else if reject {
+                outcomes.rejects += 1;
+            } else {
+                outcomes.accepts += 1;
+            }
+            outcomes.digest ^= mix(digest.wrapping_add(salt));
+        }
+    }
+
+    /// Orderly shutdown: `quit` fleet-wide, then reap (escalating to
+    /// kill for processes that ignore the request).
+    pub fn shutdown(&mut self) {
+        for v in 0..self.num_nodes {
+            if self.slots[v].ctl.is_some() {
+                self.send_line(v, "quit");
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for slot in &mut self.slots {
+            if let Some(mut child) = slot.child.take() {
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() < deadline => {
+                            thread::sleep(Duration::from_millis(10));
+                        }
+                        _ => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                    }
+                }
+            }
+            slot.alive = false;
+            slot.ctl = None;
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainCheat;
+    use crate::eq_path::EqPathProtocol;
+    use crate::eq_tree::EqTreeProtocol;
+    use crate::net::run_round;
+    use crate::relay::RelayEqProtocol;
+    use commproto::bitstring::BitString;
+    use commproto::fingerprint::FingerprintScheme;
+    use netsim::topology::{spider, spider_leaf};
+    use netsim::transport::ChannelTransport;
+    use netsim::RoundOutcome;
+    use rand::SeedableRng;
+
+    fn chain_program(equal: bool) -> ChainNetProgram {
+        let protocol = EqPathProtocol::with_scheme(4, FingerprintScheme::small(6, 7), 8);
+        let x = BitString::from_u64(0b101010, 6);
+        let y = if equal {
+            x.clone()
+        } else {
+            BitString::from_u64(0b010110, 6)
+        };
+        protocol.net_program(&x, &y, ChainCheat::Interpolate)
+    }
+
+    fn relay_program() -> RelayNetProgram {
+        let protocol = RelayEqProtocol::new(8, 9, 3);
+        let x = BitString::from_u64(0b1011_0010, 8);
+        let strings: Vec<BitString> = protocol.relay_points().iter().map(|_| x.clone()).collect();
+        protocol.net_program(&x, &x, &strings, ChainCheat::Interpolate)
+    }
+
+    fn tree_program() -> TreeNetProgram {
+        let graph = spider(3, 2);
+        let terminals: Vec<usize> = (0..3).map(|k| spider_leaf(k, 2)).collect();
+        let protocol =
+            EqTreeProtocol::with_scheme(&graph, &terminals, FingerprintScheme::small(4, 7), 2);
+        let x = BitString::from_u64(0b1010, 4);
+        let inputs = vec![x.clone(); terminals.len()];
+        let proof = protocol.uniform_proof(&inputs[0]);
+        protocol.net_program(&inputs, &proof)
+    }
+
+    #[test]
+    fn chain_spec_roundtrips_bit_exactly() {
+        let program = chain_program(false);
+        let spec = ProgramSpec::from_chain(&program);
+        let wire = spec.encode();
+        let decoded = ProgramSpec::decode(&wire).expect("decode");
+        assert_eq!(decoded.encode(), wire, "re-encode must be stable");
+        let back = decoded.instantiate();
+        assert_eq!(back.num_nodes(), program.num_nodes());
+        assert_eq!(back.schedule(), program.schedule());
+        let AnyProgram::Chain(back) = back else {
+            panic!("chain spec must decode to a chain program");
+        };
+        assert_eq!(back.plan.tables(), program.plan.tables());
+        assert_eq!(back.message_qubits, program.message_qubits);
+    }
+
+    #[test]
+    fn relay_spec_roundtrips_bit_exactly() {
+        let program = relay_program();
+        let spec = ProgramSpec::from_relay(&program);
+        let wire = spec.encode();
+        let decoded = ProgramSpec::decode(&wire).expect("decode");
+        assert_eq!(decoded.encode(), wire);
+        let back = decoded.instantiate();
+        assert_eq!(back.num_nodes(), program.num_nodes());
+        let AnyProgram::Relay(back) = back else {
+            panic!("relay spec must decode to a relay program");
+        };
+        assert_eq!(back.boundaries(), program.boundaries());
+        for (a, b) in back.segments.iter().zip(program.segments.iter()) {
+            assert_eq!(a.tables(), b.tables());
+        }
+    }
+
+    #[test]
+    fn tree_spec_roundtrips_bit_exactly() {
+        let program = tree_program();
+        let spec = ProgramSpec::from_tree(&program);
+        let wire = spec.encode();
+        let decoded = ProgramSpec::decode(&wire).expect("decode");
+        assert_eq!(decoded.encode(), wire);
+        let back = decoded.instantiate();
+        assert_eq!(back.num_nodes(), program.num_nodes());
+        assert_eq!(back.schedule(), program.schedule());
+        // Spot-check decisions: run both programs over a fault-free
+        // transport from the same stream.
+        let transport = ChannelTransport::poll(program.num_nodes());
+        let policy = RetryPolicy::default();
+        for salt in 0..32u64 {
+            let mut r1 = StdRng::seed_from_u64(salt);
+            let mut r2 = StdRng::seed_from_u64(salt);
+            let (o1, s1) = run_round(&program, &transport, &policy, salt, &mut r1);
+            let (o2, s2) = run_round(&back, &transport, &policy, salt, &mut r2);
+            assert_eq!(format!("{o1:?}"), format!("{o2:?}"));
+            assert_eq!(s1.digest, s2.digest);
+        }
+    }
+
+    /// The cross-process alignment contract, exercised without sockets:
+    /// running each node separately against its own cursor-positioned
+    /// slice of the block stream reproduces the sequential driver's
+    /// decisions, message counts and digest bit-for-bit.
+    #[test]
+    fn split_streams_match_sequential_driver() {
+        for program in [chain_program(true), chain_program(false)] {
+            let n = program.num_nodes();
+            let wpt = words_per_trial(&program);
+            let policy = RetryPolicy::default();
+            let seed = 0xD15C0;
+
+            // Sequential reference: one stream threads through all nodes.
+            let mut seq_rng = stream_rng(seed, 0);
+            let transport = ChannelTransport::poll(n);
+            let mut reference = Vec::new();
+            for _ in 0..24 {
+                let salt = seq_rng.random::<u64>();
+                let (outcome, stats) = run_round(&program, &transport, &policy, salt, &mut seq_rng);
+                reference.push((salt, format!("{outcome:?}"), stats.sent, stats.digest));
+            }
+
+            // Split replay: every node owns a cursor into the same block
+            // stream and skips the other nodes' words.
+            let transport = ChannelTransport::poll(n);
+            let mut cursors: Vec<StreamCursor> =
+                (0..n).map(|_| StreamCursor::new(seed, 0)).collect();
+            for (t, (ref_salt, ref_outcome, ref_sent, ref_digest)) in reference.iter().enumerate() {
+                transport.begin_trial(*ref_salt);
+                let mut all_accept = true;
+                let mut fault = false;
+                let mut sent = 0;
+                let mut digest = 0u64;
+                for &v in program.schedule() {
+                    let cursor = &mut cursors[v];
+                    cursor.seek(t as u64 * wpt);
+                    let salt = cursor.word();
+                    assert_eq!(salt, *ref_salt, "trial {t}: salt misaligned");
+                    cursor.skip(prefix_draws(&program, v));
+                    let (decision, _, stats) =
+                        run_single_node(&program, v, &transport, &policy, salt, cursor.rng());
+                    match decision {
+                        Ok(accept) => {
+                            all_accept &= accept;
+                            cursor.advance(program.fault_free_draws(v));
+                        }
+                        Err(_) => {
+                            fault = true;
+                            cursor.poison();
+                        }
+                    }
+                    sent += stats.sent;
+                    digest ^= stats.digest;
+                }
+                assert!(!fault, "trial {t}: fault-free replay must not fault");
+                let outcome = if all_accept {
+                    RoundOutcome::Accept
+                } else {
+                    RoundOutcome::Reject
+                };
+                assert_eq!(&format!("{outcome:?}"), ref_outcome, "trial {t}");
+                assert_eq!(sent, *ref_sent, "trial {t}: message count");
+                assert_eq!(digest, *ref_digest, "trial {t}: digest");
+            }
+        }
+    }
+
+    #[test]
+    fn node_config_argv_roundtrips() {
+        let cfg = NodeConfig {
+            ctl_addr: "127.0.0.1:9999".into(),
+            node: 7,
+            num_nodes: 12,
+            nanos_per_vns: 250,
+            policy: RetryPolicy {
+                base_timeout: 1 << 13,
+                max_attempts: 9,
+                jitter: 0.125,
+            },
+        };
+        let back = NodeConfig::from_args(&cfg.to_args()).expect("parse");
+        assert_eq!(back.ctl_addr, cfg.ctl_addr);
+        assert_eq!(back.node, cfg.node);
+        assert_eq!(back.num_nodes, cfg.num_nodes);
+        assert_eq!(back.nanos_per_vns, cfg.nanos_per_vns);
+        assert_eq!(back.policy.base_timeout, cfg.policy.base_timeout);
+        assert_eq!(back.policy.max_attempts, cfg.policy.max_attempts);
+        assert_eq!(back.policy.jitter.to_bits(), cfg.policy.jitter.to_bits());
+    }
+
+    #[test]
+    fn seeded_churn_schedule_is_deterministic_and_bounded() {
+        let nodes = [1, 2, 3];
+        let a = ChurnSchedule::seeded_kills(42, 1000, &nodes, 8, Duration::from_millis(50));
+        let b = ChurnSchedule::seeded_kills(42, 1000, &nodes, 8, Duration::from_millis(50));
+        assert_eq!(a.events().len(), 8);
+        for (x, y) in a.events().iter().zip(b.events().iter()) {
+            let (
+                ChurnEvent::Kill {
+                    at_trial: ta,
+                    node: na,
+                    restart_delay: da,
+                },
+                ChurnEvent::Kill {
+                    at_trial: tb,
+                    node: nb,
+                    restart_delay: db,
+                },
+            ) = (x, y)
+            else {
+                panic!("seeded_kills must emit kill events");
+            };
+            assert_eq!((ta, na, da), (tb, nb, db));
+            assert!((1..1000).contains(ta), "offset in [1, trials)");
+            assert!(nodes.contains(na));
+            assert!(*da <= Duration::from_millis(50));
+        }
+        let c = ChurnSchedule::seeded_kills(43, 1000, &nodes, 8, Duration::from_millis(50));
+        assert_ne!(
+            a.events()
+                .iter()
+                .map(ChurnEvent::at_trial)
+                .collect::<Vec<_>>(),
+            c.events()
+                .iter()
+                .map(ChurnEvent::at_trial)
+                .collect::<Vec<_>>(),
+            "different seeds must give different schedules"
+        );
+    }
+}

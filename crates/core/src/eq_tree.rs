@@ -61,6 +61,20 @@ impl EqTreeProtocol {
         }
     }
 
+    /// Builds the protocol on an already-announced [`TerminalTree`] — the
+    /// churn runtime's re-randomisation path, where the supervisor draws a
+    /// fresh seeded §3.3 tree ([`TerminalTree::build_seeded`]) mid-workload
+    /// and re-broadcasts the program without re-deriving scheme or
+    /// repetitions.
+    pub fn with_tree(tree: TerminalTree, scheme: FingerprintScheme, repetitions: usize) -> Self {
+        assert!(repetitions >= 1, "at least one repetition required");
+        EqTreeProtocol {
+            tree,
+            scheme,
+            repetitions,
+        }
+    }
+
     /// The announced terminal tree the protocol runs on.
     pub fn tree(&self) -> &TerminalTree {
         &self.tree

@@ -71,6 +71,7 @@
 
 pub mod adversary;
 pub mod chain;
+pub mod cluster;
 pub mod costs;
 pub mod dma;
 pub mod eq_path;
@@ -86,6 +87,7 @@ pub mod relay;
 pub mod trials;
 
 pub use chain::{ChainCheat, SwapTestChain};
+pub use cluster::{ChurnSchedule, Cluster, ClusterConfig, ClusterReport, ProgramSpec};
 pub use eq_path::EqPathProtocol;
 pub use eq_tree::EqTreeProtocol;
 pub use forall::ForAllProtocol;

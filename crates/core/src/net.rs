@@ -263,6 +263,17 @@ pub trait RoundProgram: Sync {
         node: NodeId,
         io: &mut NodeIo<'_, T>,
     ) -> Result<bool, FaultCause>;
+
+    /// Exactly how many RNG words `node`'s executor consumes on a
+    /// *fault-free* run — the cross-process RNG alignment contract.
+    ///
+    /// The sequential driver threads one block stream through all nodes in
+    /// schedule order; a node process replaying only its own slice must skip
+    /// precisely this many words for every node scheduled before it (see
+    /// `dqma::cluster`). Every `NodeIo` RNG helper ([`NodeIo::coin`],
+    /// [`NodeIo::bernoulli`], [`NodeIo::coin_accept`]) consumes exactly one
+    /// word, so this is a static property of the node's script.
+    fn fault_free_draws(&self, node: NodeId) -> u64;
 }
 
 /// Folds per-node results (in schedule order) into a [`RoundOutcome`]:
@@ -446,6 +457,35 @@ pub fn blocking_transport<P: RoundProgram + ?Sized>(
     )
 }
 
+/// Executes **one node's** executor of one trial — the per-process entry
+/// point of the multi-process runtime (`dqma::cluster`), where every network
+/// node runs in its own OS process over a [`netsim::tcp::TcpTransport`].
+///
+/// Unlike [`run_round`], this does **not** call `begin_trial`: the caller
+/// owns the trial boundary (the cluster node loop pins the TCP epoch to the
+/// global trial index so every process agrees on which trial a frame belongs
+/// to). On the fault-free path the executor consumes exactly
+/// [`RoundProgram::fault_free_draws`]`(node)` words of `rng` — the property
+/// the cluster runtime relies on to keep per-process RNG streams aligned
+/// with the sequential driver's single thread of consumption. Panics are
+/// contained, surfacing as [`FaultCause::NodePanicked`].
+pub fn run_single_node<P: RoundProgram + ?Sized, T: Transport + ?Sized>(
+    program: &P,
+    node: NodeId,
+    transport: &T,
+    policy: &RetryPolicy,
+    salt: u64,
+    rng: &mut StdRng,
+) -> (Result<bool, FaultCause>, VTime, RoundStats) {
+    let mut io = NodeIo::new(transport, policy, salt, rng, program.message_qubits(), None);
+    let decision = catch_unwind(AssertUnwindSafe(|| {
+        io.begin_node(node)
+            .and_then(|()| program.run_node(node, &mut io))
+    }))
+    .unwrap_or(Err(FaultCause::NodePanicked));
+    (decision, io.clock, io.stats)
+}
+
 // ---------------------------------------------------------------------------
 // Protocol programs
 // ---------------------------------------------------------------------------
@@ -457,9 +497,9 @@ pub fn blocking_transport<P: RoundProgram + ?Sized>(
 /// extremity runs the boundary measurement (`table(k, c_prev)`).
 #[derive(Clone, Debug)]
 pub struct ChainNetProgram {
-    plan: ChainRoundPlan,
+    pub(crate) plan: ChainRoundPlan,
     schedule: Vec<NodeId>,
-    message_qubits: u64,
+    pub(crate) message_qubits: u64,
 }
 
 impl ChainNetProgram {
@@ -518,11 +558,17 @@ impl RoundProgram for ChainNetProgram {
             Ok(io.bernoulli(self.plan.table(k, prev)))
         }
     }
+
+    fn fault_free_draws(&self, node: NodeId) -> u64 {
+        // Node 0 only opens the chain; intermediates draw one `coin_accept`
+        // word, the right extremity one `bernoulli` word.
+        u64::from(node != 0)
+    }
 }
 
 /// A path node's role in the relay-point protocol.
 #[derive(Clone, Debug)]
-enum RelayRole {
+pub(crate) enum RelayRole {
     /// Node 0: opens the first segment.
     LeftEnd,
     /// Strictly inside segment `seg`, as its `j`-th intermediate.
@@ -539,10 +585,10 @@ enum RelayRole {
 /// walk of [`ChainNetProgram`] end to end.
 #[derive(Clone, Debug)]
 pub struct RelayNetProgram {
-    segments: Vec<ChainRoundPlan>,
-    roles: Vec<RelayRole>,
+    pub(crate) segments: Vec<ChainRoundPlan>,
+    pub(crate) roles: Vec<RelayRole>,
     schedule: Vec<NodeId>,
-    message_qubits: u64,
+    pub(crate) message_qubits: u64,
 }
 
 impl RelayNetProgram {
@@ -555,7 +601,13 @@ impl RelayNetProgram {
     /// Panics when the boundary spacing disagrees with the per-segment plan
     /// sizes.
     pub fn new(plan: &RelayRoundPlan, boundaries: &[usize]) -> Self {
-        let segments: Vec<ChainRoundPlan> = plan.segment_plans().to_vec();
+        Self::from_segments(plan.segment_plans().to_vec(), boundaries)
+    }
+
+    /// Assembles the program directly from per-segment chain plans — the
+    /// cluster wire-decode path ([`crate::cluster::ProgramSpec`]) rebuilds a
+    /// relay program without re-deriving the full [`RelayRoundPlan`].
+    pub(crate) fn from_segments(segments: Vec<ChainRoundPlan>, boundaries: &[usize]) -> Self {
         assert_eq!(
             segments.len() + 1,
             boundaries.len(),
@@ -600,6 +652,21 @@ impl RelayNetProgram {
     pub fn with_message_qubits(mut self, qubits: u64) -> Self {
         self.message_qubits = qubits;
         self
+    }
+
+    /// Reconstructs the segment boundaries from the role assignment:
+    /// node 0, every relay point, node `r`.
+    pub(crate) fn boundaries(&self) -> Vec<usize> {
+        let mut b = vec![0usize];
+        b.extend(
+            self.roles
+                .iter()
+                .enumerate()
+                .filter(|(_, role)| matches!(role, RelayRole::Relay { .. }))
+                .map(|(v, _)| v),
+        );
+        b.push(self.roles.len() - 1);
+        b
     }
 }
 
@@ -649,6 +716,12 @@ impl RoundProgram for RelayNetProgram {
             }
         }
     }
+
+    fn fault_free_draws(&self, node: NodeId) -> u64 {
+        // Every role draws exactly one word (coin_accept or bernoulli)
+        // except the opening left extremity.
+        u64::from(!matches!(self.roles[node], RelayRole::LeftEnd))
+    }
 }
 
 /// A tree node's role in the EQ-tree program; built by
@@ -683,9 +756,9 @@ pub(crate) enum TreeRole {
 /// test, and forward their coin; the schedule is the tree's post order.
 #[derive(Clone, Debug)]
 pub struct TreeNetProgram {
-    roles: Vec<TreeRole>,
+    pub(crate) roles: Vec<TreeRole>,
     schedule: Vec<NodeId>,
-    message_qubits: u64,
+    pub(crate) message_qubits: u64,
 }
 
 impl TreeNetProgram {
@@ -745,6 +818,12 @@ impl RoundProgram for TreeNetProgram {
                 Ok(accept)
             }
         }
+    }
+
+    fn fault_free_draws(&self, node: NodeId) -> u64 {
+        // Only internal nodes flip a coin; unused ids and leaves are
+        // draw-free.
+        u64::from(matches!(self.roles[node], TreeRole::Internal { .. }))
     }
 }
 
@@ -902,6 +981,9 @@ mod tests {
                     panic!("verifier bug");
                 }
                 Ok(true)
+            }
+            fn fault_free_draws(&self, _node: NodeId) -> u64 {
+                0
             }
         }
         let transport = ChannelTransport::poll(2);

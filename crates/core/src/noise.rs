@@ -748,6 +748,11 @@ impl RoundProgram for NoisyChainProgram<'_> {
             Ok(io.bernoulli(self.table(self.k, prev)))
         }
     }
+
+    fn fault_free_draws(&self, node: NodeId) -> u64 {
+        // Same script as `ChainNetProgram`: one word everywhere but node 0.
+        u64::from(node != 0)
+    }
 }
 
 /// [`OutcomeSampler`] running noisy chain rounds over the fault-injecting

@@ -132,7 +132,7 @@ pub mod stats {
 /// Length of block `b` when `n` trials split into `nblocks` fixed-size
 /// blocks: [`BLOCK_TRIALS`] everywhere except a shorter final remainder
 /// block when `n` is not a multiple (a full final block when it is).
-fn block_len(n: u64, nblocks: u64, b: u64) -> u64 {
+pub(crate) fn block_len(n: u64, nblocks: u64, b: u64) -> u64 {
     if b + 1 == nblocks && !n.is_multiple_of(BLOCK_TRIALS) {
         n % BLOCK_TRIALS
     } else {

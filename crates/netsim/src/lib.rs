@@ -52,15 +52,19 @@
 #![warn(rust_2018_idioms)]
 
 pub mod graph;
+pub mod policy;
+pub mod tcp;
 pub mod topology;
 pub mod transcript;
 pub mod transport;
 pub mod tree;
 
 pub use graph::Graph;
+pub use policy::RetryPolicy;
+pub use tcp::TcpTransport;
 pub use transcript::{CostTracker, ProtocolCosts};
 pub use transport::{
     ChannelTransport, CrashWindow, Envelope, FaultCause, FaultPlan, FaultReport, FaultyTransport,
-    LocalChannelTransport, NodeId, PartitionWindow, RetryPolicy, RoundOutcome, Transport, VTime,
+    LocalChannelTransport, NodeId, PartitionWindow, RoundOutcome, Transport, VTime,
 };
 pub use tree::{SpanningTree, TerminalTree, TreeLabel};

@@ -151,21 +151,7 @@ pub trait Transport {
 // Deterministic fault hashing
 // ---------------------------------------------------------------------------
 
-/// SplitMix64 finalizer: a high-quality 64-bit mixer used for all per-message
-/// fault decisions.
-#[inline]
-pub(crate) fn mix64(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Maps a hash to a uniform `f64` in `[0, 1)` (same construction as the
-/// vendored rand's `f64` sampler).
-#[inline]
-fn unit(h: u64) -> f64 {
-    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
+pub(crate) use crate::policy::{mix64, unit};
 
 /// Packs a message identity into one word for hashing. Node ids are < 2^12
 /// in every workspace topology; sequence numbers fit 32 bits per round.
@@ -866,44 +852,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
 // Robustness layer: deadlines, retries, graceful degradation
 // ---------------------------------------------------------------------------
 
-/// Per-message timeout and bounded exponential-backoff retry schedule.
-///
-/// Attempt `i` (0-based) waits `base_timeout << min(i, 16)` virtual ns, plus
-/// a deterministic jitter of up to `jitter * timeout` derived by hashing the
-/// message identity — the standard decorrelation trick, made reproducible.
-#[derive(Clone, Debug)]
-pub struct RetryPolicy {
-    /// Timeout of the first attempt (virtual ns).
-    pub base_timeout: VTime,
-    /// Total attempts before giving up (>= 1).
-    pub max_attempts: u32,
-    /// Jitter fraction in `[0, 1]` applied to each attempt's timeout.
-    pub jitter: f64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            base_timeout: 4096,
-            max_attempts: 5,
-            jitter: 0.25,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// The (jittered) timeout of 0-based attempt `attempt`; `h` seeds the
-    /// jitter hash.
-    #[inline]
-    pub fn timeout_for(&self, attempt: u32, h: u64) -> VTime {
-        let base = self.base_timeout << attempt.min(16);
-        if self.jitter == 0.0 {
-            base
-        } else {
-            base.saturating_add((base as f64 * self.jitter * unit(mix64(h))) as VTime)
-        }
-    }
-}
+pub use crate::policy::RetryPolicy;
 
 /// Why a round aborted instead of completing.
 #[derive(Clone, Debug, PartialEq, Eq)]

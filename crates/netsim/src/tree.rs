@@ -29,20 +29,47 @@ impl SpanningTree {
     ///
     /// Panics if the graph is disconnected or `root` is out of range.
     pub fn bfs(graph: &Graph, root: usize) -> Self {
+        Self::bfs_inner(graph, root, None)
+    }
+
+    /// As [`SpanningTree::bfs`], but breaking the parent-choice ties of the
+    /// BFS layer-by-layer sweep with a seeded permutation of each node's
+    /// neighbour list. Depths are unchanged (BFS layering is order-free), so
+    /// every §3.3 depth bound still holds — only *which* shortest-path tree
+    /// is announced varies with `seed`. This is the re-randomisation hook of
+    /// the peer-churn runtime: a supervisor can re-announce a fresh spanning
+    /// tree mid-workload without touching the underlying graph.
+    pub fn bfs_seeded(graph: &Graph, root: usize, seed: u64) -> Self {
+        Self::bfs_inner(graph, root, Some(seed))
+    }
+
+    fn bfs_inner(graph: &Graph, root: usize, seed: Option<u64>) -> Self {
         assert!(root < graph.num_nodes(), "root out of range");
         assert!(
             graph.is_connected(),
             "BFS spanning tree requires a connected graph"
         );
         let n = graph.num_nodes();
+        let mut rng = seed.map(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64);
         let mut parent = vec![None; n];
         let mut depth = vec![None; n];
         let mut children = vec![Vec::new(); n];
         let mut queue = std::collections::VecDeque::new();
+        let mut nbrs: Vec<usize> = Vec::new();
         depth[root] = Some(0);
         queue.push_back(root);
         while let Some(u) = queue.pop_front() {
-            for &v in graph.neighbors(u) {
+            nbrs.clear();
+            nbrs.extend_from_slice(graph.neighbors(u));
+            if let Some(rng) = rng.as_mut() {
+                // Fisher–Yates with the vendored generator (no shuffle
+                // adaptor in the stub).
+                for i in (1..nbrs.len()).rev() {
+                    let j = (rand::Rng::random::<u64>(rng) % (i as u64 + 1)) as usize;
+                    nbrs.swap(i, j);
+                }
+            }
+            for &v in &nbrs {
                 if depth[v].is_none() {
                     depth[v] = Some(depth[u].expect("queued node has depth") + 1);
                     parent[v] = Some(u);
@@ -200,13 +227,29 @@ impl TerminalTree {
     /// Panics if there are fewer than 2 terminals, if terminals repeat, or if
     /// the graph is disconnected.
     pub fn build(graph: &Graph, terminals: &[usize]) -> Self {
+        Self::build_inner(graph, terminals, None)
+    }
+
+    /// As [`TerminalTree::build`], but with the underlying BFS tree drawn by
+    /// [`SpanningTree::bfs_seeded`]: the root choice and every depth bound
+    /// are unchanged, while the announced shortest-path tree varies with
+    /// `seed`. Used by the churn runtime to re-randomise the §3.3 tree
+    /// mid-workload.
+    pub fn build_seeded(graph: &Graph, terminals: &[usize], seed: u64) -> Self {
+        Self::build_inner(graph, terminals, Some(seed))
+    }
+
+    fn build_inner(graph: &Graph, terminals: &[usize], seed: Option<u64>) -> Self {
         assert!(terminals.len() >= 2, "need at least two terminals");
         for (i, &t) in terminals.iter().enumerate() {
             assert!(t < graph.num_nodes(), "terminal {t} out of range");
             assert!(!terminals[(i + 1)..].contains(&t), "duplicate terminal {t}");
         }
         let root_terminal = graph.most_central_of(terminals);
-        let mut bfs = SpanningTree::bfs(graph, root_terminal);
+        let mut bfs = match seed {
+            Some(s) => SpanningTree::bfs_seeded(graph, root_terminal, s),
+            None => SpanningTree::bfs(graph, root_terminal),
+        };
         // Keep only ancestors of terminals.
         let term_set: Vec<bool> = {
             let mut s = vec![false; graph.num_nodes()];

@@ -1,0 +1,33 @@
+//! One protocol node as an OS process.
+//!
+//! Spawned by the cluster supervisor ([`dqma::cluster::Cluster`]) with a
+//! seven-token argv (control address, node id, fleet size, virtual-time
+//! scale, retry policy); everything else — peer addresses, the program to
+//! run, trial batches — arrives over the control connection. See
+//! [`dqma::cluster::node_main`] for the protocol.
+
+use std::process::ExitCode;
+
+use dqma::cluster::{node_main, NodeConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match NodeConfig::from_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("dqma-node: {e}");
+            eprintln!(
+                "usage: dqma-node <ctl_addr> <node> <num_nodes> <nanos_per_vns> \
+                 <base_timeout> <max_attempts> <jitter_bits_hex>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match node_main(&cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dqma-node[{}]: {e}", cfg.node);
+            ExitCode::FAILURE
+        }
+    }
+}

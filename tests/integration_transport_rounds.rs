@@ -282,6 +282,101 @@ fn a_crashed_verifier_surfaces_a_fault_report_with_its_cause() {
     );
 }
 
+/// Shared assertion for the abort-never-reject regression: on an honest
+/// instance, a fault schedule may destroy rounds but must surface every
+/// casualty as an abort — a silent reject would turn an infrastructure
+/// failure into a (false) soundness verdict.
+fn assert_honest_rounds_abort_never_reject<P: RoundProgram>(
+    name: &str,
+    program: &P,
+    plan: &FaultPlan,
+    seed: u64,
+) {
+    let trials = 1_024u64;
+    let report = net::sample_transport_rounds(program, plan, &policy(), trials, seed, 1);
+    assert_eq!(
+        report.outcomes.rejects, 0,
+        "{name}: honest rounds must never reject under faults"
+    );
+    assert_eq!(
+        report.outcomes.accepts + report.outcomes.aborts,
+        trials,
+        "{name}: every trial must terminate as accept or abort"
+    );
+    assert_eq!(
+        report.outcomes.aborts, trials,
+        "{name}: this schedule severs the protocol every round"
+    );
+}
+
+#[test]
+fn honest_instances_abort_never_reject_under_total_loss_for_all_four_protocols() {
+    // 100% drop rate: the first hop's retry budget always exhausts.
+    let plan = FaultPlan::with_drop(1.0);
+
+    let (chain, _) = orthogonal_chain(4);
+    let program = chain.net_program(&chain.honest_proof());
+    assert_honest_rounds_abort_never_reject("chain", &program, &plan, 0xD401);
+
+    let (proto, x, _) = eq_path_protocol();
+    let program = proto.net_program(&x, &x, ChainCheat::AllLeft);
+    assert_honest_rounds_abort_never_reject("eq_path", &program, &plan, 0xD402);
+
+    let (tree, honest_inputs, _) = eq_tree_protocol();
+    let tree_proof = tree.uniform_proof(&honest_inputs[0]);
+    let program = tree.net_program(&honest_inputs, &tree_proof);
+    assert_honest_rounds_abort_never_reject("eq_tree", &program, &plan, 0xD403);
+
+    let relay = RelayEqProtocol::with_spacing(4, 6, 2, 3);
+    let rx = BitString::from_u64(11, 4);
+    let relays = vec![rx.clone(); relay.relay_points().len()];
+    let program = relay.net_program(&rx, &rx, &relays, ChainCheat::AllLeft);
+    assert_honest_rounds_abort_never_reject("relay", &program, &plan, 0xD404);
+}
+
+#[test]
+fn honest_instances_abort_never_reject_when_a_peer_dies_mid_round_for_all_four_protocols() {
+    // A permanently-down node whose crash window opens only after the
+    // first hop's deterministic 128 vns latency: the round is genuinely
+    // in flight when the peer disappears, and never recovers.
+    let mid_round_kill = |node: usize| FaultPlan {
+        latency_base: 128,
+        crashes: vec![CrashWindow {
+            node,
+            start: 130,
+            end: VTime::MAX,
+        }],
+        ..FaultPlan::none()
+    };
+
+    let (chain, _) = orthogonal_chain(4);
+    let program = chain.net_program(&chain.honest_proof());
+    assert_honest_rounds_abort_never_reject("chain", &program, &mid_round_kill(2), 0xD411);
+
+    let (proto, x, _) = eq_path_protocol();
+    let program = proto.net_program(&x, &x, ChainCheat::AllLeft);
+    assert_honest_rounds_abort_never_reject("eq_path", &program, &mid_round_kill(2), 0xD412);
+
+    // Spider centre: every repetition's permutation test runs there.
+    let (tree, honest_inputs, _) = eq_tree_protocol();
+    let tree_proof = tree.uniform_proof(&honest_inputs[0]);
+    let program = tree.net_program(&honest_inputs, &tree_proof);
+    assert_honest_rounds_abort_never_reject("eq_tree", &program, &mid_round_kill(0), 0xD413);
+
+    // A relay point: both adjacent segments lose their meeting point.
+    let relay = RelayEqProtocol::with_spacing(4, 6, 2, 3);
+    let rx = BitString::from_u64(11, 4);
+    let relays = vec![rx.clone(); relay.relay_points().len()];
+    let program = relay.net_program(&rx, &rx, &relays, ChainCheat::AllLeft);
+    let relay_point = relay.relay_points()[0];
+    assert_honest_rounds_abort_never_reject(
+        "relay",
+        &program,
+        &mid_round_kill(relay_point),
+        0xD414,
+    );
+}
+
 #[test]
 fn threaded_driver_agrees_statistically_with_the_sequential_driver() {
     // The two drivers consume RNG streams differently but draw from the
