@@ -157,37 +157,61 @@ impl RoundProgram for AnyProgram {
     }
 }
 
-/// Thin error-reporting wrapper around [`SplitWhitespace`].
-struct Tokens<'a> {
+/// Thin error-reporting wrapper around [`SplitWhitespace`]. Shared with the
+/// serving layer's journal/instance decoding in [`crate::service`].
+pub(crate) struct Tokens<'a> {
     it: SplitWhitespace<'a>,
 }
 
+/// Hard ceiling on any wire-decoded element count (`chain` length, relay
+/// segments, tree roles/children/probabilities). A corrupted or hostile
+/// length prefix must fail with a structured error *before* any allocation
+/// sized by it — never a capacity-overflow panic or an OOM.
+pub(crate) const MAX_WIRE_COUNT: usize = 1 << 16;
+
 impl<'a> Tokens<'a> {
-    fn new(line: &'a str) -> Self {
+    pub(crate) fn new(line: &'a str) -> Self {
         Tokens {
             it: line.split_whitespace(),
         }
     }
 
-    fn next_str(&mut self) -> Option<&'a str> {
+    pub(crate) fn next_str(&mut self) -> Option<&'a str> {
         self.it.next()
     }
 
-    fn expect(&mut self) -> Result<&'a str, String> {
+    pub(crate) fn expect(&mut self) -> Result<&'a str, String> {
         self.it.next().ok_or_else(|| "truncated spec".to_string())
     }
 
-    fn u64(&mut self) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
         let t = self.expect()?;
         t.parse().map_err(|_| format!("bad integer token {t:?}"))
     }
 
-    fn usize(&mut self) -> Result<usize, String> {
+    pub(crate) fn usize(&mut self) -> Result<usize, String> {
         let t = self.expect()?;
         t.parse().map_err(|_| format!("bad integer token {t:?}"))
     }
 
-    fn f64_bits(&mut self) -> Result<f64, String> {
+    /// A `usize` length prefix, rejected above [`MAX_WIRE_COUNT`] so the
+    /// caller may allocate `count(..)?` elements without further checks.
+    pub(crate) fn count(&mut self, what: &str) -> Result<usize, String> {
+        let n = self.usize()?;
+        if n > MAX_WIRE_COUNT {
+            return Err(format!(
+                "{what} count {n} exceeds wire cap {MAX_WIRE_COUNT}"
+            ));
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn hex_u64(&mut self) -> Result<u64, String> {
+        let t = self.expect()?;
+        u64::from_str_radix(t, 16).map_err(|_| format!("bad hex token {t:?}"))
+    }
+
+    pub(crate) fn f64_bits(&mut self) -> Result<f64, String> {
         let t = self.expect()?;
         u64::from_str_radix(t, 16)
             .map(f64::from_bits)
@@ -309,7 +333,7 @@ impl ProgramSpec {
     fn decode_tokens(tok: &mut Tokens<'_>) -> Result<ProgramSpec, String> {
         let repr = match tok.expect()? {
             "chain" => {
-                let k = tok.usize()?;
+                let k = tok.count("chain length")?;
                 let mq = tok.u64()?;
                 let tables = (0..4 * (k + 1))
                     .map(|_| tok.f64_bits())
@@ -317,7 +341,7 @@ impl ProgramSpec {
                 Repr::Chain { k, mq, tables }
             }
             "relay" => {
-                let nseg = tok.usize()?;
+                let nseg = tok.count("relay segment")?;
                 let mq = tok.u64()?;
                 let boundaries = (0..=nseg)
                     .map(|_| tok.usize())
@@ -327,6 +351,11 @@ impl ProgramSpec {
                     let ki = boundaries[i + 1]
                         .checked_sub(boundaries[i] + 1)
                         .ok_or_else(|| "non-monotone relay boundaries".to_string())?;
+                    if ki > MAX_WIRE_COUNT {
+                        return Err(format!(
+                            "relay segment length {ki} exceeds wire cap {MAX_WIRE_COUNT}"
+                        ));
+                    }
                     segments.push(
                         (0..4 * (ki + 1))
                             .map(|_| tok.f64_bits())
@@ -340,9 +369,9 @@ impl ProgramSpec {
                 }
             }
             "tree" => {
-                let n = tok.usize()?;
+                let n = tok.count("tree role")?;
                 let mq = tok.u64()?;
-                let slen = tok.usize()?;
+                let slen = tok.count("tree schedule")?;
                 let schedule = (0..slen)
                     .map(|_| tok.usize())
                     .collect::<Result<Vec<_>, _>>()?;
@@ -360,7 +389,7 @@ impl ProgramSpec {
                                     Some(p.parse().map_err(|_| format!("bad parent token {p:?}"))?)
                                 }
                             };
-                            let nch = tok.usize()?;
+                            let nch = tok.count("tree child")?;
                             let mut children = Vec::with_capacity(nch);
                             for _ in 0..nch {
                                 let t = tok.expect()?;
@@ -376,7 +405,7 @@ impl ProgramSpec {
                                 };
                                 children.push((c, shift));
                             }
-                            let np = tok.usize()?;
+                            let np = tok.count("tree probability")?;
                             let probs = (0..np)
                                 .map(|_| tok.f64_bits())
                                 .collect::<Result<Vec<_>, _>>()?;
@@ -685,6 +714,14 @@ pub fn node_main(cfg: &NodeConfig) -> io::Result<()> {
             }
             // A stale abandon for a batch that already completed.
             Some("abandon") => {}
+            // Fault-injection hook: go silent for the given wall time. The
+            // process stays alive (its data transport keeps its socket) but
+            // stops serving control lines — exactly the hung/livelocked
+            // shape the supervisor's batch deadline exists to bound.
+            Some("stall") => {
+                let ms = tok.u64().map_err(other)?;
+                thread::sleep(Duration::from_millis(ms));
+            }
             Some("quit") | None => return Ok(()),
             Some(_) => {}
         }
@@ -931,10 +968,20 @@ pub struct ClusterConfig {
     /// Max trials per `run` batch (smaller batches = finer churn grain).
     pub batch: u64,
     /// How long the supervisor waits for a batch's reports before
-    /// declaring the silent nodes dead.
+    /// declaring the silent nodes dead. This is the *outer* safety net;
+    /// the per-batch deadline below normally fires first.
     pub collect_timeout: Duration,
     /// How long a spawned process gets to report `hello`.
     pub hello_timeout: Duration,
+    /// Hard wall-clock deadline for collecting one batch. `None` sizes it
+    /// automatically from the retry policy: `batch × virtual_budget ×
+    /// nanos_per_vns` (the worst case where every trial exhausts its full
+    /// retry budget), clamped to `[2 s, collect_timeout]`. A node that is
+    /// hung or livelocked — alive at the process level but no longer
+    /// reporting — folds to [`netsim::RoundOutcome::Aborted`] trials within
+    /// this deadline instead of stalling the whole fleet for
+    /// `collect_timeout`.
+    pub batch_deadline: Option<Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -946,7 +993,23 @@ impl Default for ClusterConfig {
             batch: 2_048,
             collect_timeout: Duration::from_secs(60),
             hello_timeout: Duration::from_secs(20),
+            batch_deadline: None,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// The effective per-batch collection deadline (see
+    /// [`ClusterConfig::batch_deadline`]).
+    pub fn effective_batch_deadline(&self) -> Duration {
+        if let Some(d) = self.batch_deadline {
+            return d;
+        }
+        let per_trial_ns = (self.policy.virtual_budget() as u128)
+            .saturating_mul(self.nanos_per_vns.max(1) as u128);
+        let worst_ns = per_trial_ns.saturating_mul(self.batch.max(1) as u128);
+        let auto = Duration::from_nanos(worst_ns.min(u64::MAX as u128) as u64);
+        auto.clamp(Duration::from_secs(2), self.collect_timeout)
     }
 }
 
@@ -1287,6 +1350,15 @@ impl Cluster {
         self.broadcast(&line);
     }
 
+    /// Fault-injection hook: makes `node` stop responding to control
+    /// lines for `dur` without killing its process — the hung-node shape
+    /// (as opposed to a crash, which the reader thread reports as
+    /// [`NodeMsg::Dead`]). The batch-deadline regression test drives this;
+    /// production code has no reason to call it.
+    pub fn inject_stall(&mut self, node: NodeId, dur: Duration) {
+        self.send_line(node, &format!("stall {}", dur.as_millis()));
+    }
+
     /// Kills `node`'s process (churn or shutdown). The reader thread
     /// reports the death like any other crash.
     fn kill_process(&mut self, node: NodeId) {
@@ -1428,7 +1500,7 @@ impl Cluster {
     ) -> io::Result<HashMap<NodeId, HashMap<u64, TrialLine>>> {
         let mut got: HashMap<NodeId, HashMap<u64, TrialLine>> = HashMap::new();
         let mut waiting: HashSet<NodeId> = targets.iter().copied().collect();
-        let deadline = Instant::now() + self.cfg.collect_timeout;
+        let deadline = Instant::now() + self.cfg.effective_batch_deadline();
         while !waiting.is_empty() {
             let left = deadline.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(left) {
@@ -1468,10 +1540,27 @@ impl Cluster {
                 Err(RecvTimeoutError::Timeout) => {
                     // Non-reporters are stuck or dead: treat as dead so
                     // the run degrades instead of hanging.
-                    for v in waiting.drain() {
+                    let stuck: Vec<NodeId> = waiting.drain().collect();
+                    for &v in &stuck {
                         self.slots[v].alive = false;
                         self.slots[v].ctl = None;
                         self.kill_process(v);
+                    }
+                    // Consume the reader threads' Dead notifications for
+                    // the processes just killed — left queued, they would
+                    // be mistaken for a fresh death during the upcoming
+                    // restart handshake.
+                    let mut pending: HashSet<NodeId> = stuck.into_iter().collect();
+                    let grace = Instant::now() + Duration::from_secs(5);
+                    while !pending.is_empty() && Instant::now() < grace {
+                        match self.rx.recv_timeout(Duration::from_millis(100)) {
+                            Ok((node, NodeMsg::Dead)) => {
+                                pending.remove(&node);
+                            }
+                            Ok(_) => {}
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {

@@ -42,7 +42,13 @@
 //!   the persistent [`qsim::pool`] workers with counter-derived per-block
 //!   RNG streams (accept counts bit-identical at any worker count), and
 //!   return a [`trials::TrialReport`] with Wilson/Hoeffding intervals and
-//!   rounds/sec.
+//!   rounds/sec;
+//! * [`service`] — the overload-hardened verification service behind
+//!   `dqma-server`/`dqma-cli`: one facade over instance construction and
+//!   sampling, with a bounded admission queue (explicit shedding), per-job
+//!   deadlines folded into partial reports, a crash-recovery journal built
+//!   on the 8192-trial block-determinism contract, shared trial blocks
+//!   across same-instance jobs, and a hand-rolled hardened HTTP/JSON layer.
 //!
 //! # Quickstart
 //!
@@ -84,6 +90,7 @@ pub mod net;
 pub mod noise;
 pub mod ranking;
 pub mod relay;
+pub mod service;
 pub mod trials;
 
 pub use chain::{ChainCheat, SwapTestChain};
@@ -95,4 +102,5 @@ pub use from_qmacc::QmaccPathProtocol;
 pub use gt::GtPathProtocol;
 pub use ranking::RankingProtocol;
 pub use relay::RelayEqProtocol;
+pub use service::{InstanceSpec, JobSpec, JobStatus, Service, ServiceConfig};
 pub use trials::TrialReport;

@@ -423,6 +423,77 @@ pub fn run_trials_with_workers<S: BatchSampler>(
     }
 }
 
+/// Runs up to `n` trials of `sampler` under master seed `seed`, stopping at
+/// the first block boundary past `deadline` (when given). Returns a
+/// [`TrialReport`] over the trials actually completed — a *partial* report
+/// whose `trials` field may be any prefix `k · BLOCK_TRIALS ≤ n` of the
+/// request (plus the short tail block when the run completes).
+///
+/// Blocks are processed strictly in order, so the completed prefix is
+/// bit-identical to the same prefix of an unbounded [`run_trials`] with the
+/// same `(sampler, n, seed)`: deadline expiry never changes *which* rounds
+/// were sampled, only how many. This is the property the serving layer's
+/// crash-recovery journal relies on (see [`crate::service`]).
+///
+/// See [`run_trials_observed`] for the hook-bearing variant.
+pub fn run_trials_deadline<S: BatchSampler>(
+    sampler: &S,
+    n: u64,
+    seed: u64,
+    deadline: Option<Instant>,
+) -> TrialReport {
+    run_trials_observed(sampler, n, seed, deadline, &mut |_| None, &mut |_, _, _| {})
+}
+
+/// The hook-bearing deadline runner behind [`run_trials_deadline`].
+///
+/// For each block `b` (in order), the engine first consults
+/// `cached(b)`; a `Some(accepts)` is taken as the block's accept count
+/// without sampling (the caller vouches it came from an identical
+/// `(sampler, seed, block)` run — block determinism makes such reuse exact).
+/// Freshly sampled blocks are reported to `observe(b, len, accepts)` before
+/// the next block starts, which is the journaling hook: a crash loses at
+/// most the block in flight, and replaying observed blocks through `cached`
+/// resumes the run bit-identically.
+///
+/// The deadline is checked at block boundaries only (a block is the unit of
+/// both dispatch and determinism), and cached blocks never consume budget.
+pub fn run_trials_observed<S: BatchSampler>(
+    sampler: &S,
+    n: u64,
+    seed: u64,
+    deadline: Option<Instant>,
+    cached: &mut dyn FnMut(u64) -> Option<u64>,
+    observe: &mut dyn FnMut(u64, u64, u64),
+) -> TrialReport {
+    let start = Instant::now();
+    let nblocks = n.div_ceil(BLOCK_TRIALS);
+    let mut scratch = sampler.scratch();
+    let mut done: u64 = 0;
+    let mut accepts: u64 = 0;
+    for b in 0..nblocks {
+        let len = block_len(n, nblocks, b);
+        if let Some(a) = cached(b) {
+            done += len;
+            accepts += a;
+            continue;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+        let a = sampler.sample_block(len, &mut scratch, &BlockRng::new(seed, b));
+        observe(b, len, a);
+        done += len;
+        accepts += a;
+    }
+    TrialReport {
+        trials: done,
+        accepts,
+        workers: 1,
+        elapsed: start.elapsed(),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Three-way outcome engine (transport-backed rounds)
 // ---------------------------------------------------------------------------
@@ -811,6 +882,63 @@ mod tests {
         assert_ne!(
             b.noise_rng(7).next_u64(),
             BlockRng::new(42, 4).noise_rng(7).next_u64()
+        );
+    }
+
+    #[test]
+    fn deadline_none_matches_unbounded_engine_bit_identically() {
+        let coin = Coin { p: 0.37 };
+        let n = 3 * BLOCK_TRIALS + 511;
+        let full = run_trials_with_workers(&coin, n, 21, 1);
+        let budgeted = run_trials_deadline(&coin, n, 21, None);
+        assert_eq!(budgeted.trials, full.trials);
+        assert_eq!(budgeted.accepts, full.accepts);
+    }
+
+    #[test]
+    fn expired_deadline_yields_an_empty_partial_report() {
+        let coin = Coin { p: 0.5 };
+        let past = Instant::now() - Duration::from_secs(1);
+        let r = run_trials_deadline(&coin, 10 * BLOCK_TRIALS, 7, Some(past));
+        assert_eq!(r.trials, 0);
+        assert_eq!(r.accepts, 0);
+        // A zero-trial report still carries a (vacuous) Wilson interval.
+        assert_eq!(r.wilson_interval(1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn partial_prefixes_are_bit_identical_to_the_unbounded_run() {
+        // Record per-block accepts of the unbounded run, then check that a
+        // resumed run driven through the cache hook reproduces the total
+        // without resampling the journaled prefix.
+        let coin = Coin { p: 0.37 };
+        let n = 5 * BLOCK_TRIALS + 100;
+        let mut journal: Vec<(u64, u64, u64)> = Vec::new();
+        let full = run_trials_observed(&coin, n, 33, None, &mut |_| None, &mut |b, len, a| {
+            journal.push((b, len, a))
+        });
+        assert_eq!(journal.len(), 6);
+        // Every observed prefix sums to a valid partial report.
+        let prefix: u64 = journal[..3].iter().map(|&(_, _, a)| a).sum();
+        // Resume: blocks 0..3 come from the "journal", the rest sample live.
+        let mut resumed_fresh = 0u64;
+        let resumed = run_trials_observed(
+            &coin,
+            n,
+            33,
+            None,
+            &mut |b| (b < 3).then(|| journal[b as usize].2),
+            &mut |_, _, _| resumed_fresh += 1,
+        );
+        assert_eq!(resumed_fresh, 3, "only the unjournaled blocks resample");
+        assert_eq!(resumed.trials, full.trials);
+        assert_eq!(
+            resumed.accepts, full.accepts,
+            "resume must be bit-identical"
+        );
+        assert_eq!(
+            prefix + journal[3..].iter().map(|&(_, _, a)| a).sum::<u64>(),
+            full.accepts
         );
     }
 

